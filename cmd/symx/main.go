@@ -1,0 +1,135 @@
+// Command symx explores a MiniC program symbolically and reports paths,
+// coverage, solver statistics, generated test cases and any errors found.
+//
+// Usage:
+//
+//	symx [flags] file.mc        explore a MiniC source file
+//	symx [flags] -tool echo     explore a built-in COREUTILS model
+//
+// Examples:
+//
+//	symx -args 2 -arglen 2 -merge dsm -qce -tool echo
+//	symx -args 1 -arglen 3 -tests prog.mc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"symmerge/internal/coreutils"
+	"symmerge/symx"
+)
+
+func main() {
+	var (
+		toolName = flag.String("tool", "", "run a built-in COREUTILS model instead of a file")
+		nArgs    = flag.Int("args", 2, "number of symbolic command-line arguments")
+		argLen   = flag.Int("arglen", 2, "max characters per symbolic argument")
+		stdinLen = flag.Int("stdin", 0, "symbolic stdin bytes")
+		merge    = flag.String("merge", "none", "state merging: none, ssm, dsm, func (function summaries)")
+		useQCE   = flag.Bool("qce", false, "gate merging with query count estimation")
+		alpha    = flag.Float64("alpha", 0.5, "QCE threshold α")
+		beta     = flag.Float64("beta", 0.8, "QCE branch probability β")
+		kappa    = flag.Int("kappa", 10, "QCE loop bound κ")
+		strategy = flag.String("strategy", "", "search strategy: dfs, bfs, random, coverage, topo")
+		seed     = flag.Int64("seed", 1, "random seed")
+		budget   = flag.Duration("time", 30*time.Second, "exploration time budget")
+		tests    = flag.Bool("tests", false, "generate concrete test cases")
+		bounds   = flag.Bool("bounds", false, "report out-of-bounds array accesses as errors")
+		dumpIR   = flag.Bool("ir", false, "print the compiled IR and exit")
+		census   = flag.Bool("census", false, "track the exact-path shadow census")
+	)
+	flag.Parse()
+
+	var src string
+	switch {
+	case *toolName != "":
+		tool, err := coreutils.Get(*toolName)
+		if err != nil {
+			fatal(err)
+		}
+		src = tool.Source
+		if *stdinLen == 0 && tool.UsesStdin {
+			*stdinLen = tool.DefaultStdin
+		}
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: symx [flags] file.mc | symx [flags] -tool name")
+		os.Exit(2)
+	}
+
+	prog, err := symx.Compile(src)
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpIR {
+		fmt.Print(prog.IR())
+		return
+	}
+
+	cfg := symx.Config{
+		NArgs:           *nArgs,
+		ArgLen:          *argLen,
+		StdinLen:        *stdinLen,
+		UseQCE:          *useQCE,
+		QCE:             symx.QCEParams{Alpha: *alpha, Beta: *beta, Kappa: *kappa, Zeta: 1},
+		Strategy:        symx.Strategy(*strategy),
+		Seed:            *seed,
+		MaxTime:         *budget,
+		CollectTests:    *tests,
+		CheckBounds:     *bounds,
+		TrackExactPaths: *census,
+	}
+	switch *merge {
+	case "none":
+		cfg.Merge = symx.MergeNone
+	case "ssm":
+		cfg.Merge = symx.MergeSSM
+	case "dsm":
+		cfg.Merge = symx.MergeDSM
+	case "func":
+		cfg.Merge = symx.MergeFunc
+	default:
+		fatal(fmt.Errorf("unknown merge mode %q", *merge))
+	}
+
+	res := symx.Run(prog, cfg)
+	st := res.Stats
+	fmt.Printf("completed:     %v (%.3fs)\n", res.Completed, st.ElapsedSeconds)
+	fmt.Printf("paths:         %s (states completed: %d)\n", st.PathsMult, st.PathsCompleted)
+	if *census {
+		fmt.Printf("exact paths:   %d\n", st.ExactPaths)
+	}
+	fmt.Printf("coverage:      %.1f%% (%d/%d instructions)\n",
+		100*st.Coverage(), st.CoveredInstrs, st.TotalInstrs)
+	fmt.Printf("steps:         %d (instructions %d, forks %d)\n",
+		st.Steps, st.Instructions, st.Forks)
+	fmt.Printf("merges:        %d (attempts %d, fast-forward picks %d)\n",
+		st.Merges, st.MergeAttempts, st.FFSelected)
+	fmt.Printf("solver:        %d queries, %d SAT calls, %d cache hits, %v in SAT\n",
+		st.Solver.Queries, st.Solver.SATCalls,
+		st.Solver.CacheHits+st.Solver.ModelReuseHits, st.Solver.SATTime.Round(time.Millisecond))
+	for i, e := range res.Errors {
+		fmt.Printf("error[%d]:      %s (args %q)\n", i, e.Error(), e.Args)
+	}
+	for i, tc := range res.Tests {
+		fmt.Printf("test[%d]:       args=%q stdin=%q -> output=%q exit=%d",
+			i, tc.Args, tc.Stdin, tc.Output, tc.Exit)
+		if tc.IsErr {
+			fmt.Printf(" ERROR: %s", tc.Msg)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "symx:", err)
+	os.Exit(1)
+}

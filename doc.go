@@ -1,0 +1,13 @@
+// Package symmerge reproduces "Efficient State Merging in Symbolic
+// Execution" (Kuznetsov, Kinder, Bucur, Candea; PLDI 2012) as a
+// self-contained Go library.
+//
+// The public API lives in symmerge/symx (compile MiniC programs, explore
+// them symbolically with configurable state merging). The evaluation
+// harness regenerating the paper's figures lives in cmd/paperbench; the
+// benchmark entry points are in bench_test.go at the module root.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// per-experiment index, and EXPERIMENTS.md for recorded paper-vs-measured
+// results.
+package symmerge

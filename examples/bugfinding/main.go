@@ -1,0 +1,63 @@
+// Bug finding: symbolic execution as a test generator. The program under
+// test parses a record from symbolic stdin into a fixed buffer with an
+// off-by-one bound and then asserts a checksum invariant that does not hold
+// for every input. The engine finds both bugs and emits concrete inputs
+// reproducing them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"symmerge/symx"
+)
+
+const src = `
+// Parse "<len><payload>" from stdin into buf, then verify a checksum.
+void main() {
+    byte buf[4];
+    int n = stdinlen();
+    if (n < 1) {
+        halt(0);
+    }
+    int want = toint(stdinchar(0)) % 6; // BUG 1: can be 4 or 5, buf holds 4
+    int sum = 0;
+    for (int i = 0; i < want && i + 1 < n; i++) {
+        byte c = stdinchar(i + 1);
+        buf[i] = c;             // out-of-bounds write when want > 4
+        sum = sum + toint(c);
+    }
+    // BUG 2: the "invariant" that payloads never sum to zero is wrong for
+    // empty payloads and all-zero payloads.
+    if (want > 0) {
+        assert(sum != 0);
+    }
+    putchar('o');
+    putchar('k');
+}
+`
+
+func main() {
+	prog, err := symx.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := symx.Run(prog, symx.Config{
+		StdinLen:     6,
+		Merge:        symx.MergeNone,
+		CheckBounds:  true, // out-of-bounds accesses become path errors
+		CollectTests: true,
+	})
+
+	fmt.Printf("explored %d paths, found %d error paths\n\n",
+		res.Stats.PathsCompleted, res.Stats.ErrorsFound)
+	for i, e := range res.Errors {
+		fmt.Printf("bug %d: %s at source %s\n", i+1, e.Msg, e.Pos)
+	}
+	fmt.Println()
+	for _, tc := range res.Tests {
+		if tc.IsErr {
+			fmt.Printf("reproducer: stdin=%v -> %s\n", tc.Stdin, tc.Msg)
+		}
+	}
+}

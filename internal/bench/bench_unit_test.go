@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Comment: "line one\nline two",
+		Header:  []string{"tool", "value"},
+		Rows:    [][]string{{"echo", "1.5"}, {"basename", "22"}},
+	}
+	s := tab.String()
+	for _, want := range []string{"# demo", "#   line one", "#   line two", "tool", "echo", "basename"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	// Columns must be aligned: "tool" padded to the width of "basename".
+	lines := strings.Split(s, "\n")
+	var header, row string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "tool") {
+			header = l
+		}
+		if strings.HasPrefix(l, "echo") {
+			row = l
+		}
+	}
+	if strings.Index(header, "value") != strings.Index(row, "1.5") {
+		t.Fatalf("columns misaligned:\n%q\n%q", header, row)
+	}
+}
+
+func TestLinearFitPerfectLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	c1, c2, r2 := linearFit(xs, ys)
+	if math.Abs(c1-1) > 1e-9 || math.Abs(c2-2) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("fit (%f, %f, %f), want (1, 2, 1)", c1, c2, r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, _, r2 := linearFit([]float64{1}, []float64{2}); r2 != 0 {
+		t.Fatal("single point should not fit")
+	}
+	if _, _, r2 := linearFit([]float64{2, 2}, []float64{1, 5}); r2 != 0 {
+		t.Fatal("vertical line should not fit")
+	}
+	// Constant y: perfect fit with slope 0.
+	c1, c2, r2 := linearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if c2 != 0 || c1 != 4 || r2 != 1 {
+		t.Fatalf("constant fit (%f, %f, %f)", c1, c2, r2)
+	}
+}
+
+func TestFmtBig(t *testing.T) {
+	if got := fmtBig(big.NewInt(12345)); got != "12345" {
+		t.Fatalf("fmtBig small = %q", got)
+	}
+	huge := new(big.Int).Lsh(big.NewInt(1), 100)
+	if got := fmtBig(huge); !strings.Contains(got, "e+") {
+		t.Fatalf("fmtBig huge = %q, want scientific", got)
+	}
+}
+
+func TestRatioBig(t *testing.T) {
+	if r := ratioBig(big.NewInt(10), big.NewInt(4)); r != 2.5 {
+		t.Fatalf("ratio = %f", r)
+	}
+	if r := ratioBig(big.NewInt(1), big.NewInt(0)); !math.IsInf(r, 1) {
+		t.Fatalf("ratio by zero = %f, want +inf", r)
+	}
+}
+
+// TestFigure3Smoke runs the smallest real experiment end to end and checks
+// the log-log fit quality the paper's Figure 3 claims.
+func TestFigure3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := Options{Budget: time.Second, Timeout: 5 * time.Second, Seed: 1}
+	tables := Figure3(opts)
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	for _, tab := range tables {
+		min := 2
+		if strings.Contains(tab.Title, "tsort") {
+			// tsort's shadow census affords a single size at small
+			// timeouts (each extra stdin pair multiplies the census
+			// cost); the fit comes from seq and join.
+			min = 1
+		}
+		if len(tab.Rows) < min {
+			t.Fatalf("%s: only %d data points", tab.Title, len(tab.Rows))
+		}
+		if !strings.Contains(tab.Comment, "R^2") {
+			t.Fatalf("%s: missing fit", tab.Title)
+		}
+	}
+}
+
+// TestFFStatSmoke checks the §5.5 statistic runs and produces sane rates.
+func TestFFStatSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab := FFStat(Options{Budget: 300 * time.Millisecond, Timeout: time.Second, Seed: 1})
+	if len(tab.Rows) < 20 {
+		t.Fatalf("ff stat covered %d tools", len(tab.Rows))
+	}
+}

@@ -1,0 +1,205 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"symmerge/internal/cfg"
+	"symmerge/internal/ir"
+	"symmerge/internal/lang"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStraightLine(t *testing.T) {
+	p := compile(t, `void main() { int x = 1; int y = x + 2; putchar(tobyte(y)); }`)
+	g := cfg.Build(p.Main)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("straight-line function has %d blocks, want 1", len(g.Blocks))
+	}
+	if len(g.Loops) != 0 || len(g.BackEdges) != 0 {
+		t.Fatalf("unexpected loops %d / back edges %d", len(g.Loops), len(g.BackEdges))
+	}
+}
+
+func TestIfElseDiamond(t *testing.T) {
+	p := compile(t, `
+void main() {
+    int x = sym_int();
+    int y = 0;
+    if (x > 0) { y = 1; } else { y = 2; }
+    putchar(tobyte(y));
+}
+`)
+	g := cfg.Build(p.Main)
+	// entry, then-branch, else-branch, join = at least 4 blocks.
+	if len(g.Blocks) < 4 {
+		t.Fatalf("diamond has %d blocks, want >= 4", len(g.Blocks))
+	}
+	if len(g.Loops) != 0 {
+		t.Fatal("diamond misdetected as loop")
+	}
+	// RPO must start at the entry block.
+	if g.RPO[0] != 0 {
+		t.Fatalf("RPO starts at block %d, want 0", g.RPO[0])
+	}
+	// Every non-entry block must have a predecessor.
+	for _, b := range g.Blocks[1:] {
+		if len(b.Preds) == 0 {
+			t.Fatalf("block %d unreachable", b.Index)
+		}
+	}
+}
+
+func TestCountedLoopTripCount(t *testing.T) {
+	p := compile(t, `
+void main() {
+    int s = 0;
+    for (int i = 0; i < 7; i++) {
+        s += i;
+    }
+    putchar(tobyte(s));
+}
+`)
+	g := cfg.Build(p.Main)
+	if len(g.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(g.Loops))
+	}
+	if tc := g.Loops[0].TripCount; tc != 7 {
+		t.Fatalf("trip count %d, want 7", tc)
+	}
+}
+
+func TestSymbolicBoundNoTripCount(t *testing.T) {
+	p := compile(t, `
+void main() {
+    int n = sym_int();
+    for (int i = 0; i < n; i++) {
+        putchar('x');
+    }
+}
+`)
+	g := cfg.Build(p.Main)
+	if len(g.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(g.Loops))
+	}
+	if tc := g.Loops[0].TripCount; tc != 0 {
+		t.Fatalf("trip count %d for symbolic bound, want 0 (unknown)", tc)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	p := compile(t, `
+void main() {
+    for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 4; j++) {
+            putchar('x');
+        }
+    }
+}
+`)
+	g := cfg.Build(p.Main)
+	if len(g.Loops) != 2 {
+		t.Fatalf("got %d loops, want 2", len(g.Loops))
+	}
+	// One loop's body must contain the other's header.
+	var inner, outer *cfg.Loop
+	if len(g.Loops[0].Body) < len(g.Loops[1].Body) {
+		inner, outer = g.Loops[0], g.Loops[1]
+	} else {
+		inner, outer = g.Loops[1], g.Loops[0]
+	}
+	if !outer.Body[inner.Header] {
+		t.Fatal("inner loop header not inside outer loop body")
+	}
+	if inner.TripCount != 4 || outer.TripCount != 3 {
+		t.Fatalf("trip counts inner=%d outer=%d, want 4 and 3",
+			inner.TripCount, outer.TripCount)
+	}
+}
+
+func TestWhileLoopDetected(t *testing.T) {
+	p := compile(t, `
+void main() {
+    int i = 0;
+    while (i < 5) {
+        i++;
+    }
+}
+`)
+	g := cfg.Build(p.Main)
+	if len(g.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(g.Loops))
+	}
+}
+
+func TestTopoRankMonotonicOnStraightLine(t *testing.T) {
+	p := compile(t, `void main() { int x = 1; if (x > 0) { x = 2; } putchar(tobyte(x)); }`)
+	g := cfg.Build(p.Main)
+	// The entry instruction must have the smallest rank; the final
+	// instruction (join) the largest among its block's start.
+	first := g.TopoRank(0)
+	last := g.TopoRank(len(p.Main.Instrs) - 1)
+	if first >= last {
+		t.Fatalf("rank(entry)=%d >= rank(exit)=%d", first, last)
+	}
+}
+
+func TestCallGraphBottomUp(t *testing.T) {
+	p := compile(t, `
+int leaf(int x) { return x + 1; }
+int mid(int x) { return leaf(x) * 2; }
+void main() { putchar(tobyte(mid(1))); }
+`)
+	cg := cfg.BuildCallGraph(p)
+	pos := map[int]int{}
+	for i, f := range cg.BottomUp {
+		pos[f] = i
+	}
+	leaf := p.ByName["leaf"].Index
+	mid := p.ByName["mid"].Index
+	main := p.Main.Index
+	if !(pos[leaf] < pos[mid] && pos[mid] < pos[main]) {
+		t.Fatalf("bottom-up order wrong: leaf=%d mid=%d main=%d",
+			pos[leaf], pos[mid], pos[main])
+	}
+	for _, f := range []int{leaf, mid, main} {
+		if cg.InCycle[f] {
+			t.Fatalf("function %d misdetected as recursive", f)
+		}
+	}
+}
+
+func TestCallGraphMutualRecursion(t *testing.T) {
+	p := compile(t, `
+int f(int n) { if (n <= 0) { return 0; } return g(n - 1); }
+int g(int n) { return f(n); }
+void main() { putchar(tobyte(f(3))); }
+`)
+	cg := cfg.BuildCallGraph(p)
+	f := p.ByName["f"].Index
+	g := p.ByName["g"].Index
+	if !cg.InCycle[f] || !cg.InCycle[g] {
+		t.Fatal("mutual recursion not detected")
+	}
+	if cg.InCycle[p.Main.Index] {
+		t.Fatal("main misdetected as recursive")
+	}
+}
+
+func TestSelfRecursionDetected(t *testing.T) {
+	p := compile(t, `
+int f(int n) { if (n <= 0) { return 0; } return f(n - 1); }
+void main() { putchar(tobyte(f(3))); }
+`)
+	cg := cfg.BuildCallGraph(p)
+	if !cg.InCycle[p.ByName["f"].Index] {
+		t.Fatal("self recursion not detected")
+	}
+}

@@ -1,0 +1,454 @@
+package core
+
+// White-box engine tests: state forking and copy-on-write, path-condition
+// prefix sharing, merging mechanics, similarity hashing, and the
+// Algorithm 1 / Algorithm 2 bookkeeping that the public API tests cannot
+// observe directly.
+
+import (
+	"math/big"
+	"testing"
+
+	"symmerge/internal/expr"
+
+	"symmerge/internal/lang"
+	"symmerge/internal/qce"
+)
+
+// dfs is a minimal strategy for white-box engine tests.
+type dfs struct{ items []*State }
+
+func (s *dfs) Add(st *State) { s.items = append(s.items, st) }
+func (s *dfs) Remove(st *State) {
+	for i, x := range s.items {
+		if x == st {
+			s.items = append(s.items[:i], s.items[i+1:]...)
+			return
+		}
+	}
+}
+func (s *dfs) Pick() *State {
+	if len(s.items) == 0 {
+		return nil
+	}
+	return s.items[len(s.items)-1]
+}
+func (s *dfs) Len() int { return len(s.items) }
+
+func newTestEngine(t *testing.T, src string, cfg Config) *Engine {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.UseQCE && cfg.QCE.Beta == 0 {
+		cfg.QCE = qce.DefaultParams()
+	}
+	return NewEngine(p, cfg, &dfs{})
+}
+
+const arraySrc = `
+void touch(byte buf[4]) {
+    buf[1] = 7;
+}
+void main() {
+    byte b[4];
+    b[0] = 1;
+    touch(b);
+    putchar(b[0]);
+}
+`
+
+func TestForkCopyOnWrite(t *testing.T) {
+	e := newTestEngine(t, arraySrc, Config{})
+	s := e.initialState()
+	// Write into the parent's array, fork, then write into the child.
+	obj := s.object(ObjRef{Depth: 0, Local: 0}, true)
+	obj.Cells[0] = e.build.Const(11, 8)
+
+	child := s.fork(99)
+	cobj := child.object(ObjRef{Depth: 0, Local: 0}, true)
+	cobj.Cells[0] = e.build.Const(22, 8)
+
+	// The parent must be unaffected by the child's write.
+	pv := s.object(ObjRef{Depth: 0, Local: 0}, false).Cells[0]
+	if pv.Val != 11 {
+		t.Fatalf("parent cell changed to %d after child write", pv.Val)
+	}
+	cv := child.object(ObjRef{Depth: 0, Local: 0}, false).Cells[0]
+	if cv.Val != 22 {
+		t.Fatalf("child cell is %d, want 22", cv.Val)
+	}
+}
+
+func TestForkSharesUntouchedObjects(t *testing.T) {
+	e := newTestEngine(t, arraySrc, Config{})
+	s := e.initialState()
+	child := s.fork(99)
+	// Reading must not clone.
+	po := s.object(ObjRef{Depth: 0, Local: 0}, false)
+	co := child.object(ObjRef{Depth: 0, Local: 0}, false)
+	if po != co {
+		t.Fatal("untouched objects were copied on fork")
+	}
+}
+
+func TestAppendPCSharing(t *testing.T) {
+	e := newTestEngine(t, arraySrc, Config{})
+	b := e.build
+	x := b.Var("x", 8)
+	base := appendPC(nil, b.Ult(x, b.Const(5, 8)))
+	c1 := appendPC(base, b.Eq(x, b.Const(1, 8)))
+	c2 := appendPC(base, b.Eq(x, b.Const(2, 8)))
+	// The shared prefix must remain pointer-identical for prefix
+	// factoring during merges.
+	if c1[0] != c2[0] || c1[0] != base[0] {
+		t.Fatal("prefix sharing broken")
+	}
+	if len(base) != 1 {
+		t.Fatal("appendPC mutated its input")
+	}
+}
+
+func TestStackHashAndSameStack(t *testing.T) {
+	e := newTestEngine(t, arraySrc, Config{})
+	a := e.initialState()
+	b := e.initialState()
+	if a.stackHash() != b.stackHash() || !sameStack(a, b) {
+		t.Fatal("identical stacks hash differently")
+	}
+	b.top().PC = 3
+	if a.stackHash() == b.stackHash() || sameStack(a, b) {
+		t.Fatal("different PCs produce same stack hash")
+	}
+}
+
+func TestMergeScalarsAndMultiplicity(t *testing.T) {
+	src := `
+void main() {
+    int r = 1;
+    if (argchar(1, 0) == '-') {
+        r = 0;
+    }
+    putchar(tobyte('0' + r));
+}
+`
+	e := newTestEngine(t, src, Config{NArgs: 1, ArgLen: 1, Merge: MergeSSM})
+	s := e.initialState()
+	succ := e.stepBlock(s)
+	if len(succ) != 2 {
+		t.Fatalf("branch produced %d states, want 2", len(succ))
+	}
+	a, b := succ[0], succ[1]
+	// Drive both to the same location (the merge point after the if).
+	for !sameStack(a, b) {
+		if e.TopoLess(a, b) {
+			a = e.stepBlock(a)[0]
+		} else {
+			b = e.stepBlock(b)[0]
+		}
+	}
+	if !e.similar(a, b) {
+		t.Fatal("same-location states not similar under merge-everything")
+	}
+	m := e.merge(a, b)
+	if m.Mult.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("merged multiplicity %s, want 2", m.Mult)
+	}
+	// r must now be an ite (or otherwise symbolic) in the merged store.
+	rIdx := -1
+	for i, l := range e.prog.Main.Locals {
+		if l.Name == "r" {
+			rIdx = i
+		}
+	}
+	rv := m.Frames[0].Locals[rIdx].E
+	if rv == nil || !rv.IsSymbolic() {
+		t.Fatalf("merged r = %v, want symbolic ite", rv)
+	}
+	// The merged path condition must be weaker than either side: its
+	// conjunction is satisfiable and covers both branches.
+	if ok, _, err := e.solv.CheckSat(m.PC); err != nil || !ok {
+		t.Fatalf("merged pc unsat: %v", err)
+	}
+}
+
+func TestMergePrefixFactoring(t *testing.T) {
+	e := newTestEngine(t, arraySrc, Config{})
+	b := e.build
+	x := b.Var("x", 8)
+	shared := b.Ult(x, b.Const(100, 8))
+
+	s1 := e.initialState()
+	s2 := s1.fork(e.nextID)
+	s1.PC = appendPC(appendPC(nil, shared), b.Eq(x, b.Const(1, 8)))
+	s2.PC = appendPC(appendPC(nil, shared), b.Eq(x, b.Const(2, 8)))
+	m := e.merge(s1, s2)
+	// The merged pc must keep the shared conjunct unwrapped and add a
+	// single disjunction for the differing suffix.
+	if len(m.PC) != 2 {
+		t.Fatalf("merged pc has %d conjuncts, want 2 (prefix + disjunction)", len(m.PC))
+	}
+	if m.PC[0] != shared {
+		t.Fatal("common prefix not factored")
+	}
+}
+
+func TestSimilarRequiresEqualHotConcretes(t *testing.T) {
+	src := `
+void main() {
+    int n = 0;
+    if (argchar(1, 0) == 'x') {
+        n = 2;
+    } else {
+        n = 1;
+    }
+    for (int i = 0; i < n; i++) {
+        putchar('y');
+    }
+    putchar('\n');
+}
+`
+	// n drives a later loop bound: with a small alpha it must be hot, so
+	// states with different concrete n may not merge. Both branches fall
+	// into the loop, so the states first share a stack at the loop body
+	// where n is live.
+	cfg := Config{NArgs: 1, ArgLen: 1, Merge: MergeSSM, UseQCE: true}
+	cfg.QCE = qce.Params{Alpha: 0.01, Beta: 0.8, Kappa: 10, Zeta: 1}
+	e := newTestEngine(t, src, cfg)
+	s := e.initialState()
+	succ := e.stepBlock(s)
+	if len(succ) != 2 {
+		t.Fatalf("got %d successors", len(succ))
+	}
+	a, b := succ[0], succ[1]
+	for !sameStack(a, b) {
+		if e.TopoLess(a, b) {
+			a = e.stepBlock(a)[0]
+		} else {
+			b = e.stepBlock(b)[0]
+		}
+	}
+	if e.similar(a, b) {
+		t.Fatal("states with differing hot concrete n reported similar")
+	}
+	// With merging-everything (no QCE) they must be similar.
+	e.qce = nil
+	if !e.similar(a, b) {
+		t.Fatal("merge-everything rejected same-location states")
+	}
+}
+
+func TestSimHashFiltersSymbolic(t *testing.T) {
+	e := newTestEngine(t, arraySrc, Config{UseQCE: true, Merge: MergeDSM})
+	b := e.build
+	if filterHash(b.Var("x", 8)) != filterHash(b.Var("y", 8)) {
+		t.Fatal("two symbolic values hash differently (must both be ⋆)")
+	}
+	if filterHash(b.Const(1, 8)) == filterHash(b.Const(2, 8)) {
+		t.Fatal("distinct concrete values collide trivially")
+	}
+}
+
+func TestHistoryRing(t *testing.T) {
+	s := &State{}
+	for i := uint64(1); i <= 10; i++ {
+		s.pushHistory(i, 4)
+	}
+	if len(s.history) != 4 {
+		t.Fatalf("ring size %d, want 4", len(s.history))
+	}
+	// Must contain exactly 7..10.
+	seen := map[uint64]bool{}
+	for _, h := range s.history {
+		seen[h] = true
+	}
+	for i := uint64(7); i <= 10; i++ {
+		if !seen[i] {
+			t.Fatalf("ring lost recent entry %d: %v", i, s.history)
+		}
+	}
+}
+
+func TestOutputGuardedMerge(t *testing.T) {
+	e := newTestEngine(t, arraySrc, Config{})
+	b := e.build
+	c := b.Var("c", 0)
+	s1 := e.initialState()
+	s2 := s1.fork(e.nextID)
+	s1.PC = appendPC(nil, c)
+	s2.PC = appendPC(nil, b.Not(c))
+	s1.Output = []OutEntry{{Val: b.Const('a', 8)}, {Val: b.Const('b', 8)}}
+	s2.Output = []OutEntry{{Val: b.Const('a', 8)}}
+	m := e.merge(s1, s2)
+	// Common prefix 'a' unguarded; 'b' guarded by s1's suffix condition.
+	if len(m.Output) != 2 {
+		t.Fatalf("merged output has %d entries, want 2", len(m.Output))
+	}
+	if m.Output[0].Guard != nil || m.Output[0].Val.Val != 'a' {
+		t.Fatalf("entry 0 = %+v, want unguarded 'a'", m.Output[0])
+	}
+	if m.Output[1].Guard == nil || m.Output[1].Val.Val != 'b' {
+		t.Fatalf("entry 1 = %+v, want guarded 'b'", m.Output[1])
+	}
+	// Under c the guard holds ('ab' printed); under ¬c it does not ('a').
+	if !expr.EvalBool(m.Output[1].Guard, expr.Env{c: 1}) {
+		t.Fatal("guard false under the s1 branch")
+	}
+	if expr.EvalBool(m.Output[1].Guard, expr.Env{c: 0}) {
+		t.Fatal("guard true under the s2 branch")
+	}
+}
+
+// summarySrc calls a branching helper twice: function-summary merging must
+// collapse the helper's intraprocedural paths at each return, keeping the
+// caller's state count flat where plain exploration multiplies it.
+const summarySrc = `
+int classify(byte c) {
+    if (c == '-') { return 0; }
+    if (c < '0') { return 1; }
+    if (c > '9') { return 2; }
+    return 3;
+}
+void main() {
+    int a = classify(argchar(1, 0));
+    int b = classify(argchar(2, 0));
+    putchar(tobyte('0' + a + b));
+}
+`
+
+func runWithMode(t *testing.T, src string, mode MergeMode) *Result {
+	t.Helper()
+	cfg := Config{NArgs: 2, ArgLen: 1, Merge: mode}
+	e := newTestEngine(t, src, cfg)
+	if mode != MergeNone {
+		// Summary/SSM merging needs topological exploration; the engine
+		// test strategy is DFS, which suffices here because merging
+		// happens whenever states meet — drive with topo for fairness.
+		e.strategy = &topoTestStrategy{e: e}
+	}
+	res := e.Run()
+	if !res.Completed {
+		t.Fatalf("mode %v did not complete", mode)
+	}
+	return res
+}
+
+// topoTestStrategy picks the topologically earliest state (test-local clone
+// of search.Topo, which core cannot import without a cycle).
+type topoTestStrategy struct {
+	e     *Engine
+	items []*State
+}
+
+func (s *topoTestStrategy) Add(st *State) { s.items = append(s.items, st) }
+func (s *topoTestStrategy) Remove(st *State) {
+	for i, x := range s.items {
+		if x == st {
+			s.items = append(s.items[:i], s.items[i+1:]...)
+			return
+		}
+	}
+}
+func (s *topoTestStrategy) Pick() *State {
+	if len(s.items) == 0 {
+		return nil
+	}
+	best := s.items[0]
+	for _, st := range s.items[1:] {
+		if s.e.TopoLess(st, best) {
+			best = st
+		}
+	}
+	return best
+}
+func (s *topoTestStrategy) Len() int { return len(s.items) }
+
+func TestMergeFuncSummaries(t *testing.T) {
+	plain := runWithMode(t, summarySrc, MergeNone)
+	summ := runWithMode(t, summarySrc, MergeFunc)
+
+	// Soundness: the summary run must account for exactly the same number
+	// of single paths via multiplicity.
+	if summ.Stats.PathsMult.Uint64() != plain.Stats.PathsCompleted {
+		t.Fatalf("summary multiplicity %s != plain paths %d",
+			summ.Stats.PathsMult, plain.Stats.PathsCompleted)
+	}
+	if summ.Stats.Merges == 0 {
+		t.Fatal("function-summary merging performed no merges")
+	}
+	// Benefit: merging at each classify return collapses 4 callee paths
+	// into 1, so far fewer states complete.
+	if summ.Stats.PathsCompleted >= plain.Stats.PathsCompleted {
+		t.Fatalf("summary completed %d states, plain %d; expected a reduction",
+			summ.Stats.PathsCompleted, plain.Stats.PathsCompleted)
+	}
+}
+
+// TestMergeFuncOnlyAtReturns: in a program whose branching happens only in
+// main (no calls), MergeFunc must behave exactly like MergeNone.
+func TestMergeFuncOnlyAtReturns(t *testing.T) {
+	src := `
+void main() {
+    int r = 1;
+    if (argchar(1, 0) == '-') { r = 0; }
+    if (argchar(1, 1) == 'n') { r = r + 2; }
+    putchar(tobyte('0' + r));
+}
+`
+	plain := runWithMode(t, src, MergeNone)
+	summ := runWithMode(t, src, MergeFunc)
+	if summ.Stats.Merges != 0 {
+		t.Fatalf("MergeFunc merged %d times with no call sites", summ.Stats.Merges)
+	}
+	if summ.Stats.PathsCompleted != plain.Stats.PathsCompleted {
+		t.Fatalf("paths %d != plain %d", summ.Stats.PathsCompleted, plain.Stats.PathsCompleted)
+	}
+}
+
+// TestFullVariantStricterThanPrototype: with a huge ζ, merging symbolic-
+// differing values becomes expensive in the Equation (7) criterion, so the
+// full variant must reject merges the prototype variant accepts.
+func TestFullVariantStricterThanPrototype(t *testing.T) {
+	src := `
+void main() {
+    int x = 0;
+    if (argchar(1, 0) == 'x') {
+        x = toint(argchar(1, 1)); // symbolic on this side
+    }
+    for (int i = 0; i < 3; i++) {
+        if (x > i) { putchar('y'); }
+    }
+}
+`
+	mk := func(zeta float64) (*Engine, *State, *State) {
+		cfg := Config{NArgs: 1, ArgLen: 2, Merge: MergeSSM, UseQCE: true}
+		cfg.QCE = qce.Params{Alpha: 0.5, Beta: 0.8, Kappa: 10, Zeta: zeta}
+		e := newTestEngine(t, src, cfg)
+		s := e.initialState()
+		succ := e.stepBlock(s)
+		if len(succ) != 2 {
+			t.Fatalf("got %d successors", len(succ))
+		}
+		a, b := succ[0], succ[1]
+		for i := 0; i < 200 && !sameStack(a, b); i++ {
+			if e.TopoLess(a, b) {
+				a = e.stepBlock(a)[0]
+			} else {
+				b = e.stepBlock(b)[0]
+			}
+		}
+		if !sameStack(a, b) {
+			t.Fatal("states did not meet")
+		}
+		return e, a, b
+	}
+	e1, a1, b1 := mk(1) // prototype variant: x symbolic in one side => mergeable
+	if !e1.similar(a1, b1) {
+		t.Fatal("prototype variant rejected a merge Equation (1) allows")
+	}
+	e2, a2, b2 := mk(1e9) // full variant with prohibitive ite cost
+	if e2.similar(a2, b2) {
+		t.Fatal("full variant with huge ζ still merged ite-creating states")
+	}
+}

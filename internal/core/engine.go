@@ -1,0 +1,695 @@
+package core
+
+import (
+	"math/big"
+	"time"
+
+	"symmerge/internal/cfg"
+	"symmerge/internal/expr"
+	"symmerge/internal/ir"
+	"symmerge/internal/qce"
+	"symmerge/internal/solver"
+)
+
+// MergeMode selects the state-merging regime (paper §2.2, §4).
+type MergeMode uint8
+
+// Merge modes.
+const (
+	// MergeNone explores every path separately (plain KLEE).
+	MergeNone MergeMode = iota
+	// MergeSSM is static state merging: states are picked in CFG
+	// topological order and merged at join points whenever the
+	// similarity relation allows.
+	MergeSSM
+	// MergeDSM is dynamic state merging (Algorithm 2): an arbitrary
+	// driving strategy picks states, and fast-forwarding briefly
+	// overrides it when a state is similar to a recent predecessor of
+	// another worklist state.
+	MergeDSM
+	// MergeFunc merges states only at function-exit join points,
+	// realizing precise symbolic function summaries (paper §2.2,
+	// "Compositionality"): all intraprocedural paths of a callee are
+	// combined into one state when the call returns, and no other merge
+	// points exist. With UseQCE the summaries become selective.
+	MergeFunc
+)
+
+func (m MergeMode) String() string {
+	switch m {
+	case MergeNone:
+		return "none"
+	case MergeSSM:
+		return "ssm"
+	case MergeDSM:
+		return "dsm"
+	case MergeFunc:
+		return "func"
+	}
+	return "?"
+}
+
+// Strategy picks the next state to explore; implementations live in
+// symmerge/internal/search. The engine calls Add for every state entering
+// the worklist and Remove for every state leaving it.
+type Strategy interface {
+	Add(*State)
+	Remove(*State)
+	Pick() *State
+	Len() int
+}
+
+// StrategyContext is the engine view offered to strategies.
+type StrategyContext interface {
+	// IsCovered reports whether the instruction has been executed.
+	IsCovered(ir.Loc) bool
+	// TopoLess orders states by interprocedural CFG topological order.
+	TopoLess(a, b *State) bool
+}
+
+// Config configures an exploration.
+type Config struct {
+	Merge MergeMode
+	// UseQCE enables the QCE similarity relation; when false and merging
+	// is on, all same-location states merge (the Hansen-style baseline).
+	UseQCE bool
+	QCE    qce.Params
+
+	// Symbolic environment (paper §5.1: symbolic command line and stdin).
+	NArgs    int // number of symbolic arguments
+	ArgLen   int // max characters per argument (zero-terminated)
+	StdinLen int // symbolic stdin bytes
+
+	// ConcreteArgs/ConcreteStdin pin the environment to constants instead
+	// (overriding NArgs/ArgLen/StdinLen), turning the engine into a
+	// reference interpreter: exactly one path is feasible per branch.
+	// Used by the model-conformance tests and for replaying test cases.
+	ConcreteArgs  [][]byte
+	ConcreteStdin []byte
+
+	// DSMDelta is the fast-forwarding distance δ in basic blocks
+	// (paper §5.5 uses 8).
+	DSMDelta int
+
+	// Budgets; zero means unlimited.
+	MaxSteps  uint64
+	MaxTime   time.Duration
+	MaxStates int // prune excess states beyond this worklist size
+
+	// CheckBounds makes out-of-bounds array accesses path errors instead
+	// of returning 0 / ignoring the write.
+	CheckBounds bool
+
+	// TrackExactPaths enables the shadow path census used by Figure 3.
+	TrackExactPaths bool
+
+	// MaxTests bounds the number of recorded test cases (0 = 256).
+	MaxTests int
+
+	// CollectTests solves for a concrete model at every path end.
+	CollectTests bool
+
+	SolverOpts solver.Options
+}
+
+// TestCase is a concrete input reproducing one explored path.
+type TestCase struct {
+	Args   [][]byte // argv[1..]
+	Stdin  []byte
+	Output []byte // concrete output bytes under this input (best effort)
+	Exit   int64
+	IsErr  bool
+	Msg    string
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	Steps        uint64
+	Instructions uint64
+	Forks        uint64
+
+	MergeAttempts uint64 // similarity checks at matching locations
+	Merges        uint64
+	FFSelected    uint64 // states picked from the fast-forwarding set
+	FFMerged      uint64 // fast-forwarded states that did merge
+
+	PathsCompleted uint64   // halted states (a merged state counts once)
+	PathsMult      *big.Int // Σ multiplicity over halted states
+	ExactPaths     uint64   // shadow census: true single paths completed
+
+	ErrorsFound int
+	MaxWorklist int
+	Pruned      uint64
+
+	CoveredInstrs  int
+	TotalInstrs    int
+	ElapsedSeconds float64
+
+	Solver solver.Stats
+}
+
+// Coverage returns statement coverage as a fraction in [0,1].
+func (st *Stats) Coverage() float64 {
+	if st.TotalInstrs == 0 {
+		return 0
+	}
+	return float64(st.CoveredInstrs) / float64(st.TotalInstrs)
+}
+
+// Engine explores a program symbolically.
+type Engine struct {
+	prog  *ir.Program
+	cfg   Config
+	build *expr.Builder
+	solv  *solver.Solver
+	qce   *qce.Analysis
+	cfgs  []*cfg.FuncCFG
+
+	strategy Strategy
+	worklist map[*State]bool
+	byStack  map[uint64][]*State // merge-candidate index (stack hash)
+
+	// DSM bookkeeping.
+	predCount map[uint64]int             // multiset of all worklist states' history hashes
+	curIndex  map[uint64]map[*State]bool // states by current similarity hash
+	ffSet     map[*State]uint64          // fast-forwarding set F with matched hash
+
+	coverage []bool
+	covered  int
+
+	nextID uint64
+	zero8  *expr.Expr
+	zero32 *expr.Expr
+	argv   [][]*expr.Expr // argv[i] = cells (length ArgLen+1, last forced 0)
+	argv0  []byte
+	stdin  []*expr.Expr
+	hotBuf []int
+
+	stats     Stats
+	testCases []TestCase
+	errors    []PathError
+	deadline  time.Time
+	started   time.Time
+}
+
+// NewEngine prepares an exploration of prog under cfg with the given driving
+// strategy (may be nil for MergeNone+DFS default — callers normally supply
+// one from symmerge/internal/search).
+func NewEngine(prog *ir.Program, config Config, strat Strategy) *Engine {
+	e := &Engine{
+		prog:      prog,
+		cfg:       config,
+		build:     expr.NewBuilder(),
+		solv:      solver.New(config.SolverOpts),
+		worklist:  map[*State]bool{},
+		byStack:   map[uint64][]*State{},
+		predCount: map[uint64]int{},
+		curIndex:  map[uint64]map[*State]bool{},
+		ffSet:     map[*State]uint64{},
+		coverage:  make([]bool, prog.NumLocations()),
+		strategy:  strat,
+	}
+	e.solv.AttachBuilder(e.build)
+	e.zero8 = e.build.Const(0, 8)
+	e.zero32 = e.build.Const(0, 32)
+	e.cfgs = make([]*cfg.FuncCFG, len(prog.Funcs))
+	for i, f := range prog.Funcs {
+		e.cfgs[i] = cfg.Build(f)
+	}
+	if config.UseQCE {
+		e.qce = qce.Analyze(prog, config.QCE)
+	}
+	if e.cfg.DSMDelta == 0 {
+		e.cfg.DSMDelta = 8
+	}
+	if e.cfg.MaxTests == 0 {
+		e.cfg.MaxTests = 256
+	}
+	e.setupEnv()
+	return e
+}
+
+// Builder exposes the engine's expression builder (used by tests).
+func (e *Engine) Builder() *expr.Builder { return e.build }
+
+// Solver exposes the engine's solver (used by tests).
+func (e *Engine) Solver() *solver.Solver { return e.solv }
+
+// setupEnv creates the argv and stdin cell arrays: symbolic variables by
+// default, constants when the configuration pins concrete inputs.
+func (e *Engine) setupEnv() {
+	e.argv0 = []byte("prog")
+	if e.cfg.ConcreteArgs != nil || e.cfg.ConcreteStdin != nil {
+		for _, arg := range e.cfg.ConcreteArgs {
+			cells := make([]*expr.Expr, len(arg)+1)
+			for j, c := range arg {
+				cells[j] = e.build.Const(uint64(c), 8)
+			}
+			cells[len(arg)] = e.zero8
+			e.argv = append(e.argv, cells)
+		}
+		e.cfg.NArgs = len(e.cfg.ConcreteArgs)
+		for _, c := range e.cfg.ConcreteStdin {
+			e.stdin = append(e.stdin, e.build.Const(uint64(c), 8))
+		}
+		e.cfg.StdinLen = len(e.cfg.ConcreteStdin)
+		return
+	}
+	for i := 0; i < e.cfg.NArgs; i++ {
+		cells := make([]*expr.Expr, e.cfg.ArgLen+1)
+		for j := 0; j < e.cfg.ArgLen; j++ {
+			cells[j] = e.build.Var(argName(i+1, j), 8)
+		}
+		cells[e.cfg.ArgLen] = e.zero8 // forced terminator
+		e.argv = append(e.argv, cells)
+	}
+	for j := 0; j < e.cfg.StdinLen; j++ {
+		e.stdin = append(e.stdin, e.build.Var(stdinName(j), 8))
+	}
+}
+
+func argName(arg, idx int) string { return "arg" + itoa(arg) + "_" + itoa(idx) }
+func stdinName(idx int) string    { return "stdin_" + itoa(idx) }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// initialState builds the entry state at main.
+func (e *Engine) initialState() *State {
+	s := &State{
+		ID:   e.nextID,
+		Mult: big.NewInt(1),
+	}
+	e.nextID++
+	s.pushFrame(e.newFrame(e.prog.Main, -1))
+	if e.cfg.TrackExactPaths {
+		s.Shadow = [][]*expr.Expr{nil}
+	}
+	return s
+}
+
+// newFrame allocates a frame with zero-initialized locals and fresh array
+// objects for array-typed locals.
+func (e *Engine) newFrame(fn *ir.Func, retDst int) *Frame {
+	f := &Frame{Fn: fn.Index, RetDst: retDst}
+	f.Locals = make([]Value, len(fn.Locals))
+	f.Objects = make([]*Object, len(fn.Locals))
+	for i, l := range fn.Locals {
+		switch l.Type.Kind {
+		case ir.Bool:
+			f.Locals[i] = Value{E: e.build.False()}
+		case ir.Byte:
+			f.Locals[i] = Value{E: e.zero8}
+		case ir.Int:
+			f.Locals[i] = Value{E: e.zero32}
+		case ir.ArrayByte, ir.ArrayInt:
+			w := uint8(8)
+			zeroCell := e.zero8
+			if l.Type.Kind == ir.ArrayInt {
+				w, zeroCell = 32, e.zero32
+			}
+			cells := make([]*expr.Expr, l.Type.Len)
+			for c := range cells {
+				cells[c] = zeroCell
+			}
+			f.Objects[i] = &Object{Cells: cells, Width: w}
+			f.Locals[i] = Value{Ref: ObjRef{Depth: -1, Local: i}} // own; depth fixed on push
+		}
+	}
+	return f
+}
+
+// pushFrame appends the frame, fixing self-references to the actual depth.
+func (s *State) pushFrame(f *Frame) {
+	depth := len(s.Frames)
+	for i := range f.Locals {
+		if f.Objects[i] != nil {
+			f.Locals[i].Ref = ObjRef{Depth: depth, Local: i}
+		}
+	}
+	s.Frames = append(s.Frames, f)
+}
+
+// Result bundles the outcome of Run.
+type Result struct {
+	Stats  Stats
+	Tests  []TestCase
+	Errors []PathError
+	// Completed is true when the worklist drained (exhaustive
+	// exploration); false when a budget stopped the run.
+	Completed bool
+}
+
+// Run explores until the worklist drains or a budget trips.
+func (e *Engine) Run() *Result {
+	e.started = time.Now()
+	if e.cfg.MaxTime > 0 {
+		e.deadline = e.started.Add(e.cfg.MaxTime)
+		// Bound individual solver calls by the same deadline (plus
+		// slack for the final call in flight): merged states can
+		// produce single queries that would otherwise outlive the
+		// whole exploration budget.
+		e.solv.SetDeadline(e.deadline.Add(e.cfg.MaxTime / 4))
+	}
+	e.stats.PathsMult = big.NewInt(0)
+	e.stats.TotalInstrs = e.prog.NumLocations()
+
+	e.addState(e.initialState())
+	completed := true
+	for e.strategy.Len() > 0 {
+		if e.cfg.MaxSteps > 0 && e.stats.Steps >= e.cfg.MaxSteps {
+			completed = false
+			break
+		}
+		if !e.deadline.IsZero() && e.stats.Steps%64 == 0 && time.Now().After(e.deadline) {
+			completed = false
+			break
+		}
+		s := e.pickNext()
+		if s == nil {
+			break
+		}
+		e.removeState(s)
+		e.stats.Steps++
+		succs := e.stepBlock(s)
+		for _, ns := range succs {
+			e.dispatch(ns)
+		}
+		if n := e.strategy.Len(); n > e.stats.MaxWorklist {
+			e.stats.MaxWorklist = n
+		}
+		if e.cfg.MaxStates > 0 {
+			e.pruneExcess()
+		}
+	}
+	e.stats.CoveredInstrs = e.covered
+	e.stats.Solver = e.solv.Stats
+	e.stats.ElapsedSeconds = time.Since(e.started).Seconds()
+	return &Result{
+		Stats:     e.stats,
+		Tests:     e.testCases,
+		Errors:    e.errors,
+		Completed: completed,
+	}
+}
+
+// dispatch routes a stepped successor: record completion, attempt merging,
+// or return it to the worklist.
+func (e *Engine) dispatch(ns *State) {
+	if ns.Halt != HaltNone {
+		e.finishState(ns)
+		return
+	}
+	mergeable := e.cfg.Merge != MergeNone
+	if e.cfg.Merge == MergeFunc {
+		// Function-summary merging joins states only where a call just
+		// returned; everywhere else paths stay separate.
+		mergeable = ns.justRet
+	}
+	if mergeable {
+		if merged := e.tryMerge(ns); merged {
+			return
+		}
+	}
+	e.addState(ns)
+}
+
+// addState inserts a state into the worklist and all indexes.
+func (e *Engine) addState(s *State) {
+	e.worklist[s] = true
+	e.strategy.Add(s)
+	key := s.stackHash()
+	e.byStack[key] = append(e.byStack[key], s)
+	if e.cfg.Merge == MergeDSM {
+		for _, h := range s.history {
+			e.predCount[h]++
+		}
+		ch := e.simHash(s)
+		s.curHash = ch
+		set := e.curIndex[ch]
+		if set == nil {
+			set = map[*State]bool{}
+			e.curIndex[ch] = set
+		}
+		set[s] = true
+		e.refreshFF(s)
+	}
+}
+
+// removeState removes a state from the worklist and all indexes.
+func (e *Engine) removeState(s *State) {
+	delete(e.worklist, s)
+	e.strategy.Remove(s)
+	key := s.stackHash()
+	list := e.byStack[key]
+	for i, x := range list {
+		if x == s {
+			list[i] = list[len(list)-1]
+			e.byStack[key] = list[:len(list)-1]
+			break
+		}
+	}
+	if len(e.byStack[key]) == 0 {
+		delete(e.byStack, key)
+	}
+	if e.cfg.Merge == MergeDSM {
+		for _, h := range s.history {
+			if e.predCount[h]--; e.predCount[h] <= 0 {
+				delete(e.predCount, h)
+			}
+		}
+		if set := e.curIndex[s.curHash]; set != nil {
+			delete(set, s)
+			if len(set) == 0 {
+				delete(e.curIndex, s.curHash)
+			}
+		}
+		delete(e.ffSet, s)
+	}
+}
+
+// pickNext implements Algorithm 2 when DSM is active, otherwise defers to
+// the driving strategy.
+func (e *Engine) pickNext() *State {
+	if e.cfg.Merge == MergeDSM && len(e.ffSet) > 0 {
+		// pickNextF: the topologically earliest state in F, so lagging
+		// states catch up to their merge candidates (paper §4.3).
+		var best *State
+		for s, h := range e.ffSet {
+			if !e.worklist[s] || !e.stillForwardable(s, h) {
+				delete(e.ffSet, s)
+				continue
+			}
+			if best == nil || e.TopoLess(s, best) {
+				best = s
+			}
+		}
+		if best != nil {
+			e.stats.FFSelected++
+			best.ff = true
+			return best
+		}
+	}
+	s := e.strategy.Pick()
+	if s != nil {
+		s.ff = false
+	}
+	return s
+}
+
+// stillForwardable re-validates an F-set member: its current hash must still
+// match some other state's recent predecessor hash.
+func (e *Engine) stillForwardable(s *State, _ uint64) bool {
+	h := s.curHash
+	own := 0
+	for _, x := range s.history {
+		if x == h {
+			own++
+		}
+	}
+	return e.predCount[h] > own
+}
+
+// refreshFF updates fast-forwarding-set membership for s itself and for the
+// states whose current hash matches s's newly published history entries.
+func (e *Engine) refreshFF(s *State) {
+	if e.stillForwardable(s, s.curHash) {
+		e.ffSet[s] = s.curHash
+	}
+	for _, h := range s.history {
+		for o := range e.curIndex[h] {
+			if o != s && e.stillForwardable(o, o.curHash) {
+				e.ffSet[o] = o.curHash
+			}
+		}
+	}
+}
+
+// pruneExcess drops the lowest-priority states beyond MaxStates, folding
+// their multiplicity into the prune counter (soundness note: pruning makes
+// the exploration incomplete, exactly like KLEE's state cap).
+func (e *Engine) pruneExcess() {
+	for e.strategy.Len() > e.cfg.MaxStates {
+		keep := e.strategy.Pick() // never prune the strategy's next choice
+		var victim *State
+		for w := range e.worklist {
+			if w == keep {
+				continue
+			}
+			if victim == nil || w.ID > victim.ID {
+				victim = w // deterministic: newest state goes first
+			}
+		}
+		if victim == nil {
+			return
+		}
+		e.removeState(victim)
+		e.stats.Pruned++
+	}
+}
+
+// finishState records a terminated state.
+func (e *Engine) finishState(s *State) {
+	switch s.Halt {
+	case HaltExit, HaltError:
+		e.stats.PathsCompleted++
+		e.stats.PathsMult.Add(e.stats.PathsMult, s.Mult)
+		e.stats.ExactPaths += uint64(len(s.Shadow))
+		if s.Err != nil {
+			e.stats.ErrorsFound++
+			if len(e.errors) < e.cfg.MaxTests {
+				pe := *s.Err
+				if model, err := e.solv.GetModel(s.PC); err == nil && model != nil {
+					pe.Args = e.concretizeArgs(model)
+				}
+				e.errors = append(e.errors, pe)
+			}
+		}
+		if e.cfg.CollectTests && len(e.testCases) < e.cfg.MaxTests {
+			if tc, ok := e.makeTest(s); ok {
+				e.testCases = append(e.testCases, tc)
+			}
+		}
+	case HaltSilent:
+		// infeasible or pruned: nothing to record
+	}
+}
+
+// makeTest solves the path condition and concretizes inputs and output.
+func (e *Engine) makeTest(s *State) (TestCase, bool) {
+	model, err := e.solv.GetModel(s.PC)
+	if err != nil || model == nil {
+		return TestCase{}, false
+	}
+	tc := TestCase{Args: e.concretizeArgs(model)}
+	env := expr.Env(model)
+	for _, cell := range e.stdin {
+		tc.Stdin = append(tc.Stdin, byte(expr.Eval(cell, env)))
+	}
+	for _, o := range s.Output {
+		if o.Guard == nil || expr.EvalBool(o.Guard, env) {
+			tc.Output = append(tc.Output, byte(expr.Eval(o.Val, env)))
+		}
+	}
+	if s.ExitCode != nil {
+		tc.Exit = int64(int32(expr.Eval(s.ExitCode, env)))
+	}
+	if s.Err != nil {
+		tc.IsErr, tc.Msg = true, s.Err.Msg
+	}
+	return tc, true
+}
+
+// concretizeArgs reads the argv cells under a model. Cells after an embedded
+// NUL are kept (trimming only trailing zeros): the paper's sym-args model
+// leaves bytes past the terminator readable and unconstrained, and programs
+// that index past the terminator depend on them — dropping them would make
+// generated tests unreplayable.
+func (e *Engine) concretizeArgs(model solver.Model) [][]byte {
+	env := expr.Env(model)
+	var out [][]byte
+	for _, cells := range e.argv {
+		arg := make([]byte, len(cells))
+		for i, c := range cells {
+			arg[i] = byte(expr.Eval(c, env))
+		}
+		n := len(arg)
+		for n > 0 && arg[n-1] == 0 {
+			n--
+		}
+		out = append(out, arg[:n])
+	}
+	return out
+}
+
+// --- StrategyContext ---
+
+// IsCovered reports whether the location has been executed.
+func (e *Engine) IsCovered(l ir.Loc) bool {
+	return e.coverage[e.prog.LocIndex(l)]
+}
+
+func (e *Engine) markCovered(l ir.Loc) {
+	idx := e.prog.LocIndex(l)
+	if !e.coverage[idx] {
+		e.coverage[idx] = true
+		e.covered++
+	}
+}
+
+// TopoLess orders states by interprocedural topological position: compare
+// call stacks frame by frame from the bottom using each function's reverse
+// postorder rank; a state deeper inside calls at the same outer position
+// comes first (it must return before the caller can advance).
+func (e *Engine) TopoLess(a, b *State) bool {
+	n := len(a.Frames)
+	if len(b.Frames) < n {
+		n = len(b.Frames)
+	}
+	for i := 0; i < n; i++ {
+		fa, fb := a.Frames[i], b.Frames[i]
+		ra := e.rankOf(fa)
+		rb := e.rankOf(fb)
+		if fa.Fn != fb.Fn {
+			return fa.Fn < fb.Fn
+		}
+		if ra != rb {
+			return ra < rb
+		}
+	}
+	if len(a.Frames) != len(b.Frames) {
+		return len(a.Frames) > len(b.Frames) // deeper first
+	}
+	return a.ID < b.ID
+}
+
+func (e *Engine) rankOf(f *Frame) int {
+	g := e.cfgs[f.Fn]
+	pc := f.PC
+	if pc >= len(g.Fn.Instrs) {
+		pc = len(g.Fn.Instrs) - 1
+	}
+	if pc < 0 {
+		return 0
+	}
+	return g.TopoRank(pc)
+}
+
+// Stats returns a snapshot of the current statistics.
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	st.CoveredInstrs = e.covered
+	st.Solver = e.solv.Stats
+	return st
+}

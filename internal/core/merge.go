@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math/big"
+
+	"symmerge/internal/expr"
+)
+
+// hotLocals computes the hot-variable set for a frame (Equation 2):
+// v is hot at ℓ iff Qadd(ℓ,v) > α·Qt_global, where Qt_global adds the local
+// Qt of every return location on the stack to the current frame's Qt
+// (paper §3.2, interprocedural QCE). When QCE is disabled, no variable is
+// hot and every same-location pair may merge.
+func (e *Engine) hotLocals(s *State, depth int, out []int) []int {
+	if e.qce == nil {
+		return out[:0]
+	}
+	globalQt := 0.0
+	for i, f := range s.Frames {
+		fq := e.qce.PerFunc[f.Fn]
+		pc := f.PC
+		if i < len(s.Frames)-1 {
+			// Return location: the PC already points past the call.
+			if pc >= len(fq.Qt) {
+				pc = len(fq.Qt) - 1
+			}
+		}
+		if pc < len(fq.Qt) {
+			globalQt += fq.Qt[pc]
+		}
+	}
+	f := s.Frames[depth]
+	fq := e.qce.PerFunc[f.Fn]
+	pc := f.PC
+	if pc >= len(fq.Qadd) {
+		pc = len(fq.Qadd) - 1
+	}
+	return fq.HotSet(pc, globalQt, e.qce.Params.Alpha, out)
+}
+
+// simHash computes the state-similarity hash of §4.3: the call stack plus,
+// for every hot variable, h(v) = ⋆ if symbolic else its concrete value.
+// States with equal hashes are candidates for merging or fast-forwarding.
+func (e *Engine) simHash(s *State) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h = (h ^ v) * prime
+	}
+	mix(s.stackHash())
+	for depth := range s.Frames {
+		hot := e.hotLocals(s, depth, e.hotBuf)
+		e.hotBuf = hot[:0]
+		f := s.Frames[depth]
+		for _, v := range hot {
+			val := f.Locals[v]
+			if val.E != nil {
+				mix(filterHash(val.E))
+				continue
+			}
+			obj := s.object(val.Ref, false)
+			for _, c := range obj.Cells {
+				mix(filterHash(c))
+			}
+		}
+	}
+	return h
+}
+
+// filterHash maps symbolic expressions to a single marker value (the paper's
+// h(v) = ite(I◁v, ⋆, v)) and concrete expressions to their value.
+func filterHash(v *expr.Expr) uint64 {
+	if v.IsSymbolic() {
+		return 0x5bd1e995 // ⋆
+	}
+	return v.Val*2 + uint64(v.Width) + 1
+}
+
+// similar implements the similarity relation ∼qce of Equation (1): every hot
+// variable must be equal in both states or symbolic in at least one. When
+// ζ > 1 the full cost model of §3.3 (Equation 7) is used instead, which
+// additionally charges queries that gain ite expressions — the variant the
+// paper describes but leaves out of its prototype.
+func (e *Engine) similar(a, b *State) bool {
+	if !sameStack(a, b) {
+		return false
+	}
+	if e.qce == nil {
+		return true // merge-everything baseline
+	}
+	if e.qce.Params.Zeta > 1 {
+		return e.similarFullVariant(a, b)
+	}
+	for depth := range a.Frames {
+		hot := e.hotLocals(a, depth, e.hotBuf)
+		e.hotBuf = hot[:0]
+		fa, fb := a.Frames[depth], b.Frames[depth]
+		for _, v := range hot {
+			va, vb := fa.Locals[v], fb.Locals[v]
+			if va.E != nil {
+				if !mergeableScalar(va.E, vb.E) {
+					return false
+				}
+				continue
+			}
+			oa := a.object(va.Ref, false)
+			ob := b.object(vb.Ref, false)
+			if len(oa.Cells) != len(ob.Cells) {
+				return false
+			}
+			for i := range oa.Cells {
+				if !mergeableScalar(oa.Cells[i], ob.Cells[i]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// mergeableScalar is the per-variable condition of Equation (1):
+// s1[v] = s2[v] ∨ I◁s1[v] ∨ I◁s2[v].
+func mergeableScalar(x, y *expr.Expr) bool {
+	return x == y || x.IsSymbolic() || y.IsSymbolic()
+}
+
+// similarFullVariant implements Equation (7) of §3.3:
+//
+//	(ζ−1)·max{v: s1[v]≠ₛs2[v]} Qite(ℓ,v) + max{v: s1[v]≠ᶜs2[v]} Qadd(ℓ,v) < α·Qt
+//
+// where ≠ₛ marks differing values with a symbolic side (merging wraps them
+// in new ite expressions) and ≠ᶜ differing concrete values (merging makes
+// previously-concrete branches query the solver). The per-variable counts
+// coincide (Qite(ℓ,v) = Qadd(ℓ,v), §3.3), so one table serves both terms.
+func (e *Engine) similarFullVariant(a, b *State) bool {
+	p := e.qce.Params
+	globalQt := 0.0
+	for _, f := range a.Frames {
+		fq := e.qce.PerFunc[f.Fn]
+		if pc := f.PC; pc < len(fq.Qt) {
+			globalQt += fq.Qt[pc]
+		}
+	}
+	maxIte, maxAdd := 0.0, 0.0
+	scan := func(q float64, x, y *expr.Expr) {
+		if x == y {
+			return
+		}
+		if x.IsSymbolic() || y.IsSymbolic() {
+			if q > maxIte {
+				maxIte = q
+			}
+		} else if q > maxAdd {
+			maxAdd = q
+		}
+	}
+	for depth := range a.Frames {
+		fa, fb := a.Frames[depth], b.Frames[depth]
+		fq := e.qce.PerFunc[fa.Fn]
+		pc := fa.PC
+		if pc >= len(fq.Qadd) {
+			pc = len(fq.Qadd) - 1
+		}
+		for v := range fa.Locals {
+			q := fq.Qadd[pc][v]
+			if q == 0 {
+				continue
+			}
+			va, vb := fa.Locals[v], fb.Locals[v]
+			if va.E != nil {
+				scan(q, va.E, vb.E)
+				continue
+			}
+			oa := a.object(va.Ref, false)
+			ob := b.object(vb.Ref, false)
+			if len(oa.Cells) != len(ob.Cells) {
+				return false
+			}
+			for c := range oa.Cells {
+				scan(q, oa.Cells[c], ob.Cells[c])
+			}
+		}
+	}
+	return (p.Zeta-1)*maxIte+maxAdd < p.Alpha*globalQt
+}
+
+// tryMerge looks for a worklist state at the same location similar to ns and
+// merges them (Algorithm 1, lines 17–22). It reports whether ns was
+// consumed by a merge.
+func (e *Engine) tryMerge(ns *State) bool {
+	key := ns.stackHash()
+	for _, cand := range e.byStack[key] {
+		e.stats.MergeAttempts++
+		if !e.similar(ns, cand) {
+			continue
+		}
+		e.removeState(cand)
+		merged := e.merge(cand, ns)
+		e.stats.Merges++
+		if ns.ff {
+			e.stats.FFMerged++
+		}
+		// The merged state may itself merge further (rare).
+		if !e.tryMerge(merged) {
+			e.addState(merged)
+		}
+		return true
+	}
+	return false
+}
+
+// merge combines two states at the same location into one precise state
+// (Algorithm 1 line 20): pc' = pc1 ∨ pc2 with the common prefix factored
+// out, and store values guarded by ite over the differing suffix.
+func (e *Engine) merge(s1, s2 *State) *State {
+	b := e.build
+
+	// Factor the path conditions: common prefix + differing suffixes.
+	k := 0
+	for k < len(s1.PC) && k < len(s2.PC) && s1.PC[k] == s2.PC[k] {
+		k++
+	}
+	c1 := b.AndAll(s1.PC[k:])
+	c2 := b.AndAll(s2.PC[k:])
+	disj := b.Or(c1, c2)
+	newPC := s1.PC[:k:k]
+	if !disj.IsTrue() {
+		newPC = appendPC(newPC, disj)
+	}
+
+	m := &State{
+		ID:     e.nextID,
+		Frames: make([]*Frame, len(s1.Frames)),
+		PC:     newPC,
+		Mult:   new(big.Int).Add(s1.Mult, s2.Mult),
+		nSyms:  maxInt(s1.nSyms, s2.nSyms),
+	}
+	e.nextID++
+
+	// Merge outputs precisely: the common prefix stays as is; each side's
+	// divergent suffix is guarded by that side's path-condition suffix,
+	// so replaying a model reproduces exactly the bytes that path printed.
+	n := len(s1.Output)
+	if len(s2.Output) < n {
+		n = len(s2.Output)
+	}
+	k2 := 0
+	for k2 < n && s1.Output[k2] == s2.Output[k2] {
+		k2++
+	}
+	out := make([]OutEntry, 0, len(s1.Output)+len(s2.Output)-k2)
+	out = append(out, s1.Output[:k2]...)
+	for _, en := range s1.Output[k2:] {
+		out = append(out, guardOut(b, en, c1))
+	}
+	for _, en := range s2.Output[k2:] {
+		out = append(out, guardOut(b, en, c2))
+	}
+	m.Output = out
+
+	// Merge frames: scalars via ite, arrays cell-wise.
+	for depth := range s1.Frames {
+		f1, f2 := s1.Frames[depth], s2.Frames[depth]
+		nf := &Frame{Fn: f1.Fn, PC: f1.PC, RetDst: f1.RetDst}
+		nf.Locals = make([]Value, len(f1.Locals))
+		nf.Objects = make([]*Object, len(f1.Objects))
+		for i := range f1.Locals {
+			v1, v2 := f1.Locals[i], f2.Locals[i]
+			if v1.E != nil {
+				if v1.E == v2.E {
+					nf.Locals[i] = v1
+				} else {
+					nf.Locals[i] = Value{E: b.Ite(c1, v1.E, v2.E)}
+				}
+				continue
+			}
+			// Array local: parameters keep their (identical by
+			// sameStack) reference; owned objects merge cell-wise.
+			nf.Locals[i] = Value{Ref: v1.Ref}
+			o1 := f1.Objects[i]
+			if o1 == nil {
+				continue // parameter reference
+			}
+			o2 := f2.Objects[i]
+			merged := make([]*expr.Expr, len(o1.Cells))
+			for c := range o1.Cells {
+				if o1.Cells[c] == o2.Cells[c] {
+					merged[c] = o1.Cells[c]
+				} else {
+					merged[c] = b.Ite(c1, o1.Cells[c], o2.Cells[c])
+				}
+			}
+			nf.Objects[i] = &Object{Cells: merged, Width: o1.Width}
+		}
+		m.Frames[depth] = nf
+	}
+
+	// DSM history: a merged state starts a fresh history (its past is
+	// ambiguous); census lists concatenate.
+	if s1.Shadow != nil || s2.Shadow != nil {
+		m.Shadow = append(append([][]*expr.Expr{}, s1.Shadow...), s2.Shadow...)
+	}
+	return m
+}
+
+// guardOut strengthens an output entry's guard with cond.
+func guardOut(b *expr.Builder, en OutEntry, cond *expr.Expr) OutEntry {
+	if en.Guard == nil {
+		return OutEntry{Guard: cond, Val: en.Val}
+	}
+	return OutEntry{Guard: b.And(en.Guard, cond), Val: en.Val}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

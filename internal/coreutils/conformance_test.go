@@ -1,0 +1,342 @@
+package coreutils
+
+// Conformance tests: run the models on concrete inputs (the engine as a
+// reference interpreter) and check outputs and exit codes against the
+// behaviour the models document. This pins the workloads' semantics, so
+// benchmark trends cannot drift because a model silently changed meaning.
+
+import (
+	"testing"
+
+	"symmerge/internal/ir"
+	"symmerge/symx"
+)
+
+type conformanceCase struct {
+	tool  string
+	args  []string
+	stdin string
+	out   string
+	exit  int64
+}
+
+func runConformance(t *testing.T, c conformanceCase) {
+	t.Helper()
+	tool, err := Get(c.tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tool.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := make([][]byte, len(c.args))
+	for i, a := range c.args {
+		args[i] = []byte(a)
+	}
+	res := symx.Run(p, symx.Config{
+		ConcreteArgs:  args,
+		ConcreteStdin: []byte(c.stdin),
+		CollectTests:  true,
+	})
+	if !res.Completed || res.Stats.PathsCompleted != 1 {
+		t.Fatalf("%s %q: %d paths (completed=%v), want exactly 1",
+			c.tool, c.args, res.Stats.PathsCompleted, res.Completed)
+	}
+	tc := res.Tests[0]
+	if string(tc.Output) != c.out {
+		t.Fatalf("%s %q < %q: output %q, want %q",
+			c.tool, c.args, c.stdin, tc.Output, c.out)
+	}
+	if tc.Exit != c.exit {
+		t.Fatalf("%s %q: exit %d, want %d", c.tool, c.args, tc.Exit, c.exit)
+	}
+}
+
+func TestConformance(t *testing.T) {
+	cases := []conformanceCase{
+		// echo
+		{tool: "echo", args: []string{"hi", "yo"}, out: "hi yo\n"},
+		{tool: "echo", args: []string{"-n", "hi"}, out: "hi"},
+		{tool: "echo", args: []string{"-n"}, out: ""},
+
+		// basename / dirname
+		{tool: "basename", args: []string{"/usr/lib"}, out: "lib\n"},
+		{tool: "basename", args: []string{"a/b.c", ".c"}, out: "b\n"},
+		{tool: "basename", args: []string{"///"}, out: "/\n"},
+		{tool: "dirname", args: []string{"/usr/lib"}, out: "/usr\n"},
+		{tool: "dirname", args: []string{"lib"}, out: ".\n"},
+		{tool: "dirname", args: []string{"/lib"}, out: "/\n"},
+
+		// true / false
+		{tool: "true", args: []string{"--help"}, out: "h"},
+		{tool: "true", args: []string{}, out: ""},
+		{tool: "false", args: []string{}, out: "", exit: 1},
+
+		// yes (model prints 3 repetitions)
+		{tool: "yes", args: []string{"ab"}, out: "ab\nab\nab\n"},
+		{tool: "yes", args: []string{}, out: "y\ny\ny\n"},
+
+		// cat / head / nl
+		{tool: "cat", args: []string{}, stdin: "ab\ncd", out: "ab\ncd"},
+		{tool: "cat", args: []string{"-n"}, stdin: "a\nb\n", out: "1 a\n2 b\n"},
+		{tool: "head", args: []string{"-n", "1"}, stdin: "a\nb\nc\n", out: "a\n"},
+		{tool: "nl", args: []string{}, stdin: "a\n\nb\n", out: "1\ta\n\n2\tb\n"},
+
+		// wc
+		{tool: "wc", args: []string{"-l"}, stdin: "a\nb\n", out: "2\n"},
+		{tool: "wc", args: []string{"-w"}, stdin: "a b  c\n", out: "3\n"},
+		{tool: "wc", args: []string{"-c"}, stdin: "abcd", out: "4\n"},
+		{tool: "wc", args: []string{}, stdin: "a b\n", out: "124\n"}, // 1 line, 2 words, 4 bytes
+		// cut / tr / fold / expand
+		{tool: "cut", args: []string{"-c", "2"}, stdin: "abc\nxy\n", out: "b\ny\n"},
+		{tool: "tr", args: []string{"a", "b"}, stdin: "aba", out: "bbb"},
+		{tool: "fold", args: []string{"2"}, stdin: "abcde", out: "ab\ncd\ne"},
+		{tool: "expand", args: []string{}, stdin: "a\tb", out: "a   b"},
+
+		// paste / comm / join
+		{tool: "paste", args: []string{"ab", "x"}, out: "a\tx\nb\t\n"},
+		{tool: "comm", args: []string{"abd", "bcd"}, out: "1a\n3b\n2c\n3d\n"},
+		{tool: "join", args: []string{"k12", "k34"}, out: "k1234\n"},
+		{tool: "join", args: []string{"a1", "b2"}, out: ""},
+
+		// seq / sleep / nice
+		{tool: "seq", args: []string{"3"}, out: "1\n2\n3\n"},
+		{tool: "seq", args: []string{"x"}, out: "?", exit: 1},
+		{tool: "sleep", args: []string{"5", "7"}, out: "z"},
+		{tool: "sleep", args: []string{"5x"}, out: "?", exit: 1},
+		{tool: "nice", args: []string{"-n", "5", "cmd"}, out: "cmd\n"},
+		{tool: "nice", args: []string{"-n", "3"}, out: "03\n"},
+		{tool: "nice", args: []string{"-n", "x", "cmd"}, out: "?", exit: 1},
+
+		// link / unlink / mv / rm / test
+		{tool: "link", args: []string{"a", "b"}, out: ""},
+		{tool: "link", args: []string{"a", "a"}, out: "x", exit: 1},
+		{tool: "link", args: []string{"a"}, out: "?", exit: 1},
+		{tool: "unlink", args: []string{"."}, out: "d", exit: 1},
+		{tool: "unlink", args: []string{"f"}, out: ""},
+		{tool: "mv", args: []string{"a", "a"}, out: "x", exit: 1},
+		{tool: "mv", args: []string{"-f", "a", "a"}, out: ""},
+		{tool: "rm", args: []string{"a", "b"}, out: ""},
+		{tool: "rm", args: []string{".."}, out: "d", exit: 1},
+		{tool: "test", args: []string{"a", "=", "a"}, out: ""},
+		{tool: "test", args: []string{"a", "=", "b"}, out: "", exit: 1},
+		{tool: "test", args: []string{"a", "!=", "b"}, out: ""},
+		{tool: "test", args: []string{"-n", "x"}, out: ""},
+		{tool: "test", args: []string{"-z", "x"}, out: "", exit: 1},
+
+		// pr: page headers every 2 lines
+		{tool: "pr", args: []string{}, stdin: "a\nb\nc\n", out: "P1\na\nb\nP2\nc\n"},
+		{tool: "pr", args: []string{"-h"}, stdin: "a\n", out: "a\n"},
+
+		// tsort: a->b, b->c gives abc; cycle detected
+		{tool: "tsort", args: []string{}, stdin: "abbc", out: "a\nb\nc\n"},
+		{tool: "tsort", args: []string{}, stdin: "abba", out: "!", exit: 1},
+	}
+	for _, c := range cases {
+		c := c
+		runConformance(t, c)
+	}
+}
+
+// TestInterpreterAgainstEngine replays fixed concrete inputs through both
+// execution pipelines — the symbolic engine in replay mode and the
+// independent IR interpreter (internal/ir.Interp) — for every registered
+// model, pinning the two executors together on realistic programs (loops,
+// calls, arrays, stdin), complementing the generated-program differential
+// fuzz in symx.
+func TestInterpreterAgainstEngine(t *testing.T) {
+	inputs := []struct {
+		args  []string
+		stdin string
+	}{
+		{[]string{"-n", "ab"}, "x\ny\n"},
+		{[]string{"12", "7"}, "a b\n"},
+		{[]string{"u+rwx", "f"}, "abc"},
+		{[]string{""}, ""},
+	}
+	for _, tool := range All() {
+		p, err := tool.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", tool.Name, err)
+		}
+		for _, in := range inputs {
+			args := make([][]byte, len(in.args))
+			for i, a := range in.args {
+				args[i] = []byte(a)
+			}
+			want, err := ir.Interp(p.Internal(), args, []byte(in.stdin), 1e7)
+			if err != nil {
+				t.Fatalf("%s: interp error: %v", tool.Name, err)
+			}
+			if want.AssumeFailed {
+				continue
+			}
+			res := symx.Run(p, symx.Config{
+				ConcreteArgs: args, ConcreteStdin: []byte(in.stdin),
+				CollectTests: true,
+			})
+			if len(res.Tests) != 1 {
+				t.Fatalf("%s %q: engine replay produced %d tests", tool.Name, in.args, len(res.Tests))
+			}
+			tc := res.Tests[0]
+			if string(tc.Output) != string(want.Output) || tc.Exit != want.Exit {
+				t.Fatalf("%s %q < %q: engine (%q, %d) vs interpreter (%q, %d)",
+					tool.Name, in.args, in.stdin,
+					tc.Output, tc.Exit, want.Output, want.Exit)
+			}
+		}
+	}
+}
+
+// TestReplayGeneratedTests closes the loop: inputs generated by symbolic
+// exploration, replayed concretely, must reproduce the recorded output.
+func TestReplayGeneratedTests(t *testing.T) {
+	for _, name := range []string{"echo", "sleep", "test", "wc"} {
+		tool, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := tool.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := tool.BaseConfig()
+		cfg.CollectTests = true
+		res := symx.Run(p, cfg)
+		if len(res.Tests) == 0 {
+			t.Fatalf("%s: no tests generated", name)
+		}
+		replayed := 0
+		for _, tc := range res.Tests {
+			if replayed >= 16 {
+				break
+			}
+			rr := symx.Run(p, symx.Config{
+				ConcreteArgs:  tc.Args,
+				ConcreteStdin: tc.Stdin,
+				CollectTests:  true,
+			})
+			if rr.Stats.PathsCompleted != 1 || len(rr.Tests) != 1 {
+				t.Fatalf("%s: replay of %q explored %d paths",
+					name, tc.Args, rr.Stats.PathsCompleted)
+			}
+			if string(rr.Tests[0].Output) != string(tc.Output) {
+				t.Fatalf("%s: replay of %q produced %q, symbolic run predicted %q",
+					name, tc.Args, rr.Tests[0].Output, tc.Output)
+			}
+			replayed++
+		}
+	}
+}
+
+func TestConformanceParseTools(t *testing.T) {
+	cases := []conformanceCase{
+		// printf
+		{tool: "printf", args: []string{"ab"}, out: "ab"},
+		{tool: "printf", args: []string{"a%sb", "XY"}, out: "aXYb"},
+		{tool: "printf", args: []string{"%c.", "hi"}, out: "h."},
+		{tool: "printf", args: []string{"%d", "42"}, out: "42"},
+		{tool: "printf", args: []string{"%d", "4x"}, out: "!", exit: 1},
+		{tool: "printf", args: []string{"%%"}, out: "%"},
+		{tool: "printf", args: []string{"%q"}, out: "?", exit: 1},
+		{tool: "printf", args: []string{"a\\nb"}, out: "a\nb"},
+		{tool: "printf", args: []string{}, out: "?", exit: 1},
+
+		// expr
+		{tool: "expr", args: []string{"4", "+", "3"}, out: "7\n"},
+		{tool: "expr", args: []string{"4", "-", "6"}, out: "-2\n"},
+		{tool: "expr", args: []string{"4", "-", "4"}, out: "0\n", exit: 1},
+		{tool: "expr", args: []string{"4", "*", "3"}, out: "12\n"},
+		{tool: "expr", args: []string{"9", "/", "2"}, out: "4\n"},
+		{tool: "expr", args: []string{"9", "/", "0"}, out: "!", exit: 2},
+		{tool: "expr", args: []string{"9", "%", "3"}, out: "0\n", exit: 1},
+		{tool: "expr", args: []string{"5", "=", "5"}, out: "1\n"},
+		{tool: "expr", args: []string{"5", "!=", "5"}, out: "0\n", exit: 1},
+		{tool: "expr", args: []string{"a", "+", "1"}, out: "?", exit: 2},
+
+		// factor (model reduces the operand mod 32)
+		{tool: "factor", args: []string{"12"}, out: "12: 2 2 3\n"},
+		{tool: "factor", args: []string{"7"}, out: "07: 7\n"},
+		{tool: "factor", args: []string{"1"}, out: "!", exit: 1},
+		{tool: "factor", args: []string{"x"}, out: "?", exit: 1},
+
+		// od
+		{tool: "od", args: []string{}, stdin: "A", out: "101\n"},
+		{tool: "od", args: []string{"-b"}, stdin: "\n", out: "012\n"},
+		{tool: "od", args: []string{"-c"}, stdin: "a\n", out: "a\n\\n\n"},
+		{tool: "od", args: []string{"-z"}, stdin: "a", out: "?", exit: 1},
+
+		// base64
+		{tool: "base64", args: []string{}, stdin: "abc", out: "YWJj\n"},
+		{tool: "base64", args: []string{}, stdin: "a", out: "YQ==\n"},
+		{tool: "base64", args: []string{}, stdin: "ab", out: "YWI=\n"},
+		{tool: "base64", args: []string{"-d"}, stdin: "YWJj", out: "k"},
+		{tool: "base64", args: []string{"-d"}, stdin: "Y!Jj", out: "?", exit: 1},
+		{tool: "base64", args: []string{"-d"}, stdin: "YWJ", out: "!", exit: 1},
+
+		// chmod
+		{tool: "chmod", args: []string{"755", "f"}, out: "o"},
+		{tool: "chmod", args: []string{"758", "f"}, out: "?", exit: 1},
+		{tool: "chmod", args: []string{"u+rwx", "f"}, out: "s"},
+		{tool: "chmod", args: []string{"a=", "f"}, out: "s"},
+		{tool: "chmod", args: []string{"u+", "f"}, out: "?", exit: 1},
+		{tool: "chmod", args: []string{"u+q", "f"}, out: "?", exit: 1},
+		{tool: "chmod", args: []string{"755", ""}, out: "e", exit: 1},
+
+		// date
+		{tool: "date", args: []string{}, out: "T\n"},
+		{tool: "date", args: []string{"+%Y-%m"}, out: "20-06\n"},
+		{tool: "date", args: []string{"+ok"}, out: "ok\n"},
+		{tool: "date", args: []string{"+%q"}, out: "?", exit: 1},
+		{tool: "date", args: []string{"x"}, out: "?", exit: 1},
+
+		// mktemp
+		{tool: "mktemp", args: []string{"fXXX"}, out: "faaa\n"},
+		{tool: "mktemp", args: []string{"fXX"}, out: "!", exit: 1},
+		{tool: "mktemp", args: []string{"XXXf"}, out: "!", exit: 1},
+
+		// pathchk (component limit 6 in the model)
+		{tool: "pathchk", args: []string{"a/b"}, out: ""},
+		{tool: "pathchk", args: []string{"abcdefg"}, out: "l", exit: 1},
+		{tool: "pathchk", args: []string{"-p", "a:b"}, out: "c", exit: 1},
+		{tool: "pathchk", args: []string{"-p", "a.b-c"}, out: ""},
+		{tool: "pathchk", args: []string{""}, out: "e", exit: 1},
+
+		// numfmt
+		{tool: "numfmt", args: []string{"42"}, out: "42e0\n"},
+		{tool: "numfmt", args: []string{"2K"}, out: "2e3\n"},
+		{tool: "numfmt", args: []string{"2G"}, out: "2e9\n"},
+		{tool: "numfmt", args: []string{"2Kx"}, out: "!", exit: 1},
+		{tool: "numfmt", args: []string{"K"}, out: "?", exit: 1},
+
+		// tee
+		{tool: "tee", args: []string{"f"}, stdin: "xyz", out: "xyz"},
+		{tool: "tee", args: []string{"-a", "f"}, stdin: "q", out: "q"},
+		{tool: "tee", args: []string{""}, stdin: "q", out: "e", exit: 1},
+
+		// env
+		{tool: "env", args: []string{"A=1", "B=2", "cmd"}, out: "cmd\n"},
+		{tool: "env", args: []string{"A=1"}, out: "1\n"},
+		{tool: "env", args: []string{"=x", "cmd"}, out: "?", exit: 125},
+		{tool: "env", args: []string{"cmd"}, out: "cmd\n"},
+	}
+	for _, c := range cases {
+		runConformance(t, c)
+	}
+}
+
+func TestConformanceNewTools(t *testing.T) {
+	cases := []conformanceCase{
+		{tool: "uniq", args: []string{}, stdin: "a\na\nb\n", out: "a\nb\n"},
+		{tool: "uniq", args: []string{"-c"}, stdin: "a\na\nb\n", out: "2 a\n1 b\n"},
+		{tool: "uniq", args: []string{}, stdin: "x\n", out: "x\n"},
+		{tool: "rev", args: []string{}, stdin: "abc\nde\n", out: "cba\ned\n"},
+		{tool: "rev", args: []string{}, stdin: "ab", out: "ba"},
+		{tool: "tac", args: []string{}, stdin: "a\nb\nc\n", out: "c\nb\na\n"},
+		{tool: "tac", args: []string{}, stdin: "ab\ncd", out: "cd\nab\n"},
+	}
+	for _, c := range cases {
+		runConformance(t, c)
+	}
+}

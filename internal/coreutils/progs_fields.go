@@ -1,0 +1,436 @@
+package coreutils
+
+// Field- and stream-processing tools: cut, paste, tr, expand, fold, nl,
+// sum, pr, comm, join, tsort.
+
+func init() {
+	register(&Tool{Name: "cut", Source: srcCut, UsesStdin: true,
+		DefaultArgs: 2, DefaultLen: 1, DefaultStdin: 4})
+	register(&Tool{Name: "paste", Source: srcPaste, DefaultArgs: 2, DefaultLen: 2})
+	register(&Tool{Name: "tr", Source: srcTr, UsesStdin: true,
+		DefaultArgs: 2, DefaultLen: 1, DefaultStdin: 4})
+	register(&Tool{Name: "expand", Source: srcExpand, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 4})
+	register(&Tool{Name: "fold", Source: srcFold, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 1, DefaultStdin: 4})
+	register(&Tool{Name: "nl", Source: srcNl, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 4})
+	register(&Tool{Name: "sum", Source: srcSum, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 4})
+	register(&Tool{Name: "pr", Source: srcPr, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 4})
+	register(&Tool{Name: "comm", Source: srcComm, DefaultArgs: 2, DefaultLen: 2})
+	register(&Tool{Name: "join", Source: srcJoin, DefaultArgs: 2, DefaultLen: 3})
+	register(&Tool{Name: "tsort", Source: srcTsort, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 1, DefaultStdin: 4})
+	register(&Tool{Name: "cksum", Source: srcCksum, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 1})
+}
+
+const srcCut = `
+// cut -c N : print the N-th character of every stdin line.
+void main() {
+    int col = 1;
+    if (argc() > 2 && argchar(1, 0) == '-' && argchar(1, 1) == 'c' && argchar(1, 2) == 0) {
+        byte d = argchar(2, 0);
+        if (d >= '1' && d <= '9') {
+            col = toint(d - '0');
+        }
+    }
+    int pos = 1;
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        byte c = stdinchar(i);
+        if (c == '\n') {
+            putchar('\n');
+            pos = 1;
+        } else {
+            if (pos == col) {
+                putchar(c);
+            }
+            pos++;
+        }
+    }
+}
+`
+
+const srcPaste = `
+// paste a b : interleave the two arguments character by character,
+// separated by tabs (models pasting two one-column files).
+void main() {
+    if (argc() < 3) {
+        halt(1);
+    }
+    int i = 0;
+    int j = 0;
+    while (argchar(1, i) != 0 || argchar(2, j) != 0) {
+        if (argchar(1, i) != 0) {
+            putchar(argchar(1, i));
+            i++;
+        }
+        putchar('\t');
+        if (argchar(2, j) != 0) {
+            putchar(argchar(2, j));
+            j++;
+        }
+        putchar('\n');
+    }
+}
+`
+
+const srcTr = `
+// tr a b : translate occurrences of byte a to byte b on stdin.
+void main() {
+    if (argc() < 3) {
+        halt(1);
+    }
+    byte from = argchar(1, 0);
+    byte to = argchar(2, 0);
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        byte c = stdinchar(i);
+        if (c == from) {
+            putchar(to);
+        } else {
+            putchar(c);
+        }
+    }
+}
+`
+
+const srcExpand = `
+// expand [-i] : replace tabs on stdin with spaces up to the next 4-column
+// stop; -i converts only leading tabs.
+void main() {
+    bool initialOnly = false;
+    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == 'i' && argchar(1, 2) == 0) {
+        initialOnly = true;
+    }
+    int col = 0;
+    bool leading = true;
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        byte c = stdinchar(i);
+        if (c == '\t' && (!initialOnly || leading)) {
+            putchar(' ');
+            col++;
+            while (col % 4 != 0) {
+                putchar(' ');
+                col++;
+            }
+        } else if (c == '\n') {
+            putchar(c);
+            col = 0;
+            leading = true;
+        } else {
+            if (c != '\t' && c != ' ') {
+                leading = false;
+            }
+            putchar(c);
+            col++;
+        }
+    }
+}
+`
+
+const srcFold = `
+// fold -w N : wrap stdin lines at column N (default 3 in the model).
+void main() {
+    int width = 3;
+    if (argc() > 1 && argchar(1, 0) >= '1' && argchar(1, 0) <= '9') {
+        width = toint(argchar(1, 0) - '0');
+    }
+    int col = 0;
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        byte c = stdinchar(i);
+        if (c == '\n') {
+            putchar(c);
+            col = 0;
+        } else {
+            if (col >= width) {
+                putchar('\n');
+                col = 0;
+            }
+            putchar(c);
+            col++;
+        }
+    }
+}
+`
+
+const srcNl = `
+// nl [-b a] : number stdin lines; -b a numbers all lines, default numbers
+// only non-empty ones.
+void main() {
+    bool all = false;
+    if (argc() > 2 && argchar(1, 0) == '-' && argchar(1, 1) == 'b' && argchar(2, 0) == 'a') {
+        all = true;
+    }
+    int line = 1;
+    bool atStart = true;
+    bool empty = true;
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        byte c = stdinchar(i);
+        if (atStart) {
+            empty = c == '\n';
+            if (all || !empty) {
+                putchar(tobyte('0' + line % 10));
+                putchar('\t');
+                line++;
+            }
+            atStart = false;
+        }
+        putchar(c);
+        if (c == '\n') {
+            atStart = true;
+        }
+    }
+}
+`
+
+const srcSum = `
+// sum [-r|-s] : checksum stdin; -r (default) is the BSD rotate-and-add
+// algorithm, -s the System V straight sum.
+void main() {
+    bool sysv = false;
+    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 2) == 0) {
+        byte f = argchar(1, 1);
+        if (f == 's') {
+            sysv = true;
+        } else if (f != 'r') {
+            putchar('?');
+            halt(1);
+        }
+    }
+    int check = 0;
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        if (sysv) {
+            check = check + toint(stdinchar(i));
+        } else {
+            // 16-bit right rotate, then add the next byte.
+            check = (check >> 1) + ((check & 1) << 15);
+            check = check + toint(stdinchar(i));
+            check = check & 0xffff;
+        }
+    }
+    if (sysv) {
+        check = (check & 0xffff) + (check >> 16);
+    }
+    // The checksum value itself feeds the output digits: a late use of
+    // the accumulated value, like sleep's validation (paper §5.4).
+    if (check % 2 == 0) {
+        putchar('e');
+    }
+    putchar(tobyte('0' + (check / 10) % 10));
+    putchar(tobyte('0' + check % 10));
+    putchar('\n');
+}
+`
+
+const srcPr = `
+// pr [-h] : paginate stdin: page header, then body lines; -h suppresses
+// the header (model: page length 2 lines).
+void main() {
+    bool header = true;
+    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == 'h' && argchar(1, 2) == 0) {
+        header = false;
+    }
+    int lineOnPage = 0;
+    int page = 1;
+    bool needHeader = true;
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        if (needHeader) {
+            if (header) {
+                putchar('P');
+                putchar(tobyte('0' + page % 10));
+                putchar('\n');
+            }
+            needHeader = false;
+        }
+        byte c = stdinchar(i);
+        putchar(c);
+        if (c == '\n') {
+            lineOnPage++;
+            if (lineOnPage >= 2) {
+                lineOnPage = 0;
+                page++;
+                needHeader = true;
+            }
+        }
+    }
+}
+`
+
+const srcComm = `
+// comm a b : compare two sorted sequences (the characters of the two
+// arguments); column 1 = only in a, column 2 = only in b, column 3 = both.
+void main() {
+    if (argc() < 3) {
+        halt(1);
+    }
+    int i = 0;
+    int j = 0;
+    while (argchar(1, i) != 0 && argchar(2, j) != 0) {
+        byte a = argchar(1, i);
+        byte b = argchar(2, j);
+        if (a < b) {
+            putchar('1');
+            putchar(a);
+            i++;
+        } else if (b < a) {
+            putchar('2');
+            putchar(b);
+            j++;
+        } else {
+            putchar('3');
+            putchar(a);
+            i++;
+            j++;
+        }
+        putchar('\n');
+    }
+    while (argchar(1, i) != 0) {
+        putchar('1');
+        putchar(argchar(1, i));
+        putchar('\n');
+        i++;
+    }
+    while (argchar(2, j) != 0) {
+        putchar('2');
+        putchar(argchar(2, j));
+        putchar('\n');
+        j++;
+    }
+}
+`
+
+const srcJoin = `
+// join a b : join two "files" (the two arguments) on the first field,
+// where a field is a single character and records are the remaining
+// characters: join emits key + both tails when the keys match.
+void main() {
+    if (argc() < 3) {
+        halt(1);
+    }
+    byte k1 = argchar(1, 0);
+    byte k2 = argchar(2, 0);
+    if (k1 != 0 && k1 == k2) {
+        putchar(k1);
+        for (int i = 1; argchar(1, i) != 0; i++) {
+            putchar(argchar(1, i));
+        }
+        for (int j = 1; argchar(2, j) != 0; j++) {
+            putchar(argchar(2, j));
+        }
+        putchar('\n');
+    }
+}
+`
+
+const srcTsort = `
+// tsort : topological sort of a tiny graph read from stdin as pairs of
+// node ids ('a'..'d'); cycles are reported. Models the real tool's
+// successive-minimum extraction over an adjacency matrix.
+void main() {
+    // adj[i*4+j] != 0 means edge i -> j; nodes 'a'..'d'.
+    byte adj[16];
+    byte indeg[4];
+    byte present[4];
+    int n = stdinlen();
+    int i = 0;
+    while (i + 1 < n) {
+        byte u = stdinchar(i);
+        byte v = stdinchar(i + 1);
+        i = i + 2;
+        if (u >= 'a' && u <= 'd' && v >= 'a' && v <= 'd') {
+            int ui = toint(u - 'a');
+            int vi = toint(v - 'a');
+            present[ui] = 1;
+            present[vi] = 1;
+            if (adj[ui * 4 + vi] == 0 && ui != vi) {
+                adj[ui * 4 + vi] = 1;
+                indeg[vi] = indeg[vi] + 1;
+            }
+        }
+    }
+    // Kahn's algorithm, smallest node first.
+    for (int round = 0; round < 4; round++) {
+        int pick = 0 - 1;
+        for (int v = 3; v >= 0; v--) {
+            if (present[v] != 0 && indeg[v] == 0) {
+                pick = v;
+            }
+        }
+        if (pick < 0) {
+            break;
+        }
+        putchar(tobyte('a' + pick));
+        putchar('\n');
+        present[pick] = 0;
+        for (int w = 0; w < 4; w++) {
+            if (adj[pick * 4 + w] != 0) {
+                adj[pick * 4 + w] = 0;
+                indeg[w] = indeg[w] - 1;
+            }
+        }
+    }
+    // Any node left has a cycle.
+    for (int v2 = 0; v2 < 4; v2++) {
+        if (present[v2] != 0) {
+            putchar('!');
+            halt(1);
+        }
+    }
+}
+`
+
+// srcCksum mirrors the paper's Figure 2 structure: a cheap quick path and an
+// expensive CRC whose accumulator feeds a branch on every bit (so its states
+// cannot merge — the accumulator is hot), joining at shared output code.
+// Static state merging must exhaust the CRC region before the join, starving
+// the output code; a coverage-guided strategy (and DSM riding it) reaches it
+// through the quick path immediately.
+const srcCksum = `
+// cksum [-q] : CRC-16-CCITT of stdin; -q skips the checksum and reports
+// only the length.
+void main() {
+    bool quick = false;
+    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == 'q' && argchar(1, 2) == 0) {
+        quick = true;
+    }
+    int h = 0xffff;
+    int n = stdinlen();
+    if (!quick) {
+        for (int i = 0; i < n; i++) {
+            h = h ^ (toint(stdinchar(i)) << 8);
+            for (int b = 0; b < 8; b++) {
+                if ((h & 0x8000) != 0) {
+                    h = ((h << 1) ^ 0x1021) & 0xffff;
+                } else {
+                    h = (h << 1) & 0xffff;
+                }
+            }
+        }
+    }
+    // Output code after the join (the "handlePacket" of Figure 2).
+    if (quick) {
+        putchar('q');
+    }
+    if (h == 0) {
+        putchar('z');
+    } else if ((h & 1) != 0) {
+        putchar('o');
+    } else {
+        putchar('e');
+    }
+    putchar(tobyte('0' + (h / 100) % 10));
+    putchar(tobyte('0' + (h / 10) % 10));
+    putchar(tobyte('0' + h % 10));
+    putchar(tobyte('0' + n % 10));
+    putchar('\n');
+}
+`

@@ -1,0 +1,356 @@
+package coreutils
+
+// Numeric and control tools: seq, sleep, nice, link, unlink, test, mv, rm.
+
+func init() {
+	register(&Tool{Name: "seq", Source: srcSeq, DefaultArgs: 1, DefaultLen: 1})
+	register(&Tool{Name: "sleep", Source: srcSleep, DefaultArgs: 2, DefaultLen: 2})
+	register(&Tool{Name: "nice", Source: srcNice, DefaultArgs: 2, DefaultLen: 2})
+	register(&Tool{Name: "link", Source: srcLink, DefaultArgs: 2, DefaultLen: 2})
+	register(&Tool{Name: "unlink", Source: srcUnlink, DefaultArgs: 1, DefaultLen: 3})
+	register(&Tool{Name: "test", Source: srcTest, DefaultArgs: 3, DefaultLen: 1})
+	register(&Tool{Name: "mv", Source: srcMv, DefaultArgs: 2, DefaultLen: 2})
+	register(&Tool{Name: "rm", Source: srcRm, DefaultArgs: 2, DefaultLen: 2})
+}
+
+const srcSeq = `
+// seq last : print 1..last, where last is a single decimal digit argument.
+void main() {
+    if (argc() < 2) {
+        halt(1);
+    }
+    int last = 0;
+    for (int i = 0; argchar(1, i) != 0; i++) {
+        byte d = argchar(1, i);
+        if (d < '0' || d > '9') {
+            // invalid number
+            putchar('?');
+            halt(1);
+        }
+        last = last * 10 + toint(d - '0');
+    }
+    last = last % 10; // model bound: single-digit sequences
+    for (int k = 1; k <= last; k++) {
+        putchar(tobyte('0' + k % 10));
+        putchar('\n');
+    }
+}
+`
+
+// srcSleep is the paper's §5.4 anecdote: integers parsed from every
+// argument are summed into `seconds`; the parse loops fork heavily, but the
+// accumulator is used only once in the validation at the end, so QCE lets
+// all parse states merge and avoids the exponential blowup.
+const srcSleep = `
+// sleep n... : sum the integer arguments, validate, and "sleep".
+void main() {
+    int seconds = 0;
+    bool ok = argc() > 1;
+    for (int arg = 1; arg < argc(); arg++) {
+        int v = 0;
+        bool any = false;
+        for (int i = 0; argchar(arg, i) != 0; i++) {
+            byte d = argchar(arg, i);
+            if (d >= '0' && d <= '9') {
+                v = v * 10 + toint(d - '0');
+                any = true;
+            } else {
+                ok = false;
+            }
+        }
+        if (!any) {
+            ok = false;
+        }
+        seconds = seconds + v;
+    }
+    if (!ok) {
+        putchar('?');
+        halt(1);
+    }
+    // Validation: the single late use of the merged accumulator.
+    if (seconds > 86400) {
+        putchar('!');
+        halt(1);
+    }
+    putchar('z');
+    halt(0);
+}
+`
+
+const srcNice = `
+// nice [-n adj] cmd... : parse the adjustment, clamp it, then "run" the
+// command by printing its name.
+void main() {
+    int adj = 10;
+    int arg = 1;
+    if (arg < argc() && argchar(arg, 0) == '-' && argchar(arg, 1) == 'n' && argchar(arg, 2) == 0) {
+        arg++;
+        if (arg >= argc()) {
+            putchar('?');
+            halt(1);
+        }
+        adj = 0;
+        bool neg = false;
+        int i = 0;
+        if (argchar(arg, 0) == '-') {
+            neg = true;
+            i = 1;
+        }
+        bool any = false;
+        bool bad = false;
+        // strtol-style scan: invalid characters are noted but the scan
+        // continues (validation happens once at the end), so both branch
+        // outcomes survive every character.
+        for (; argchar(arg, i) != 0; i++) {
+            byte d = argchar(arg, i);
+            if (d < '0' || d > '9') {
+                bad = true;
+            } else {
+                adj = adj * 10 + toint(d - '0');
+                any = true;
+            }
+        }
+        if (!any || bad) {
+            putchar('?');
+            halt(1);
+        }
+        if (neg) {
+            adj = 0 - adj;
+        }
+        arg++;
+    }
+    // Clamp to the valid niceness range.
+    if (adj > 19) { adj = 19; }
+    if (adj < 0 - 20) { adj = 0 - 20; }
+    if (arg >= argc()) {
+        // No command: print the current niceness.
+        if (adj < 0) {
+            putchar('-');
+            adj = 0 - adj;
+        }
+        putchar(tobyte('0' + (adj / 10) % 10));
+        putchar(tobyte('0' + adj % 10));
+        putchar('\n');
+        halt(0);
+    }
+    // "Execute" the command.
+    for (int k = 0; argchar(arg, k) != 0; k++) {
+        putchar(argchar(arg, k));
+    }
+    putchar('\n');
+}
+`
+
+const srcLink = `
+// link a b : create a hard link. Like the GNU tool, both operands pass
+// through the shell-quoting routine used for diagnostics, which classifies
+// every character (both classification outcomes continue execution, so
+// paths multiply per character — the structure behind link's top speedup
+// in the paper's Figure 5).
+int quoteArg(int arg) {
+    // Returns the number of characters that would need escaping.
+    int esc = 0;
+    for (int i = 0; argchar(arg, i) != 0; i++) {
+        byte c = argchar(arg, i);
+        bool plain = (c >= 'a' && c <= 'z') || c == '/';
+        if (!plain) {
+            esc++;
+        }
+    }
+    return esc;
+}
+
+void main() {
+    if (argc() < 3) {
+        putchar('?');
+        halt(1);
+    }
+    if (argc() > 3) {
+        putchar('!');
+        halt(1);
+    }
+    // Prepare quoted forms of both operands for any diagnostic.
+    int esc1 = quoteArg(1);
+    int esc2 = quoteArg(2);
+    // Empty operands are invalid.
+    if (argchar(1, 0) == 0 || argchar(2, 0) == 0) {
+        putchar('e');
+        halt(1);
+    }
+    // Same-name link fails (models EEXIST).
+    bool same = true;
+    for (int i = 0; same; i++) {
+        byte a = argchar(1, i);
+        byte b = argchar(2, i);
+        if (a != b) {
+            same = false;
+        }
+        if (a == 0 || b == 0) {
+            break;
+        }
+    }
+    if (same) {
+        putchar('x');
+        if (esc1 + esc2 > 0) {
+            putchar('q'); // names were quoted in the message
+        }
+        halt(1);
+    }
+    halt(0);
+}
+`
+
+const srcUnlink = `
+// unlink name : remove a file; validates the operand count and name.
+void main() {
+    if (argc() != 2) {
+        putchar('?');
+        halt(1);
+    }
+    if (argchar(1, 0) == 0) {
+        putchar('e');
+        halt(1);
+    }
+    // Refuse to unlink "." or "..".
+    if (argchar(1, 0) == '.' && (argchar(1, 1) == 0 ||
+        (argchar(1, 1) == '.' && argchar(1, 2) == 0))) {
+        putchar('d');
+        halt(1);
+    }
+    halt(0);
+}
+`
+
+const srcTest = `
+// test args... : evaluate a tiny shell conditional: supported forms are
+// "-n STR", "-z STR", "STR", and "A = B" / "A != B" on one-char operands.
+void main() {
+    int n = argc() - 1;
+    if (n == 0) {
+        halt(1); // empty expression is false
+    }
+    if (n == 1) {
+        // Nonempty string is true.
+        if (argchar(1, 0) != 0) {
+            halt(0);
+        }
+        halt(1);
+    }
+    if (n == 2) {
+        if (argchar(1, 0) == '-' && argchar(1, 2) == 0) {
+            byte op = argchar(1, 1);
+            if (op == 'n') {
+                if (argchar(2, 0) != 0) { halt(0); }
+                halt(1);
+            }
+            if (op == 'z') {
+                if (argchar(2, 0) == 0) { halt(0); }
+                halt(1);
+            }
+        }
+        putchar('?');
+        halt(2);
+    }
+    if (n == 3) {
+        // A = B or A != B over full strings.
+        bool eq = true;
+        int i = 0;
+        while (true) {
+            byte a = argchar(1, i);
+            byte b = argchar(3, i);
+            if (a != b) {
+                eq = false;
+                break;
+            }
+            if (a == 0) {
+                break;
+            }
+            i++;
+        }
+        if (argchar(2, 0) == '=' && argchar(2, 1) == 0) {
+            if (eq) { halt(0); }
+            halt(1);
+        }
+        if (argchar(2, 0) == '!' && argchar(2, 1) == '=' && argchar(2, 2) == 0) {
+            if (!eq) { halt(0); }
+            halt(1);
+        }
+    }
+    putchar('?');
+    halt(2);
+}
+`
+
+const srcMv = `
+// mv [-f|-i] src dst : validate operands; refuses to move onto itself.
+void main() {
+    int arg = 1;
+    bool force = false;
+    if (arg < argc() && argchar(arg, 0) == '-' && argchar(arg, 2) == 0) {
+        byte f = argchar(arg, 1);
+        if (f == 'f') {
+            force = true;
+            arg++;
+        } else if (f == 'i') {
+            arg++;
+        }
+    }
+    if (argc() - arg < 2) {
+        putchar('?');
+        halt(1);
+    }
+    bool same = true;
+    for (int i = 0; same; i++) {
+        byte a = argchar(arg, i);
+        byte b = argchar(arg + 1, i);
+        if (a != b) {
+            same = false;
+        }
+        if (a == 0 || b == 0) {
+            break;
+        }
+    }
+    if (same && !force) {
+        putchar('x');
+        halt(1);
+    }
+    halt(0);
+}
+`
+
+const srcRm = `
+// rm [-r] [-f] names... : validate each operand; "." and ".." refused.
+void main() {
+    int arg = 1;
+    bool force = false;
+    while (arg < argc() && argchar(arg, 0) == '-' && argchar(arg, 2) == 0) {
+        byte f = argchar(arg, 1);
+        if (f == 'f') {
+            force = true;
+        } else if (f != 'r') {
+            putchar('?');
+            halt(1);
+        }
+        arg++;
+    }
+    if (arg >= argc()) {
+        if (force) {
+            halt(0); // rm -f with no operands succeeds
+        }
+        putchar('?');
+        halt(1);
+    }
+    int status = 0;
+    for (; arg < argc(); arg++) {
+        if (argchar(arg, 0) == 0) {
+            status = 1;
+            putchar('e');
+        } else if (argchar(arg, 0) == '.' && (argchar(arg, 1) == 0 ||
+            (argchar(arg, 1) == '.' && argchar(arg, 2) == 0))) {
+            status = 1;
+            putchar('d');
+        }
+    }
+    halt(status);
+}
+`

@@ -1,0 +1,617 @@
+package coreutils
+
+// Parser-heavy tools: printf, expr, factor, od, base64, chmod, date,
+// mktemp, pathchk, numfmt, tee, env. These models concentrate on the
+// format/mode/number parsers of the real tools — the per-character
+// classification loops whose forks drive the paper's path explosion.
+
+func init() {
+	register(&Tool{Name: "printf", Source: srcPrintf, DefaultArgs: 2, DefaultLen: 2})
+	register(&Tool{Name: "expr", Source: srcExpr, DefaultArgs: 3, DefaultLen: 1})
+	// factor's trial-division loop runs under a symbolic bound, so even one
+	// extra operand digit multiplies solver work; a single digit suffices
+	// for the parse/divide structure.
+	register(&Tool{Name: "factor", Source: srcFactor, DefaultArgs: 1, DefaultLen: 1})
+	register(&Tool{Name: "od", Source: srcOd, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 3})
+	// base64's encoder forks ~5 ways per emitted character (the alphabet
+	// bucket of enc), so stdin is kept to one byte by default.
+	register(&Tool{Name: "base64", Source: srcBase64, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 1})
+	register(&Tool{Name: "chmod", Source: srcChmod, DefaultArgs: 2, DefaultLen: 3})
+	register(&Tool{Name: "date", Source: srcDate, DefaultArgs: 1, DefaultLen: 3})
+	register(&Tool{Name: "mktemp", Source: srcMktemp, DefaultArgs: 1, DefaultLen: 4})
+	register(&Tool{Name: "pathchk", Source: srcPathchk, DefaultArgs: 1, DefaultLen: 3})
+	register(&Tool{Name: "numfmt", Source: srcNumfmt, DefaultArgs: 1, DefaultLen: 3})
+	register(&Tool{Name: "tee", Source: srcTee, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 3})
+	register(&Tool{Name: "env", Source: srcEnv, DefaultArgs: 2, DefaultLen: 3})
+}
+
+const srcPrintf = `
+// printf FORMAT [ARG] : interpret %s/%d/%c/%% directives and \n/\t escapes.
+// The format scanner classifies every character three ways (plain, %, \),
+// and each directive consumes the next argument — the real tool's structure.
+void main() {
+    if (argc() < 2) {
+        putchar('?');
+        halt(1);
+    }
+    int arg = 2; // next argument consumed by a directive
+    for (int i = 0; argchar(1, i) != 0; i++) {
+        byte c = argchar(1, i);
+        if (c == '%') {
+            i++;
+            byte d = argchar(1, i);
+            if (d == '%') {
+                putchar('%');
+            } else if (d == 's') {
+                if (arg < argc()) {
+                    for (int k = 0; argchar(arg, k) != 0; k++) {
+                        putchar(argchar(arg, k));
+                    }
+                    arg++;
+                }
+            } else if (d == 'c') {
+                if (arg < argc()) {
+                    putchar(argchar(arg, 0));
+                    arg++;
+                }
+            } else if (d == 'd') {
+                // Parse the argument as a number; invalid digits abort.
+                int v = 0;
+                for (int k = 0; arg < argc() && argchar(arg, k) != 0; k++) {
+                    byte g = argchar(arg, k);
+                    if (g < '0' || g > '9') {
+                        putchar('!');
+                        halt(1);
+                    }
+                    v = v * 10 + toint(g - '0');
+                }
+                arg++;
+                if (v >= 10) { putchar(tobyte('0' + (v / 10) % 10)); }
+                putchar(tobyte('0' + v % 10));
+            } else {
+                // Unknown directive: fatal, like the real printf.
+                putchar('?');
+                halt(1);
+            }
+        } else if (c == '\\') {
+            i++;
+            byte e = argchar(1, i);
+            if (e == 'n') { putchar('\n'); }
+            else if (e == 't') { putchar('\t'); }
+            else if (e == '\\') { putchar('\\'); }
+            else { putchar('\\'); putchar(e); }
+        } else {
+            putchar(c);
+        }
+    }
+    halt(0);
+}
+`
+
+const srcExpr = `
+// expr A OP B : integer arithmetic (+ - '*' / %) and comparison (= !=) on
+// decimal operands. Exit status 0 for true/nonzero, 1 for false/zero, 2 for
+// syntax errors — matching the real tool's three-way exit protocol.
+int parseNum(int arg) {
+    int v = 0;
+    bool any = false;
+    for (int i = 0; argchar(arg, i) != 0; i++) {
+        byte d = argchar(arg, i);
+        if (d < '0' || d > '9') {
+            return 0 - 1;
+        }
+        v = v * 10 + toint(d - '0');
+        any = true;
+    }
+    if (!any) { return 0 - 1; }
+    return v;
+}
+
+void printNum(int v) {
+    if (v >= 100) { putchar(tobyte('0' + (v / 100) % 10)); }
+    if (v >= 10) { putchar(tobyte('0' + (v / 10) % 10)); }
+    putchar(tobyte('0' + v % 10));
+    putchar('\n');
+}
+
+void main() {
+    if (argc() != 4) {
+        putchar('?');
+        halt(2);
+    }
+    int a = parseNum(1);
+    int b = parseNum(3);
+    if (a < 0 || b < 0) {
+        putchar('?');
+        halt(2);
+    }
+    byte op = argchar(2, 0);
+    bool single = argchar(2, 1) == 0;
+    if (op == '+' && single) {
+        printNum(a + b);
+        if (a + b == 0) { halt(1); }
+        halt(0);
+    }
+    if (op == '-' && single) {
+        if (a < b) { putchar('-'); printNum(b - a); halt(0); }
+        printNum(a - b);
+        if (a == b) { halt(1); }
+        halt(0);
+    }
+    if (op == '*' && single) {
+        printNum(a * b);
+        if (a * b == 0) { halt(1); }
+        halt(0);
+    }
+    if (op == '/' && single) {
+        if (b == 0) { putchar('!'); halt(2); }
+        printNum(a / b);
+        if (a / b == 0) { halt(1); }
+        halt(0);
+    }
+    if (op == '%' && single) {
+        if (b == 0) { putchar('!'); halt(2); }
+        printNum(a % b);
+        if (a % b == 0) { halt(1); }
+        halt(0);
+    }
+    if (op == '=' && single) {
+        if (a == b) { putchar('1'); putchar('\n'); halt(0); }
+        putchar('0'); putchar('\n');
+        halt(1);
+    }
+    if (op == '!' && argchar(2, 1) == '=' && argchar(2, 2) == 0) {
+        if (a != b) { putchar('1'); putchar('\n'); halt(0); }
+        putchar('0'); putchar('\n');
+        halt(1);
+    }
+    putchar('?');
+    halt(2);
+}
+`
+
+const srcFactor = `
+// factor N : print the prime factorization of a small decimal operand by
+// trial division. The parse loop forks per character; the division loop's
+// bound depends on the merged parse accumulator — a stress test for QCE's
+// hot-variable call (the accumulator IS hot here, unlike sleep's).
+void main() {
+    if (argc() != 2) {
+        putchar('?');
+        halt(1);
+    }
+    int n = 0;
+    for (int i = 0; argchar(1, i) != 0; i++) {
+        byte d = argchar(1, i);
+        if (d < '0' || d > '9') {
+            putchar('?');
+            halt(1);
+        }
+        n = n * 10 + toint(d - '0');
+    }
+    n = n % 32; // model bound: keep trial division laptop-sized
+    if (n < 2) {
+        putchar('!');
+        halt(1);
+    }
+    putchar(tobyte('0' + (n / 10) % 10));
+    putchar(tobyte('0' + n % 10));
+    putchar(':');
+    for (int p = 2; p <= n; p++) {
+        while (n % p == 0) {
+            putchar(' ');
+            if (p >= 10) { putchar(tobyte('0' + (p / 10) % 10)); }
+            putchar(tobyte('0' + p % 10));
+            n = n / p;
+        }
+    }
+    putchar('\n');
+    halt(0);
+}
+`
+
+const srcOd = `
+// od [-b|-c] : dump stdin, one byte per line, in octal (default/-b) or as
+// printable-or-escape (-c). Each byte's class decides the output form.
+void main() {
+    bool chars = false;
+    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 2) == 0) {
+        byte f = argchar(1, 1);
+        if (f == 'c') {
+            chars = true;
+        } else if (f != 'b') {
+            putchar('?');
+            halt(1);
+        }
+    }
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        byte c = stdinchar(i);
+        if (chars) {
+            if (c == '\n') { putchar('\\'); putchar('n'); }
+            else if (c == '\t') { putchar('\\'); putchar('t'); }
+            else if (c >= ' ' && c <= '~') { putchar(c); }
+            else { putchar('.'); }
+        } else {
+            int v = toint(c);
+            putchar(tobyte('0' + (v / 64) % 8));
+            putchar(tobyte('0' + (v / 8) % 8));
+            putchar(tobyte('0' + v % 8));
+        }
+        putchar('\n');
+    }
+    halt(0);
+}
+`
+
+const srcBase64 = `
+// base64 [-d] : encode stdin (3 bytes -> 4 chars, '=' padding), or with -d
+// validate a base64 stream. Decoding classifies every character into five
+// alphabet classes — dense branching per input byte.
+byte enc(int v) {
+    v = v % 64;
+    if (v < 26) { return tobyte('A' + v); }
+    if (v < 52) { return tobyte('a' + (v - 26)); }
+    if (v < 62) { return tobyte('0' + (v - 52)); }
+    if (v == 62) { return '+'; }
+    return '/';
+}
+
+void main() {
+    bool decode = false;
+    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == 'd' && argchar(1, 2) == 0) {
+        decode = true;
+    }
+    int n = stdinlen();
+    if (decode) {
+        int got = 0;
+        bool pad = false;
+        for (int i = 0; i < n; i++) {
+            byte c = stdinchar(i);
+            if (c == '\n') { continue; }
+            bool alpha = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                         (c >= '0' && c <= '9') || c == '+' || c == '/';
+            if (c == '=') {
+                pad = true;
+            } else if (!alpha || pad) {
+                // Garbage, or data after padding started.
+                putchar('?');
+                halt(1);
+            }
+            got++;
+        }
+        if (got % 4 != 0) {
+            putchar('!');
+            halt(1);
+        }
+        putchar('k');
+        halt(0);
+    }
+    // Encode.
+    int acc = 0;
+    int bits = 0;
+    for (int i = 0; i < n; i++) {
+        acc = acc * 256 + toint(stdinchar(i));
+        bits = bits + 8;
+        while (bits >= 6) {
+            bits = bits - 6;
+            int idx = acc;
+            for (int k = 0; k < bits; k++) { idx = idx / 2; }
+            putchar(enc(idx));
+            int keep = 1;
+            for (int k = 0; k < bits; k++) { keep = keep * 2; }
+            acc = acc % keep;
+        }
+    }
+    if (bits > 0) {
+        int idx = acc;
+        for (int k = bits; k < 6; k++) { idx = idx * 2; }
+        putchar(enc(idx));
+        putchar('=');
+        if (bits == 2) { putchar('='); }
+    }
+    putchar('\n');
+    halt(0);
+}
+`
+
+const srcChmod = `
+// chmod MODE file : parse an octal ("755") or symbolic ("u+rwx") mode.
+// The symbolic grammar (who)(op)(perms) is the branchiest parser in the
+// suite: three optional who-classes, three ops, three permission bits.
+void main() {
+    if (argc() < 3) {
+        putchar('?');
+        halt(1);
+    }
+    if (argchar(2, 0) == 0) {
+        putchar('e');
+        halt(1);
+    }
+    byte c0 = argchar(1, 0);
+    if (c0 >= '0' && c0 <= '7') {
+        // Octal mode: up to 4 octal digits.
+        int mode = 0;
+        int len = 0;
+        for (int i = 0; argchar(1, i) != 0; i++) {
+            byte d = argchar(1, i);
+            if (d < '0' || d > '7') {
+                putchar('?');
+                halt(1);
+            }
+            mode = mode * 8 + toint(d - '0');
+            len++;
+        }
+        if (len > 4 || mode > 4095) {
+            putchar('!');
+            halt(1);
+        }
+        putchar('o');
+        halt(0);
+    }
+    // Symbolic mode: [ugoa]*[+-=][rwxst]+
+    int i = 0;
+    for (; argchar(1, i) == 'u' || argchar(1, i) == 'g' ||
+           argchar(1, i) == 'o' || argchar(1, i) == 'a'; i++) {
+    }
+    byte op = argchar(1, i);
+    if (op != '+' && op != '-' && op != '=') {
+        putchar('?');
+        halt(1);
+    }
+    i++;
+    bool any = false;
+    for (; argchar(1, i) != 0; i++) {
+        byte p = argchar(1, i);
+        if (p != 'r' && p != 'w' && p != 'x' && p != 's' && p != 't') {
+            putchar('?');
+            halt(1);
+        }
+        any = true;
+    }
+    if (!any && op != '=') {
+        // "+"/"-" with no permissions is an error; "=" alone clears.
+        putchar('?');
+        halt(1);
+    }
+    putchar('s');
+    halt(0);
+}
+`
+
+const srcDate = `
+// date [+FORMAT] : validate a strftime-style format string. Every %
+// directive is checked against the supported set; plain characters echo.
+void main() {
+    if (argc() < 2) {
+        // Default format: a fixed timestamp in the model.
+        putchar('T');
+        putchar('\n');
+        halt(0);
+    }
+    if (argchar(1, 0) != '+') {
+        putchar('?');
+        halt(1);
+    }
+    for (int i = 1; argchar(1, i) != 0; i++) {
+        byte c = argchar(1, i);
+        if (c == '%') {
+            i++;
+            byte d = argchar(1, i);
+            if (d == 'Y') { putchar('2'); putchar('0'); }
+            else if (d == 'm') { putchar('0'); putchar('6'); }
+            else if (d == 'd') { putchar('1'); putchar('2'); }
+            else if (d == 'H') { putchar('1'); putchar('0'); }
+            else if (d == 'M') { putchar('3'); putchar('0'); }
+            else if (d == 'S') { putchar('0'); putchar('0'); }
+            else if (d == 's') { putchar('0'); }
+            else if (d == '%') { putchar('%'); }
+            else {
+                // Unknown directive is fatal (GNU date: invalid format).
+                putchar('?');
+                halt(1);
+            }
+        } else {
+            putchar(c);
+        }
+    }
+    putchar('\n');
+    halt(0);
+}
+`
+
+const srcMktemp = `
+// mktemp TEMPLATE : the template's trailing run of 'X' must be at least 3
+// long; shorter runs or X's in the middle only count if trailing.
+void main() {
+    if (argc() != 2) {
+        putchar('?');
+        halt(1);
+    }
+    int len = 0;
+    for (int i = 0; argchar(1, i) != 0; i++) {
+        len++;
+    }
+    if (len == 0) {
+        putchar('?');
+        halt(1);
+    }
+    int xs = 0;
+    for (int i = len - 1; i >= 0; i--) {
+        if (argchar(1, i) != 'X') {
+            break;
+        }
+        xs++;
+    }
+    if (xs < 3) {
+        putchar('!');
+        halt(1);
+    }
+    // "Create" the file: echo the prefix and substitute the X's.
+    for (int i = 0; i < len - xs; i++) {
+        putchar(argchar(1, i));
+    }
+    for (int k = 0; k < xs; k++) {
+        putchar('a');
+    }
+    putchar('\n');
+    halt(0);
+}
+`
+
+const srcPathchk = `
+// pathchk [-p] name : check a path for validity; -p additionally restricts
+// to the POSIX portable character set and a shorter length limit.
+void main() {
+    int arg = 1;
+    bool posix = false;
+    if (arg < argc() && argchar(arg, 0) == '-' && argchar(arg, 1) == 'p' && argchar(arg, 2) == 0) {
+        posix = true;
+        arg++;
+    }
+    if (arg >= argc()) {
+        putchar('?');
+        halt(1);
+    }
+    if (argchar(arg, 0) == 0) {
+        putchar('e'); // empty name
+        halt(1);
+    }
+    int complen = 0;
+    int status = 0;
+    for (int i = 0; argchar(arg, i) != 0; i++) {
+        byte c = argchar(arg, i);
+        if (c == '/') {
+            complen = 0;
+            continue;
+        }
+        complen++;
+        // Model bound: components longer than 6 exceed NAME_MAX.
+        if (complen > 6) {
+            status = 1;
+            putchar('l');
+        }
+        if (posix) {
+            bool portable = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+            if (!portable) {
+                status = 1;
+                putchar('c');
+            }
+        }
+    }
+    halt(status);
+}
+`
+
+const srcNumfmt = `
+// numfmt N[K|M|G] : parse a number with an optional unit suffix and print
+// it expanded (model: print the exponent instead of multiplying out).
+void main() {
+    if (argc() != 2) {
+        putchar('?');
+        halt(1);
+    }
+    int v = 0;
+    bool any = false;
+    int i = 0;
+    for (; argchar(1, i) >= '0' && argchar(1, i) <= '9'; i++) {
+        v = v * 10 + toint(argchar(1, i) - '0');
+        any = true;
+    }
+    if (!any) {
+        putchar('?');
+        halt(1);
+    }
+    int exp = 0;
+    byte suffix = argchar(1, i);
+    if (suffix != 0) {
+        if (suffix == 'K') { exp = 1; }
+        else if (suffix == 'M') { exp = 2; }
+        else if (suffix == 'G') { exp = 3; }
+        else {
+            putchar('?');
+            halt(1);
+        }
+        i++;
+        if (argchar(1, i) != 0) {
+            // Trailing junk after the suffix.
+            putchar('!');
+            halt(1);
+        }
+    }
+    if (v >= 10) { putchar(tobyte('0' + (v / 10) % 10)); }
+    putchar(tobyte('0' + v % 10));
+    putchar('e');
+    putchar(tobyte('0' + exp * 3));
+    putchar('\n');
+    halt(0);
+}
+`
+
+const srcTee = `
+// tee [-a] file : copy stdin to stdout (the file side is validated only:
+// nonempty name, no NUL-adjacent junk — the model has no filesystem).
+void main() {
+    int arg = 1;
+    if (arg < argc() && argchar(arg, 0) == '-' && argchar(arg, 1) == 'a' && argchar(arg, 2) == 0) {
+        arg++;
+    }
+    if (arg < argc() && argchar(arg, 0) == 0) {
+        putchar('e');
+        halt(1);
+    }
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        putchar(stdinchar(i));
+    }
+    halt(0);
+}
+`
+
+const srcEnv = `
+// env [NAME=VALUE]... [cmd] : each leading operand containing '=' is an
+// assignment; the first without '=' is the command to "run". Scanning for
+// '=' forks per character of every assignment.
+void main() {
+    int arg = 1;
+    int assigns = 0;
+    for (; arg < argc(); arg++) {
+        bool hasEq = false;
+        bool emptyName = false;
+        for (int i = 0; argchar(arg, i) != 0; i++) {
+            if (argchar(arg, i) == '=') {
+                hasEq = true;
+                if (i == 0) {
+                    emptyName = true;
+                }
+                break;
+            }
+        }
+        if (!hasEq) {
+            break;
+        }
+        if (emptyName) {
+            putchar('?');
+            halt(125);
+        }
+        assigns++;
+    }
+    if (arg >= argc()) {
+        // No command: print the number of assignments (stands in for the
+        // environment listing).
+        putchar(tobyte('0' + assigns % 10));
+        putchar('\n');
+        halt(0);
+    }
+    // "Execute" the command.
+    for (int k = 0; argchar(arg, k) != 0; k++) {
+        putchar(argchar(arg, k));
+    }
+    putchar('\n');
+    halt(0);
+}
+`

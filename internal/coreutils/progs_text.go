@@ -1,0 +1,410 @@
+package coreutils
+
+// Text-oriented tools driven mainly by argv: echo, basename, dirname, yes,
+// true, false, and the stdin streamers cat, head, wc.
+
+func init() {
+	register(&Tool{Name: "echo", Source: srcEcho})
+	register(&Tool{Name: "basename", Source: srcBasename, DefaultArgs: 1, DefaultLen: 3})
+	register(&Tool{Name: "dirname", Source: srcDirname, DefaultArgs: 1, DefaultLen: 3})
+	register(&Tool{Name: "yes", Source: srcYes, DefaultArgs: 1, DefaultLen: 2})
+	register(&Tool{Name: "true", Source: srcTrue, DefaultArgs: 1, DefaultLen: 2})
+	register(&Tool{Name: "false", Source: srcFalse, DefaultArgs: 1, DefaultLen: 2})
+	register(&Tool{Name: "cat", Source: srcCat, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 4})
+	register(&Tool{Name: "head", Source: srcHead, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 4})
+	register(&Tool{Name: "wc", Source: srcWc, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 4})
+	register(&Tool{Name: "uniq", Source: srcUniq, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 3})
+	register(&Tool{Name: "rev", Source: srcRev, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 1, DefaultStdin: 3})
+	register(&Tool{Name: "tac", Source: srcTac, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 1, DefaultStdin: 3})
+}
+
+// srcEcho is the paper's Figure 1 program: print arguments, -n suppresses
+// the trailing newline.
+const srcEcho = `
+// echo [-n] args... : write arguments to standard output.
+void main() {
+    int r = 1;
+    int arg = 1;
+    if (arg < argc()) {
+        if (argchar(arg, 0) == '-' && argchar(arg, 1) == 'n' && argchar(arg, 2) == 0) {
+            r = 0;
+            arg++;
+        }
+    }
+    for (; arg < argc(); arg++) {
+        for (int i = 0; argchar(arg, i) != 0; i++) {
+            putchar(argchar(arg, i));
+        }
+        if (arg + 1 < argc()) {
+            putchar(' ');
+        }
+    }
+    if (r != 0) {
+        putchar('\n');
+    }
+}
+`
+
+const srcBasename = `
+// basename path [suffix] : strip directory prefix and optional suffix.
+int strlen1(int arg) {
+    int n = 0;
+    while (argchar(arg, n) != 0) {
+        n++;
+    }
+    return n;
+}
+
+void main() {
+    if (argc() < 2) {
+        putchar('?');
+        halt(1);
+    }
+    int len = strlen1(1);
+    // Find the start of the last path component.
+    int start = 0;
+    for (int i = 0; i < len; i++) {
+        if (argchar(1, i) == '/') {
+            start = i + 1;
+        }
+    }
+    int end = len;
+    if (argc() > 2) {
+        // Strip the suffix if it matches and is shorter than the name.
+        int slen = strlen1(2);
+        if (slen > 0 && slen < len - start) {
+            bool match = true;
+            for (int j = 0; j < slen; j++) {
+                if (argchar(1, len - slen + j) != argchar(2, j)) {
+                    match = false;
+                }
+            }
+            if (match) {
+                end = len - slen;
+            }
+        }
+    }
+    if (start == end) {
+        putchar('/');
+    }
+    for (int k = start; k < end; k++) {
+        putchar(argchar(1, k));
+    }
+    putchar('\n');
+}
+`
+
+const srcDirname = `
+// dirname path : strip the last path component.
+void main() {
+    if (argc() < 2) {
+        putchar('?');
+        halt(1);
+    }
+    int len = 0;
+    while (argchar(1, len) != 0) {
+        len++;
+    }
+    // Trim trailing slashes, then trim the final component.
+    while (len > 1 && argchar(1, len - 1) == '/') {
+        len--;
+    }
+    int cut = 0;
+    for (int i = 0; i < len; i++) {
+        if (argchar(1, i) == '/') {
+            cut = i;
+        }
+    }
+    if (cut == 0) {
+        if (argchar(1, 0) == '/') {
+            putchar('/');
+        } else {
+            putchar('.');
+        }
+    } else {
+        for (int k = 0; k < cut; k++) {
+            putchar(argchar(1, k));
+        }
+    }
+    putchar('\n');
+}
+`
+
+const srcYes = `
+// yes [arg] : repeat the argument (bounded model: 3 repetitions).
+void main() {
+    for (int rep = 0; rep < 3; rep++) {
+        if (argc() > 1) {
+            for (int i = 0; argchar(1, i) != 0; i++) {
+                putchar(argchar(1, i));
+            }
+        } else {
+            putchar('y');
+        }
+        putchar('\n');
+    }
+}
+`
+
+const srcTrue = `
+// true : succeed; handles --help like the GNU tool (prefix check).
+void main() {
+    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == '-') {
+        if (argchar(1, 2) == 'h') {
+            putchar('h');
+        } else if (argchar(1, 2) == 'v') {
+            putchar('v');
+        }
+    }
+    halt(0);
+}
+`
+
+const srcFalse = `
+// false : fail; same option surface as true.
+void main() {
+    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == '-') {
+        if (argchar(1, 2) == 'h') {
+            putchar('h');
+        } else if (argchar(1, 2) == 'v') {
+            putchar('v');
+        }
+    }
+    halt(1);
+}
+`
+
+const srcCat = `
+// cat [-n] : copy stdin to stdout, -n numbers lines.
+void main() {
+    bool number = false;
+    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == 'n' && argchar(1, 2) == 0) {
+        number = true;
+    }
+    int line = 1;
+    bool atStart = true;
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        byte c = stdinchar(i);
+        if (atStart && number) {
+            putchar(tobyte('0' + line % 10));
+            putchar(' ');
+        }
+        atStart = false;
+        putchar(c);
+        if (c == '\n') {
+            line++;
+            atStart = true;
+        }
+    }
+}
+`
+
+const srcHead = `
+// head [-n N] : print the first N lines of stdin (default 2 in the model).
+void main() {
+    int limit = 2;
+    if (argc() > 2 && argchar(1, 0) == '-' && argchar(1, 1) == 'n' && argchar(1, 2) == 0) {
+        byte d = argchar(2, 0);
+        if (d >= '0' && d <= '9') {
+            limit = toint(d - '0');
+        }
+    }
+    int lines = 0;
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        if (lines >= limit) {
+            halt(0);
+        }
+        byte c = stdinchar(i);
+        putchar(c);
+        if (c == '\n') {
+            lines++;
+        }
+    }
+}
+`
+
+const srcWc = `
+// wc [-l|-w|-c] : count lines, words, bytes of stdin.
+void main() {
+    bool doLines = false;
+    bool doWords = false;
+    bool doBytes = false;
+    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 2) == 0) {
+        byte f = argchar(1, 1);
+        if (f == 'l') { doLines = true; }
+        else if (f == 'w') { doWords = true; }
+        else if (f == 'c') { doBytes = true; }
+    }
+    if (!doLines && !doWords && !doBytes) {
+        doLines = true;
+        doWords = true;
+        doBytes = true;
+    }
+    int lines = 0;
+    int words = 0;
+    int bytes = 0;
+    bool inWord = false;
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        byte c = stdinchar(i);
+        bytes++;
+        if (c == '\n') {
+            lines++;
+        }
+        if (c == ' ' || c == '\n' || c == '\t') {
+            inWord = false;
+        } else {
+            if (!inWord) {
+                words++;
+            }
+            inWord = true;
+        }
+    }
+    if (doLines) { putchar(tobyte('0' + lines % 10)); }
+    if (doWords) { putchar(tobyte('0' + words % 10)); }
+    if (doBytes) { putchar(tobyte('0' + bytes % 10)); }
+    putchar('\n');
+}
+`
+
+const srcUniq = `
+// uniq [-c] : collapse adjacent duplicate lines of stdin; -c prefixes each
+// line with its repeat count (single digit in the model).
+void main() {
+    bool count = false;
+    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == 'c' && argchar(1, 2) == 0) {
+        count = true;
+    }
+    byte prev[8];
+    byte cur[8];
+    int prevLen = 0 - 1; // no previous line yet
+    int curLen = 0;
+    int reps = 0;
+    int n = stdinlen();
+    for (int i = 0; i <= n; i++) {
+        byte c = 0;
+        if (i < n) {
+            c = stdinchar(i);
+        }
+        if (c == '\n' || i == n) {
+            if (i == n && curLen == 0) {
+                break;
+            }
+            // Compare the finished line against the previous one.
+            bool same = prevLen == curLen;
+            if (same) {
+                for (int k = 0; k < curLen; k++) {
+                    if (cur[k] != prev[k]) {
+                        same = false;
+                    }
+                }
+            }
+            if (same) {
+                reps++;
+            } else {
+                if (prevLen >= 0) {
+                    if (count) {
+                        putchar(tobyte('0' + reps % 10));
+                        putchar(' ');
+                    }
+                    for (int k = 0; k < prevLen; k++) {
+                        putchar(prev[k]);
+                    }
+                    putchar('\n');
+                }
+                for (int k = 0; k < curLen; k++) {
+                    prev[k] = cur[k];
+                }
+                prevLen = curLen;
+                reps = 1;
+            }
+            curLen = 0;
+        } else if (curLen < 8) {
+            cur[curLen] = c;
+            curLen++;
+        }
+    }
+    if (prevLen >= 0) {
+        if (count) {
+            putchar(tobyte('0' + reps % 10));
+            putchar(' ');
+        }
+        for (int k = 0; k < prevLen; k++) {
+            putchar(prev[k]);
+        }
+        putchar('\n');
+    }
+}
+`
+
+const srcRev = `
+// rev : reverse each line of stdin character-wise.
+void main() {
+    byte line[8];
+    int len = 0;
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        byte c = stdinchar(i);
+        if (c == '\n') {
+            for (int k = len - 1; k >= 0; k--) {
+                putchar(line[k]);
+            }
+            putchar('\n');
+            len = 0;
+        } else if (len < 8) {
+            line[len] = c;
+            len++;
+        }
+    }
+    for (int k2 = len - 1; k2 >= 0; k2--) {
+        putchar(line[k2]);
+    }
+}
+`
+
+const srcTac = `
+// tac : print stdin lines in reverse order (bounded buffer model).
+void main() {
+    byte buf[16];
+    int starts[8];
+    int lens[8];
+    int nLines = 0;
+    int used = 0;
+    int cur = 0;
+    int n = stdinlen();
+    for (int i = 0; i < n; i++) {
+        byte c = stdinchar(i);
+        if (c == '\n') {
+            if (nLines < 8) {
+                starts[nLines] = used - cur;
+                lens[nLines] = cur;
+                nLines++;
+            }
+            cur = 0;
+        } else if (used < 16) {
+            buf[used] = c;
+            used++;
+            cur++;
+        }
+    }
+    if (cur > 0 && nLines < 8) {
+        starts[nLines] = used - cur;
+        lens[nLines] = cur;
+        nLines++;
+    }
+    for (int l = nLines - 1; l >= 0; l--) {
+        for (int k = 0; k < lens[l]; k++) {
+            putchar(buf[starts[l] + k]);
+        }
+        putchar('\n');
+    }
+}
+`

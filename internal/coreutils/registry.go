@@ -1,0 +1,91 @@
+// Package coreutils contains MiniC models of GNU COREUTILS used as the
+// evaluation workload, standing in for the 96 real COREUTILS the paper runs
+// under KLEE (§5.1). Each model keeps the control structure that drives the
+// paper's results — option parsing over symbolic argv, character loops over
+// zero-terminated arguments, line loops over symbolic stdin, accumulator
+// validation — while shrinking constants to laptop timescales.
+//
+// Models are self-contained MiniC sources (helpers are duplicated per
+// program, as in the real tree where lib/ is statically linked into every
+// tool).
+package coreutils
+
+import (
+	"fmt"
+	"sort"
+
+	"symmerge/symx"
+)
+
+// Tool describes one COREUTILS model.
+type Tool struct {
+	Name   string
+	Source string
+	// UsesStdin marks tools whose interesting input is stdin rather
+	// than argv.
+	UsesStdin bool
+	// DefaultArgs/DefaultLen/DefaultStdin are input sizes that finish in
+	// roughly a second without merging, for tests and quick benches.
+	DefaultArgs  int
+	DefaultLen   int
+	DefaultStdin int
+}
+
+var registry = map[string]*Tool{}
+
+func register(t *Tool) {
+	if _, dup := registry[t.Name]; dup {
+		panic("coreutils: duplicate tool " + t.Name)
+	}
+	if t.DefaultArgs == 0 {
+		t.DefaultArgs = 2
+	}
+	if t.DefaultLen == 0 {
+		t.DefaultLen = 2
+	}
+	registry[t.Name] = t
+}
+
+// Get returns a tool model by name.
+func Get(name string) (*Tool, error) {
+	t, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("coreutils: unknown tool %q", name)
+	}
+	return t, nil
+}
+
+// Names returns every registered tool name, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered tool, sorted by name.
+func All() []*Tool {
+	names := Names()
+	out := make([]*Tool, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// Compile compiles the model.
+func (t *Tool) Compile() (*symx.Program, error) {
+	return symx.Compile(t.Source)
+}
+
+// BaseConfig returns a symx.Config with the tool's default symbolic input
+// sizes filled in.
+func (t *Tool) BaseConfig() symx.Config {
+	return symx.Config{
+		NArgs:    t.DefaultArgs,
+		ArgLen:   t.DefaultLen,
+		StdinLen: t.DefaultStdin,
+	}
+}

@@ -1,0 +1,799 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder constructs hash-consed expressions. A Builder is not safe for
+// concurrent use; the engine owns one per run.
+type Builder struct {
+	table  map[uint64][]*Expr // structural hash -> nodes with that hash
+	nextID uint64
+
+	true_  *Expr
+	false_ *Expr
+
+	// Stats counts constructor activity, used by solver benchmarks.
+	Stats struct {
+		Nodes uint64 // distinct nodes created
+		Hits  uint64 // hash-cons hits
+		Folds uint64 // constructions answered by constant folding
+		Simps uint64 // constructions answered by a simplification rule
+	}
+}
+
+// NewBuilder returns an empty builder with the boolean constants interned.
+func NewBuilder() *Builder {
+	b := &Builder{table: make(map[uint64][]*Expr, 1024)}
+	b.false_ = b.mk(&Expr{Kind: KConst, Width: 0, Val: 0})
+	b.true_ = b.mk(&Expr{Kind: KConst, Width: 0, Val: 1})
+	return b
+}
+
+// NumNodes returns the number of distinct interned nodes.
+func (b *Builder) NumNodes() int { return int(b.Stats.Nodes) }
+
+func hashExpr(e *Expr) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(e.Kind))
+	mix(uint64(e.Width))
+	mix(e.Val)
+	mix(uint64(e.Aux))
+	for i := 0; i < len(e.Name); i++ {
+		h ^= uint64(e.Name[i])
+		h *= prime64
+	}
+	for _, k := range e.Kids {
+		mix(k.id)
+	}
+	return h
+}
+
+func sameExpr(a, e *Expr) bool {
+	if a.Kind != e.Kind || a.Width != e.Width || a.Val != e.Val ||
+		a.Aux != e.Aux || a.Name != e.Name || len(a.Kids) != len(e.Kids) {
+		return false
+	}
+	for i := range a.Kids {
+		if a.Kids[i] != e.Kids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mk interns e, returning the canonical node.
+func (b *Builder) mk(e *Expr) *Expr {
+	e.hash = hashExpr(e)
+	for _, cand := range b.table[e.hash] {
+		if sameExpr(cand, e) {
+			b.Stats.Hits++
+			return cand
+		}
+	}
+	e.id = b.nextID
+	b.nextID++
+	e.symbolic = e.Kind == KVar
+	e.nodes = 1
+	for _, k := range e.Kids {
+		e.symbolic = e.symbolic || k.symbolic
+		e.nodes += k.nodes
+	}
+	b.table[e.hash] = append(b.table[e.hash], e)
+	b.Stats.Nodes++
+	return e
+}
+
+// --- Leaves ---
+
+// True returns the boolean constant true.
+func (b *Builder) True() *Expr { return b.true_ }
+
+// False returns the boolean constant false.
+func (b *Builder) False() *Expr { return b.false_ }
+
+// Bool returns the boolean constant for v.
+func (b *Builder) Bool(v bool) *Expr {
+	if v {
+		return b.true_
+	}
+	return b.false_
+}
+
+// Const returns the w-bit constant v (truncated to w bits). w must be 1..64.
+func (b *Builder) Const(v uint64, w uint8) *Expr {
+	if w == 0 || w > 64 {
+		panic(fmt.Sprintf("expr: Const width %d out of range", w))
+	}
+	return b.mk(&Expr{Kind: KConst, Width: w, Val: truncate(v, w)})
+}
+
+// Var returns the w-bit input variable with the given name. w==0 makes a
+// boolean variable. Variables are identified by name: two calls with the
+// same name and width return the same node.
+func (b *Builder) Var(name string, w uint8) *Expr {
+	if w > 64 {
+		panic(fmt.Sprintf("expr: Var width %d out of range", w))
+	}
+	return b.mk(&Expr{Kind: KVar, Width: w, Name: name})
+}
+
+// --- Boolean connectives ---
+
+func (b *Builder) checkBool(op string, es ...*Expr) {
+	for _, e := range es {
+		if !e.IsBool() {
+			panic(fmt.Sprintf("expr: %s applied to non-bool %s", op, e))
+		}
+	}
+}
+
+// Not returns the boolean negation of x.
+func (b *Builder) Not(x *Expr) *Expr {
+	b.checkBool("not", x)
+	if x.IsConst() {
+		b.Stats.Folds++
+		return b.Bool(x.Val == 0)
+	}
+	if x.Kind == KNot {
+		b.Stats.Simps++
+		return x.Kids[0] // not(not(a)) = a
+	}
+	return b.mk(&Expr{Kind: KNot, Kids: []*Expr{x}})
+}
+
+// And returns the boolean conjunction of x and y.
+func (b *Builder) And(x, y *Expr) *Expr {
+	b.checkBool("and", x, y)
+	switch {
+	case x.IsFalse() || y.IsFalse():
+		b.Stats.Folds++
+		return b.false_
+	case x.IsTrue():
+		b.Stats.Simps++
+		return y
+	case y.IsTrue():
+		b.Stats.Simps++
+		return x
+	case x == y:
+		b.Stats.Simps++
+		return x
+	}
+	if x.Kind == KNot && x.Kids[0] == y || y.Kind == KNot && y.Kids[0] == x {
+		b.Stats.Simps++
+		return b.false_
+	}
+	x, y = orderPair(x, y)
+	return b.mk(&Expr{Kind: KAnd, Kids: []*Expr{x, y}})
+}
+
+// Or returns the boolean disjunction of x and y.
+func (b *Builder) Or(x, y *Expr) *Expr {
+	b.checkBool("or", x, y)
+	switch {
+	case x.IsTrue() || y.IsTrue():
+		b.Stats.Folds++
+		return b.true_
+	case x.IsFalse():
+		b.Stats.Simps++
+		return y
+	case y.IsFalse():
+		b.Stats.Simps++
+		return x
+	case x == y:
+		b.Stats.Simps++
+		return x
+	}
+	if x.Kind == KNot && x.Kids[0] == y || y.Kind == KNot && y.Kids[0] == x {
+		b.Stats.Simps++
+		return b.true_
+	}
+	x, y = orderPair(x, y)
+	return b.mk(&Expr{Kind: KOr, Kids: []*Expr{x, y}})
+}
+
+// Xor returns the boolean exclusive or of x and y.
+func (b *Builder) Xor(x, y *Expr) *Expr {
+	b.checkBool("xor", x, y)
+	if x.IsConst() && y.IsConst() {
+		b.Stats.Folds++
+		return b.Bool(x.Val != y.Val)
+	}
+	if x == y {
+		b.Stats.Simps++
+		return b.false_
+	}
+	if x.IsFalse() {
+		return y
+	}
+	if y.IsFalse() {
+		return x
+	}
+	if x.IsTrue() {
+		return b.Not(y)
+	}
+	if y.IsTrue() {
+		return b.Not(x)
+	}
+	x, y = orderPair(x, y)
+	return b.mk(&Expr{Kind: KXor, Kids: []*Expr{x, y}})
+}
+
+// Implies returns x → y.
+func (b *Builder) Implies(x, y *Expr) *Expr {
+	b.checkBool("=>", x, y)
+	if x.IsFalse() || y.IsTrue() {
+		b.Stats.Folds++
+		return b.true_
+	}
+	if x.IsTrue() {
+		return y
+	}
+	if y.IsFalse() {
+		return b.Not(x)
+	}
+	if x == y {
+		b.Stats.Simps++
+		return b.true_
+	}
+	return b.mk(&Expr{Kind: KImplies, Kids: []*Expr{x, y}})
+}
+
+// AndAll folds And over es; the empty conjunction is true.
+func (b *Builder) AndAll(es []*Expr) *Expr {
+	r := b.true_
+	for _, e := range es {
+		r = b.And(r, e)
+	}
+	return r
+}
+
+// OrAll folds Or over es; the empty disjunction is false.
+func (b *Builder) OrAll(es []*Expr) *Expr {
+	r := b.false_
+	for _, e := range es {
+		r = b.Or(r, e)
+	}
+	return r
+}
+
+// orderPair orders a commutative pair by node ID for canonical form.
+func orderPair(x, y *Expr) (*Expr, *Expr) {
+	if y.id < x.id {
+		return y, x
+	}
+	return x, y
+}
+
+// --- Comparisons ---
+
+func (b *Builder) checkSameBV(op string, x, y *Expr) {
+	if x.Width == 0 || y.Width == 0 || x.Width != y.Width {
+		panic(fmt.Sprintf("expr: %s width mismatch: %s vs %s", op, x, y))
+	}
+}
+
+// Eq returns x = y. Operands must share a sort (bool or same-width BV).
+func (b *Builder) Eq(x, y *Expr) *Expr {
+	if x.Width != y.Width {
+		panic(fmt.Sprintf("expr: = width mismatch: %s vs %s", x, y))
+	}
+	if x == y {
+		b.Stats.Simps++
+		return b.true_
+	}
+	if x.IsConst() && y.IsConst() {
+		b.Stats.Folds++
+		return b.Bool(x.Val == y.Val)
+	}
+	if x.Width == 0 {
+		// Boolean equality: rewrite with constants simplified.
+		if x.IsTrue() {
+			return y
+		}
+		if y.IsTrue() {
+			return x
+		}
+		if x.IsFalse() {
+			return b.Not(y)
+		}
+		if y.IsFalse() {
+			return b.Not(x)
+		}
+	}
+	x, y = orderPair(x, y)
+	return b.mk(&Expr{Kind: KEq, Kids: []*Expr{x, y}})
+}
+
+// Ne returns ¬(x = y).
+func (b *Builder) Ne(x, y *Expr) *Expr { return b.Not(b.Eq(x, y)) }
+
+func (b *Builder) cmp(k Kind, x, y *Expr, fold func(a, c uint64, w uint8) bool) *Expr {
+	b.checkSameBV(k.String(), x, y)
+	if x.IsConst() && y.IsConst() {
+		b.Stats.Folds++
+		return b.Bool(fold(x.Val, y.Val, x.Width))
+	}
+	if x == y {
+		b.Stats.Simps++
+		// ult/slt are irreflexive, ule/sle reflexive.
+		return b.Bool(k == KUle || k == KSle)
+	}
+	return b.mk(&Expr{Kind: k, Kids: []*Expr{x, y}})
+}
+
+// Ult returns the unsigned comparison x < y.
+func (b *Builder) Ult(x, y *Expr) *Expr {
+	return b.cmp(KUlt, x, y, func(a, c uint64, _ uint8) bool { return a < c })
+}
+
+// Ule returns the unsigned comparison x ≤ y.
+func (b *Builder) Ule(x, y *Expr) *Expr {
+	return b.cmp(KUle, x, y, func(a, c uint64, _ uint8) bool { return a <= c })
+}
+
+// Slt returns the signed comparison x < y.
+func (b *Builder) Slt(x, y *Expr) *Expr {
+	return b.cmp(KSlt, x, y, func(a, c uint64, w uint8) bool {
+		return int64(signExtend(a, w)) < int64(signExtend(c, w))
+	})
+}
+
+// Sle returns the signed comparison x ≤ y.
+func (b *Builder) Sle(x, y *Expr) *Expr {
+	return b.cmp(KSle, x, y, func(a, c uint64, w uint8) bool {
+		return int64(signExtend(a, w)) <= int64(signExtend(c, w))
+	})
+}
+
+// Ugt returns x > y (unsigned), encoded as Ult(y, x).
+func (b *Builder) Ugt(x, y *Expr) *Expr { return b.Ult(y, x) }
+
+// Uge returns x ≥ y (unsigned), encoded as Ule(y, x).
+func (b *Builder) Uge(x, y *Expr) *Expr { return b.Ule(y, x) }
+
+// Sgt returns x > y (signed), encoded as Slt(y, x).
+func (b *Builder) Sgt(x, y *Expr) *Expr { return b.Slt(y, x) }
+
+// Sge returns x ≥ y (signed), encoded as Sle(y, x).
+func (b *Builder) Sge(x, y *Expr) *Expr { return b.Sle(y, x) }
+
+// --- Arithmetic ---
+
+func (b *Builder) arith(k Kind, x, y *Expr, fold func(a, c uint64, w uint8) uint64) *Expr {
+	b.checkSameBV(k.String(), x, y)
+	if x.IsConst() && y.IsConst() {
+		b.Stats.Folds++
+		return b.Const(fold(x.Val, y.Val, x.Width), x.Width)
+	}
+	return b.mk(&Expr{Kind: k, Width: x.Width, Kids: []*Expr{x, y}})
+}
+
+// Add returns x + y (modular).
+func (b *Builder) Add(x, y *Expr) *Expr {
+	if x.IsConst() && x.Val == 0 {
+		b.Stats.Simps++
+		return y
+	}
+	if y.IsConst() && y.Val == 0 {
+		b.Stats.Simps++
+		return x
+	}
+	if !x.IsConst() && y.IsConst() || (!x.IsConst() && !y.IsConst() && y.id < x.id) {
+		x, y = y, x // canonical: constant or lower-id first
+	}
+	return b.arith(KAdd, x, y, func(a, c uint64, _ uint8) uint64 { return a + c })
+}
+
+// Sub returns x − y (modular).
+func (b *Builder) Sub(x, y *Expr) *Expr {
+	if y.IsConst() && y.Val == 0 {
+		b.Stats.Simps++
+		return x
+	}
+	if x == y {
+		b.Stats.Simps++
+		return b.Const(0, x.Width)
+	}
+	return b.arith(KSub, x, y, func(a, c uint64, _ uint8) uint64 { return a - c })
+}
+
+// Mul returns x × y (modular).
+func (b *Builder) Mul(x, y *Expr) *Expr {
+	if x.IsConst() {
+		switch x.Val {
+		case 0:
+			b.Stats.Folds++
+			return b.Const(0, x.Width)
+		case 1:
+			b.Stats.Simps++
+			return y
+		}
+	}
+	if y.IsConst() {
+		switch y.Val {
+		case 0:
+			b.Stats.Folds++
+			return b.Const(0, y.Width)
+		case 1:
+			b.Stats.Simps++
+			return x
+		}
+	}
+	x, y = orderPair(x, y)
+	return b.arith(KMul, x, y, func(a, c uint64, _ uint8) uint64 { return a * c })
+}
+
+// UDiv returns x ÷ y unsigned; division by zero yields all-ones (SMT-LIB).
+func (b *Builder) UDiv(x, y *Expr) *Expr {
+	if y.IsConst() && y.Val == 1 {
+		b.Stats.Simps++
+		return x
+	}
+	return b.arith(KUDiv, x, y, func(a, c uint64, w uint8) uint64 {
+		if c == 0 {
+			return mask(w)
+		}
+		return a / c
+	})
+}
+
+// URem returns x mod y unsigned; x mod 0 = x (SMT-LIB).
+func (b *Builder) URem(x, y *Expr) *Expr {
+	return b.arith(KURem, x, y, func(a, c uint64, _ uint8) uint64 {
+		if c == 0 {
+			return a
+		}
+		return a % c
+	})
+}
+
+// SDiv returns x ÷ y signed (truncating); ÷0 yields 1 or −1 per SMT-LIB.
+func (b *Builder) SDiv(x, y *Expr) *Expr {
+	return b.arith(KSDiv, x, y, func(a, c uint64, w uint8) uint64 {
+		sa, sc := int64(signExtend(a, w)), int64(signExtend(c, w))
+		if sc == 0 {
+			if sa < 0 {
+				return 1
+			}
+			return mask(w) // -1
+		}
+		if sa == -1<<63 && sc == -1 {
+			return a
+		}
+		return uint64(sa / sc)
+	})
+}
+
+// SRem returns x mod y signed (sign of dividend); mod 0 = x per SMT-LIB.
+func (b *Builder) SRem(x, y *Expr) *Expr {
+	return b.arith(KSRem, x, y, func(a, c uint64, w uint8) uint64 {
+		sa, sc := int64(signExtend(a, w)), int64(signExtend(c, w))
+		if sc == 0 {
+			return a
+		}
+		if sa == -1<<63 && sc == -1 {
+			return 0
+		}
+		return uint64(sa % sc)
+	})
+}
+
+// Neg returns −x (two's complement).
+func (b *Builder) Neg(x *Expr) *Expr {
+	if x.IsConst() {
+		b.Stats.Folds++
+		return b.Const(-x.Val, x.Width)
+	}
+	if x.Kind == KNeg {
+		b.Stats.Simps++
+		return x.Kids[0]
+	}
+	return b.mk(&Expr{Kind: KNeg, Width: x.Width, Kids: []*Expr{x}})
+}
+
+// --- Bitwise and shifts ---
+
+// BAnd returns the bitwise conjunction x & y.
+func (b *Builder) BAnd(x, y *Expr) *Expr {
+	if x == y {
+		b.Stats.Simps++
+		return x
+	}
+	if x.IsConst() && x.Val == 0 || y.IsConst() && y.Val == 0 {
+		b.Stats.Folds++
+		return b.Const(0, x.Width)
+	}
+	if x.IsConst() && x.Val == mask(x.Width) {
+		b.Stats.Simps++
+		return y
+	}
+	if y.IsConst() && y.Val == mask(y.Width) {
+		b.Stats.Simps++
+		return x
+	}
+	x, y = orderPair(x, y)
+	return b.arith(KBAnd, x, y, func(a, c uint64, _ uint8) uint64 { return a & c })
+}
+
+// BOr returns the bitwise disjunction x | y.
+func (b *Builder) BOr(x, y *Expr) *Expr {
+	if x == y {
+		b.Stats.Simps++
+		return x
+	}
+	if x.IsConst() && x.Val == 0 {
+		b.Stats.Simps++
+		return y
+	}
+	if y.IsConst() && y.Val == 0 {
+		b.Stats.Simps++
+		return x
+	}
+	x, y = orderPair(x, y)
+	return b.arith(KBOr, x, y, func(a, c uint64, _ uint8) uint64 { return a | c })
+}
+
+// BXor returns the bitwise exclusive or x ^ y.
+func (b *Builder) BXor(x, y *Expr) *Expr {
+	if x == y {
+		b.Stats.Simps++
+		return b.Const(0, x.Width)
+	}
+	if x.IsConst() && x.Val == 0 {
+		b.Stats.Simps++
+		return y
+	}
+	if y.IsConst() && y.Val == 0 {
+		b.Stats.Simps++
+		return x
+	}
+	x, y = orderPair(x, y)
+	return b.arith(KBXor, x, y, func(a, c uint64, _ uint8) uint64 { return a ^ c })
+}
+
+// BNot returns the bitwise complement of x.
+func (b *Builder) BNot(x *Expr) *Expr {
+	if x.IsConst() {
+		b.Stats.Folds++
+		return b.Const(^x.Val, x.Width)
+	}
+	if x.Kind == KBNot {
+		b.Stats.Simps++
+		return x.Kids[0]
+	}
+	return b.mk(&Expr{Kind: KBNot, Width: x.Width, Kids: []*Expr{x}})
+}
+
+// Shl returns x << y; shifts ≥ width yield zero.
+func (b *Builder) Shl(x, y *Expr) *Expr {
+	if y.IsConst() && y.Val == 0 {
+		b.Stats.Simps++
+		return x
+	}
+	return b.arith(KShl, x, y, func(a, c uint64, w uint8) uint64 {
+		if c >= uint64(w) {
+			return 0
+		}
+		return a << c
+	})
+}
+
+// LShr returns the logical right shift x >> y; shifts ≥ width yield zero.
+func (b *Builder) LShr(x, y *Expr) *Expr {
+	if y.IsConst() && y.Val == 0 {
+		b.Stats.Simps++
+		return x
+	}
+	return b.arith(KLShr, x, y, func(a, c uint64, w uint8) uint64 {
+		if c >= uint64(w) {
+			return 0
+		}
+		return a >> c
+	})
+}
+
+// AShr returns the arithmetic right shift x >> y (sign filling).
+func (b *Builder) AShr(x, y *Expr) *Expr {
+	if y.IsConst() && y.Val == 0 {
+		b.Stats.Simps++
+		return x
+	}
+	return b.arith(KAShr, x, y, func(a, c uint64, w uint8) uint64 {
+		sa := int64(signExtend(a, w))
+		if c >= uint64(w) {
+			c = uint64(w) - 1
+		}
+		return truncate(uint64(sa>>c), w)
+	})
+}
+
+// --- Width changing ---
+
+// ZExt zero-extends x to width w (w ≥ x.Width). Extending to the same width
+// returns x unchanged.
+func (b *Builder) ZExt(x *Expr, w uint8) *Expr {
+	if w < x.Width || x.Width == 0 || w > 64 {
+		panic(fmt.Sprintf("expr: zext %d -> %d invalid", x.Width, w))
+	}
+	if w == x.Width {
+		return x
+	}
+	if x.IsConst() {
+		b.Stats.Folds++
+		return b.Const(x.Val, w)
+	}
+	return b.mk(&Expr{Kind: KZExt, Width: w, Aux: uint16(x.Width), Kids: []*Expr{x}})
+}
+
+// SExt sign-extends x to width w (w ≥ x.Width).
+func (b *Builder) SExt(x *Expr, w uint8) *Expr {
+	if w < x.Width || x.Width == 0 || w > 64 {
+		panic(fmt.Sprintf("expr: sext %d -> %d invalid", x.Width, w))
+	}
+	if w == x.Width {
+		return x
+	}
+	if x.IsConst() {
+		b.Stats.Folds++
+		return b.Const(signExtend(x.Val, x.Width), w)
+	}
+	return b.mk(&Expr{Kind: KSExt, Width: w, Aux: uint16(x.Width), Kids: []*Expr{x}})
+}
+
+// Extract returns bits [lo+w-1 : lo] of x as a w-bit value.
+func (b *Builder) Extract(x *Expr, lo, w uint8) *Expr {
+	if w == 0 || int(lo)+int(w) > int(x.Width) {
+		panic(fmt.Sprintf("expr: extract [%d+%d] of width-%d", lo, w, x.Width))
+	}
+	if lo == 0 && w == x.Width {
+		return x
+	}
+	if x.IsConst() {
+		b.Stats.Folds++
+		return b.Const(x.Val>>lo, w)
+	}
+	if x.Kind == KZExt || x.Kind == KSExt {
+		src := x.Kids[0]
+		if int(lo)+int(w) <= int(src.Width) {
+			b.Stats.Simps++
+			return b.Extract(src, lo, w)
+		}
+	}
+	if x.Kind == KConcat {
+		hi, lo2 := x.Kids[0], x.Kids[1]
+		if int(lo)+int(w) <= int(lo2.Width) {
+			b.Stats.Simps++
+			return b.Extract(lo2, lo, w)
+		}
+		if int(lo) >= int(lo2.Width) {
+			b.Stats.Simps++
+			return b.Extract(hi, lo-lo2.Width, w)
+		}
+	}
+	return b.mk(&Expr{Kind: KExtract, Width: w, Aux: uint16(lo), Kids: []*Expr{x}})
+}
+
+// Concat returns hi ∘ lo, with hi occupying the most significant bits.
+func (b *Builder) Concat(hi, lo *Expr) *Expr {
+	w := int(hi.Width) + int(lo.Width)
+	if hi.Width == 0 || lo.Width == 0 || w > 64 {
+		panic(fmt.Sprintf("expr: concat widths %d+%d invalid", hi.Width, lo.Width))
+	}
+	if hi.IsConst() && lo.IsConst() {
+		b.Stats.Folds++
+		return b.Const(hi.Val<<lo.Width|lo.Val, uint8(w))
+	}
+	if hi.IsConst() && hi.Val == 0 {
+		b.Stats.Simps++
+		return b.ZExt(lo, uint8(w))
+	}
+	return b.mk(&Expr{Kind: KConcat, Width: uint8(w), Kids: []*Expr{hi, lo}})
+}
+
+// --- Ite ---
+
+// Ite returns if-then-else over booleans or same-width bitvectors.
+func (b *Builder) Ite(c, t, f *Expr) *Expr {
+	b.checkBool("ite", c)
+	if t.Width != f.Width {
+		panic(fmt.Sprintf("expr: ite arm width mismatch: %s vs %s", t, f))
+	}
+	if c.IsTrue() {
+		b.Stats.Folds++
+		return t
+	}
+	if c.IsFalse() {
+		b.Stats.Folds++
+		return f
+	}
+	if t == f {
+		b.Stats.Simps++
+		return t
+	}
+	if c.Kind == KNot {
+		c, t, f = c.Kids[0], f, t
+	}
+	if t.Width == 0 {
+		// Boolean ite simplifications.
+		switch {
+		case t.IsTrue() && f.IsFalse():
+			b.Stats.Simps++
+			return c
+		case t.IsFalse() && f.IsTrue():
+			b.Stats.Simps++
+			return b.Not(c)
+		case t.IsTrue():
+			return b.Or(c, f)
+		case t.IsFalse():
+			return b.And(b.Not(c), f)
+		case f.IsTrue():
+			return b.Or(b.Not(c), t)
+		case f.IsFalse():
+			return b.And(c, t)
+		}
+	}
+	// ite(c, ite(c, a, _), f) = ite(c, a, f), same for the else arm.
+	if t.Kind == KIte && t.Kids[0] == c {
+		b.Stats.Simps++
+		t = t.Kids[1]
+	}
+	if f.Kind == KIte && f.Kids[0] == c {
+		b.Stats.Simps++
+		f = f.Kids[2]
+	}
+	if t == f {
+		return t
+	}
+	return b.mk(&Expr{Kind: KIte, Width: t.Width, Kids: []*Expr{c, t, f}})
+}
+
+// SelectIte builds the read of cells[idx] as an ite chain over the cells,
+// mirroring how the engine lowers a symbolic-index array read. Reads out of
+// bounds evaluate to the given out-of-bounds value. Cells must share a width.
+func (b *Builder) SelectIte(cells []*Expr, idx *Expr, oob *Expr) *Expr {
+	if idx.IsConst() {
+		i := int(idx.Val)
+		if i >= 0 && i < len(cells) {
+			return cells[i]
+		}
+		return oob
+	}
+	res := oob
+	// Build from the highest index down so low indices end up outermost,
+	// which keeps common small-index reads cheap after simplification.
+	for i := len(cells) - 1; i >= 0; i-- {
+		res = b.Ite(b.Eq(idx, b.Const(uint64(i), idx.Width)), cells[i], res)
+	}
+	return res
+}
+
+// SortedVars returns the distinct variables of e sorted by name (then width),
+// for deterministic iteration.
+func SortedVars(e *Expr) []*Expr {
+	set := map[*Expr]bool{}
+	e.Vars(set)
+	out := make([]*Expr, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Width < out[j].Width
+	})
+	return out
+}

@@ -1,0 +1,164 @@
+package expr
+
+import "fmt"
+
+// Env assigns concrete values to variables for evaluation. Values are stored
+// truncated to the variable's width; booleans as 0/1. Missing variables
+// evaluate to zero (the solver's convention for don't-care variables).
+type Env map[*Expr]uint64
+
+// Eval computes the concrete value of e under env. It is the reference
+// semantics: the simplifier, the bit-blaster, and the engine's concrete fast
+// paths are all tested against it. Boolean results are 0/1.
+func Eval(e *Expr, env Env) uint64 {
+	memo := make(map[*Expr]uint64)
+	return eval(e, env, memo)
+}
+
+func eval(e *Expr, env Env, memo map[*Expr]uint64) uint64 {
+	if v, ok := memo[e]; ok {
+		return v
+	}
+	var v uint64
+	switch e.Kind {
+	case KConst:
+		v = e.Val
+	case KVar:
+		v = truncate(env[e], e.Width)
+	case KNot:
+		v = 1 - eval(e.Kids[0], env, memo)
+	case KAnd:
+		v = eval(e.Kids[0], env, memo) & eval(e.Kids[1], env, memo)
+	case KOr:
+		v = eval(e.Kids[0], env, memo) | eval(e.Kids[1], env, memo)
+	case KXor:
+		v = eval(e.Kids[0], env, memo) ^ eval(e.Kids[1], env, memo)
+	case KImplies:
+		v = (1 - eval(e.Kids[0], env, memo)) | eval(e.Kids[1], env, memo)
+	case KEq:
+		v = boolVal(eval(e.Kids[0], env, memo) == eval(e.Kids[1], env, memo))
+	case KUlt:
+		v = boolVal(eval(e.Kids[0], env, memo) < eval(e.Kids[1], env, memo))
+	case KUle:
+		v = boolVal(eval(e.Kids[0], env, memo) <= eval(e.Kids[1], env, memo))
+	case KSlt:
+		w := e.Kids[0].Width
+		v = boolVal(int64(signExtend(eval(e.Kids[0], env, memo), w)) <
+			int64(signExtend(eval(e.Kids[1], env, memo), w)))
+	case KSle:
+		w := e.Kids[0].Width
+		v = boolVal(int64(signExtend(eval(e.Kids[0], env, memo), w)) <=
+			int64(signExtend(eval(e.Kids[1], env, memo), w)))
+	case KAdd:
+		v = truncate(eval(e.Kids[0], env, memo)+eval(e.Kids[1], env, memo), e.Width)
+	case KSub:
+		v = truncate(eval(e.Kids[0], env, memo)-eval(e.Kids[1], env, memo), e.Width)
+	case KMul:
+		v = truncate(eval(e.Kids[0], env, memo)*eval(e.Kids[1], env, memo), e.Width)
+	case KUDiv:
+		a, c := eval(e.Kids[0], env, memo), eval(e.Kids[1], env, memo)
+		if c == 0 {
+			v = mask(e.Width)
+		} else {
+			v = a / c
+		}
+	case KURem:
+		a, c := eval(e.Kids[0], env, memo), eval(e.Kids[1], env, memo)
+		if c == 0 {
+			v = a
+		} else {
+			v = a % c
+		}
+	case KSDiv:
+		w := e.Width
+		sa := int64(signExtend(eval(e.Kids[0], env, memo), w))
+		sc := int64(signExtend(eval(e.Kids[1], env, memo), w))
+		switch {
+		case sc == 0 && sa < 0:
+			v = 1
+		case sc == 0:
+			v = mask(w)
+		case sa == -1<<63 && sc == -1:
+			v = uint64(sa)
+		default:
+			v = truncate(uint64(sa/sc), w)
+		}
+	case KSRem:
+		w := e.Width
+		sa := int64(signExtend(eval(e.Kids[0], env, memo), w))
+		sc := int64(signExtend(eval(e.Kids[1], env, memo), w))
+		switch {
+		case sc == 0:
+			v = truncate(uint64(sa), w)
+		case sa == -1<<63 && sc == -1:
+			v = 0
+		default:
+			v = truncate(uint64(sa%sc), w)
+		}
+	case KBAnd:
+		v = eval(e.Kids[0], env, memo) & eval(e.Kids[1], env, memo)
+	case KBOr:
+		v = eval(e.Kids[0], env, memo) | eval(e.Kids[1], env, memo)
+	case KBXor:
+		v = eval(e.Kids[0], env, memo) ^ eval(e.Kids[1], env, memo)
+	case KBNot:
+		v = truncate(^eval(e.Kids[0], env, memo), e.Width)
+	case KNeg:
+		v = truncate(-eval(e.Kids[0], env, memo), e.Width)
+	case KShl:
+		a, c := eval(e.Kids[0], env, memo), eval(e.Kids[1], env, memo)
+		if c >= uint64(e.Width) {
+			v = 0
+		} else {
+			v = truncate(a<<c, e.Width)
+		}
+	case KLShr:
+		a, c := eval(e.Kids[0], env, memo), eval(e.Kids[1], env, memo)
+		if c >= uint64(e.Width) {
+			v = 0
+		} else {
+			v = a >> c
+		}
+	case KAShr:
+		a, c := eval(e.Kids[0], env, memo), eval(e.Kids[1], env, memo)
+		sa := int64(signExtend(a, e.Width))
+		if c >= uint64(e.Width) {
+			c = uint64(e.Width) - 1
+		}
+		v = truncate(uint64(sa>>c), e.Width)
+	case KZExt:
+		v = eval(e.Kids[0], env, memo)
+	case KSExt:
+		v = truncate(signExtend(eval(e.Kids[0], env, memo), uint8(e.Aux)), e.Width)
+	case KExtract:
+		v = truncate(eval(e.Kids[0], env, memo)>>e.Aux, e.Width)
+	case KConcat:
+		hi, lo := e.Kids[0], e.Kids[1]
+		v = eval(hi, env, memo)<<lo.Width | eval(lo, env, memo)
+	case KIte:
+		if eval(e.Kids[0], env, memo) != 0 {
+			v = eval(e.Kids[1], env, memo)
+		} else {
+			v = eval(e.Kids[2], env, memo)
+		}
+	default:
+		panic(fmt.Sprintf("expr: eval of unknown kind %v", e.Kind))
+	}
+	memo[e] = v
+	return v
+}
+
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EvalBool evaluates a boolean expression under env.
+func EvalBool(e *Expr, env Env) bool {
+	if !e.IsBool() {
+		panic("expr: EvalBool on non-bool expression")
+	}
+	return Eval(e, env) != 0
+}

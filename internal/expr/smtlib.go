@@ -1,0 +1,121 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SMTLib renders a conjunction of boolean constraints as a complete SMT-LIB
+// 2 script in QF_BV, with declarations for every free variable. The output
+// is accepted by stock solvers (z3, cvc5, boolector), which makes it easy
+// to cross-check this module's own solver on any query it mishandles, and
+// serves as an interchange format for the symx CLI.
+func SMTLib(constraints []*Expr) string {
+	var b strings.Builder
+	b.WriteString("(set-logic QF_BV)\n")
+
+	vars := map[*Expr]bool{}
+	for _, c := range constraints {
+		c.Vars(vars)
+	}
+	sorted := make([]*Expr, 0, len(vars))
+	for v := range vars {
+		sorted = append(sorted, v)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Name != sorted[j].Name {
+			return sorted[i].Name < sorted[j].Name
+		}
+		return sorted[i].Width < sorted[j].Width
+	})
+	for _, v := range sorted {
+		if v.Width == 0 {
+			fmt.Fprintf(&b, "(declare-const %s Bool)\n", smtName(v))
+		} else {
+			fmt.Fprintf(&b, "(declare-const %s (_ BitVec %d))\n", smtName(v), v.Width)
+		}
+	}
+	for _, c := range constraints {
+		b.WriteString("(assert ")
+		writeSMT(&b, c)
+		b.WriteString(")\n")
+	}
+	b.WriteString("(check-sat)\n(get-model)\n")
+	return b.String()
+}
+
+// smtName sanitizes variable names for SMT-LIB (ours are already plain
+// identifiers; quote anything unusual defensively).
+func smtName(v *Expr) string {
+	for i := 0; i < len(v.Name); i++ {
+		c := v.Name[i]
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9') {
+			return "|" + v.Name + "|"
+		}
+	}
+	return v.Name
+}
+
+func writeSMT(b *strings.Builder, e *Expr) {
+	switch e.Kind {
+	case KConst:
+		if e.Width == 0 {
+			if e.Val == 1 {
+				b.WriteString("true")
+			} else {
+				b.WriteString("false")
+			}
+			return
+		}
+		fmt.Fprintf(b, "(_ bv%d %d)", e.Val, e.Width)
+	case KVar:
+		b.WriteString(smtName(e))
+	case KExtract:
+		fmt.Fprintf(b, "((_ extract %d %d) ", int(e.Aux)+int(e.Width)-1, e.Aux)
+		writeSMT(b, e.Kids[0])
+		b.WriteByte(')')
+	case KZExt:
+		fmt.Fprintf(b, "((_ zero_extend %d) ", int(e.Width)-int(e.Aux))
+		writeSMT(b, e.Kids[0])
+		b.WriteByte(')')
+	case KSExt:
+		fmt.Fprintf(b, "((_ sign_extend %d) ", int(e.Width)-int(e.Aux))
+		writeSMT(b, e.Kids[0])
+		b.WriteByte(')')
+	default:
+		b.WriteByte('(')
+		b.WriteString(smtOpName(e.Kind))
+		for _, k := range e.Kids {
+			b.WriteByte(' ')
+			writeSMT(b, k)
+		}
+		b.WriteByte(')')
+	}
+}
+
+func smtOpName(k Kind) string {
+	switch k {
+	case KNot:
+		return "not"
+	case KAnd:
+		return "and"
+	case KOr:
+		return "or"
+	case KXor:
+		return "xor"
+	case KImplies:
+		return "=>"
+	case KEq:
+		return "="
+	case KBNot:
+		return "bvnot"
+	case KNeg:
+		return "bvneg"
+	case KIte:
+		return "ite"
+	default:
+		return k.String()
+	}
+}

@@ -1,0 +1,421 @@
+package ir
+
+// A direct concrete interpreter for the IR. It shares no code with the
+// symbolic engine (internal/core) or the expression layer (internal/expr):
+// arithmetic is implemented on plain Go integers here, so it serves as an
+// independent execution oracle. The engine's concrete-replay mode and this
+// interpreter must agree on every terminating program — the differential
+// tests in symx rely on that.
+//
+// Semantic notes (matching the engine's published MiniC semantics):
+//   - int is 32-bit signed, byte 8-bit unsigned; division and shifts follow
+//     SMT-LIB fixed-width conventions (udiv by zero = all-ones, urem by zero
+//     = dividend, sdiv/srem by zero sign-dependent, shifts by >= width
+//     saturate);
+//   - out-of-bounds array reads yield 0 and out-of-bounds writes are
+//     dropped (the engine's behaviour when CheckBounds is off);
+//   - argv is zero-terminated: reads past an argument's end (or with an
+//     out-of-range index) yield 0; argv[0] is the fixed program name.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// InterpResult is the outcome of a concrete interpretation.
+type InterpResult struct {
+	Output []byte
+	Exit   int64
+	// AssertFailed is set when an assert aborted the run; Msg holds its
+	// message and Loc where it tripped.
+	AssertFailed bool
+	Msg          string
+	Loc          Loc
+	// AssumeFailed marks a run stopped by a false assume (no observable
+	// path; the symbolic engine drops such paths silently).
+	AssumeFailed bool
+	Steps        uint64
+}
+
+// ErrBudget is returned when the interpreter exceeds its step budget.
+var ErrBudget = errors.New("ir: interpreter step budget exhausted")
+
+// ErrSymbolic is returned when the program requests symbolic input, which a
+// concrete interpreter cannot provide.
+var ErrSymbolic = errors.New("ir: symbolic intrinsic reached in concrete interpretation")
+
+const interpProgName = "prog"
+
+// iframe is one activation record of the interpreter.
+type iframe struct {
+	fn     *Func
+	pc     int
+	retDst int
+	regs   []uint64   // scalar registers, truncated to their width
+	arrs   [][]uint64 // array storage for owning locals; nil for params
+	refs   []int      // for array params: index into the interp arena
+}
+
+// Interp runs the program on concrete inputs. maxSteps bounds the run
+// (0 means 1e8 instructions).
+func Interp(p *Program, args [][]byte, stdin []byte, maxSteps uint64) (*InterpResult, error) {
+	if maxSteps == 0 {
+		maxSteps = 1e8
+	}
+	it := &interp{prog: p, args: args, stdin: stdin, budget: maxSteps}
+	return it.run()
+}
+
+type interp struct {
+	prog   *Program
+	args   [][]byte
+	stdin  []byte
+	budget uint64
+
+	// arena holds every live array object; frames reference objects by
+	// arena index so by-reference parameters alias correctly.
+	arena  [][]uint64
+	stack  []*iframe
+	out    []byte
+	result InterpResult
+}
+
+// newFrame allocates registers and array storage for a call to fn.
+func (it *interp) newFrame(fn *Func, retDst int) *iframe {
+	f := &iframe{
+		fn:     fn,
+		retDst: retDst,
+		regs:   make([]uint64, len(fn.Locals)),
+		refs:   make([]int, len(fn.Locals)),
+	}
+	for i := range f.refs {
+		f.refs[i] = -1
+	}
+	for i, l := range fn.Locals {
+		if l.Type.Array() {
+			it.arena = append(it.arena, make([]uint64, l.Type.Len))
+			f.refs[i] = len(it.arena) - 1
+		}
+	}
+	return f
+}
+
+func (it *interp) top() *iframe { return it.stack[len(it.stack)-1] }
+
+// val reads a scalar operand in the current frame.
+func (f *iframe) val(o Operand, t Type) uint64 {
+	if o.IsConst {
+		return truncTo(uint64(o.Const), t)
+	}
+	return f.regs[o.Local]
+}
+
+// truncTo truncates a raw value to a scalar type's width.
+func truncTo(v uint64, t Type) uint64 {
+	switch t.Kind {
+	case Bool:
+		return v & 1
+	case Byte:
+		return v & 0xff
+	default:
+		return v & 0xffffffff
+	}
+}
+
+func sext32(v uint64) int64 { return int64(int32(uint32(v))) }
+
+func (it *interp) run() (*InterpResult, error) {
+	it.stack = append(it.stack, it.newFrame(it.prog.Main, -1))
+	for {
+		if it.result.Steps >= it.budget {
+			return nil, ErrBudget
+		}
+		it.result.Steps++
+		f := it.top()
+		if f.pc >= len(f.fn.Instrs) {
+			if done := it.doReturn(0, false); done {
+				break
+			}
+			continue
+		}
+		in := &f.fn.Instrs[f.pc]
+		switch in.Op {
+		case OpNop:
+			f.pc++
+		case OpMov:
+			f.regs[in.Dst] = f.val(in.A, in.T)
+			f.pc++
+		case OpNot:
+			f.regs[in.Dst] = 1 - f.val(in.A, Type{Kind: Bool})
+			f.pc++
+		case OpNeg:
+			f.regs[in.Dst] = truncTo(-f.val(in.A, in.T), in.T)
+			f.pc++
+		case OpBNot:
+			f.regs[in.Dst] = truncTo(^f.val(in.A, in.T), in.T)
+			f.pc++
+		case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOrB, OpXor,
+			OpShl, OpShr, OpEq, OpNe, OpLt, OpLe, OpBoolAnd, OpBoolOr:
+			f.regs[in.Dst] = binOp(in.Op, f.val(in.A, in.T), f.val(in.B, in.T), in.T)
+			f.pc++
+		case OpIntToByte:
+			f.regs[in.Dst] = f.val(in.A, Type{Kind: Int}) & 0xff
+			f.pc++
+		case OpByteToInt:
+			f.regs[in.Dst] = f.val(in.A, Type{Kind: Byte})
+			f.pc++
+		case OpBoolToInt:
+			f.regs[in.Dst] = f.val(in.A, Type{Kind: Bool})
+			f.pc++
+		case OpLoad:
+			arr := it.arrOf(f, in.A.Local)
+			idx := sext32(f.val(in.B, Type{Kind: Int}))
+			var v uint64
+			if idx >= 0 && idx < int64(len(arr)) {
+				v = arr[idx]
+			}
+			f.regs[in.Dst] = v
+			f.pc++
+		case OpStore:
+			// Dst is the array local, A the index, B the value.
+			arr := it.arrOf(f, in.Dst)
+			idx := sext32(f.val(in.A, Type{Kind: Int}))
+			v := f.val(in.B, in.T)
+			if idx >= 0 && idx < int64(len(arr)) {
+				arr[idx] = v
+			}
+			f.pc++
+		case OpBr:
+			f.pc = in.Target
+		case OpCondBr:
+			if f.val(in.A, Type{Kind: Bool}) != 0 {
+				f.pc = in.Target
+			} else {
+				f.pc = in.FTarget
+			}
+		case OpCall:
+			callee := it.prog.Funcs[in.Callee]
+			nf := it.newFrame(callee, in.Dst)
+			for i, a := range in.Args {
+				pt := callee.Locals[i].Type
+				if pt.Array() {
+					nf.refs[i] = it.refOf(f, a.Local)
+				} else {
+					nf.regs[i] = f.val(a, pt)
+				}
+			}
+			f.pc++
+			it.stack = append(it.stack, nf)
+		case OpRet:
+			var rv uint64
+			if in.HasVal {
+				rv = f.val(in.A, in.T)
+			}
+			if done := it.doReturn(rv, in.HasVal); done {
+				return it.finish(), nil
+			}
+		case OpHalt:
+			if in.HasVal {
+				it.result.Exit = sext32(f.val(in.A, in.T))
+			}
+			return it.finish(), nil
+		case OpArgc:
+			f.regs[in.Dst] = uint64(len(it.args) + 1)
+			f.pc++
+		case OpArgChar:
+			a := sext32(f.val(in.A, Type{Kind: Int}))
+			c := sext32(f.val(in.B, Type{Kind: Int}))
+			f.regs[in.Dst] = uint64(it.argChar(a, c))
+			f.pc++
+		case OpStdin:
+			i := sext32(f.val(in.A, Type{Kind: Int}))
+			var v byte
+			if i >= 0 && i < int64(len(it.stdin)) {
+				v = it.stdin[i]
+			}
+			f.regs[in.Dst] = uint64(v)
+			f.pc++
+		case OpStdinLen:
+			f.regs[in.Dst] = uint64(len(it.stdin))
+			f.pc++
+		case OpOut:
+			it.out = append(it.out, byte(f.val(in.A, in.T)))
+			f.pc++
+		case OpAssert:
+			if f.val(in.A, Type{Kind: Bool}) == 0 {
+				it.result.AssertFailed = true
+				it.result.Msg = in.Msg
+				it.result.Loc = Loc{Fn: f.fn.Index, PC: f.pc}
+				return it.finish(), nil
+			}
+			f.pc++
+		case OpAssume:
+			if f.val(in.A, Type{Kind: Bool}) == 0 {
+				it.result.AssumeFailed = true
+				return it.finish(), nil
+			}
+			f.pc++
+		case OpSymInt, OpSymByte, OpSymBool, OpMakeSymArr:
+			return nil, ErrSymbolic
+		default:
+			return nil, fmt.Errorf("ir: interpreter hit unknown opcode %v", in.Op)
+		}
+	}
+	return it.finish(), nil
+}
+
+func (it *interp) finish() *InterpResult {
+	it.result.Output = it.out
+	return &it.result
+}
+
+// doReturn pops the frame; reports true when main returned.
+func (it *interp) doReturn(rv uint64, hasVal bool) bool {
+	top := it.top()
+	it.stack = it.stack[:len(it.stack)-1]
+	if len(it.stack) == 0 {
+		if hasVal {
+			it.result.Exit = sext32(rv)
+		}
+		return true
+	}
+	if top.retDst >= 0 && hasVal {
+		it.top().regs[top.retDst] = rv
+	}
+	return false
+}
+
+// refOf resolves the arena index of an array local (own or parameter).
+func (it *interp) refOf(f *iframe, local int) int {
+	return f.refs[local]
+}
+
+// arrOf returns the storage of an array local.
+func (it *interp) arrOf(f *iframe, local int) []uint64 {
+	return it.arena[f.refs[local]]
+}
+
+// argChar reads argv[a][c] with the engine's conventions.
+func (it *interp) argChar(a, c int64) byte {
+	if c < 0 {
+		return 0
+	}
+	if a == 0 {
+		if c < int64(len(interpProgName)) {
+			return interpProgName[c]
+		}
+		return 0
+	}
+	if a < 1 || a > int64(len(it.args)) {
+		return 0
+	}
+	arg := it.args[a-1]
+	if c < int64(len(arg)) {
+		return arg[c]
+	}
+	return 0
+}
+
+// binOp implements the typed binary operators with SMT-LIB fixed-width
+// semantics, independent of internal/expr.
+func binOp(op Op, a, b uint64, t Type) uint64 {
+	signed := t.Kind == Int
+	width := uint64(32)
+	allOnes := uint64(0xffffffff)
+	if t.Kind == Byte {
+		width, allOnes = 8, 0xff
+	}
+	sa, sb := sext32(a), sext32(b)
+	if t.Kind == Byte {
+		sa, sb = int64(a), int64(b) // bytes compare unsigned
+	}
+	tr := func(v uint64) uint64 { return v & allOnes }
+	bv := func(c bool) uint64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case OpAdd:
+		return tr(a + b)
+	case OpSub:
+		return tr(a - b)
+	case OpMul:
+		return tr(a * b)
+	case OpDiv:
+		if !signed {
+			if b == 0 {
+				return allOnes
+			}
+			return a / b
+		}
+		switch {
+		case sb == 0 && sa < 0:
+			return 1
+		case sb == 0:
+			return allOnes
+		case sa == -(1<<31) && sb == -1:
+			return tr(uint64(sa))
+		default:
+			return tr(uint64(sa / sb))
+		}
+	case OpRem:
+		if !signed {
+			if b == 0 {
+				return a
+			}
+			return a % b
+		}
+		switch {
+		case sb == 0:
+			return tr(uint64(sa))
+		case sa == -(1<<31) && sb == -1:
+			return 0
+		default:
+			return tr(uint64(sa % sb))
+		}
+	case OpAnd:
+		return a & b
+	case OpOrB:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		if b >= width {
+			return 0
+		}
+		return tr(a << b)
+	case OpShr:
+		if !signed {
+			if b >= width {
+				return 0
+			}
+			return a >> b
+		}
+		sh := b
+		if sh >= width {
+			sh = width - 1
+		}
+		return tr(uint64(sa >> sh))
+	case OpEq:
+		return bv(a == b)
+	case OpNe:
+		return bv(a != b)
+	case OpLt:
+		if signed {
+			return bv(sa < sb)
+		}
+		return bv(a < b)
+	case OpLe:
+		if signed {
+			return bv(sa <= sb)
+		}
+		return bv(a <= b)
+	case OpBoolAnd:
+		return a & b
+	case OpBoolOr:
+		return a | b
+	}
+	panic("ir: binOp on " + op.String())
+}

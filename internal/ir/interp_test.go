@@ -1,0 +1,192 @@
+package ir_test
+
+// Unit tests for the concrete IR interpreter. The cross-validation against
+// the symbolic engine's replay mode lives in symx (differential fuzz); here
+// the interpreter's own semantics are pinned on hand-written programs.
+
+import (
+	"testing"
+
+	"symmerge/internal/ir"
+	"symmerge/internal/lang"
+)
+
+func interpRun(t *testing.T, src string, args []string, stdin string) *ir.InterpResult {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bargs := make([][]byte, len(args))
+	for i, a := range args {
+		bargs[i] = []byte(a)
+	}
+	res, err := ir.Interp(p, bargs, []byte(stdin), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestInterpEcho(t *testing.T) {
+	src := `
+void main() {
+    int r = 1;
+    int arg = 1;
+    if (arg < argc()) {
+        if (argchar(arg, 0) == '-' && argchar(arg, 1) == 'n' && argchar(arg, 2) == 0) {
+            r = 0;
+            arg++;
+        }
+    }
+    for (; arg < argc(); arg++) {
+        for (int i = 0; argchar(arg, i) != 0; i++) {
+            putchar(argchar(arg, i));
+        }
+    }
+    if (r != 0) { putchar('\n'); }
+}
+`
+	res := interpRun(t, src, []string{"-n", "hi"}, "")
+	if string(res.Output) != "hi" {
+		t.Fatalf("output %q, want \"hi\"", res.Output)
+	}
+	res = interpRun(t, src, []string{"yo"}, "")
+	if string(res.Output) != "yo\n" {
+		t.Fatalf("output %q, want \"yo\\n\"", res.Output)
+	}
+}
+
+func TestInterpArraysAndCalls(t *testing.T) {
+	src := `
+void fill(byte buf[4], byte v) {
+    for (int i = 0; i < 4; i++) {
+        buf[i] = v + tobyte(i);
+    }
+}
+void main() {
+    byte b[4];
+    fill(b, 'a');
+    for (int i = 0; i < 4; i++) {
+        putchar(b[i]);
+    }
+}
+`
+	res := interpRun(t, src, nil, "")
+	if string(res.Output) != "abcd" {
+		t.Fatalf("output %q, want abcd (by-reference array param broken)", res.Output)
+	}
+}
+
+func TestInterpSignedArithmetic(t *testing.T) {
+	src := `
+void main() {
+    int a = -7;
+    if (a / 2 == -3) { putchar('q'); }
+    if (a % 2 == -1) { putchar('r'); }
+    if (a >> 1 == -4) { putchar('s'); }   // arithmetic shift
+    byte b = 200;
+    if (b > 100) { putchar('u'); }        // bytes unsigned
+    int z = 5 / 0;                        // SMT-LIB: positive / 0 = -1
+    if (z == -1) { putchar('z'); }
+    int w = -5 / 0;                       // negative / 0 = 1
+    if (w == 1) { putchar('w'); }
+}
+`
+	res := interpRun(t, src, nil, "")
+	if string(res.Output) != "qrsuzw" {
+		t.Fatalf("output %q, want qrsuzw", res.Output)
+	}
+}
+
+func TestInterpHaltAndExit(t *testing.T) {
+	res := interpRun(t, `void main() { putchar('x'); halt(3); putchar('y'); }`, nil, "")
+	if string(res.Output) != "x" || res.Exit != 3 {
+		t.Fatalf("got output %q exit %d", res.Output, res.Exit)
+	}
+}
+
+func TestInterpAssertFailure(t *testing.T) {
+	res := interpRun(t, `void main() { assert(argc() == 5); putchar('n'); }`, nil, "")
+	if !res.AssertFailed {
+		t.Fatal("assert did not trip")
+	}
+	if len(res.Output) != 0 {
+		t.Fatalf("output %q after failed assert", res.Output)
+	}
+}
+
+func TestInterpAssumeStops(t *testing.T) {
+	res := interpRun(t, `void main() { assume(false); putchar('n'); }`, nil, "")
+	if !res.AssumeFailed || len(res.Output) != 0 {
+		t.Fatalf("assume(false) produced %+v", res)
+	}
+}
+
+func TestInterpStdin(t *testing.T) {
+	src := `
+void main() {
+    int n = stdinlen();
+    for (int i = n - 1; i >= 0; i--) {
+        putchar(stdinchar(i));
+    }
+}
+`
+	res := interpRun(t, src, nil, "abc")
+	if string(res.Output) != "cba" {
+		t.Fatalf("output %q, want cba", res.Output)
+	}
+}
+
+func TestInterpOutOfBounds(t *testing.T) {
+	src := `
+void main() {
+    byte b[2];
+    b[0] = 7;
+    b[5] = 9;                   // dropped
+    if (b[5] == 0) { putchar('o'); }   // OOB read = 0
+    if (b[-1] == 0) { putchar('n'); }  // negative read = 0
+    putchar(tobyte('0' + toint(b[0])));
+}
+`
+	res := interpRun(t, src, nil, "")
+	if string(res.Output) != "on7" {
+		t.Fatalf("output %q, want on7", res.Output)
+	}
+}
+
+func TestInterpBudget(t *testing.T) {
+	p, err := lang.Compile(`void main() { while (true) { } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.Interp(p, nil, nil, 1000); err != ir.ErrBudget {
+		t.Fatalf("infinite loop returned %v, want ErrBudget", err)
+	}
+}
+
+func TestInterpRejectsSymbolic(t *testing.T) {
+	p, err := lang.Compile(`void main() { int x = sym_int(); putchar(tobyte(x)); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.Interp(p, nil, nil, 0); err != ir.ErrSymbolic {
+		t.Fatalf("symbolic intrinsic returned %v, want ErrSymbolic", err)
+	}
+}
+
+func TestInterpRecursion(t *testing.T) {
+	src := `
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+void main() {
+    putchar(tobyte('0' + fib(10) % 10));  // fib(10) = 55
+}
+`
+	res := interpRun(t, src, nil, "")
+	if string(res.Output) != "5" {
+		t.Fatalf("output %q, want 5", res.Output)
+	}
+}

@@ -1,0 +1,155 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeProperties(t *testing.T) {
+	cases := []struct {
+		typ    Type
+		scalar bool
+		array  bool
+		width  uint8
+	}{
+		{Type{Kind: Bool}, true, false, 1},
+		{Type{Kind: Byte}, true, false, 8},
+		{Type{Kind: Int}, true, false, 32},
+		{Type{Kind: ArrayByte, Len: 4}, false, true, 0},
+		{Type{Kind: ArrayInt, Len: 2}, false, true, 0},
+	}
+	for _, c := range cases {
+		if c.typ.Scalar() != c.scalar {
+			t.Errorf("%v.Scalar() = %v", c.typ, c.typ.Scalar())
+		}
+		if c.typ.Array() != c.array {
+			t.Errorf("%v.Array() = %v", c.typ, c.typ.Array())
+		}
+		if c.scalar && c.typ.Width() != c.width {
+			t.Errorf("%v.Width() = %d, want %d", c.typ, c.typ.Width(), c.width)
+		}
+	}
+	if e := (Type{Kind: ArrayByte, Len: 4}).Elem(); e.Kind != Byte {
+		t.Errorf("ArrayByte elem = %v", e)
+	}
+	if e := (Type{Kind: ArrayInt, Len: 4}).Elem(); e.Kind != Int {
+		t.Errorf("ArrayInt elem = %v", e)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[string]Type{
+		"void":    {Kind: Void},
+		"bool":    {Kind: Bool},
+		"byte":    {Kind: Byte},
+		"int":     {Kind: Int},
+		"byte[4]": {Kind: ArrayByte, Len: 4},
+		"int[2]":  {Kind: ArrayInt, Len: 2},
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%v prints %q, want %q", typ.Kind, got, want)
+		}
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		pc   int
+		want []int
+	}{
+		{Instr{Op: OpBr, Target: 7}, 3, []int{7}},
+		{Instr{Op: OpCondBr, Target: 5, FTarget: 9}, 3, []int{5, 9}},
+		{Instr{Op: OpRet}, 3, nil},
+		{Instr{Op: OpHalt}, 3, nil},
+		{Instr{Op: OpMov}, 3, []int{4}},
+		{Instr{Op: OpCall}, 3, []int{4}},
+	}
+	for _, c := range cases {
+		got := c.in.Successors(c.pc, nil)
+		if len(got) != len(c.want) {
+			t.Fatalf("%v successors = %v, want %v", c.in.Op, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%v successors = %v, want %v", c.in.Op, got, c.want)
+			}
+		}
+	}
+}
+
+func TestTerminators(t *testing.T) {
+	terms := []Op{OpBr, OpCondBr, OpRet, OpHalt}
+	for _, op := range terms {
+		if !(&Instr{Op: op}).IsTerminator() {
+			t.Errorf("%v not a terminator", op)
+		}
+	}
+	for _, op := range []Op{OpMov, OpAdd, OpCall, OpAssert, OpOut} {
+		if (&Instr{Op: op}).IsTerminator() {
+			t.Errorf("%v misclassified as terminator", op)
+		}
+	}
+	if !(&Instr{Op: OpCondBr}).IsBranch() || (&Instr{Op: OpBr}).IsBranch() {
+		t.Error("IsBranch wrong")
+	}
+}
+
+func TestLocIndexDense(t *testing.T) {
+	p := &Program{
+		Funcs: []*Func{
+			{Name: "a", Index: 0, Instrs: make([]Instr, 3)},
+			{Name: "b", Index: 1, Instrs: make([]Instr, 2)},
+		},
+	}
+	seen := map[int]bool{}
+	for fi, f := range p.Funcs {
+		for pc := range f.Instrs {
+			idx := p.LocIndex(Loc{Fn: fi, PC: pc})
+			if idx < 0 || idx >= p.NumLocations() {
+				t.Fatalf("index %d out of range", idx)
+			}
+			if seen[idx] {
+				t.Fatalf("index %d not unique", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != 5 || p.NumLocations() != 5 {
+		t.Fatalf("expected 5 dense locations, got %d", len(seen))
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	f := &Func{
+		Name:   "f",
+		Ret:    Type{Kind: Int},
+		Params: 1,
+		Locals: []Local{{Name: "x", Type: Type{Kind: Int}}, {Name: "t", Type: Type{Kind: Bool}}},
+		Instrs: []Instr{
+			{Op: OpLt, Dst: 1, A: LocalOp(0), B: ConstOp(5), T: Type{Kind: Int}},
+			{Op: OpCondBr, Dst: -1, A: LocalOp(1), Target: 3, FTarget: 2},
+			{Op: OpRet, Dst: -1, A: ConstOp(0), HasVal: true},
+			{Op: OpRet, Dst: -1, A: LocalOp(0), HasVal: true},
+		},
+	}
+	s := f.String()
+	for _, want := range []string{"func f(", "lt", "condbr", "%x", "@3", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" || OpCondBr.String() != "condbr" {
+		t.Error("op names wrong")
+	}
+	if (Loc{Fn: 1, PC: 2}).String() != "1:2" {
+		t.Error("loc format wrong")
+	}
+	if (Pos{Line: 3, Col: 4}).String() != "3:4" {
+		t.Error("pos format wrong")
+	}
+}

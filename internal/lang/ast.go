@@ -1,0 +1,172 @@
+package lang
+
+import "symmerge/internal/ir"
+
+// File is a parsed MiniC compilation unit.
+type File struct {
+	Funcs []*FuncDecl
+}
+
+// FuncDecl is a function declaration with body.
+type FuncDecl struct {
+	Name   string
+	Ret    ir.Type
+	Params []Param
+	Body   *BlockStmt
+	Line   int
+	Col    int
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type ir.Type
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	pos() (int, int)
+}
+
+// BlockStmt is `{ ... }`.
+type BlockStmt struct{ Stmts []Stmt }
+
+// VarDecl declares a local, optionally initialized. For byte arrays, Str
+// holds an optional string-literal initializer.
+type VarDecl struct {
+	Name      string
+	Type      ir.Type
+	Init      Expr   // scalar initializer, may be nil
+	Str       string // byte-array string initializer ("" if absent)
+	HasStr    bool
+	Line, Col int
+}
+
+// AssignStmt is lvalue = expr, or compound (+=, -=), or ++/--.
+type AssignStmt struct {
+	Target    *LValue
+	Op        tokKind // tAssign, tPlusAssign, tMinusAssign, tInc, tDec
+	Value     Expr    // nil for ++/--
+	Line, Col int
+}
+
+// LValue is a variable or an array element.
+type LValue struct {
+	Name      string
+	Index     Expr // nil for scalars
+	Line, Col int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is for(init; cond; post) body.
+type ForStmt struct {
+	Init Stmt // may be nil (VarDecl or AssignStmt)
+	Cond Expr // may be nil (=true)
+	Post Stmt // may be nil
+	Body Stmt
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	Value     Expr // may be nil
+	Line, Col int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line, Col int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line, Col int }
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct{ X Expr }
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDecl) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// IntLit is an integer literal (also used for char literals).
+type IntLit struct {
+	Val       int64
+	IsChar    bool
+	Line, Col int
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Val       bool
+	Line, Col int
+}
+
+// Ident references a variable.
+type Ident struct {
+	Name      string
+	Line, Col int
+}
+
+// IndexExpr is arr[i].
+type IndexExpr struct {
+	Name      string
+	Index     Expr
+	Line, Col int
+}
+
+// CallExpr is f(args...) — user function or builtin.
+type CallExpr struct {
+	Name      string
+	Args      []Expr
+	Line, Col int
+}
+
+// UnaryExpr is !x, -x, ~x.
+type UnaryExpr struct {
+	Op        tokKind
+	X         Expr
+	Line, Col int
+}
+
+// BinaryExpr is x op y, including short-circuit && and ||.
+type BinaryExpr struct {
+	Op        tokKind
+	L, R      Expr
+	Line, Col int
+}
+
+func (*IntLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+
+func (e *IntLit) pos() (int, int)     { return e.Line, e.Col }
+func (e *BoolLit) pos() (int, int)    { return e.Line, e.Col }
+func (e *Ident) pos() (int, int)      { return e.Line, e.Col }
+func (e *IndexExpr) pos() (int, int)  { return e.Line, e.Col }
+func (e *CallExpr) pos() (int, int)   { return e.Line, e.Col }
+func (e *UnaryExpr) pos() (int, int)  { return e.Line, e.Col }
+func (e *BinaryExpr) pos() (int, int) { return e.Line, e.Col }

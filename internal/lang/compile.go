@@ -1,0 +1,999 @@
+package lang
+
+import (
+	"fmt"
+
+	"symmerge/internal/ir"
+)
+
+// Compile parses and compiles a MiniC source file into an ir.Program.
+// The program must define `void main()` (or `int main()`).
+func Compile(src string) (*ir.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog := &ir.Program{ByName: map[string]*ir.Func{}, Source: src}
+	decls := map[string]*FuncDecl{}
+	// Pass 1: signatures.
+	for _, fd := range file.Funcs {
+		if _, dup := prog.ByName[fd.Name]; dup {
+			return nil, &Error{Line: fd.Line, Col: fd.Col,
+				Msg: fmt.Sprintf("function %s redeclared", fd.Name)}
+		}
+		if isBuiltin(fd.Name) {
+			return nil, &Error{Line: fd.Line, Col: fd.Col,
+				Msg: fmt.Sprintf("%s is a builtin and cannot be redefined", fd.Name)}
+		}
+		f := &ir.Func{Name: fd.Name, Index: len(prog.Funcs), Ret: fd.Ret}
+		prog.Funcs = append(prog.Funcs, f)
+		prog.ByName[fd.Name] = f
+		decls[fd.Name] = fd
+	}
+	// Pass 2: bodies.
+	for i, fd := range file.Funcs {
+		c := &funcCompiler{prog: prog, fn: prog.Funcs[i], decl: fd,
+			decls: decls, scopes: []map[string]int{{}}}
+		if err := c.compile(); err != nil {
+			return nil, err
+		}
+	}
+	main, ok := prog.ByName["main"]
+	if !ok {
+		return nil, &Error{Line: 1, Col: 1, Msg: "program has no main function"}
+	}
+	if main.Params != 0 {
+		return nil, &Error{Line: 1, Col: 1, Msg: "main must take no parameters (inputs come from argc/argchar/stdin)"}
+	}
+	prog.Main = main
+	return prog, nil
+}
+
+var builtins = map[string]bool{
+	"putchar": true, "argc": true, "argchar": true,
+	"stdinchar": true, "stdinlen": true,
+	"sym_int": true, "sym_byte": true, "sym_bool": true,
+	"assume": true, "assert": true, "halt": true,
+	"toint": true, "tobyte": true, "make_symbolic": true,
+}
+
+func isBuiltin(name string) bool { return builtins[name] }
+
+// funcCompiler compiles one function body.
+type funcCompiler struct {
+	prog   *ir.Program
+	fn     *ir.Func
+	decl   *FuncDecl
+	decls  map[string]*FuncDecl // all declarations, for callee signatures
+	scopes []map[string]int     // name -> local index
+	temps  int
+	loops  []loopCtx // break/continue patch lists
+}
+
+type loopCtx struct {
+	breaks    []int // OpBr instructions to patch to loop exit
+	continues []int // OpBr instructions to patch to loop post/header
+}
+
+func (c *funcCompiler) errAt(line, col int, format string, args ...interface{}) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *funcCompiler) pushScope() { c.scopes = append(c.scopes, map[string]int{}) }
+func (c *funcCompiler) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *funcCompiler) lookup(name string) (int, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if idx, ok := c.scopes[i][name]; ok {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+func (c *funcCompiler) declare(name string, t ir.Type, line, col int) (int, error) {
+	if _, exists := c.scopes[len(c.scopes)-1][name]; exists {
+		return 0, c.errAt(line, col, "variable %s redeclared in this scope", name)
+	}
+	idx := len(c.fn.Locals)
+	c.fn.Locals = append(c.fn.Locals, ir.Local{Name: name, Type: t})
+	c.scopes[len(c.scopes)-1][name] = idx
+	return idx, nil
+}
+
+func (c *funcCompiler) newTemp(t ir.Type) int {
+	idx := len(c.fn.Locals)
+	c.fn.Locals = append(c.fn.Locals, ir.Local{Name: fmt.Sprintf("$t%d", c.temps), Type: t})
+	c.temps++
+	return idx
+}
+
+func (c *funcCompiler) emit(in ir.Instr) int {
+	pc := len(c.fn.Instrs)
+	c.fn.Instrs = append(c.fn.Instrs, in)
+	return pc
+}
+
+func (c *funcCompiler) here() int { return len(c.fn.Instrs) }
+
+func (c *funcCompiler) patchTarget(pc, target int) { c.fn.Instrs[pc].Target = target }
+
+func (c *funcCompiler) compile() error {
+	// Parameters become the first locals.
+	for _, p := range c.decl.Params {
+		if _, err := c.declare(p.Name, p.Type, c.decl.Line, c.decl.Col); err != nil {
+			return err
+		}
+	}
+	c.fn.Params = len(c.decl.Params)
+	if err := c.compileBlock(c.decl.Body); err != nil {
+		return err
+	}
+	// Implicit return: void returns nothing; non-void returns 0.
+	if n := len(c.fn.Instrs); n == 0 || !alwaysExits(c.fn.Instrs) {
+		if c.fn.Ret.Kind == ir.Void {
+			c.emit(ir.Instr{Op: ir.OpRet, Dst: -1})
+		} else {
+			c.emit(ir.Instr{Op: ir.OpRet, Dst: -1, A: ir.ConstOp(0), HasVal: true, T: c.fn.Ret})
+		}
+	}
+	return nil
+}
+
+// alwaysExits reports (conservatively) whether the last instruction already
+// leaves the function; used only to avoid emitting dead implicit returns.
+func alwaysExits(instrs []ir.Instr) bool {
+	last := instrs[len(instrs)-1]
+	return last.Op == ir.OpRet || last.Op == ir.OpHalt
+}
+
+func (c *funcCompiler) compileBlock(b *BlockStmt) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.compileStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *funcCompiler) compileStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.compileBlock(st)
+	case *VarDecl:
+		return c.compileVarDecl(st)
+	case *AssignStmt:
+		return c.compileAssign(st)
+	case *IfStmt:
+		return c.compileIf(st)
+	case *WhileStmt:
+		return c.compileWhile(st)
+	case *ForStmt:
+		return c.compileFor(st)
+	case *ReturnStmt:
+		return c.compileReturn(st)
+	case *BreakStmt:
+		if len(c.loops) == 0 {
+			return c.errAt(st.Line, st.Col, "break outside loop")
+		}
+		pc := c.emit(ir.Instr{Op: ir.OpBr, Dst: -1})
+		lc := &c.loops[len(c.loops)-1]
+		lc.breaks = append(lc.breaks, pc)
+		return nil
+	case *ContinueStmt:
+		if len(c.loops) == 0 {
+			return c.errAt(st.Line, st.Col, "continue outside loop")
+		}
+		pc := c.emit(ir.Instr{Op: ir.OpBr, Dst: -1})
+		lc := &c.loops[len(c.loops)-1]
+		lc.continues = append(lc.continues, pc)
+		return nil
+	case *ExprStmt:
+		call, ok := st.X.(*CallExpr)
+		if !ok {
+			line, col := st.X.pos()
+			return c.errAt(line, col, "expression statement must be a call")
+		}
+		_, _, err := c.compileCall(call, false)
+		return err
+	}
+	return fmt.Errorf("lang: unknown statement %T", s)
+}
+
+func (c *funcCompiler) compileVarDecl(d *VarDecl) error {
+	idx, err := c.declare(d.Name, d.Type, d.Line, d.Col)
+	if err != nil {
+		return err
+	}
+	if d.Type.Array() {
+		if d.HasStr {
+			if d.Type.Kind != ir.ArrayByte {
+				return c.errAt(d.Line, d.Col, "string initializer requires a byte array")
+			}
+			if len(d.Str)+1 > d.Type.Len {
+				return c.errAt(d.Line, d.Col, "string %q does not fit in byte[%d]", d.Str, d.Type.Len)
+			}
+			for i := 0; i < len(d.Str); i++ {
+				c.emit(ir.Instr{Op: ir.OpStore, Dst: idx,
+					A: ir.ConstOp(int64(i)), B: ir.ConstOp(int64(d.Str[i])),
+					T: ir.Type{Kind: ir.Byte}, Pos: ir.Pos{Line: d.Line, Col: d.Col}})
+			}
+			// Remaining cells are zero by construction (fresh object).
+		}
+		return nil
+	}
+	init := ir.ConstOp(0)
+	if d.Init != nil {
+		op, t, err := c.compileExpr(d.Init)
+		if err != nil {
+			return err
+		}
+		op, err = c.coerce(op, t, d.Type, d.Init)
+		if err != nil {
+			return err
+		}
+		init = op
+	}
+	c.emit(ir.Instr{Op: ir.OpMov, Dst: idx, A: init, T: d.Type,
+		Pos: ir.Pos{Line: d.Line, Col: d.Col}})
+	return nil
+}
+
+// coerce converts an operand of type from to type to, applying the implicit
+// conversions MiniC allows: byte→int widening, int-constant→byte narrowing
+// when the value fits, identical types.
+func (c *funcCompiler) coerce(op ir.Operand, from, to ir.Type, at Expr) (ir.Operand, error) {
+	if from.Kind == to.Kind {
+		return op, nil
+	}
+	line, col := at.pos()
+	switch {
+	case from.Kind == ir.Byte && to.Kind == ir.Int:
+		t := c.newTemp(to)
+		c.emit(ir.Instr{Op: ir.OpByteToInt, Dst: t, A: op, T: to,
+			Pos: ir.Pos{Line: line, Col: col}})
+		return ir.LocalOp(t), nil
+	case from.Kind == ir.Int && to.Kind == ir.Byte && op.IsConst:
+		if op.Const < 0 || op.Const > 255 {
+			return op, c.errAt(line, col, "constant %d does not fit in byte", op.Const)
+		}
+		return op, nil
+	}
+	return op, c.errAt(line, col, "cannot use %s value as %s (use toint/tobyte)", from, to)
+}
+
+func (c *funcCompiler) compileAssign(a *AssignStmt) error {
+	idx, ok := c.lookup(a.Target.Name)
+	if !ok {
+		return c.errAt(a.Line, a.Col, "undefined variable %s", a.Target.Name)
+	}
+	lt := c.fn.Locals[idx].Type
+	pos := ir.Pos{Line: a.Line, Col: a.Col}
+
+	// Array element assignment.
+	if a.Target.Index != nil {
+		if !lt.Array() {
+			return c.errAt(a.Line, a.Col, "%s is not an array", a.Target.Name)
+		}
+		elem := lt.Elem()
+		idxOp, it, err := c.compileExpr(a.Target.Index)
+		if err != nil {
+			return err
+		}
+		idxOp, err = c.coerce(idxOp, it, ir.Type{Kind: ir.Int}, a.Target.Index)
+		if err != nil {
+			return err
+		}
+		var valOp ir.Operand
+		switch a.Op {
+		case tAssign:
+			v, vt, err := c.compileExpr(a.Value)
+			if err != nil {
+				return err
+			}
+			valOp, err = c.coerce(v, vt, elem, a.Value)
+			if err != nil {
+				return err
+			}
+		case tPlusAssign, tMinusAssign, tInc, tDec:
+			// Load-modify-store.
+			cur := c.newTemp(elem)
+			c.emit(ir.Instr{Op: ir.OpLoad, Dst: cur, A: ir.LocalOp(idx), B: idxOp, T: elem, Pos: pos})
+			delta := ir.ConstOp(1)
+			if a.Value != nil {
+				v, vt, err := c.compileExpr(a.Value)
+				if err != nil {
+					return err
+				}
+				delta, err = c.coerce(v, vt, elem, a.Value)
+				if err != nil {
+					return err
+				}
+			}
+			op := ir.OpAdd
+			if a.Op == tMinusAssign || a.Op == tDec {
+				op = ir.OpSub
+			}
+			res := c.newTemp(elem)
+			c.emit(ir.Instr{Op: op, Dst: res, A: ir.LocalOp(cur), B: delta, T: elem, Pos: pos})
+			valOp = ir.LocalOp(res)
+		}
+		c.emit(ir.Instr{Op: ir.OpStore, Dst: idx, A: idxOp, B: valOp, T: elem, Pos: pos})
+		return nil
+	}
+
+	if lt.Array() {
+		return c.errAt(a.Line, a.Col, "cannot assign to array %s", a.Target.Name)
+	}
+	switch a.Op {
+	case tAssign:
+		v, vt, err := c.compileExpr(a.Value)
+		if err != nil {
+			return err
+		}
+		v, err = c.coerce(v, vt, lt, a.Value)
+		if err != nil {
+			return err
+		}
+		c.emit(ir.Instr{Op: ir.OpMov, Dst: idx, A: v, T: lt, Pos: pos})
+	case tPlusAssign, tMinusAssign:
+		v, vt, err := c.compileExpr(a.Value)
+		if err != nil {
+			return err
+		}
+		v, err = c.coerce(v, vt, lt, a.Value)
+		if err != nil {
+			return err
+		}
+		op := ir.OpAdd
+		if a.Op == tMinusAssign {
+			op = ir.OpSub
+		}
+		c.emit(ir.Instr{Op: op, Dst: idx, A: ir.LocalOp(idx), B: v, T: lt, Pos: pos})
+	case tInc, tDec:
+		if lt.Kind == ir.Bool {
+			return c.errAt(a.Line, a.Col, "cannot increment bool")
+		}
+		op := ir.OpAdd
+		if a.Op == tDec {
+			op = ir.OpSub
+		}
+		c.emit(ir.Instr{Op: op, Dst: idx, A: ir.LocalOp(idx), B: ir.ConstOp(1), T: lt, Pos: pos})
+	}
+	return nil
+}
+
+func (c *funcCompiler) compileCond(e Expr) (ir.Operand, error) {
+	op, t, err := c.compileExpr(e)
+	if err != nil {
+		return op, err
+	}
+	if t.Kind != ir.Bool {
+		line, col := e.pos()
+		return op, c.errAt(line, col, "condition must be bool, got %s", t)
+	}
+	return op, nil
+}
+
+func (c *funcCompiler) compileIf(s *IfStmt) error {
+	cond, err := c.compileCond(s.Cond)
+	if err != nil {
+		return err
+	}
+	br := c.emit(ir.Instr{Op: ir.OpCondBr, Dst: -1, A: cond})
+	c.fn.Instrs[br].Target = c.here()
+	if err := c.compileStmt(s.Then); err != nil {
+		return err
+	}
+	if s.Else == nil {
+		c.fn.Instrs[br].FTarget = c.here()
+		return nil
+	}
+	skip := c.emit(ir.Instr{Op: ir.OpBr, Dst: -1})
+	c.fn.Instrs[br].FTarget = c.here()
+	if err := c.compileStmt(s.Else); err != nil {
+		return err
+	}
+	c.patchTarget(skip, c.here())
+	return nil
+}
+
+func (c *funcCompiler) compileWhile(s *WhileStmt) error {
+	header := c.here()
+	cond, err := c.compileCond(s.Cond)
+	if err != nil {
+		return err
+	}
+	br := c.emit(ir.Instr{Op: ir.OpCondBr, Dst: -1, A: cond})
+	c.fn.Instrs[br].Target = c.here()
+	c.loops = append(c.loops, loopCtx{})
+	if err := c.compileStmt(s.Body); err != nil {
+		return err
+	}
+	lc := c.loops[len(c.loops)-1]
+	c.loops = c.loops[:len(c.loops)-1]
+	for _, pc := range lc.continues {
+		c.patchTarget(pc, header)
+	}
+	c.emit(ir.Instr{Op: ir.OpBr, Dst: -1, Target: header})
+	exit := c.here()
+	c.fn.Instrs[br].FTarget = exit
+	for _, pc := range lc.breaks {
+		c.patchTarget(pc, exit)
+	}
+	return nil
+}
+
+func (c *funcCompiler) compileFor(s *ForStmt) error {
+	c.pushScope()
+	defer c.popScope()
+	if s.Init != nil {
+		if err := c.compileStmt(s.Init); err != nil {
+			return err
+		}
+	}
+	header := c.here()
+	var br int
+	if s.Cond != nil {
+		cond, err := c.compileCond(s.Cond)
+		if err != nil {
+			return err
+		}
+		br = c.emit(ir.Instr{Op: ir.OpCondBr, Dst: -1, A: cond})
+		c.fn.Instrs[br].Target = c.here()
+	} else {
+		br = -1
+	}
+	c.loops = append(c.loops, loopCtx{})
+	if err := c.compileStmt(s.Body); err != nil {
+		return err
+	}
+	lc := c.loops[len(c.loops)-1]
+	c.loops = c.loops[:len(c.loops)-1]
+	post := c.here()
+	for _, pc := range lc.continues {
+		c.patchTarget(pc, post)
+	}
+	if s.Post != nil {
+		if err := c.compileStmt(s.Post); err != nil {
+			return err
+		}
+	}
+	c.emit(ir.Instr{Op: ir.OpBr, Dst: -1, Target: header})
+	exit := c.here()
+	if br >= 0 {
+		c.fn.Instrs[br].FTarget = exit
+	}
+	for _, pc := range lc.breaks {
+		c.patchTarget(pc, exit)
+	}
+	return nil
+}
+
+func (c *funcCompiler) compileReturn(s *ReturnStmt) error {
+	if c.fn.Ret.Kind == ir.Void {
+		if s.Value != nil {
+			return c.errAt(s.Line, s.Col, "void function cannot return a value")
+		}
+		c.emit(ir.Instr{Op: ir.OpRet, Dst: -1, Pos: ir.Pos{Line: s.Line, Col: s.Col}})
+		return nil
+	}
+	if s.Value == nil {
+		return c.errAt(s.Line, s.Col, "function %s must return %s", c.fn.Name, c.fn.Ret)
+	}
+	v, vt, err := c.compileExpr(s.Value)
+	if err != nil {
+		return err
+	}
+	v, err = c.coerce(v, vt, c.fn.Ret, s.Value)
+	if err != nil {
+		return err
+	}
+	c.emit(ir.Instr{Op: ir.OpRet, Dst: -1, A: v, HasVal: true, T: c.fn.Ret,
+		Pos: ir.Pos{Line: s.Line, Col: s.Col}})
+	return nil
+}
+
+// compileExpr compiles an expression, returning the operand and its type.
+func (c *funcCompiler) compileExpr(e Expr) (ir.Operand, ir.Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.IsChar {
+			return ir.ConstOp(x.Val), ir.Type{Kind: ir.Byte}, nil
+		}
+		return ir.ConstOp(x.Val), ir.Type{Kind: ir.Int}, nil
+	case *BoolLit:
+		v := int64(0)
+		if x.Val {
+			v = 1
+		}
+		return ir.ConstOp(v), ir.Type{Kind: ir.Bool}, nil
+	case *Ident:
+		idx, ok := c.lookup(x.Name)
+		if !ok {
+			return ir.Operand{}, ir.Type{}, c.errAt(x.Line, x.Col, "undefined variable %s", x.Name)
+		}
+		return ir.LocalOp(idx), c.fn.Locals[idx].Type, nil
+	case *IndexExpr:
+		idx, ok := c.lookup(x.Name)
+		if !ok {
+			return ir.Operand{}, ir.Type{}, c.errAt(x.Line, x.Col, "undefined variable %s", x.Name)
+		}
+		at := c.fn.Locals[idx].Type
+		if !at.Array() {
+			return ir.Operand{}, ir.Type{}, c.errAt(x.Line, x.Col, "%s is not an array", x.Name)
+		}
+		iop, it, err := c.compileExpr(x.Index)
+		if err != nil {
+			return ir.Operand{}, ir.Type{}, err
+		}
+		iop, err = c.coerce(iop, it, ir.Type{Kind: ir.Int}, x.Index)
+		if err != nil {
+			return ir.Operand{}, ir.Type{}, err
+		}
+		elem := at.Elem()
+		dst := c.newTemp(elem)
+		c.emit(ir.Instr{Op: ir.OpLoad, Dst: dst, A: ir.LocalOp(idx), B: iop, T: elem,
+			Pos: ir.Pos{Line: x.Line, Col: x.Col}})
+		return ir.LocalOp(dst), elem, nil
+	case *CallExpr:
+		op, t, err := c.compileCall(x, true)
+		return op, t, err
+	case *UnaryExpr:
+		return c.compileUnary(x)
+	case *BinaryExpr:
+		return c.compileBinary(x)
+	}
+	return ir.Operand{}, ir.Type{}, fmt.Errorf("lang: unknown expression %T", e)
+}
+
+func (c *funcCompiler) compileUnary(x *UnaryExpr) (ir.Operand, ir.Type, error) {
+	op, t, err := c.compileExpr(x.X)
+	if err != nil {
+		return op, t, err
+	}
+	pos := ir.Pos{Line: x.Line, Col: x.Col}
+	switch x.Op {
+	case tBang:
+		if t.Kind != ir.Bool {
+			return op, t, c.errAt(x.Line, x.Col, "! requires bool, got %s", t)
+		}
+		dst := c.newTemp(t)
+		c.emit(ir.Instr{Op: ir.OpNot, Dst: dst, A: op, T: t, Pos: pos})
+		return ir.LocalOp(dst), t, nil
+	case tMinus:
+		if t.Kind != ir.Int && t.Kind != ir.Byte {
+			return op, t, c.errAt(x.Line, x.Col, "- requires numeric, got %s", t)
+		}
+		dst := c.newTemp(t)
+		c.emit(ir.Instr{Op: ir.OpNeg, Dst: dst, A: op, T: t, Pos: pos})
+		return ir.LocalOp(dst), t, nil
+	case tTilde:
+		if t.Kind != ir.Int && t.Kind != ir.Byte {
+			return op, t, c.errAt(x.Line, x.Col, "~ requires numeric, got %s", t)
+		}
+		dst := c.newTemp(t)
+		c.emit(ir.Instr{Op: ir.OpBNot, Dst: dst, A: op, T: t, Pos: pos})
+		return ir.LocalOp(dst), t, nil
+	}
+	return op, t, c.errAt(x.Line, x.Col, "unknown unary operator")
+}
+
+func (c *funcCompiler) compileBinary(x *BinaryExpr) (ir.Operand, ir.Type, error) {
+	pos := ir.Pos{Line: x.Line, Col: x.Col}
+	boolT := ir.Type{Kind: ir.Bool}
+
+	// Short-circuit operators compile to real control flow, matching the
+	// branch structure LLVM gives KLEE.
+	if x.Op == tAndAnd || x.Op == tOrOr {
+		res := c.newTemp(boolT)
+		l, err := c.compileCond(x.L)
+		if err != nil {
+			return ir.Operand{}, boolT, err
+		}
+		c.emit(ir.Instr{Op: ir.OpMov, Dst: res, A: l, T: boolT, Pos: pos})
+		br := c.emit(ir.Instr{Op: ir.OpCondBr, Dst: -1, A: ir.LocalOp(res), Pos: pos})
+		rhsStart := c.here()
+		r, err := c.compileCond(x.R)
+		if err != nil {
+			return ir.Operand{}, boolT, err
+		}
+		c.emit(ir.Instr{Op: ir.OpMov, Dst: res, A: r, T: boolT, Pos: pos})
+		end := c.here()
+		if x.Op == tAndAnd {
+			// if res goto rhs else goto end
+			c.fn.Instrs[br].Target = rhsStart
+			c.fn.Instrs[br].FTarget = end
+		} else {
+			// if res goto end else goto rhs
+			c.fn.Instrs[br].Target = end
+			c.fn.Instrs[br].FTarget = rhsStart
+		}
+		return ir.LocalOp(res), boolT, nil
+	}
+
+	l, lt, err := c.compileExpr(x.L)
+	if err != nil {
+		return ir.Operand{}, ir.Type{}, err
+	}
+	r, rt, err := c.compileExpr(x.R)
+	if err != nil {
+		return ir.Operand{}, ir.Type{}, err
+	}
+
+	// Boolean equality.
+	if lt.Kind == ir.Bool || rt.Kind == ir.Bool {
+		if x.Op != tEq && x.Op != tNe {
+			return ir.Operand{}, ir.Type{}, c.errAt(x.Line, x.Col,
+				"operator %s not defined on bool", opName(x.Op))
+		}
+		if lt.Kind != rt.Kind {
+			return ir.Operand{}, ir.Type{}, c.errAt(x.Line, x.Col, "type mismatch: %s vs %s", lt, rt)
+		}
+		dst := c.newTemp(boolT)
+		o := ir.OpEq
+		if x.Op == tNe {
+			o = ir.OpNe
+		}
+		c.emit(ir.Instr{Op: o, Dst: dst, A: l, B: r, T: boolT, Pos: pos})
+		return ir.LocalOp(dst), boolT, nil
+	}
+
+	// Numeric operands: unify types.
+	opT, err2 := c.unifyNumeric(&l, lt, &r, rt, x)
+	if err2 != nil {
+		return ir.Operand{}, ir.Type{}, err2
+	}
+
+	var o ir.Op
+	resT := opT
+	switch x.Op {
+	case tPlus:
+		o = ir.OpAdd
+	case tMinus:
+		o = ir.OpSub
+	case tStar:
+		o = ir.OpMul
+	case tSlash:
+		o = ir.OpDiv
+	case tPercent:
+		o = ir.OpRem
+	case tAmp:
+		o = ir.OpAnd
+	case tPipe:
+		o = ir.OpOrB
+	case tCaret:
+		o = ir.OpXor
+	case tShl:
+		o = ir.OpShl
+	case tShr:
+		o = ir.OpShr
+	case tEq:
+		o, resT = ir.OpEq, boolT
+	case tNe:
+		o, resT = ir.OpNe, boolT
+	case tLt:
+		o, resT = ir.OpLt, boolT
+	case tLe:
+		o, resT = ir.OpLe, boolT
+	case tGt:
+		o, resT = ir.OpLt, boolT
+		l, r = r, l
+	case tGe:
+		o, resT = ir.OpLe, boolT
+		l, r = r, l
+	default:
+		return ir.Operand{}, ir.Type{}, c.errAt(x.Line, x.Col, "unknown operator")
+	}
+	dst := c.newTemp(resT)
+	c.emit(ir.Instr{Op: o, Dst: dst, A: l, B: r, T: opT, Pos: pos})
+	return ir.LocalOp(dst), resT, nil
+}
+
+// unifyNumeric reconciles the operand types of a numeric binary operator:
+// byte⊕byte stays byte, int⊕int stays int, and mixed combinations promote
+// byte to int — except that an int *constant* meeting a byte narrows to byte
+// when it fits, which keeps `buf[i] != '0'`-style comparisons byte-width.
+func (c *funcCompiler) unifyNumeric(l *ir.Operand, lt ir.Type, r *ir.Operand, rt ir.Type, x *BinaryExpr) (ir.Type, error) {
+	intT := ir.Type{Kind: ir.Int}
+	byteT := ir.Type{Kind: ir.Byte}
+	switch {
+	case lt.Kind == ir.Int && rt.Kind == ir.Int:
+		return intT, nil
+	case lt.Kind == ir.Byte && rt.Kind == ir.Byte:
+		return byteT, nil
+	case lt.Kind == ir.Byte && rt.Kind == ir.Int:
+		if r.IsConst && r.Const >= 0 && r.Const <= 255 {
+			return byteT, nil
+		}
+		v, err := c.coerce(*l, lt, intT, x.L)
+		if err != nil {
+			return intT, err
+		}
+		*l = v
+		return intT, nil
+	case lt.Kind == ir.Int && rt.Kind == ir.Byte:
+		if l.IsConst && l.Const >= 0 && l.Const <= 255 {
+			return byteT, nil
+		}
+		v, err := c.coerce(*r, rt, intT, x.R)
+		if err != nil {
+			return intT, err
+		}
+		*r = v
+		return intT, nil
+	}
+	return intT, c.errAt(x.Line, x.Col, "invalid operand types %s and %s", lt, rt)
+}
+
+func opName(k tokKind) string {
+	switch k {
+	case tPlus:
+		return "+"
+	case tMinus:
+		return "-"
+	case tStar:
+		return "*"
+	case tSlash:
+		return "/"
+	case tPercent:
+		return "%"
+	case tLt:
+		return "<"
+	case tLe:
+		return "<="
+	case tGt:
+		return ">"
+	case tGe:
+		return ">="
+	case tEq:
+		return "=="
+	case tNe:
+		return "!="
+	default:
+		return "?"
+	}
+}
+
+// compileCall handles builtins and user calls. wantValue reports whether the
+// caller uses the result.
+func (c *funcCompiler) compileCall(x *CallExpr, wantValue bool) (ir.Operand, ir.Type, error) {
+	pos := ir.Pos{Line: x.Line, Col: x.Col}
+	intT := ir.Type{Kind: ir.Int}
+	byteT := ir.Type{Kind: ir.Byte}
+	boolT := ir.Type{Kind: ir.Bool}
+	voidT := ir.Type{Kind: ir.Void}
+
+	argError := func(want string) error {
+		return c.errAt(x.Line, x.Col, "%s expects %s", x.Name, want)
+	}
+	compileArgs := func() ([]ir.Operand, []ir.Type, error) {
+		ops := make([]ir.Operand, len(x.Args))
+		ts := make([]ir.Type, len(x.Args))
+		for i, a := range x.Args {
+			op, t, err := c.compileExpr(a)
+			if err != nil {
+				return nil, nil, err
+			}
+			ops[i], ts[i] = op, t
+		}
+		return ops, ts, nil
+	}
+
+	switch x.Name {
+	case "putchar":
+		if len(x.Args) != 1 {
+			return ir.Operand{}, voidT, argError("1 argument")
+		}
+		op, t, err := c.compileExpr(x.Args[0])
+		if err != nil {
+			return ir.Operand{}, voidT, err
+		}
+		if t.Kind != ir.Byte && t.Kind != ir.Int {
+			return ir.Operand{}, voidT, argError("a byte or int")
+		}
+		c.emit(ir.Instr{Op: ir.OpOut, Dst: -1, A: op, T: t, Pos: pos})
+		return ir.Operand{}, voidT, nil
+	case "argc":
+		if len(x.Args) != 0 {
+			return ir.Operand{}, intT, argError("no arguments")
+		}
+		dst := c.newTemp(intT)
+		c.emit(ir.Instr{Op: ir.OpArgc, Dst: dst, T: intT, Pos: pos})
+		return ir.LocalOp(dst), intT, nil
+	case "argchar":
+		if len(x.Args) != 2 {
+			return ir.Operand{}, byteT, argError("2 int arguments")
+		}
+		ops, ts, err := compileArgs()
+		if err != nil {
+			return ir.Operand{}, byteT, err
+		}
+		for i := range ops {
+			if ops[i], err = c.coerce(ops[i], ts[i], intT, x.Args[i]); err != nil {
+				return ir.Operand{}, byteT, err
+			}
+		}
+		dst := c.newTemp(byteT)
+		c.emit(ir.Instr{Op: ir.OpArgChar, Dst: dst, A: ops[0], B: ops[1], T: byteT, Pos: pos})
+		return ir.LocalOp(dst), byteT, nil
+	case "stdinchar":
+		if len(x.Args) != 1 {
+			return ir.Operand{}, byteT, argError("1 int argument")
+		}
+		op, t, err := c.compileExpr(x.Args[0])
+		if err != nil {
+			return ir.Operand{}, byteT, err
+		}
+		if op, err = c.coerce(op, t, intT, x.Args[0]); err != nil {
+			return ir.Operand{}, byteT, err
+		}
+		dst := c.newTemp(byteT)
+		c.emit(ir.Instr{Op: ir.OpStdin, Dst: dst, A: op, T: byteT, Pos: pos})
+		return ir.LocalOp(dst), byteT, nil
+	case "stdinlen":
+		if len(x.Args) != 0 {
+			return ir.Operand{}, intT, argError("no arguments")
+		}
+		dst := c.newTemp(intT)
+		c.emit(ir.Instr{Op: ir.OpStdinLen, Dst: dst, T: intT, Pos: pos})
+		return ir.LocalOp(dst), intT, nil
+	case "sym_int", "sym_byte", "sym_bool":
+		if len(x.Args) != 0 {
+			return ir.Operand{}, intT, argError("no arguments")
+		}
+		var o ir.Op
+		var t ir.Type
+		switch x.Name {
+		case "sym_int":
+			o, t = ir.OpSymInt, intT
+		case "sym_byte":
+			o, t = ir.OpSymByte, byteT
+		default:
+			o, t = ir.OpSymBool, boolT
+		}
+		dst := c.newTemp(t)
+		c.emit(ir.Instr{Op: o, Dst: dst, T: t, Pos: pos})
+		return ir.LocalOp(dst), t, nil
+	case "assume", "assert":
+		if len(x.Args) != 1 {
+			return ir.Operand{}, voidT, argError("1 bool argument")
+		}
+		op, err := c.compileCond(x.Args[0])
+		if err != nil {
+			return ir.Operand{}, voidT, err
+		}
+		o := ir.OpAssume
+		msg := ""
+		if x.Name == "assert" {
+			o = ir.OpAssert
+			msg = "assertion failed"
+		}
+		c.emit(ir.Instr{Op: o, Dst: -1, A: op, Msg: msg, Pos: pos})
+		return ir.Operand{}, voidT, nil
+	case "halt":
+		if len(x.Args) > 1 {
+			return ir.Operand{}, voidT, argError("0 or 1 int arguments")
+		}
+		in := ir.Instr{Op: ir.OpHalt, Dst: -1, Pos: pos}
+		if len(x.Args) == 1 {
+			op, t, err := c.compileExpr(x.Args[0])
+			if err != nil {
+				return ir.Operand{}, voidT, err
+			}
+			if op, err = c.coerce(op, t, intT, x.Args[0]); err != nil {
+				return ir.Operand{}, voidT, err
+			}
+			in.A, in.HasVal, in.T = op, true, intT
+		}
+		c.emit(in)
+		return ir.Operand{}, voidT, nil
+	case "toint":
+		if len(x.Args) != 1 {
+			return ir.Operand{}, intT, argError("1 argument")
+		}
+		op, t, err := c.compileExpr(x.Args[0])
+		if err != nil {
+			return ir.Operand{}, intT, err
+		}
+		dst := c.newTemp(intT)
+		switch t.Kind {
+		case ir.Byte:
+			c.emit(ir.Instr{Op: ir.OpByteToInt, Dst: dst, A: op, T: intT, Pos: pos})
+		case ir.Bool:
+			c.emit(ir.Instr{Op: ir.OpBoolToInt, Dst: dst, A: op, T: intT, Pos: pos})
+		case ir.Int:
+			c.emit(ir.Instr{Op: ir.OpMov, Dst: dst, A: op, T: intT, Pos: pos})
+		default:
+			return ir.Operand{}, intT, argError("a scalar")
+		}
+		return ir.LocalOp(dst), intT, nil
+	case "tobyte":
+		if len(x.Args) != 1 {
+			return ir.Operand{}, byteT, argError("1 argument")
+		}
+		op, t, err := c.compileExpr(x.Args[0])
+		if err != nil {
+			return ir.Operand{}, byteT, err
+		}
+		dst := c.newTemp(byteT)
+		switch t.Kind {
+		case ir.Int:
+			c.emit(ir.Instr{Op: ir.OpIntToByte, Dst: dst, A: op, T: byteT, Pos: pos})
+		case ir.Byte:
+			c.emit(ir.Instr{Op: ir.OpMov, Dst: dst, A: op, T: byteT, Pos: pos})
+		default:
+			return ir.Operand{}, byteT, argError("a numeric value")
+		}
+		return ir.LocalOp(dst), byteT, nil
+	case "make_symbolic":
+		if len(x.Args) != 1 {
+			return ir.Operand{}, voidT, argError("1 array argument")
+		}
+		id, ok := x.Args[0].(*Ident)
+		if !ok {
+			return ir.Operand{}, voidT, argError("an array variable")
+		}
+		idx, ok := c.lookup(id.Name)
+		if !ok || !c.fn.Locals[idx].Type.Array() {
+			return ir.Operand{}, voidT, argError("an array variable")
+		}
+		c.emit(ir.Instr{Op: ir.OpMakeSymArr, Dst: -1, A: ir.LocalOp(idx), Pos: pos})
+		return ir.Operand{}, voidT, nil
+	}
+
+	// User-defined function.
+	callee, ok := c.prog.ByName[x.Name]
+	if !ok {
+		return ir.Operand{}, voidT, c.errAt(x.Line, x.Col, "undefined function %s", x.Name)
+	}
+	decl := c.calleeDecl(x.Name)
+	if len(x.Args) != len(decl.Params) {
+		return ir.Operand{}, voidT, c.errAt(x.Line, x.Col,
+			"%s expects %d arguments, got %d", x.Name, len(decl.Params), len(x.Args))
+	}
+	args := make([]ir.Operand, len(x.Args))
+	for i, a := range x.Args {
+		op, t, err := c.compileExpr(a)
+		if err != nil {
+			return ir.Operand{}, voidT, err
+		}
+		want := decl.Params[i].Type
+		if want.Array() {
+			if t.Kind != want.Kind || t.Len != want.Len {
+				line, col := a.pos()
+				return ir.Operand{}, voidT, c.errAt(line, col,
+					"argument %d: cannot pass %s as %s", i+1, t, want)
+			}
+			args[i] = op
+			continue
+		}
+		op, err = c.coerce(op, t, want, a)
+		if err != nil {
+			return ir.Operand{}, voidT, err
+		}
+		args[i] = op
+	}
+	dst := -1
+	if callee.Ret.Kind != ir.Void && wantValue {
+		dst = c.newTemp(callee.Ret)
+	}
+	c.emit(ir.Instr{Op: ir.OpCall, Dst: dst, Callee: callee.Index, Args: args,
+		T: callee.Ret, Pos: pos})
+	if dst < 0 {
+		return ir.Operand{}, callee.Ret, nil
+	}
+	return ir.LocalOp(dst), callee.Ret, nil
+}
+
+// calleeDecl finds the AST declaration for a function (needed for parameter
+// types before the callee's body has been compiled).
+func (c *funcCompiler) calleeDecl(name string) *FuncDecl {
+	fd, ok := c.decls[name]
+	if !ok {
+		panic("lang: missing declaration for " + name)
+	}
+	return fd
+}

@@ -1,0 +1,220 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"symmerge/internal/ir"
+)
+
+func TestLexerBasics(t *testing.T) {
+	l := newLexer(`int x = 0x1f; // comment
+/* block
+comment */ byte c = 'a'; s = "hi\n";`)
+	var kinds []tokKind
+	var vals []int64
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.kind == tEOF {
+			break
+		}
+		kinds = append(kinds, tok.kind)
+		vals = append(vals, tok.val)
+	}
+	want := []tokKind{tKwInt, tIdent, tAssign, tInt, tSemi,
+		tKwByte, tIdent, tAssign, tChar, tSemi,
+		tIdent, tAssign, tString, tSemi}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(kinds), len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	if vals[3] != 0x1f {
+		t.Fatalf("hex literal = %d, want 31", vals[3])
+	}
+	if vals[8] != 'a' {
+		t.Fatalf("char literal = %d, want 'a'", vals[8])
+	}
+}
+
+func TestLexerOperators(t *testing.T) {
+	l := newLexer(`== != <= >= << >> && || ++ -- += -= = < >`)
+	want := []tokKind{tEq, tNe, tLe, tGe, tShl, tShr, tAndAnd, tOrOr,
+		tInc, tDec, tPlusAssign, tMinusAssign, tAssign, tLt, tGt}
+	for i, w := range want {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.kind != w {
+			t.Fatalf("token %d: got %v (%q), want %v", i, tok.kind, tok.text, w)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	cases := []string{
+		"'a",      // unterminated char
+		`"abc`,    // unterminated string
+		"/* nope", // unterminated comment
+		`'\q'`,    // unknown escape
+		"@",       // stray character
+	}
+	for _, src := range cases {
+		l := newLexer(src)
+		var err error
+		for err == nil {
+			var tok token
+			tok, err = l.next()
+			if err == nil && tok.kind == tEOF {
+				t.Fatalf("lexing %q did not error", src)
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no main", `void f() {}`, "no main"},
+		{"undefined var", `void main() { x = 1; }`, "undefined variable"},
+		{"undefined func", `void main() { g(); }`, "undefined function"},
+		{"redeclared", `void main() { int x; int x; }`, "redeclared"},
+		{"type mismatch", `void main() { bool b = 1; }`, "cannot use"},
+		{"bool condition", `void main() { if (1) { } }`, "must be bool"},
+		{"break outside", `void main() { break; }`, "break outside loop"},
+		{"continue outside", `void main() { continue; }`, "continue outside"},
+		{"void value", `void f() {} void main() { int x = f(); }`, "cannot use"},
+		{"wrong arity", `void f(int a) {} void main() { f(); }`, "expects 1 arguments"},
+		{"return from void", `void main() { return 3; }`, "cannot return a value"},
+		{"missing return value", `int f() { return; } void main() {}`, "must return"},
+		{"array assign", `void main() { byte b[4]; b = b; }`, "cannot assign to array"},
+		{"index scalar", `void main() { int x; x[0] = 1; }`, "not an array"},
+		{"main with params", `void main(int a) {}`, "main must take no parameters"},
+		{"builtin redefined", `void putchar(int c) {} void main() {}`, "builtin"},
+		{"dup function", `void f() {} void f() {} void main() {}`, "redeclared"},
+		{"string too long", `void main() { byte b[2] = "abc"; }`, "does not fit"},
+		{"byte overflow", `void main() { byte b = 300; }`, "does not fit"},
+		{"bool arith", `void main() { bool b; int x = 1 + (b == b); }`, "not defined on bool"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("%s: compiled without error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`void main() {`,
+		`void main() { int; }`,
+		`void main( { }`,
+		`int 3x() {}`,
+		`void main() { if x { } }`,
+		`void main() { x += ; }`,
+		`void main() { for (;;;) {} }`,
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("parsed invalid source %q", src)
+		}
+	}
+}
+
+func TestCompileStructure(t *testing.T) {
+	p, err := Compile(`
+int add(int a, int b) { return a + b; }
+void main() {
+    int x = add(2, 3);
+    putchar(tobyte(x + '0'));
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Funcs) != 2 {
+		t.Fatalf("got %d functions", len(p.Funcs))
+	}
+	add := p.ByName["add"]
+	if add.Params != 2 || add.Ret.Kind != ir.Int {
+		t.Fatalf("add signature wrong: %d params ret %v", add.Params, add.Ret)
+	}
+	if p.Main == nil || p.Main.Name != "main" {
+		t.Fatal("main not identified")
+	}
+	// Disassembly should mention the call.
+	if !strings.Contains(p.String(), "call") {
+		t.Fatal("missing call in disassembly")
+	}
+}
+
+func TestShortCircuitCompilesToBranches(t *testing.T) {
+	p, err := Compile(`
+void main() {
+    if (argchar(1,0) == 'a' && argchar(1,1) == 'b') {
+        putchar('y');
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches := 0
+	for _, in := range p.Main.Instrs {
+		if in.Op == ir.OpCondBr {
+			branches++
+		}
+	}
+	// One branch for the && short-circuit plus one for the if.
+	if branches < 2 {
+		t.Fatalf("&& compiled to %d branches, want >= 2", branches)
+	}
+}
+
+func TestStringInitializer(t *testing.T) {
+	p, err := Compile(`
+void main() {
+    byte s[] = "hi";
+    putchar(s[0]);
+    putchar(s[1]);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The array must be sized len+1 for the NUL.
+	var found bool
+	for _, l := range p.Main.Locals {
+		if l.Name == "s" {
+			found = true
+			if l.Type.Kind != ir.ArrayByte || l.Type.Len != 3 {
+				t.Fatalf("s has type %v, want byte[3]", l.Type)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("local s not found")
+	}
+}
+
+func TestPositionsInErrors(t *testing.T) {
+	_, err := Compile("void main() {\n  int x = yy;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("error %q lacks line number 2", err)
+	}
+}

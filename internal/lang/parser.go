@@ -1,0 +1,590 @@
+package lang
+
+import (
+	"fmt"
+
+	"symmerge/internal/ir"
+)
+
+// parser is a hand-written recursive-descent parser for MiniC.
+type parser struct {
+	lex *lexer
+	tok token // lookahead
+}
+
+// Parse parses a MiniC compilation unit.
+func Parse(src string) (*File, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	for p.tok.kind != tEOF {
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		f.Funcs = append(f.Funcs, fn)
+	}
+	return f, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errf("expected %s, found %s", what, p.tok)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) accept(k tokKind) (bool, error) {
+	if p.tok.kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+// parseTypeName parses a scalar type keyword (or void).
+func (p *parser) parseTypeName() (ir.Type, bool, error) {
+	var t ir.Type
+	switch p.tok.kind {
+	case tKwInt:
+		t = ir.Type{Kind: ir.Int}
+	case tKwByte:
+		t = ir.Type{Kind: ir.Byte}
+	case tKwBool:
+		t = ir.Type{Kind: ir.Bool}
+	case tKwVoid:
+		t = ir.Type{Kind: ir.Void}
+	default:
+		return ir.Type{}, false, nil
+	}
+	return t, true, p.advance()
+}
+
+// arrayOf converts a scalar type into its array type.
+func arrayOf(elem ir.Type, n int) (ir.Type, error) {
+	switch elem.Kind {
+	case ir.Byte:
+		return ir.Type{Kind: ir.ArrayByte, Len: n}, nil
+	case ir.Int:
+		return ir.Type{Kind: ir.ArrayInt, Len: n}, nil
+	}
+	return ir.Type{}, fmt.Errorf("arrays of %s are not supported", elem)
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	ret, ok, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, p.errf("expected type at top level, found %s", p.tok)
+	}
+	name, err := p.expect(tIdent, "function name")
+	if err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.text, Ret: ret, Line: name.line, Col: name.col}
+	if _, err := p.expect(tLParen, "'('"); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tRParen {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(tComma, "','"); err != nil {
+				return nil, err
+			}
+		}
+		pt, ok, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		if !ok || pt.Kind == ir.Void {
+			return nil, p.errf("expected parameter type, found %s", p.tok)
+		}
+		pname, err := p.expect(tIdent, "parameter name")
+		if err != nil {
+			return nil, err
+		}
+		// Array parameter: `byte buf[16]` (size required: arrays are
+		// fixed-size values passed by reference).
+		if ok, err := p.accept(tLBracket); err != nil {
+			return nil, err
+		} else if ok {
+			size, err := p.expect(tInt, "array size")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			at, aerr := arrayOf(pt, int(size.val))
+			if aerr != nil {
+				return nil, &Error{Line: pname.line, Col: pname.col, Msg: aerr.Error()}
+			}
+			pt = at
+		}
+		fn.Params = append(fn.Params, Param{Name: pname.text, Type: pt})
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	if _, err := p.expect(tLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for p.tok.kind != tRBrace {
+		if p.tok.kind == tEOF {
+			return nil, p.errf("unexpected end of input in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, p.advance()
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch p.tok.kind {
+	case tLBrace:
+		return p.parseBlock()
+	case tKwInt, tKwByte, tKwBool:
+		s, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tSemi, "';'")
+		return s, err
+	case tKwIf:
+		return p.parseIf()
+	case tKwWhile:
+		return p.parseWhile()
+	case tKwFor:
+		return p.parseFor()
+	case tKwReturn:
+		line, col := p.tok.line, p.tok.col
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		st := &ReturnStmt{Line: line, Col: col}
+		if p.tok.kind != tSemi {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = e
+		}
+		_, err := p.expect(tSemi, "';'")
+		return st, err
+	case tKwBreak:
+		line, col := p.tok.line, p.tok.col
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(tSemi, "';'")
+		return &BreakStmt{Line: line, Col: col}, err
+	case tKwContinue:
+		line, col := p.tok.line, p.tok.col
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(tSemi, "';'")
+		return &ContinueStmt{Line: line, Col: col}, err
+	}
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	_, err = p.expect(tSemi, "';'")
+	return s, err
+}
+
+// parseVarDecl parses `type name`, `type name = expr`, `type name[N]`,
+// `type name[] = "str"`, or `type name[N] = "str"`.
+func (p *parser) parseVarDecl() (Stmt, error) {
+	t, _, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind == ir.Void {
+		return nil, p.errf("cannot declare void variable")
+	}
+	name, err := p.expect(tIdent, "variable name")
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: name.text, Type: t, Line: name.line, Col: name.col}
+	if ok, err := p.accept(tLBracket); err != nil {
+		return nil, err
+	} else if ok {
+		size := -1
+		if p.tok.kind == tInt {
+			size = int(p.tok.val)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		if ok, err := p.accept(tAssign); err != nil {
+			return nil, err
+		} else if ok {
+			str, err := p.expect(tString, "string initializer")
+			if err != nil {
+				return nil, err
+			}
+			d.Str, d.HasStr = str.text, true
+			if size < 0 {
+				size = len(str.text) + 1 // include NUL terminator
+			}
+		}
+		if size < 0 {
+			return nil, &Error{Line: name.line, Col: name.col,
+				Msg: "array declaration needs a size or string initializer"}
+		}
+		at, aerr := arrayOf(t, size)
+		if aerr != nil {
+			return nil, &Error{Line: name.line, Col: name.col, Msg: aerr.Error()}
+		}
+		d.Type = at
+		return d, nil
+	}
+	if ok, err := p.accept(tAssign); err != nil {
+		return nil, err
+	} else if ok {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, nil
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement.
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	if p.tok.kind != tIdent {
+		return nil, p.errf("expected statement, found %s", p.tok)
+	}
+	name := p.tok
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	switch p.tok.kind {
+	case tLParen:
+		// function call statement
+		call, err := p.parseCallAfterName(name)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: call}, nil
+	case tLBracket:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		lv := &LValue{Name: name.text, Index: idx, Line: name.line, Col: name.col}
+		return p.parseAssignTail(lv)
+	default:
+		lv := &LValue{Name: name.text, Line: name.line, Col: name.col}
+		return p.parseAssignTail(lv)
+	}
+}
+
+func (p *parser) parseAssignTail(lv *LValue) (Stmt, error) {
+	op := p.tok.kind
+	switch op {
+	case tAssign, tPlusAssign, tMinusAssign:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: lv, Op: op, Value: e, Line: lv.Line, Col: lv.Col}, nil
+	case tInc, tDec:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: lv, Op: op, Line: lv.Line, Col: lv.Col}, nil
+	}
+	return nil, p.errf("expected assignment operator, found %s", p.tok)
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tLParen, "'('"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tRParen, "')'"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then}
+	if ok, err := p.accept(tKwElse); err != nil {
+		return nil, err
+	} else if ok {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tLParen, "'('"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tRParen, "')'"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tLParen, "'('"); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{}
+	if p.tok.kind != tSemi {
+		var err error
+		if p.tok.kind == tKwInt || p.tok.kind == tKwByte || p.tok.kind == tKwBool {
+			st.Init, err = p.parseVarDecl()
+		} else {
+			st.Init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tSemi, "';'"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tSemi {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if _, err := p.expect(tSemi, "';'"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tRParen {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(tRParen, "')'"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// --- Expressions (precedence climbing) ---
+
+// Binding powers, loosest first: || && | ^ & ==,!= <,<=,>,>= <<,>> +,- *,/,%
+func binPrec(k tokKind) int {
+	switch k {
+	case tOrOr:
+		return 1
+	case tAndAnd:
+		return 2
+	case tPipe:
+		return 3
+	case tCaret:
+		return 4
+	case tAmp:
+		return 5
+	case tEq, tNe:
+		return 6
+	case tLt, tLe, tGt, tGe:
+		return 7
+	case tShl, tShr:
+		return 8
+	case tPlus, tMinus:
+		return 9
+	case tStar, tSlash, tPercent:
+		return 10
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec := binPrec(p.tok.kind)
+		if prec < minPrec {
+			return lhs, nil
+		}
+		op := p.tok.kind
+		line, col := p.tok.line, p.tok.col
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, L: lhs, R: rhs, Line: line, Col: col}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.tok.kind {
+	case tBang, tMinus, tTilde:
+		op := p.tok.kind
+		line, col := p.tok.line, p.tok.col
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x, Line: line, Col: col}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tInt:
+		e := &IntLit{Val: p.tok.val, Line: p.tok.line, Col: p.tok.col}
+		return e, p.advance()
+	case tChar:
+		e := &IntLit{Val: p.tok.val, IsChar: true, Line: p.tok.line, Col: p.tok.col}
+		return e, p.advance()
+	case tKwTrue:
+		e := &BoolLit{Val: true, Line: p.tok.line, Col: p.tok.col}
+		return e, p.advance()
+	case tKwFalse:
+		e := &BoolLit{Val: false, Line: p.tok.line, Col: p.tok.col}
+		return e, p.advance()
+	case tLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tRParen, "')'")
+		return e, err
+	case tIdent:
+		name := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.kind {
+		case tLParen:
+			return p.parseCallAfterName(name)
+		case tLBracket:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: name.text, Index: idx, Line: name.line, Col: name.col}, nil
+		}
+		return &Ident{Name: name.text, Line: name.line, Col: name.col}, nil
+	}
+	return nil, p.errf("expected expression, found %s", p.tok)
+}
+
+func (p *parser) parseCallAfterName(name token) (Expr, error) {
+	if _, err := p.expect(tLParen, "'('"); err != nil {
+		return nil, err
+	}
+	call := &CallExpr{Name: name.text, Line: name.line, Col: name.col}
+	for p.tok.kind != tRParen {
+		if len(call.Args) > 0 {
+			if _, err := p.expect(tComma, "','"); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, a)
+	}
+	return call, p.advance()
+}

@@ -1,0 +1,393 @@
+// Package lang implements MiniC, the small C-like language in which the
+// COREUTILS models and examples are written, together with its compiler to
+// the symmerge/internal/ir three-address representation.
+//
+// MiniC is deliberately close to the C subset the paper's evaluation
+// exercises: scalar ints/bytes/bools, fixed-size arrays, functions,
+// short-circuit conditions (compiled to real branches, as LLVM does),
+// loops, and intrinsics for symbolic input (argc/argchar/stdin/sym_*),
+// assumptions and assertions.
+package lang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tChar
+	tString
+
+	// punctuation
+	tLParen
+	tRParen
+	tLBrace
+	tRBrace
+	tLBracket
+	tRBracket
+	tComma
+	tSemi
+
+	// operators
+	tAssign
+	tPlusAssign
+	tMinusAssign
+	tPlus
+	tMinus
+	tStar
+	tSlash
+	tPercent
+	tAmp
+	tPipe
+	tCaret
+	tTilde
+	tShl
+	tShr
+	tBang
+	tAndAnd
+	tOrOr
+	tEq
+	tNe
+	tLt
+	tLe
+	tGt
+	tGe
+	tInc
+	tDec
+
+	// keywords
+	tKwInt
+	tKwByte
+	tKwBool
+	tKwVoid
+	tKwIf
+	tKwElse
+	tKwWhile
+	tKwFor
+	tKwReturn
+	tKwBreak
+	tKwContinue
+	tKwTrue
+	tKwFalse
+)
+
+var keywords = map[string]tokKind{
+	"int": tKwInt, "byte": tKwByte, "bool": tKwBool, "void": tKwVoid,
+	"if": tKwIf, "else": tKwElse, "while": tKwWhile, "for": tKwFor,
+	"return": tKwReturn, "break": tKwBreak, "continue": tKwContinue,
+	"true": tKwTrue, "false": tKwFalse,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // tInt, tChar
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tIdent, tInt:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a positioned compile error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(format string, args ...interface{}) *Error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) nextByte() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.nextByte()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.nextByte()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.nextByte()
+			l.nextByte()
+			closed := false
+			for l.pos+1 < len(l.src) {
+				if l.peekByte() == '*' && l.src[l.pos+1] == '/' {
+					l.nextByte()
+					l.nextByte()
+					closed = true
+					break
+				}
+				l.nextByte()
+			}
+			if !closed {
+				return l.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	mk := func(k tokKind, text string) token {
+		return token{kind: k, text: text, line: line, col: col}
+	}
+	if l.pos >= len(l.src) {
+		return mk(tEOF, ""), nil
+	}
+	c := l.nextByte()
+	switch {
+	case isIdentStart(c):
+		start := l.pos - 1
+		for l.pos < len(l.src) && isIdentCont(l.peekByte()) {
+			l.nextByte()
+		}
+		text := l.src[start:l.pos]
+		if k, ok := keywords[text]; ok {
+			return mk(k, text), nil
+		}
+		return mk(tIdent, text), nil
+	case unicode.IsDigit(rune(c)):
+		start := l.pos - 1
+		base := int64(10)
+		if c == '0' && l.pos < len(l.src) && (l.peekByte() == 'x' || l.peekByte() == 'X') {
+			l.nextByte()
+			base = 16
+		}
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.peekByte())) ||
+			(base == 16 && isHexDigit(l.peekByte()))) {
+			l.nextByte()
+		}
+		text := l.src[start:l.pos]
+		var v int64
+		var err error
+		if base == 16 {
+			v, err = parseInt(text[2:], 16)
+		} else {
+			v, err = parseInt(text, 10)
+		}
+		if err != nil {
+			return token{}, &Error{Line: line, Col: col, Msg: "invalid integer literal " + text}
+		}
+		t := mk(tInt, text)
+		t.val = v
+		return t, nil
+	case c == '\'':
+		v, err := l.scanCharBody()
+		if err != nil {
+			return token{}, err
+		}
+		if l.pos >= len(l.src) || l.nextByte() != '\'' {
+			return token{}, &Error{Line: line, Col: col, Msg: "unterminated character literal"}
+		}
+		t := mk(tChar, "")
+		t.val = int64(v)
+		return t, nil
+	case c == '"':
+		var buf []byte
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, &Error{Line: line, Col: col, Msg: "unterminated string literal"}
+			}
+			if l.peekByte() == '"' {
+				l.nextByte()
+				break
+			}
+			v, err := l.scanCharBody()
+			if err != nil {
+				return token{}, err
+			}
+			buf = append(buf, v)
+		}
+		return mk(tString, string(buf)), nil
+	}
+	two := func(second byte, k2, k1 tokKind) token {
+		if l.peekByte() == second {
+			l.nextByte()
+			return mk(k2, string(c)+string(second))
+		}
+		return mk(k1, string(c))
+	}
+	switch c {
+	case '(':
+		return mk(tLParen, "("), nil
+	case ')':
+		return mk(tRParen, ")"), nil
+	case '{':
+		return mk(tLBrace, "{"), nil
+	case '}':
+		return mk(tRBrace, "}"), nil
+	case '[':
+		return mk(tLBracket, "["), nil
+	case ']':
+		return mk(tRBracket, "]"), nil
+	case ',':
+		return mk(tComma, ","), nil
+	case ';':
+		return mk(tSemi, ";"), nil
+	case '+':
+		if l.peekByte() == '+' {
+			l.nextByte()
+			return mk(tInc, "++"), nil
+		}
+		return two('=', tPlusAssign, tPlus), nil
+	case '-':
+		if l.peekByte() == '-' {
+			l.nextByte()
+			return mk(tDec, "--"), nil
+		}
+		return two('=', tMinusAssign, tMinus), nil
+	case '*':
+		return mk(tStar, "*"), nil
+	case '/':
+		return mk(tSlash, "/"), nil
+	case '%':
+		return mk(tPercent, "%"), nil
+	case '~':
+		return mk(tTilde, "~"), nil
+	case '^':
+		return mk(tCaret, "^"), nil
+	case '&':
+		return two('&', tAndAnd, tAmp), nil
+	case '|':
+		return two('|', tOrOr, tPipe), nil
+	case '!':
+		return two('=', tNe, tBang), nil
+	case '=':
+		return two('=', tEq, tAssign), nil
+	case '<':
+		if l.peekByte() == '<' {
+			l.nextByte()
+			return mk(tShl, "<<"), nil
+		}
+		return two('=', tLe, tLt), nil
+	case '>':
+		if l.peekByte() == '>' {
+			l.nextByte()
+			return mk(tShr, ">>"), nil
+		}
+		return two('=', tGe, tGt), nil
+	}
+	return token{}, &Error{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func (l *lexer) scanCharBody() (byte, error) {
+	if l.pos >= len(l.src) {
+		return 0, l.errf("unterminated literal")
+	}
+	c := l.nextByte()
+	if c != '\\' {
+		return c, nil
+	}
+	if l.pos >= len(l.src) {
+		return 0, l.errf("unterminated escape")
+	}
+	e := l.nextByte()
+	switch e {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return e, nil
+	}
+	return 0, l.errf("unknown escape \\%c", e)
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func parseInt(s string, base int64) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	var v int64
+	for i := 0; i < len(s); i++ {
+		var d int64
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad digit %q", c)
+		}
+		if d >= base {
+			return 0, fmt.Errorf("digit %q out of range for base %d", c, base)
+		}
+		v = v*base + d
+		if v > 1<<40 {
+			return 0, fmt.Errorf("literal too large")
+		}
+	}
+	return v, nil
+}

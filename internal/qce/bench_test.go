@@ -1,0 +1,45 @@
+package qce_test
+
+// Benchmarks for the static analysis itself: the paper notes short runs are
+// "dominated by the constant overhead of our static analysis" (§5.1), so
+// the analysis cost per program is worth tracking.
+
+import (
+	"testing"
+
+	"symmerge/internal/coreutils"
+	"symmerge/internal/ir"
+	"symmerge/internal/lang"
+	"symmerge/internal/qce"
+)
+
+func BenchmarkAnalyzeEcho(b *testing.B) {
+	p, err := lang.Compile(echoSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qce.Analyze(p, qce.DefaultParams())
+	}
+}
+
+// BenchmarkAnalyzeAllCoreutils runs QCE over the whole model suite — the
+// one-time pre-processing cost a symbolic-execution session pays before the
+// first path executes.
+func BenchmarkAnalyzeAllCoreutils(b *testing.B) {
+	var progs []*ir.Program
+	for _, tool := range coreutils.All() {
+		p, err := lang.Compile(tool.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			qce.Analyze(p, qce.DefaultParams())
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package qce_test
+
+import (
+	"testing"
+
+	"symmerge/internal/ir"
+	"symmerge/internal/lang"
+	"symmerge/internal/qce"
+)
+
+// echoSrc is the paper's Figure 1 running example.
+const echoSrc = `
+void main() {
+    int r = 1;
+    int arg = 1;
+    if (arg < argc()) {
+        if (argchar(arg, 0) == '-' && argchar(arg, 1) == 'n' && argchar(arg, 2) == 0) {
+            r = 0;
+            arg++;
+        }
+    }
+    for (; arg < argc(); arg++) {
+        for (int i = 0; argchar(arg, i) != 0; i++) {
+            putchar(argchar(arg, i));
+        }
+    }
+    if (r != 0) {
+        putchar('\n');
+    }
+}
+`
+
+func analyze(t *testing.T, src string, params qce.Params) (*ir.Program, *qce.Analysis) {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, qce.Analyze(p, params)
+}
+
+func localIndex(fn *ir.Func, name string) int {
+	for i, l := range fn.Locals {
+		if l.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// outerLoopHeader finds the PC of the outer for-loop condition: the first
+// OpArgc after the if-block (the paper's line 7).
+func outerLoopHeader(fn *ir.Func) int {
+	count := 0
+	for pc, in := range fn.Instrs {
+		if in.Op == ir.OpArgc {
+			count++
+			if count == 2 {
+				return pc
+			}
+		}
+	}
+	return -1
+}
+
+// TestEchoWorkedExample pins the paper's §3.2 example: at the outer loop
+// header, arg is hot and r is not (α = 0.5).
+func TestEchoWorkedExample(t *testing.T) {
+	p, a := analyze(t, echoSrc, qce.DefaultParams())
+	fq := a.PerFunc[p.Main.Index]
+	pc := outerLoopHeader(p.Main)
+	if pc < 0 {
+		t.Fatal("could not locate outer loop header")
+	}
+	r := localIndex(p.Main, "r")
+	arg := localIndex(p.Main, "arg")
+	qt := fq.Qt[pc]
+	if qt <= 0 {
+		t.Fatalf("Qt at header is %f", qt)
+	}
+	if got := fq.Qadd[pc][arg]; got <= 0.5*qt {
+		t.Fatalf("Qadd(arg)=%f should exceed α·Qt=%f: arg must be hot", got, 0.5*qt)
+	}
+	if got := fq.Qadd[pc][r]; got > 0.5*qt {
+		t.Fatalf("Qadd(r)=%f should not exceed α·Qt=%f: r must be cold", got, 0.5*qt)
+	}
+	// Hot set at the header must therefore contain arg but not r.
+	hot := fq.HotSet(pc, qt, 0.5, nil)
+	hasArg, hasR := false, false
+	for _, v := range hot {
+		if v == arg {
+			hasArg = true
+		}
+		if v == r {
+			hasR = true
+		}
+	}
+	if !hasArg || hasR {
+		t.Fatalf("hot set %v: want arg in, r out", hot)
+	}
+}
+
+// TestPaperWorkedExampleNumbers reproduces the paper's §3.2 computation
+// exactly: with α=0.5, β=0.6, κ=1 it derives Qadd(7,arg) = β+1 = 1.6,
+// Qadd(7,r) = β+2β² = 1.32, Qt(7) = 1+2β+2β² = 2.92, and H(7) = {arg}.
+//
+// The paper's numbers assume the κ=1-unrolled CFG with exactly three query
+// sites (the branch conditions of lines 7, 8 and 10 of Figure 1) and loop
+// exits falling through to line 10. The program below is that CFG written
+// out: the loops of echo unrolled once, argv[arg][i] stood in by an
+// arithmetic condition so no extra query sites (symbolic-index reads) enter
+// the count. Line numbers map as: L7 = the outer-loop condition, L8 = the
+// inner-loop condition, L9 = the loop body, L10 = the final check of r.
+func TestPaperWorkedExampleNumbers(t *testing.T) {
+	src := `
+void main() {
+    int r = 1;
+    int arg = 1;
+    int i = 0;
+    int n = sym_int();
+    if (arg < n) {             // L7: query site, depends on arg
+        if (arg + i != 0) {    // L8: query site, depends on arg (and i)
+            putchar('x');      // L9: body, no query
+            i++;
+        }
+    }
+    if (r != 0) {              // L10: query site, depends on r
+        putchar('\n');
+    }
+}
+`
+	p, a := analyze(t, src, qce.Params{Alpha: 0.5, Beta: 0.6, Kappa: 1, Zeta: 1})
+	fq := a.PerFunc[p.Main.Index]
+	// Location 7 is the first compare of the L7 condition; every
+	// straight-line instruction before the branch carries the same counts.
+	l7 := -1
+	for pc := range p.Main.Instrs {
+		if p.Main.Instrs[pc].Op == ir.OpLt {
+			l7 = pc
+			break
+		}
+	}
+	if l7 < 0 {
+		t.Fatal("L7 compare not found")
+	}
+	r := localIndex(p.Main, "r")
+	arg := localIndex(p.Main, "arg")
+
+	const eps = 1e-9
+	if got, want := fq.Qt[l7], 2.92; got < want-eps || got > want+eps {
+		t.Errorf("Qt(7) = %v, paper says %v", got, want)
+	}
+	if got, want := fq.Qadd[l7][arg], 1.6; got < want-eps || got > want+eps {
+		t.Errorf("Qadd(7,arg) = %v, paper says %v", got, want)
+	}
+	if got, want := fq.Qadd[l7][r], 1.32; got < want-eps || got > want+eps {
+		t.Errorf("Qadd(7,r) = %v, paper says %v", got, want)
+	}
+	// Equation (2) with α=0.5: H(7) = {arg} (1.6 > 1.46; 1.32 ≤ 1.46).
+	hot := fq.HotSet(l7, fq.Qt[l7], 0.5, nil)
+	if len(hot) != 1 || hot[0] != arg {
+		names := make([]string, len(hot))
+		for i, v := range hot {
+			names[i] = p.Main.Locals[v].Name
+		}
+		t.Errorf("H(7) = %v, paper says {arg}", names)
+	}
+}
+
+// TestQaddBoundedByQt: by construction every per-variable count selects a
+// subset of the query sites counted by Qt, so Qadd(ℓ,v) ≤ Qt(ℓ).
+func TestQaddBoundedByQt(t *testing.T) {
+	p, a := analyze(t, echoSrc, qce.DefaultParams())
+	for fi := range p.Funcs {
+		fq := a.PerFunc[fi]
+		for pc := range fq.Qadd {
+			for v, q := range fq.Qadd[pc] {
+				if q > fq.Qt[pc]+1e-9 {
+					t.Fatalf("f%d pc %d: Qadd(%s)=%f > Qt=%f",
+						fi, pc, p.Funcs[fi].Locals[v].Name, q, fq.Qt[pc])
+				}
+			}
+		}
+	}
+}
+
+// TestHotSetMonotoneInAlpha: growing α can only shrink the hot set.
+func TestHotSetMonotoneInAlpha(t *testing.T) {
+	p, a := analyze(t, echoSrc, qce.DefaultParams())
+	fq := a.PerFunc[p.Main.Index]
+	for pc := 0; pc < len(p.Main.Instrs); pc++ {
+		prev := len(fq.HotSet(pc, fq.Qt[pc], 0.01, nil))
+		for _, alpha := range []float64{0.1, 0.5, 1, 10} {
+			cur := len(fq.HotSet(pc, fq.Qt[pc], alpha, nil))
+			if cur > prev {
+				t.Fatalf("pc %d: hot set grew from %d to %d when α increased", pc, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestDeadVariableNotHot: a variable overwritten before any further use has
+// Qadd = 0 (liveness mask), even though the same register feeds later
+// branches after reinitialization.
+func TestDeadVariableNotHot(t *testing.T) {
+	src := `
+void main() {
+    int i = sym_int();
+    if (i > 0) { putchar('p'); }   // i used here
+    i = 0;                          // i dead right before this
+    for (; i < 3; i++) {
+        putchar('x');
+    }
+}
+`
+	p, a := analyze(t, src, qce.DefaultParams())
+	fq := a.PerFunc[p.Main.Index]
+	i := localIndex(p.Main, "i")
+	// Find the reinitialization instruction (mov i <- 0 outside the decl).
+	reinit := -1
+	for pc := 1; pc < len(p.Main.Instrs); pc++ {
+		in := &p.Main.Instrs[pc]
+		if in.Op == ir.OpMov && in.Dst == i && in.A.IsConst && in.A.Const == 0 {
+			reinit = pc
+		}
+	}
+	if reinit < 0 {
+		t.Fatal("reinitialization not found")
+	}
+	if q := fq.Qadd[reinit][i]; q != 0 {
+		t.Fatalf("Qadd(i)=%f at its kill point, want 0 (dead)", q)
+	}
+	// Right after its initial definition (the mov from the sym_int
+	// temporary), i is live: it feeds the first branch.
+	def := -1
+	for pc := range p.Main.Instrs {
+		in := &p.Main.Instrs[pc]
+		if in.Op == ir.OpMov && in.Dst == i && !in.A.IsConst {
+			def = pc
+			break
+		}
+	}
+	if def < 0 {
+		t.Fatal("initial definition of i not found")
+	}
+	if q := fq.Qadd[def+1][i]; q <= 0 {
+		t.Fatalf("Qadd(i)=%f after definition, want > 0 (live, feeds branch)", q)
+	}
+}
+
+// TestInterproceduralSummaries: a callee that branches on its parameter
+// propagates query counts to the caller's argument variable.
+func TestInterproceduralSummaries(t *testing.T) {
+	src := `
+int classify(int v) {
+    if (v < 0) { return 0 - 1; }
+    if (v == 0) { return 0; }
+    return 1;
+}
+void main() {
+    int x = sym_int();
+    int c = classify(x);
+    putchar(tobyte('0' + c + 1));
+}
+`
+	p, a := analyze(t, src, qce.DefaultParams())
+	classify := p.ByName["classify"]
+	cq := a.PerFunc[classify.Index]
+	if cq.EntryQadd[0] <= 0 {
+		t.Fatalf("classify's parameter summary is %f, want > 0", cq.EntryQadd[0])
+	}
+	// In main, x must inherit the callee's counts right after it is
+	// defined (it is dead before its definition).
+	mq := a.PerFunc[p.Main.Index]
+	x := localIndex(p.Main, "x")
+	def := -1
+	for pc := range p.Main.Instrs {
+		in := &p.Main.Instrs[pc]
+		if in.Op == ir.OpMov && in.Dst == x && !in.A.IsConst {
+			def = pc
+			break
+		}
+	}
+	if def < 0 {
+		t.Fatal("initial definition of x not found")
+	}
+	if q := mq.Qadd[def+1][x]; q <= 0 {
+		t.Fatalf("Qadd(x)=%f after definition, want > 0 via callee summary", q)
+	}
+}
+
+// TestKappaBoundsLoopContribution: a longer unroll bound must not decrease
+// counts, and must strictly increase them for an unbounded loop.
+func TestKappaBoundsLoopContribution(t *testing.T) {
+	src := `
+void main() {
+    int n = sym_int();
+    int i = 0;
+    while (i < n) {
+        putchar('x');
+        i++;
+    }
+}
+`
+	params := qce.DefaultParams()
+	params.Kappa = 2
+	p1, a1 := analyze(t, src, params)
+	params.Kappa = 10
+	_, a2 := analyze(t, src, params)
+	q1 := a1.PerFunc[p1.Main.Index].Qt[0]
+	q2 := a2.PerFunc[p1.Main.Index].Qt[0]
+	if q2 <= q1 {
+		t.Fatalf("Qt with κ=10 (%f) not greater than κ=2 (%f)", q2, q1)
+	}
+}
+
+// TestKnownTripCountCapsUnrolling: a statically counted loop stops
+// accumulating at its trip count even when κ is larger.
+func TestKnownTripCountCapsUnrolling(t *testing.T) {
+	src := `
+void main() {
+    int s = sym_int();
+    for (int i = 0; i < 3; i++) {
+        if (s > i) { putchar('x'); }
+    }
+}
+`
+	params := qce.DefaultParams()
+	params.Kappa = 3
+	p, a3 := analyze(t, src, params)
+	params.Kappa = 30
+	_, a30 := analyze(t, src, params)
+	q3 := a3.PerFunc[p.Main.Index].Qt[0]
+	q30 := a30.PerFunc[p.Main.Index].Qt[0]
+	if diff := q30 - q3; diff > 1e-6 {
+		t.Fatalf("known trip count 3 kept growing with κ: %f vs %f", q3, q30)
+	}
+}
+
+// TestQtMonotoneInBeta: q(ℓ,c) is a polynomial in β with non-negative
+// coefficients (Equation 3 only adds β-scaled successor counts), so raising
+// the branch-feasibility probability must never lower any estimate.
+func TestQtMonotoneInBeta(t *testing.T) {
+	mk := func(beta float64) (*ir.Program, *qce.Analysis) {
+		params := qce.DefaultParams()
+		params.Beta = beta
+		return analyze(t, echoSrc, params)
+	}
+	p, lo := mk(0.55)
+	_, hi := mk(0.95)
+	for fi := range p.Funcs {
+		fl, fh := lo.PerFunc[fi], hi.PerFunc[fi]
+		for pc := range fl.Qt {
+			if fh.Qt[pc] < fl.Qt[pc]-1e-9 {
+				t.Fatalf("f%d pc %d: Qt dropped from %f to %f when β rose",
+					fi, pc, fl.Qt[pc], fh.Qt[pc])
+			}
+			for v := range fl.Qadd[pc] {
+				if fh.Qadd[pc][v] < fl.Qadd[pc][v]-1e-9 {
+					t.Fatalf("f%d pc %d: Qadd(%d) dropped from %f to %f when β rose",
+						fi, pc, v, fl.Qadd[pc][v], fh.Qadd[pc][v])
+				}
+			}
+		}
+	}
+}
+
+// TestEstimatesNonNegativeAndFinite guards the table construction against
+// sign or divergence bugs across every registered location of a program with
+// nested loops, calls, and early exits.
+func TestEstimatesNonNegativeAndFinite(t *testing.T) {
+	src := `
+int helper(int v) {
+    for (int i = 0; i < v; i++) {
+        if (i % 2 == 0) { putchar('h'); }
+    }
+    return v + 1;
+}
+void main() {
+    int n = sym_int();
+    if (n < 0) { halt(1); }
+    int m = helper(n);
+    while (m > 0) {
+        m = m - helper(m % 3);
+        if (m == 7) { break; }
+    }
+    putchar('.');
+}
+`
+	p, a := analyze(t, src, qce.DefaultParams())
+	for fi := range p.Funcs {
+		fq := a.PerFunc[fi]
+		for pc := range fq.Qt {
+			q := fq.Qt[pc]
+			if q < 0 || q != q || q > 1e18 {
+				t.Fatalf("f%d pc %d: Qt=%v out of range", fi, pc, q)
+			}
+			for v, qa := range fq.Qadd[pc] {
+				if qa < 0 || qa != qa || qa > 1e18 {
+					t.Fatalf("f%d pc %d: Qadd(%d)=%v out of range", fi, pc, v, qa)
+				}
+			}
+		}
+	}
+}
+
+// TestZeroParamsNormalized: Analyze must tolerate zero-valued params.
+func TestZeroParamsNormalized(t *testing.T) {
+	p, err := lang.Compile(`void main() { putchar('x'); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := qce.Analyze(p, qce.Params{})
+	if a.Params.Beta <= 0 || a.Params.Kappa <= 0 {
+		t.Fatalf("params not normalized: %+v", a.Params)
+	}
+}
+
+// TestStringOutput exercises the debug printer.
+func TestStringOutput(t *testing.T) {
+	p, a := analyze(t, echoSrc, qce.DefaultParams())
+	s := a.PerFunc[p.Main.Index].String()
+	if len(s) == 0 {
+		t.Fatal("empty table dump")
+	}
+}

@@ -1,0 +1,214 @@
+// Package search provides the exploration strategies ("pickNext" in the
+// paper's Algorithm 1) that drive the symbolic execution engine: DFS, BFS,
+// seeded random search, a coverage-optimized heuristic in the spirit of
+// KLEE's covnew, and the CFG-topological order used by static state merging.
+//
+// Dynamic state merging itself is not a strategy here: following Algorithm 2
+// it is a layer inside the engine that overrides whatever driving strategy
+// is configured whenever the fast-forwarding set is non-empty.
+package search
+
+import (
+	"math/rand"
+
+	"symmerge/internal/core"
+)
+
+// Kind names a strategy.
+type Kind string
+
+// Strategy kinds.
+const (
+	DFS      Kind = "dfs"
+	BFS      Kind = "bfs"
+	Random   Kind = "random"
+	Coverage Kind = "coverage"
+	Topo     Kind = "topo" // CFG topological order (for SSM)
+)
+
+// New builds a strategy. ctx is the engine (its StrategyContext view); seed
+// feeds the deterministic RNG of the randomized strategies.
+func New(kind Kind, ctx core.StrategyContext, seed int64) core.Strategy {
+	switch kind {
+	case DFS:
+		return &stackStrategy{lifo: true}
+	case BFS:
+		return &stackStrategy{}
+	case Random:
+		return &randomStrategy{rng: rand.New(rand.NewSource(seed)), pos: map[*core.State]int{}}
+	case Coverage:
+		return &coverageStrategy{
+			ctx: ctx,
+			rng: rand.New(rand.NewSource(seed)),
+			pos: map[*core.State]int{},
+		}
+	case Topo:
+		return &topoStrategy{ctx: ctx, pos: map[*core.State]int{}}
+	default:
+		return &stackStrategy{lifo: true}
+	}
+}
+
+// --- DFS / BFS ---
+
+// stackStrategy explores newest-first (DFS) or oldest-first (BFS).
+type stackStrategy struct {
+	lifo  bool
+	items []*core.State
+}
+
+func (s *stackStrategy) Add(st *core.State) { s.items = append(s.items, st) }
+
+func (s *stackStrategy) Remove(st *core.State) {
+	for i, x := range s.items {
+		if x == st {
+			s.items = append(s.items[:i], s.items[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *stackStrategy) Pick() *core.State {
+	if len(s.items) == 0 {
+		return nil
+	}
+	if s.lifo {
+		return s.items[len(s.items)-1]
+	}
+	return s.items[0]
+}
+
+func (s *stackStrategy) Len() int { return len(s.items) }
+
+// --- Random ---
+
+// randomStrategy picks uniformly at random with a deterministic seed
+// (KLEE's random-state search, used by the paper for complete explorations).
+type randomStrategy struct {
+	rng   *rand.Rand
+	items []*core.State
+	pos   map[*core.State]int
+}
+
+func (s *randomStrategy) Add(st *core.State) {
+	s.pos[st] = len(s.items)
+	s.items = append(s.items, st)
+}
+
+func (s *randomStrategy) Remove(st *core.State) {
+	i, ok := s.pos[st]
+	if !ok {
+		return
+	}
+	last := len(s.items) - 1
+	s.items[i] = s.items[last]
+	s.pos[s.items[i]] = i
+	s.items = s.items[:last]
+	delete(s.pos, st)
+}
+
+func (s *randomStrategy) Pick() *core.State {
+	if len(s.items) == 0 {
+		return nil
+	}
+	return s.items[s.rng.Intn(len(s.items))]
+}
+
+func (s *randomStrategy) Len() int { return len(s.items) }
+
+// --- Coverage-optimized ---
+
+// coverageStrategy prioritizes states whose next instruction is uncovered
+// (KLEE's coverage-optimized search [6], simplified): uncovered-next states
+// are picked first (round-robin among them); otherwise a uniformly random
+// state, biasing exploration toward new code instead of deeper loop
+// unrollings (paper §2.2, §5.5).
+type coverageStrategy struct {
+	ctx   core.StrategyContext
+	rng   *rand.Rand
+	items []*core.State
+	pos   map[*core.State]int
+}
+
+func (s *coverageStrategy) Add(st *core.State) {
+	s.pos[st] = len(s.items)
+	s.items = append(s.items, st)
+}
+
+func (s *coverageStrategy) Remove(st *core.State) {
+	i, ok := s.pos[st]
+	if !ok {
+		return
+	}
+	last := len(s.items) - 1
+	s.items[i] = s.items[last]
+	s.pos[s.items[i]] = i
+	s.items = s.items[:last]
+	delete(s.pos, st)
+}
+
+func (s *coverageStrategy) Pick() *core.State {
+	if len(s.items) == 0 {
+		return nil
+	}
+	// Prefer a state sitting at uncovered code; sample a bounded number
+	// of random probes so Pick stays O(1)-ish on huge worklists.
+	probes := len(s.items)
+	if probes > 64 {
+		probes = 64
+	}
+	start := s.rng.Intn(len(s.items))
+	for k := 0; k < probes; k++ {
+		st := s.items[(start+k)%len(s.items)]
+		if !s.ctx.IsCovered(st.Loc()) {
+			return st
+		}
+	}
+	return s.items[s.rng.Intn(len(s.items))]
+}
+
+func (s *coverageStrategy) Len() int { return len(s.items) }
+
+// --- Topological (SSM) ---
+
+// topoStrategy always picks the topologically earliest state, realizing the
+// exploration order of static state merging: all predecessors of a join
+// point execute before any state at the join point, maximizing merge
+// opportunities (paper §2.2 "static state merging", §5.4).
+type topoStrategy struct {
+	ctx   core.StrategyContext
+	items []*core.State
+	pos   map[*core.State]int
+}
+
+func (s *topoStrategy) Add(st *core.State) {
+	s.pos[st] = len(s.items)
+	s.items = append(s.items, st)
+}
+
+func (s *topoStrategy) Remove(st *core.State) {
+	i, ok := s.pos[st]
+	if !ok {
+		return
+	}
+	last := len(s.items) - 1
+	s.items[i] = s.items[last]
+	s.pos[s.items[i]] = i
+	s.items = s.items[:last]
+	delete(s.pos, st)
+}
+
+func (s *topoStrategy) Pick() *core.State {
+	if len(s.items) == 0 {
+		return nil
+	}
+	best := s.items[0]
+	for _, st := range s.items[1:] {
+		if s.ctx.TopoLess(st, best) {
+			best = st
+		}
+	}
+	return best
+}
+
+func (s *topoStrategy) Len() int { return len(s.items) }

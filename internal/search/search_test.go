@@ -1,0 +1,228 @@
+package search
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"symmerge/internal/core"
+	"symmerge/internal/ir"
+)
+
+// fakeCtx implements core.StrategyContext with scripted answers.
+type fakeCtx struct {
+	covered map[ir.Loc]bool
+}
+
+func (f *fakeCtx) IsCovered(l ir.Loc) bool { return f.covered[l] }
+
+func (f *fakeCtx) TopoLess(a, b *core.State) bool {
+	la, lb := a.Loc(), b.Loc()
+	if la.Fn != lb.Fn {
+		return la.Fn < lb.Fn
+	}
+	if la.PC != lb.PC {
+		return la.PC < lb.PC
+	}
+	return a.ID < b.ID
+}
+
+// mkState fabricates a minimal state at a location.
+func mkState(id uint64, pc int) *core.State {
+	return &core.State{
+		ID:     id,
+		Frames: []*core.Frame{{Fn: 0, PC: pc, RetDst: -1}},
+		Mult:   big.NewInt(1),
+	}
+}
+
+func TestDFSOrder(t *testing.T) {
+	s := New(DFS, &fakeCtx{}, 0)
+	a, b, c := mkState(1, 0), mkState(2, 1), mkState(3, 2)
+	s.Add(a)
+	s.Add(b)
+	s.Add(c)
+	if s.Pick() != c {
+		t.Fatal("DFS must pick the newest state")
+	}
+	s.Remove(c)
+	if s.Pick() != b {
+		t.Fatal("DFS must pick the next newest")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestBFSOrder(t *testing.T) {
+	s := New(BFS, &fakeCtx{}, 0)
+	a, b := mkState(1, 0), mkState(2, 1)
+	s.Add(a)
+	s.Add(b)
+	if s.Pick() != a {
+		t.Fatal("BFS must pick the oldest state")
+	}
+}
+
+func TestPickDoesNotRemove(t *testing.T) {
+	for _, kind := range []Kind{DFS, BFS, Random, Coverage, Topo} {
+		s := New(kind, &fakeCtx{covered: map[ir.Loc]bool{}}, 1)
+		a := mkState(1, 0)
+		s.Add(a)
+		if s.Pick() == nil || s.Len() != 1 {
+			t.Fatalf("%s: Pick consumed the state", kind)
+		}
+		if s.Pick() != a {
+			t.Fatalf("%s: Pick unstable on singleton", kind)
+		}
+	}
+}
+
+func TestRandomDeterministicBySeed(t *testing.T) {
+	mk := func(seed int64) []uint64 {
+		s := New(Random, &fakeCtx{}, seed)
+		for i := uint64(1); i <= 10; i++ {
+			s.Add(mkState(i, int(i)))
+		}
+		var picks []uint64
+		for s.Len() > 0 {
+			p := s.Pick()
+			picks = append(picks, p.ID)
+			s.Remove(p)
+		}
+		return picks
+	}
+	p1, p2 := mk(42), mk(42)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed produced different pick order")
+		}
+	}
+	p3 := mk(43)
+	same := true
+	for i := range p1 {
+		if p1[i] != p3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical order (suspicious)")
+	}
+}
+
+func TestCoveragePrefersUncovered(t *testing.T) {
+	ctx := &fakeCtx{covered: map[ir.Loc]bool{
+		{Fn: 0, PC: 0}: true,
+		{Fn: 0, PC: 1}: true,
+	}}
+	s := New(Coverage, ctx, 7)
+	covered1 := mkState(1, 0)
+	covered2 := mkState(2, 1)
+	fresh := mkState(3, 9) // uncovered location
+	s.Add(covered1)
+	s.Add(covered2)
+	s.Add(fresh)
+	for i := 0; i < 20; i++ {
+		if s.Pick() != fresh {
+			t.Fatal("coverage strategy ignored the uncovered state")
+		}
+	}
+}
+
+func TestTopoPicksEarliest(t *testing.T) {
+	s := New(Topo, &fakeCtx{}, 0)
+	late := mkState(1, 9)
+	early := mkState(2, 1)
+	mid := mkState(3, 4)
+	s.Add(late)
+	s.Add(early)
+	s.Add(mid)
+	if s.Pick() != early {
+		t.Fatal("topo strategy must pick the topologically earliest state")
+	}
+	s.Remove(early)
+	if s.Pick() != mid {
+		t.Fatal("topo strategy order wrong after removal")
+	}
+}
+
+func TestRemoveAbsentIsNoop(t *testing.T) {
+	for _, kind := range []Kind{DFS, BFS, Random, Coverage, Topo} {
+		s := New(kind, &fakeCtx{covered: map[ir.Loc]bool{}}, 1)
+		a := mkState(1, 0)
+		s.Remove(a) // must not panic
+		s.Add(a)
+		s.Remove(a)
+		s.Remove(a)
+		if s.Len() != 0 {
+			t.Fatalf("%s: Len = %d after removals", kind, s.Len())
+		}
+		if s.Pick() != nil {
+			t.Fatalf("%s: Pick on empty returned a state", kind)
+		}
+	}
+}
+
+// TestFuzzStrategyInvariants drives every strategy with a random Add /
+// Remove / Pick sequence and checks the worklist-container contract the
+// engine relies on: Len tracks membership, Pick returns a current member
+// (never a removed state, never nil while non-empty), and removal of the
+// picked state always succeeds.
+func TestFuzzStrategyInvariants(t *testing.T) {
+	for _, kind := range []Kind{DFS, BFS, Random, Coverage, Topo} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			s := New(kind, &fakeCtx{covered: map[ir.Loc]bool{}}, 5)
+			member := map[*core.State]bool{}
+			var pool []*core.State
+			nextID := uint64(1)
+			for step := 0; step < 3000; step++ {
+				switch rng.Intn(3) {
+				case 0: // add a fresh state
+					st := mkState(nextID, int(nextID%17))
+					nextID++
+					pool = append(pool, st)
+					s.Add(st)
+					member[st] = true
+				case 1: // remove a random member (or a non-member: no-op)
+					if len(pool) == 0 {
+						continue
+					}
+					st := pool[rng.Intn(len(pool))]
+					s.Remove(st)
+					delete(member, st)
+				default: // pick
+					st := s.Pick()
+					if len(member) == 0 {
+						if st != nil {
+							t.Fatalf("step %d: Pick returned %v from empty worklist", step, st)
+						}
+						continue
+					}
+					if st == nil {
+						t.Fatalf("step %d: Pick returned nil with %d members", step, len(member))
+					}
+					if !member[st] {
+						t.Fatalf("step %d: Pick returned removed state %d", step, st.ID)
+					}
+				}
+				if s.Len() != len(member) {
+					t.Fatalf("step %d: Len=%d, membership=%d", step, s.Len(), len(member))
+				}
+			}
+		})
+	}
+}
+
+func TestUnknownKindFallsBack(t *testing.T) {
+	s := New(Kind("bogus"), &fakeCtx{}, 0)
+	if s == nil {
+		t.Fatal("unknown kind returned nil strategy")
+	}
+	a := mkState(1, 0)
+	s.Add(a)
+	if s.Pick() != a {
+		t.Fatal("fallback strategy unusable")
+	}
+}

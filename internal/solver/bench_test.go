@@ -1,0 +1,85 @@
+package solver
+
+// Micro-benchmarks for the bit-blasting frontend and the KLEE-style solver
+// optimizations (counterexample cache, independence slicing, model reuse).
+
+import (
+	"testing"
+
+	"symmerge/internal/expr"
+)
+
+// addersQuery builds x0 + x1 + ... + x(n-1) == target over 16-bit vars.
+func addersQuery(b *expr.Builder, n int, target uint64) []*expr.Expr {
+	sum := b.Const(0, 16)
+	for i := 0; i < n; i++ {
+		sum = b.Add(sum, b.Var("x"+string(rune('a'+i)), 16))
+	}
+	return []*expr.Expr{b.Eq(sum, b.Const(target, 16))}
+}
+
+func BenchmarkBlastAdderChain(b *testing.B) {
+	eb := expr.NewBuilder()
+	cs := addersQuery(eb, 6, 1234)
+	for i := 0; i < b.N; i++ {
+		s := New(Options{}) // fresh solver: no caching, pure blast+solve
+		ok, _, err := s.CheckSat(cs)
+		if err != nil || !ok {
+			b.Fatalf("adder chain: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkBlastIteChain(b *testing.B) {
+	// A deep ite chain over one byte — the expression shape state merging
+	// produces (the cost QCE exists to predict).
+	eb := expr.NewBuilder()
+	x := eb.Var("x", 8)
+	v := eb.Const(0, 8)
+	for i := 0; i < 48; i++ {
+		v = eb.Ite(eb.Eq(x, eb.Const(uint64(i), 8)), eb.Const(uint64(i*3), 8), v)
+	}
+	cs := []*expr.Expr{eb.Eq(v, eb.Const(60, 8))}
+	for i := 0; i < b.N; i++ {
+		s := New(Options{})
+		ok, _, err := s.CheckSat(cs)
+		if err != nil || !ok {
+			b.Fatalf("ite chain: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkCexCacheHitPath(b *testing.B) {
+	// Repeated identical queries: after the first call everything is a
+	// cache hit, measuring the lookup overhead the engine pays per branch.
+	eb := expr.NewBuilder()
+	s := New(DefaultOptions())
+	cs := addersQuery(eb, 4, 99)
+	if ok, _, err := s.CheckSat(cs); err != nil || !ok {
+		b.Fatalf("warmup: ok=%v err=%v", ok, err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _, _ := s.CheckSat(cs); !ok {
+			b.Fatal("cached query flipped")
+		}
+	}
+}
+
+func BenchmarkIndependenceSlicing(b *testing.B) {
+	// Many independent conjuncts; slicing should keep per-query SAT
+	// instances small even as the path condition grows.
+	eb := expr.NewBuilder()
+	var cs []*expr.Expr
+	for i := 0; i < 24; i++ {
+		v := eb.Var("v"+string(rune('a'+i)), 8)
+		cs = append(cs, eb.Ult(v, eb.Const(uint64(10+i), 8)))
+	}
+	for i := 0; i < b.N; i++ {
+		s := New(DefaultOptions())
+		ok, _, err := s.CheckSat(cs)
+		if err != nil || !ok {
+			b.Fatalf("sliced query: ok=%v err=%v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package solver
+
+// cexCache is the counterexample cache: it memoizes the result (and model,
+// when sat) of previously solved constraint sets, keyed by the canonical
+// query key. This mirrors KLEE's CexCachingSolver, which the paper's
+// baseline relies on; merged states re-issue many structurally identical
+// feasibility queries, so the hit rate directly shapes the measured
+// trade-off between merging and solving.
+type cexCache struct {
+	entries map[string]cexEntry
+	// Bounded size with coarse eviction: when the cache exceeds maxEntries
+	// it is reset. Symbolic-execution workloads churn through query keys
+	// as the path condition grows, so an LRU would mostly age out anyway;
+	// the reset keeps memory bounded with O(1) bookkeeping.
+	maxEntries int
+}
+
+type cexEntry struct {
+	sat   bool
+	model Model
+}
+
+const defaultCacheSize = 1 << 16
+
+func newCexCache() *cexCache {
+	return &cexCache{
+		entries:    make(map[string]cexEntry, 1024),
+		maxEntries: defaultCacheSize,
+	}
+}
+
+func (c *cexCache) lookup(key string) (satisfiable bool, model Model, ok bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		return false, nil, false
+	}
+	return e.sat, e.model, true
+}
+
+func (c *cexCache) insert(key string, satisfiable bool, model Model) {
+	if len(c.entries) >= c.maxEntries {
+		c.entries = make(map[string]cexEntry, 1024)
+	}
+	c.entries[key] = cexEntry{sat: satisfiable, model: model}
+}
+
+// Len reports the number of cached queries (used by tests).
+func (c *cexCache) Len() int { return len(c.entries) }

@@ -1,0 +1,118 @@
+package solver
+
+// Property-based tests with testing/quick: the bit-blasted solver must
+// agree with concrete arithmetic on pinned inputs and always return models
+// that satisfy the constraints.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"symmerge/internal/expr"
+)
+
+func TestQuickPinnedArithmetic(t *testing.T) {
+	b := expr.NewBuilder()
+	x := b.Var("x", 16)
+	y := b.Var("y", 16)
+	s := New(Options{})
+	f := func(xv, yv uint16) bool {
+		// x = xv ∧ y = yv ∧ x+y = (xv+yv mod 2^16) must be sat;
+		// replacing the sum with a wrong value must be unsat.
+		sum := b.Add(x, y)
+		good := []*expr.Expr{
+			b.Eq(x, b.Const(uint64(xv), 16)),
+			b.Eq(y, b.Const(uint64(yv), 16)),
+			b.Eq(sum, b.Const(uint64(xv+yv), 16)),
+		}
+		ok, m, err := s.CheckSat(good)
+		if err != nil || !ok {
+			return false
+		}
+		if m[x] != uint64(xv) || m[y] != uint64(yv) {
+			return false
+		}
+		bad := []*expr.Expr{
+			b.Eq(x, b.Const(uint64(xv), 16)),
+			b.Eq(y, b.Const(uint64(yv), 16)),
+			b.Eq(sum, b.Const(uint64(xv+yv)+1, 16)),
+		}
+		ok, _, err = s.CheckSat(bad)
+		return err == nil && !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulDivInverse(t *testing.T) {
+	b := expr.NewBuilder()
+	x := b.Var("x", 12)
+	s := New(Options{})
+	f := func(raw uint16) bool {
+		v := uint64(raw) & 0xfff
+		// (x * 3) udiv 3 == x whenever x*3 does not wrap: pick v small.
+		v %= 1000
+		cs := []*expr.Expr{
+			b.Eq(x, b.Const(v, 12)),
+			b.Eq(b.UDiv(b.Mul(x, b.Const(3, 12)), b.Const(3, 12)), b.Const(v, 12)),
+		}
+		ok, _, err := s.CheckSat(cs)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickModelsSatisfyConstraints(t *testing.T) {
+	b := expr.NewBuilder()
+	x := b.Var("x", 8)
+	y := b.Var("y", 8)
+	s := New(DefaultOptions())
+	f := func(lo, hi uint8, mask uint8) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cs := []*expr.Expr{
+			b.Uge(x, b.Const(uint64(lo), 8)),
+			b.Ule(x, b.Const(uint64(hi), 8)),
+			b.Eq(b.BAnd(y, b.Const(uint64(mask), 8)), b.Const(0, 8)),
+		}
+		ok, m, err := s.CheckSat(cs)
+		if err != nil {
+			return false
+		}
+		if !ok {
+			return false // the range is always non-empty
+		}
+		env := expr.Env(m)
+		for _, c := range cs {
+			if !expr.EvalBool(c, env) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnsatRanges(t *testing.T) {
+	b := expr.NewBuilder()
+	x := b.Var("x", 8)
+	s := New(DefaultOptions())
+	f := func(pivot uint8) bool {
+		// x < p ∧ x >= p is always unsat.
+		cs := []*expr.Expr{
+			b.Ult(x, b.Const(uint64(pivot), 8)),
+			b.Uge(x, b.Const(uint64(pivot), 8)),
+		}
+		ok, _, err := s.CheckSat(cs)
+		return err == nil && !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package sat
+
+// Micro-benchmarks for the CDCL core: structured-unsat (pigeonhole),
+// random-sat, and incremental-assumption workloads, the three query shapes
+// the bit-blaster produces.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// pigeonholeInstance encodes PHP(n+1, n): n+1 pigeons in n holes, unsat.
+func pigeonholeInstance(s *Solver, n int) {
+	// vars[p][h] = pigeon p sits in hole h.
+	vars := make([][]int, n+1)
+	for p := range vars {
+		vars[p] = make([]int, n)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ { // every pigeon somewhere
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = MkLit(vars[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ { // no two pigeons share a hole
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(vars[p1][h], true), MkLit(vars[p2][h], true))
+			}
+		}
+	}
+}
+
+func BenchmarkPigeonholeUnsat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		pigeonholeInstance(s, 7)
+		if s.Solve() != Unsat {
+			b.Fatal("pigeonhole reported sat")
+		}
+	}
+}
+
+func BenchmarkRandom3SAT(b *testing.B) {
+	// Clause/variable ratio 3.5: mostly satisfiable but non-trivial.
+	const nv, nc = 120, 420
+	rng := rand.New(rand.NewSource(7))
+	type clause [3]Lit
+	clauses := make([]clause, nc)
+	for i := range clauses {
+		for j := 0; j < 3; j++ {
+			clauses[i][j] = MkLit(rng.Intn(nv), rng.Intn(2) == 0)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for v := 0; v < nv; v++ {
+			s.NewVar()
+		}
+		for _, c := range clauses {
+			s.AddClause(c[0], c[1], c[2])
+		}
+		s.Solve()
+	}
+}
+
+func BenchmarkIncrementalAssumptions(b *testing.B) {
+	// One instance, many Solve calls under different assumptions — the
+	// shape the engine's feasibility checks produce on a shared prefix.
+	s := New()
+	const nv = 60
+	vars := make([]int, nv)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+2 < nv; i++ {
+		s.AddClause(MkLit(vars[i], false), MkLit(vars[i+1], true), MkLit(vars[i+2], false))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(MkLit(vars[i%nv], i%2 == 0))
+	}
+}

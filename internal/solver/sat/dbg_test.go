@@ -1,0 +1,34 @@
+package sat
+
+import "testing"
+
+func TestDbgPH(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		s := New()
+		p := make([][]int, n+1)
+		for i := range p {
+			p[i] = make([]int, n)
+			for j := range p[i] {
+				p[i][j] = s.NewVar()
+			}
+		}
+		for i := 0; i <= n; i++ {
+			lits := make([]Lit, n)
+			for j := 0; j < n; j++ {
+				lits[j] = MkLit(p[i][j], false)
+			}
+			s.AddClause(lits...)
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i <= n; i++ {
+				for k := i + 1; k <= n; k++ {
+					s.AddClause(MkLit(p[i][j], true), MkLit(p[k][j], true))
+				}
+			}
+		}
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("pigeonhole(%d): got %v, want unsat", n, got)
+		}
+		t.Logf("n=%d ok, conflicts=%d", n, s.Stats.Conflicts)
+	}
+}

@@ -1,0 +1,90 @@
+package sat
+
+// heap is a max-heap of variables ordered by VSIDS activity, with position
+// tracking so activities can be bumped in place (MiniSat's order heap).
+type heap struct {
+	s    *Solver
+	data []int // variable indices
+	pos  []int // variable -> index in data, -1 if absent
+}
+
+func (h *heap) less(a, b int) bool {
+	return h.s.vars[a].activity > h.s.vars[b].activity
+}
+
+func (h *heap) ensure(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+func (h *heap) push(v int) {
+	h.ensure(v)
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.data = append(h.data, v)
+	h.pos[v] = len(h.data) - 1
+	h.up(len(h.data) - 1)
+}
+
+func (h *heap) pushIfAbsent(v int) { h.push(v) }
+
+func (h *heap) pop() (int, bool) {
+	if len(h.data) == 0 {
+		return 0, false
+	}
+	v := h.data[0]
+	last := len(h.data) - 1
+	h.swap(0, last)
+	h.data = h.data[:last]
+	h.pos[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+// update restores the heap property after v's activity increased.
+func (h *heap) update(v int) {
+	h.ensure(v)
+	if p := h.pos[v]; p >= 0 {
+		h.up(p)
+	}
+}
+
+func (h *heap) swap(i, j int) {
+	h.data[i], h.data[j] = h.data[j], h.data[i]
+	h.pos[h.data[i]] = i
+	h.pos[h.data[j]] = j
+}
+
+func (h *heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.data[i], h.data[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *heap) down(i int) {
+	n := len(h.data)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.data[l], h.data[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.data[r], h.data[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,504 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"symmerge/internal/expr"
+	"symmerge/internal/solver/sat"
+)
+
+// Model is a satisfying assignment, keyed by variable node.
+type Model map[*expr.Expr]uint64
+
+// String renders the model deterministically (sorted by variable name).
+func (m Model) String() string {
+	type kv struct {
+		name string
+		val  uint64
+	}
+	kvs := make([]kv, 0, len(m))
+	for v, val := range m {
+		kvs = append(kvs, kv{v.Name, val})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].name < kvs[j].name })
+	var b strings.Builder
+	for i, e := range kvs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", e.name, e.val)
+	}
+	return b.String()
+}
+
+// Stats counts solver-frontend activity. The engine reads these to report
+// the paper's query metrics.
+type Stats struct {
+	Queries        uint64        // top-level satisfiability questions
+	CacheHits      uint64        // answered by the counterexample cache
+	ModelReuseHits uint64        // answered by re-evaluating a recent model
+	SATCalls       uint64        // queries that reached bit-blasting + CDCL
+	SATTime        time.Duration // time spent inside CDCL (incl. blasting)
+	IndepSliced    uint64        // queries shrunk by independence slicing
+	Timeouts       uint64        // budget-limited unknowns
+}
+
+// Options configures a Solver.
+type Options struct {
+	// EnableCexCache turns on the counterexample cache (KLEE-style).
+	EnableCexCache bool
+	// EnableIndependence turns on constraint-independence slicing.
+	EnableIndependence bool
+	// EnableModelReuse tries recent models before calling SAT.
+	EnableModelReuse bool
+	// ConflictBudget bounds a single CDCL call; 0 means unlimited.
+	ConflictBudget uint64
+}
+
+// DefaultOptions enables every optimization, mirroring the paper's KLEE
+// baseline configuration.
+func DefaultOptions() Options {
+	return Options{
+		EnableCexCache:     true,
+		EnableIndependence: true,
+		EnableModelReuse:   true,
+	}
+}
+
+// ErrBudget is returned when the per-query conflict budget is exhausted.
+var ErrBudget = errors.New("solver: conflict budget exhausted")
+
+// Solver decides satisfiability of conjunctions of boolean expressions.
+type Solver struct {
+	opts  Options
+	cache *cexCache
+	build *expr.Builder // for equality substitution; nil disables it
+
+	// deadline bounds each underlying SAT call in wall-clock time; zero
+	// means none. See SetDeadline.
+	deadline time.Time
+
+	// recentModels is a small ring of models for the reuse fast path.
+	recentModels [8]Model
+	recentNext   int
+
+	Stats Stats
+}
+
+// SetDeadline bounds every subsequent SAT call by the wall clock: a call
+// still running at t returns ErrBudget. The engine propagates its
+// exploration deadline here so one pathological query (giant merged-state
+// ite stores) cannot stall the run past its time budget.
+func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
+
+// New returns a solver with the given options.
+func New(opts Options) *Solver {
+	return &Solver{opts: opts, cache: newCexCache()}
+}
+
+// AttachBuilder enables equality-substitution simplification; the builder
+// must be the one that constructed the query expressions.
+func (s *Solver) AttachBuilder(b *expr.Builder) { s.build = b }
+
+// CheckSat decides whether the conjunction of the constraints is
+// satisfiable. On sat it returns a model covering at least the variables of
+// the constraints. The constraint slice is not modified.
+func (s *Solver) CheckSat(constraints []*expr.Expr) (bool, Model, error) {
+	s.Stats.Queries++
+
+	// Concrete fast path: drop trivially-true conjuncts, fail fast on
+	// trivially-false ones.
+	live := make([]*expr.Expr, 0, len(constraints))
+	for _, c := range constraints {
+		if c.IsTrue() {
+			continue
+		}
+		if c.IsFalse() {
+			return false, nil, nil
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return true, Model{}, nil
+	}
+
+	if s.opts.EnableModelReuse {
+		if m := s.tryRecentModels(live); m != nil {
+			s.Stats.ModelReuseHits++
+			return true, m, nil
+		}
+	}
+
+	key := queryKey(live)
+	if s.opts.EnableCexCache {
+		if res, m, ok := s.cache.lookup(key); ok {
+			s.Stats.CacheHits++
+			return res, m, nil
+		}
+	}
+
+	// Equality substitution: conjuncts pinning a variable to a constant
+	// are folded into the rest of the query before bit-blasting. The
+	// bindings rejoin the model afterwards so callers still see values
+	// for the substituted variables.
+	var binding expr.Env
+	solveSet := live
+	if s.build != nil {
+		solveSet, binding = substituteEqualities(s.build, live)
+	}
+
+	res, m, err := s.checkSliced(solveSet)
+	if err != nil {
+		return false, nil, err
+	}
+	if res && len(binding) > 0 {
+		if m == nil {
+			m = Model{}
+		}
+		for v, val := range binding {
+			m[v] = val
+		}
+	}
+	if s.opts.EnableCexCache {
+		s.cache.insert(key, res, m)
+	}
+	if res && s.opts.EnableModelReuse {
+		s.remember(m)
+	}
+	return res, m, nil
+}
+
+// substituteEqualities rewrites the constraint set using the equalities it
+// contains (KLEE's ConstraintManager simplification): a conjunct of the form
+// `x = const` lets every other conjunct evaluate x concretely, which often
+// collapses whole subtrees before bit-blasting. One pass only — enough for
+// the dominant pattern (branch conditions pinning argv bytes).
+func substituteEqualities(b *expr.Builder, constraints []*expr.Expr) ([]*expr.Expr, expr.Env) {
+	binding := expr.Env{}
+	for _, c := range constraints {
+		switch {
+		case c.Kind == expr.KEq:
+			l, r := c.Kids[0], c.Kids[1]
+			if l.Kind == expr.KVar && r.IsConst() {
+				binding[l] = r.Val
+			} else if r.Kind == expr.KVar && l.IsConst() {
+				binding[r] = l.Val
+			}
+		case c.Kind == expr.KVar:
+			// A bare boolean variable conjunct pins it to true
+			// (the builder folds Eq(b, true) to b).
+			binding[c] = 1
+		case c.Kind == expr.KNot && c.Kids[0].Kind == expr.KVar:
+			binding[c.Kids[0]] = 0
+		}
+	}
+	if len(binding) == 0 {
+		return constraints, nil
+	}
+	out := make([]*expr.Expr, len(constraints))
+	memo := make(map[*expr.Expr]*expr.Expr)
+	for i, c := range constraints {
+		out[i] = substitute(b, c, binding, memo)
+	}
+	return out, binding
+}
+
+// substitute rebuilds e with bound variables replaced by constants. The memo
+// is essential: hash-consed expressions are DAGs with heavy sharing (merged
+// states especially), and an unmemoized walk is exponential in DAG depth.
+func substitute(b *expr.Builder, e *expr.Expr, binding expr.Env, memo map[*expr.Expr]*expr.Expr) *expr.Expr {
+	if !e.IsSymbolic() {
+		return e
+	}
+	if r, ok := memo[e]; ok {
+		return r
+	}
+	if e.Kind == expr.KVar {
+		r := e
+		if v, ok := binding[e]; ok {
+			if e.Width == 0 {
+				r = b.Bool(v != 0)
+			} else {
+				r = b.Const(v, e.Width)
+			}
+		}
+		memo[e] = r
+		return r
+	}
+	kids := make([]*expr.Expr, len(e.Kids))
+	changed := false
+	for i, k := range e.Kids {
+		kids[i] = substitute(b, k, binding, memo)
+		changed = changed || kids[i] != k
+	}
+	r := e
+	if changed {
+		r = rebuild(b, e, kids)
+	}
+	memo[e] = r
+	return r
+}
+
+// rebuild reconstructs a node with new children through the Builder so that
+// folding and simplification apply.
+func rebuild(b *expr.Builder, e *expr.Expr, k []*expr.Expr) *expr.Expr {
+	switch e.Kind {
+	case expr.KNot:
+		return b.Not(k[0])
+	case expr.KAnd:
+		return b.And(k[0], k[1])
+	case expr.KOr:
+		return b.Or(k[0], k[1])
+	case expr.KXor:
+		return b.Xor(k[0], k[1])
+	case expr.KImplies:
+		return b.Implies(k[0], k[1])
+	case expr.KEq:
+		return b.Eq(k[0], k[1])
+	case expr.KUlt:
+		return b.Ult(k[0], k[1])
+	case expr.KUle:
+		return b.Ule(k[0], k[1])
+	case expr.KSlt:
+		return b.Slt(k[0], k[1])
+	case expr.KSle:
+		return b.Sle(k[0], k[1])
+	case expr.KAdd:
+		return b.Add(k[0], k[1])
+	case expr.KSub:
+		return b.Sub(k[0], k[1])
+	case expr.KMul:
+		return b.Mul(k[0], k[1])
+	case expr.KUDiv:
+		return b.UDiv(k[0], k[1])
+	case expr.KURem:
+		return b.URem(k[0], k[1])
+	case expr.KSDiv:
+		return b.SDiv(k[0], k[1])
+	case expr.KSRem:
+		return b.SRem(k[0], k[1])
+	case expr.KBAnd:
+		return b.BAnd(k[0], k[1])
+	case expr.KBOr:
+		return b.BOr(k[0], k[1])
+	case expr.KBXor:
+		return b.BXor(k[0], k[1])
+	case expr.KBNot:
+		return b.BNot(k[0])
+	case expr.KNeg:
+		return b.Neg(k[0])
+	case expr.KShl:
+		return b.Shl(k[0], k[1])
+	case expr.KLShr:
+		return b.LShr(k[0], k[1])
+	case expr.KAShr:
+		return b.AShr(k[0], k[1])
+	case expr.KZExt:
+		return b.ZExt(k[0], e.Width)
+	case expr.KSExt:
+		return b.SExt(k[0], e.Width)
+	case expr.KExtract:
+		return b.Extract(k[0], uint8(e.Aux), e.Width)
+	case expr.KConcat:
+		return b.Concat(k[0], k[1])
+	case expr.KIte:
+		return b.Ite(k[0], k[1], k[2])
+	}
+	panic("solver: rebuild of unexpected kind " + e.Kind.String())
+}
+
+// checkSliced partitions the constraints into independent groups (connected
+// components of the shared-variable graph) and solves each separately; the
+// conjunction is sat iff every component is.
+func (s *Solver) checkSliced(constraints []*expr.Expr) (bool, Model, error) {
+	if !s.opts.EnableIndependence || len(constraints) <= 1 {
+		return s.checkSAT(constraints)
+	}
+	groups := independentGroups(constraints)
+	if len(groups) > 1 {
+		s.Stats.IndepSliced++
+	}
+	model := Model{}
+	for _, g := range groups {
+		res, m, err := s.checkSAT(g)
+		if err != nil {
+			return false, nil, err
+		}
+		if !res {
+			return false, nil, nil
+		}
+		for k, v := range m {
+			model[k] = v
+		}
+	}
+	return true, model, nil
+}
+
+// checkSAT bit-blasts and runs CDCL.
+func (s *Solver) checkSAT(constraints []*expr.Expr) (bool, Model, error) {
+	s.Stats.SATCalls++
+	start := time.Now()
+	defer func() { s.Stats.SATTime += time.Since(start) }()
+
+	ss := sat.New()
+	ss.Budget = s.opts.ConflictBudget
+	ss.Deadline = s.deadline
+	bl := newBlaster(ss)
+	for _, c := range constraints {
+		bl.assertTrue(c)
+	}
+	switch ss.Solve() {
+	case sat.Sat:
+		m := Model{}
+		for v := range bl.vars {
+			m[v] = bl.modelValue(v)
+		}
+		return true, m, nil
+	case sat.Unsat:
+		return false, nil, nil
+	default:
+		s.Stats.Timeouts++
+		return false, nil, ErrBudget
+	}
+}
+
+// tryRecentModels evaluates the constraints under recently found models.
+func (s *Solver) tryRecentModels(constraints []*expr.Expr) Model {
+	for _, m := range s.recentModels {
+		if m == nil {
+			continue
+		}
+		if modelSatisfies(m, constraints) {
+			return m
+		}
+	}
+	return nil
+}
+
+func modelSatisfies(m Model, constraints []*expr.Expr) bool {
+	env := expr.Env(m)
+	for _, c := range constraints {
+		if !expr.EvalBool(c, env) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) remember(m Model) {
+	s.recentModels[s.recentNext] = m
+	s.recentNext = (s.recentNext + 1) % len(s.recentModels)
+}
+
+// --- Derived queries (KLEE's query flavors) ---
+
+// MayBeTrue reports whether cond can be true under the path condition.
+func (s *Solver) MayBeTrue(pc []*expr.Expr, cond *expr.Expr) (bool, error) {
+	if cond.IsTrue() {
+		return true, nil
+	}
+	if cond.IsFalse() {
+		return false, nil
+	}
+	q := append(append([]*expr.Expr{}, pc...), cond)
+	res, _, err := s.CheckSat(q)
+	return res, err
+}
+
+// MustBeTrue reports whether cond holds on every solution of the path
+// condition; notCond must be the negation of cond (the caller owns the
+// expression builder).
+func (s *Solver) MustBeTrue(pc []*expr.Expr, notCond *expr.Expr) (bool, error) {
+	may, err := s.MayBeTrue(pc, notCond)
+	return !may, err
+}
+
+// GetModel returns a satisfying assignment of the path condition, or nil if
+// it is unsatisfiable.
+func (s *Solver) GetModel(pc []*expr.Expr) (Model, error) {
+	res, m, err := s.CheckSat(pc)
+	if err != nil || !res {
+		return nil, err
+	}
+	return m, nil
+}
+
+// --- Independence slicing ---
+
+// independentGroups partitions constraints into connected components of the
+// "shares a variable" graph using a union-find over variables.
+func independentGroups(constraints []*expr.Expr) [][]*expr.Expr {
+	parent := make([]int, len(constraints))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	varOwner := map[*expr.Expr]int{} // variable -> first constraint index
+	varsOf := map[*expr.Expr]bool{}
+	for i, c := range constraints {
+		for k := range varsOf {
+			delete(varsOf, k)
+		}
+		c.Vars(varsOf)
+		for v := range varsOf {
+			if j, ok := varOwner[v]; ok {
+				union(i, j)
+			} else {
+				varOwner[v] = i
+			}
+		}
+	}
+	groupsByRoot := map[int][]*expr.Expr{}
+	var roots []int
+	for i, c := range constraints {
+		r := find(i)
+		if _, ok := groupsByRoot[r]; !ok {
+			roots = append(roots, r)
+		}
+		groupsByRoot[r] = append(groupsByRoot[r], c)
+	}
+	sort.Ints(roots)
+	out := make([][]*expr.Expr, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, groupsByRoot[r])
+	}
+	return out
+}
+
+// queryKey builds a canonical cache key from the constraint set: the sorted,
+// de-duplicated list of expression IDs. IDs are builder-unique, so within
+// one engine run the key identifies the constraint set exactly.
+func queryKey(constraints []*expr.Expr) string {
+	ids := make([]uint64, 0, len(constraints))
+	for _, c := range constraints {
+		ids = append(ids, c.ID())
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	var last uint64 = ^uint64(0)
+	for _, id := range ids {
+		if id == last {
+			continue
+		}
+		last = id
+		fmt.Fprintf(&b, "%x.", id)
+	}
+	return b.String()
+}

@@ -1,0 +1,406 @@
+package symx
+
+// Randomized merge-soundness fuzzing: generate random structured MiniC
+// programs over symbolic argv, explore them with and without merging, and
+// check the invariants the paper's correctness argument rests on:
+//
+//  1. the exact-path shadow census of the merged exploration equals the
+//     plain exploration's path count (merging only groups paths, §1);
+//  2. multiplicity covers the true path count (it may over-estimate, §5.2);
+//  3. every test case generated from a merged state predicts the output its
+//     inputs actually produce (checked by concrete replay — this exercises
+//     the guarded output-stream merging), and merged outputs never invent
+//     behaviour absent from plain exploration.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"symmerge/internal/ir"
+)
+
+// progGen emits random structured programs: straight-line arithmetic over
+// int locals, branches on argv bytes and locals, bounded counted loops, and
+// putchar output. All loops are concretely bounded, so every program
+// terminates under symbolic input.
+type progGen struct {
+	rng    *rand.Rand
+	b      strings.Builder
+	vars   []string
+	indent int
+	budget int // remaining statement budget
+	depth  int
+}
+
+func (g *progGen) line(format string, args ...interface{}) {
+	for i := 0; i < g.indent; i++ {
+		g.b.WriteString("    ")
+	}
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+// intExpr returns a random int-typed expression string.
+func (g *progGen) intExpr(depth int) string {
+	if depth == 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprint(g.rng.Intn(20) - 5)
+		case 1:
+			if len(g.vars) > 0 {
+				return g.vars[g.rng.Intn(len(g.vars))]
+			}
+			return "3"
+		default:
+			return fmt.Sprintf("toint(argchar(1, %d))", g.rng.Intn(2))
+		}
+	}
+	op := []string{"+", "-", "*", "&", "|", "^"}[g.rng.Intn(6)]
+	return fmt.Sprintf("(%s %s %s)", g.intExpr(depth-1), op, g.intExpr(depth-1))
+}
+
+// boolExpr returns a random condition string.
+func (g *progGen) boolExpr(depth int) string {
+	if depth == 0 || g.rng.Intn(2) == 0 {
+		op := []string{"<", "<=", "==", "!="}[g.rng.Intn(4)]
+		return fmt.Sprintf("(%s %s %s)", g.intExpr(1), op, g.intExpr(1))
+	}
+	op := []string{"&&", "||"}[g.rng.Intn(2)]
+	return fmt.Sprintf("(%s %s %s)", g.boolExpr(depth-1), op, g.boolExpr(depth-1))
+}
+
+func (g *progGen) stmt() {
+	if g.budget <= 0 {
+		return
+	}
+	g.budget--
+	switch g.rng.Intn(6) {
+	case 0: // new variable
+		name := fmt.Sprintf("v%d", len(g.vars))
+		g.line("int %s = %s;", name, g.intExpr(2))
+		g.vars = append(g.vars, name)
+	case 1: // assignment
+		if len(g.vars) == 0 {
+			g.stmt()
+			return
+		}
+		g.line("%s = %s;", g.vars[g.rng.Intn(len(g.vars))], g.intExpr(2))
+	case 2: // output
+		g.line("putchar(tobyte(%s & 0x7f));", g.intExpr(1))
+	case 3: // branch
+		if g.depth >= 3 {
+			g.stmt()
+			return
+		}
+		g.depth++
+		g.line("if %s {", g.boolExpr(1))
+		g.indent++
+		g.scoped(func() { g.stmt() })
+		g.indent--
+		if g.rng.Intn(2) == 0 {
+			g.line("} else {")
+			g.indent++
+			g.scoped(func() { g.stmt() })
+			g.indent--
+		}
+		g.line("}")
+		g.depth--
+	case 4: // bounded counted loop
+		if g.depth >= 2 {
+			g.stmt()
+			return
+		}
+		g.depth++
+		idx := fmt.Sprintf("i%d", g.rng.Int63n(1000000))
+		g.line("for (int %s = 0; %s < %d; %s++) {", idx, idx, 1+g.rng.Intn(3), idx)
+		g.indent++
+		g.scoped(func() { g.stmt() })
+		g.indent--
+		g.line("}")
+		g.depth--
+	default: // branch on raw input byte
+		g.line("if (argchar(1, %d) == %d) {", g.rng.Intn(2), 'a'+g.rng.Intn(3))
+		g.indent++
+		g.depth++
+		g.scoped(func() { g.stmt() })
+		g.depth--
+		g.indent--
+		g.line("}")
+	}
+}
+
+// scoped runs body and forgets any variables it declared (MiniC block scope).
+func (g *progGen) scoped(body func()) {
+	saved := len(g.vars)
+	body()
+	g.vars = g.vars[:saved]
+}
+
+func (g *progGen) generate(stmts int) string {
+	g.b.Reset()
+	g.vars = nil
+	g.budget = stmts
+	g.line("void main() {")
+	g.indent++
+	for g.budget > 0 {
+		g.stmt()
+	}
+	g.indent--
+	g.line("}")
+	return g.b.String()
+}
+
+func TestFuzzMergeSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(20260612))
+	gen := &progGen{rng: rng}
+	checked := 0
+	for iter := 0; iter < 60; iter++ {
+		src := gen.generate(6 + rng.Intn(6))
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("iter %d: generated program does not compile: %v\n%s", iter, err, src)
+		}
+		plain := Run(p, Config{
+			NArgs: 1, ArgLen: 2,
+			Merge:        MergeNone,
+			CollectTests: true,
+			MaxTime:      5 * time.Second,
+			MaxTests:     4096,
+		})
+		if !plain.Completed {
+			continue // too big for the fuzz budget; skip
+		}
+		merged := Run(p, Config{
+			NArgs: 1, ArgLen: 2,
+			Merge: MergeSSM, UseQCE: true,
+			TrackExactPaths: true,
+			CollectTests:    true,
+			MaxTime:         10 * time.Second,
+			MaxTests:        4096,
+		})
+		if !merged.Completed {
+			continue
+		}
+		checked++
+		if merged.Stats.ExactPaths != plain.Stats.PathsCompleted {
+			t.Fatalf("iter %d: census %d != plain %d paths\n%s",
+				iter, merged.Stats.ExactPaths, plain.Stats.PathsCompleted, src)
+		}
+		if merged.Stats.PathsMult.Uint64() < plain.Stats.PathsCompleted {
+			t.Fatalf("iter %d: multiplicity %s under-counts %d paths\n%s",
+				iter, merged.Stats.PathsMult, plain.Stats.PathsCompleted, src)
+		}
+		// Output soundness is checked by replay: every test case from
+		// either exploration must predict exactly the output its
+		// concrete inputs produce. (Comparing raw output *sets* between
+		// the two runs would be unsound: outputs may depend on
+		// unconstrained input bytes, where each run's models are free
+		// to differ.) For merged states this exercises the guarded
+		// output-stream merging end to end.
+		replayCheck := func(kind string, tests []TestCase) {
+			for ti, tc := range tests {
+				if ti >= 8 {
+					break
+				}
+				replay := Run(p, Config{ConcreteArgs: tc.Args, CollectTests: true})
+				if len(replay.Tests) != 1 {
+					t.Fatalf("iter %d: %s replay explored %d paths", iter, kind, len(replay.Tests))
+				}
+				if string(replay.Tests[0].Output) != string(tc.Output) {
+					t.Fatalf("iter %d: %s test predicted %q, replay printed %q\nargs=%q\n%s",
+						iter, kind, tc.Output, replay.Tests[0].Output, tc.Args, src)
+				}
+			}
+		}
+		replayCheck("plain", plain.Tests)
+		replayCheck("merged", merged.Tests)
+	}
+	if checked < 20 {
+		t.Fatalf("only %d programs fully checked; generator too explosive", checked)
+	}
+}
+
+// TestFuzzEngineAgainstInterpreter cross-checks the symbolic engine's
+// concrete-replay mode against the independent IR interpreter
+// (internal/ir.Interp — plain Go arithmetic, no expression layer, no
+// solver) on random programs and random concrete inputs. Any divergence
+// means one of the two execution pipelines mis-implements MiniC semantics.
+func TestFuzzEngineAgainstInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(6060))
+	gen := &progGen{rng: rng}
+	for iter := 0; iter < 80; iter++ {
+		src := gen.generate(6 + rng.Intn(8))
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, src)
+		}
+		for trial := 0; trial < 4; trial++ {
+			arg := make([]byte, rng.Intn(3))
+			for i := range arg {
+				arg[i] = byte('a' + rng.Intn(4))
+			}
+			args := [][]byte{arg}
+
+			want, err := ir.Interp(p.Internal(), args, nil, 1e6)
+			if err != nil {
+				t.Fatalf("iter %d: interp error: %v\n%s", iter, err, src)
+			}
+			res := Run(p, Config{ConcreteArgs: args, CollectTests: true})
+			if want.AssumeFailed {
+				if res.Stats.PathsCompleted != 0 {
+					t.Fatalf("iter %d: interp stopped on assume, engine completed %d paths",
+						iter, res.Stats.PathsCompleted)
+				}
+				continue
+			}
+			if res.Stats.PathsCompleted != 1 || len(res.Tests) != 1 {
+				t.Fatalf("iter %d: engine replay explored %d paths (tests %d)\n%s",
+					iter, res.Stats.PathsCompleted, len(res.Tests), src)
+			}
+			tc := res.Tests[0]
+			if string(tc.Output) != string(want.Output) {
+				t.Fatalf("iter %d args %q: engine printed %q, interpreter %q\n%s",
+					iter, args, tc.Output, want.Output, src)
+			}
+			if tc.Exit != want.Exit {
+				t.Fatalf("iter %d args %q: engine exit %d, interpreter %d\n%s",
+					iter, args, tc.Exit, want.Exit, src)
+			}
+			if tc.IsErr != want.AssertFailed {
+				t.Fatalf("iter %d args %q: engine err=%v, interpreter assert=%v\n%s",
+					iter, args, tc.IsErr, want.AssertFailed, src)
+			}
+		}
+	}
+}
+
+// generateWithHelper wraps a random main body with a branching helper
+// function and sprinkles calls to it, exercising the function-summary
+// merging regime on random call structures.
+func (g *progGen) generateWithHelper(stmts int) string {
+	body := g.generate(stmts) // "void main() { ... }"
+	helper := `int classify(byte c) {
+    if (c < 'a') { return 0; }
+    if (c > 'z') { return 1; }
+    if (c == 'q') { return 2; }
+    return 3;
+}
+`
+	// Inject calls at the top of main: each consumes an argv byte and
+	// feeds a local later expressions can read.
+	calls := fmt.Sprintf("    int h0 = classify(argchar(1, 0));\n"+
+		"    int h1 = classify(argchar(1, %d));\n"+
+		"    putchar(tobyte('0' + (h0 + h1) %% 10));\n", g.rng.Intn(2))
+	out := strings.Replace(body, "void main() {\n", "void main() {\n"+calls, 1)
+	return helper + out
+}
+
+// TestFuzzSummaryMergeSoundness: function-summary merging (MergeFunc) on
+// random programs with helper calls must account for exactly the plain
+// exploration's paths in its shadow census, and its generated tests must
+// replay correctly.
+func TestFuzzSummaryMergeSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(31337))
+	gen := &progGen{rng: rng}
+	checked := 0
+	for iter := 0; iter < 40; iter++ {
+		src := gen.generateWithHelper(4 + rng.Intn(5))
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("iter %d: generated program does not compile: %v\n%s", iter, err, src)
+		}
+		plain := Run(p, Config{
+			NArgs: 1, ArgLen: 2,
+			Merge:   MergeNone,
+			MaxTime: 5 * time.Second,
+		})
+		if !plain.Completed {
+			continue
+		}
+		summ := Run(p, Config{
+			NArgs: 1, ArgLen: 2,
+			Merge:           MergeFunc,
+			TrackExactPaths: true,
+			CollectTests:    true,
+			MaxTime:         10 * time.Second,
+			MaxTests:        4096,
+		})
+		if !summ.Completed {
+			continue
+		}
+		checked++
+		if summ.Stats.ExactPaths != plain.Stats.PathsCompleted {
+			t.Fatalf("iter %d: census %d != plain %d paths\n%s",
+				iter, summ.Stats.ExactPaths, plain.Stats.PathsCompleted, src)
+		}
+		if summ.Stats.PathsMult.Uint64() < plain.Stats.PathsCompleted {
+			t.Fatalf("iter %d: multiplicity %s under-counts %d paths\n%s",
+				iter, summ.Stats.PathsMult, plain.Stats.PathsCompleted, src)
+		}
+		for ti, tc := range summ.Tests {
+			if ti >= 6 {
+				break
+			}
+			replay := Run(p, Config{ConcreteArgs: tc.Args, CollectTests: true})
+			if len(replay.Tests) != 1 {
+				t.Fatalf("iter %d: replay explored %d paths", iter, len(replay.Tests))
+			}
+			if string(replay.Tests[0].Output) != string(tc.Output) {
+				t.Fatalf("iter %d: summary test predicted %q, replay printed %q\nargs=%q\n%s",
+					iter, tc.Output, replay.Tests[0].Output, tc.Args, src)
+			}
+		}
+	}
+	if checked < 15 {
+		t.Fatalf("only %d programs fully checked", checked)
+	}
+}
+
+// TestFuzzDSMAgainstSSM cross-checks the two merging regimes on random
+// programs: both must account for the same exact path census.
+func TestFuzzDSMAgainstSSM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(777))
+	gen := &progGen{rng: rng}
+	checked := 0
+	for iter := 0; iter < 30; iter++ {
+		src := gen.generate(5 + rng.Intn(5))
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, src)
+		}
+		run := func(mode MergeMode) *Result {
+			return Run(p, Config{
+				NArgs: 1, ArgLen: 2,
+				Merge: mode, UseQCE: true,
+				TrackExactPaths: true,
+				Seed:            int64(iter),
+				MaxTime:         10 * time.Second,
+			})
+		}
+		ssm := run(MergeSSM)
+		dsm := run(MergeDSM)
+		if !ssm.Completed || !dsm.Completed {
+			continue
+		}
+		checked++
+		if ssm.Stats.ExactPaths != dsm.Stats.ExactPaths {
+			t.Fatalf("iter %d: ssm census %d != dsm census %d\n%s",
+				iter, ssm.Stats.ExactPaths, dsm.Stats.ExactPaths, src)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d programs fully checked", checked)
+	}
+}

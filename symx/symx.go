@@ -1,0 +1,237 @@
+// Package symx is the public API of symmerge: compile a MiniC program and
+// explore it symbolically with configurable state merging.
+//
+// The package reproduces the system of "Efficient State Merging in Symbolic
+// Execution" (Kuznetsov, Kinder, Bucur, Candea; PLDI 2012): a search-based
+// symbolic execution engine in the style of KLEE, extended with query count
+// estimation (QCE) and dynamic state merging (DSM).
+//
+// A minimal session:
+//
+//	prog, err := symx.Compile(src)
+//	if err != nil { ... }
+//	res := symx.Run(prog, symx.Config{
+//		NArgs: 2, ArgLen: 2,
+//		Merge: symx.MergeDSM, UseQCE: true,
+//		Strategy: symx.StrategyCoverage,
+//	})
+//	fmt.Println(res.Stats.PathsMult, res.Stats.Coverage())
+package symx
+
+import (
+	"time"
+
+	"symmerge/internal/core"
+	"symmerge/internal/ir"
+	"symmerge/internal/lang"
+	"symmerge/internal/qce"
+	"symmerge/internal/search"
+	"symmerge/internal/solver"
+)
+
+// Program is a compiled MiniC program ready for symbolic exploration.
+type Program struct {
+	ir *ir.Program
+}
+
+// Compile parses and compiles MiniC source.
+func Compile(src string) (*Program, error) {
+	p, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ir: p}, nil
+}
+
+// MustCompile is Compile for known-good sources (registry, tests).
+func MustCompile(src string) *Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// IR returns the disassembled intermediate representation.
+func (p *Program) IR() string { return p.ir.String() }
+
+// Internal exposes the underlying ir.Program to sibling internal packages
+// via the bench harness; external users should not depend on its shape.
+func (p *Program) Internal() *ir.Program { return p.ir }
+
+// MergeMode selects the merging regime.
+type MergeMode = core.MergeMode
+
+// Merge modes re-exported from the engine.
+const (
+	MergeNone = core.MergeNone
+	MergeSSM  = core.MergeSSM
+	MergeDSM  = core.MergeDSM
+	// MergeFunc merges only at function-exit join points, realizing
+	// precise symbolic function summaries (paper §2.2).
+	MergeFunc = core.MergeFunc
+)
+
+// Strategy names a driving search strategy.
+type Strategy = search.Kind
+
+// Strategies re-exported from the search package.
+const (
+	StrategyDFS      = search.DFS
+	StrategyBFS      = search.BFS
+	StrategyRandom   = search.Random
+	StrategyCoverage = search.Coverage
+	StrategyTopo     = search.Topo
+)
+
+// QCEParams re-exports the QCE tuning knobs.
+type QCEParams = qce.Params
+
+// DefaultQCEParams returns the default parameter values: β=0.8 and κ=10 as
+// published, and α=0.5 from the paper's worked example (see
+// qce.DefaultParams for why the production tuning α=1e-12 does not transfer
+// to a precise dependence analysis).
+func DefaultQCEParams() QCEParams { return qce.DefaultParams() }
+
+// Config configures an exploration run.
+type Config struct {
+	// Merge selects none (plain symbolic execution), static state
+	// merging, or dynamic state merging.
+	Merge MergeMode
+	// UseQCE gates merging with the QCE similarity relation; when false,
+	// all same-location states merge.
+	UseQCE bool
+	// QCE are the heuristic parameters; zero value means defaults.
+	QCE QCEParams
+
+	// Strategy is the driving search heuristic. Defaults: Topo when
+	// Merge == MergeSSM, DFS otherwise.
+	Strategy Strategy
+	// Seed feeds the randomized strategies.
+	Seed int64
+
+	// NArgs symbolic command-line arguments of up to ArgLen characters
+	// each (zero-terminated), plus StdinLen symbolic stdin bytes.
+	NArgs    int
+	ArgLen   int
+	StdinLen int
+
+	// ConcreteArgs/ConcreteStdin pin the environment to constants
+	// instead, making the engine a reference interpreter (exactly one
+	// feasible path per run). Useful for replaying generated test cases
+	// and for conformance-testing programs.
+	ConcreteArgs  [][]byte
+	ConcreteStdin []byte
+
+	// DSMDelta is the fast-forwarding distance δ in basic blocks
+	// (default 8, the paper's value).
+	DSMDelta int
+
+	// Budgets; zero = unlimited.
+	MaxSteps  uint64
+	MaxTime   time.Duration
+	MaxStates int
+
+	// CheckBounds turns out-of-bounds array accesses into path errors.
+	CheckBounds bool
+	// CollectTests solves for a concrete test case at every path end.
+	CollectTests bool
+	// MaxTests bounds recorded test cases and errors (0 = 256).
+	MaxTests int
+	// TrackExactPaths maintains the shadow single-path census alongside
+	// merged states (paper §5.2; used for Figure 3).
+	TrackExactPaths bool
+
+	// DisableSolverOpts turns off the KLEE-style solver optimizations
+	// (counterexample cache, independence slicing, model reuse) for
+	// ablation measurements.
+	DisableSolverOpts bool
+}
+
+// Result re-exports the engine result.
+type Result = core.Result
+
+// Stats re-exports the engine statistics.
+type Stats = core.Stats
+
+// TestCase re-exports generated test cases.
+type TestCase = core.TestCase
+
+// PathError re-exports path errors.
+type PathError = core.PathError
+
+// Run explores the program under the configuration and returns the result.
+func Run(p *Program, cfg Config) *Result {
+	eng, strat := newEngine(p, cfg)
+	_ = strat
+	return eng.Run()
+}
+
+// NewEngine exposes a prepared engine for callers that need incremental
+// control (the bench harness samples stats mid-run).
+func NewEngine(p *Program, cfg Config) *core.Engine {
+	eng, _ := newEngine(p, cfg)
+	return eng
+}
+
+func newEngine(p *Program, cfg Config) (*core.Engine, core.Strategy) {
+	if cfg.Strategy == "" {
+		switch cfg.Merge {
+		case MergeSSM, MergeFunc:
+			// Summary merging needs callee paths explored before the
+			// caller advances past the call, which the topological
+			// order guarantees (deeper frames first).
+			cfg.Strategy = StrategyTopo
+		case MergeDSM:
+			// DSM needs an interleaving driving heuristic: with DFS a
+			// path's successors outrun the δ-deep history window
+			// before siblings move, so fast-forwarding never fires.
+			// The paper drives DSM with random search for complete
+			// exploration and coverage-guided search for partial
+			// exploration (§5.1).
+			cfg.Strategy = StrategyRandom
+		default:
+			cfg.Strategy = StrategyDFS
+		}
+	}
+	qp := cfg.QCE
+	if qp.Alpha == 0 && qp.Beta == 0 && qp.Kappa == 0 {
+		qp = qce.DefaultParams()
+	}
+	ccfg := core.Config{
+		Merge:           cfg.Merge,
+		UseQCE:          cfg.UseQCE,
+		QCE:             qp,
+		NArgs:           cfg.NArgs,
+		ArgLen:          cfg.ArgLen,
+		StdinLen:        cfg.StdinLen,
+		ConcreteArgs:    cfg.ConcreteArgs,
+		ConcreteStdin:   cfg.ConcreteStdin,
+		DSMDelta:        cfg.DSMDelta,
+		MaxSteps:        cfg.MaxSteps,
+		MaxTime:         cfg.MaxTime,
+		MaxStates:       cfg.MaxStates,
+		CheckBounds:     cfg.CheckBounds,
+		CollectTests:    cfg.CollectTests,
+		MaxTests:        cfg.MaxTests,
+		TrackExactPaths: cfg.TrackExactPaths,
+		SolverOpts:      solver.DefaultOptions(),
+	}
+	if cfg.DisableSolverOpts {
+		ccfg.SolverOpts = solver.Options{}
+	}
+	// The engine needs the strategy at construction, but the strategy
+	// needs the engine as its context; break the cycle with a forwarder.
+	fwd := &ctxForwarder{}
+	strat := search.New(cfg.Strategy, fwd, cfg.Seed)
+	eng := core.NewEngine(p.ir, ccfg, strat)
+	fwd.ctx = eng
+	return eng, strat
+}
+
+// ctxForwarder defers StrategyContext calls to the engine once built.
+type ctxForwarder struct{ ctx core.StrategyContext }
+
+func (f *ctxForwarder) IsCovered(l ir.Loc) bool { return f.ctx.IsCovered(l) }
+
+func (f *ctxForwarder) TopoLess(a, b *core.State) bool { return f.ctx.TopoLess(a, b) }
