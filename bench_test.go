@@ -144,8 +144,8 @@ func BenchmarkEchoDSMQCE(b *testing.B) {
 }
 
 // BenchmarkEchoSSMQCEFullVariant measures the §3.3 full cost model (ζ > 1),
-// the ablation DESIGN.md calls out: it additionally charges merges that
-// introduce ite expressions.
+// the variant the paper describes but leaves out of its prototype: it
+// additionally charges merges that introduce ite expressions.
 func BenchmarkEchoSSMQCEFullVariant(b *testing.B) {
 	benchEcho(b, func(cfg *symx.Config) {
 		cfg.Merge = symx.MergeSSM
@@ -205,6 +205,39 @@ void main() {
 			}
 		})
 	}
+}
+
+// BenchmarkSessionAblation is the end-to-end companion of the solver-level
+// BenchmarkSessionVsOneShot: a full echo exploration with the incremental
+// solver sessions on (default) and off. The session arm answers the
+// feasibility queries of each state lineage from one persistent blast-once
+// SAT instance; the one-shot arm re-blasts the path condition per query.
+func BenchmarkSessionAblation(b *testing.B) {
+	tool, err := coreutils.Get("echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := tool.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, disable bool) {
+		for i := 0; i < b.N; i++ {
+			res := symx.Run(prog, symx.Config{
+				NArgs: 2, ArgLen: 5, Seed: 1,
+				Merge: symx.MergeDSM, UseQCE: true,
+				DisableSessions: disable,
+			})
+			if !res.Completed {
+				b.Fatal("exploration did not complete")
+			}
+			if !disable && res.Stats.Solver.SessionQueries == 0 {
+				b.Fatal("session arm answered no queries incrementally")
+			}
+		}
+	}
+	b.Run("session", func(b *testing.B) { run(b, false) })
+	b.Run("one-shot", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkSolverAblation compares the engine with and without the

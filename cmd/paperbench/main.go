@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum] [-budget 2s] [-timeout 10s] [-seed 1]
+//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver] [-budget 2s] [-timeout 10s] [-seed 1]
 //
 // Budgets replace the paper's 1h/2h wall-clock budgets; the shapes of the
 // results (who wins, scaling with input size, crossovers) are the claims
@@ -48,9 +48,10 @@ func main() {
 	run("9", bench.Figure9)
 	run("ff", bench.FFStat)
 	run("spectrum", bench.Spectrum)
+	run("solver", bench.SolverSessions)
 
 	switch *figure {
-	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum":
+	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver":
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", *figure)
 		os.Exit(2)

@@ -40,6 +40,7 @@ func main() {
 		bounds   = flag.Bool("bounds", false, "report out-of-bounds array accesses as errors")
 		dumpIR   = flag.Bool("ir", false, "print the compiled IR and exit")
 		census   = flag.Bool("census", false, "track the exact-path shadow census")
+		noSess   = flag.Bool("nosessions", false, "disable incremental solver sessions (ablation)")
 	)
 	flag.Parse()
 
@@ -86,6 +87,7 @@ func main() {
 		CollectTests:    *tests,
 		CheckBounds:     *bounds,
 		TrackExactPaths: *census,
+		DisableSessions: *noSess,
 	}
 	switch *merge {
 	case "none":

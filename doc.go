@@ -7,7 +7,6 @@
 // harness regenerating the paper's figures lives in cmd/paperbench; the
 // benchmark entry points are in bench_test.go at the module root.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and the
-// per-experiment index, and EXPERIMENTS.md for recorded paper-vs-measured
-// results.
+// See README.md for the package tour and the architecture notes on the
+// incremental solver sessions that back the engine's feasibility queries.
 package symmerge

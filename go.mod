@@ -1,0 +1,3 @@
+module symmerge
+
+go 1.24

@@ -1,7 +1,6 @@
 // Package bench is the experiment harness that regenerates every figure of
 // the paper's evaluation (§5) on the COREUTILS models: one runner per
-// figure, each returning a structured table that cmd/paperbench prints and
-// EXPERIMENTS.md records.
+// figure, each returning a structured table that cmd/paperbench prints.
 //
 // Absolute numbers differ from the paper (our substrate is a from-scratch
 // engine on reduced models, not KLEE on a 2012 testbed); the runners exist
@@ -49,6 +48,12 @@ type RunOutcome struct {
 	FFRate     float64 // merged / fast-forward-selected
 	Exact      uint64  // shadow census (when enabled)
 	Queries    uint64
+
+	// Incremental-session solver activity.
+	SATTime      float64 // seconds inside blasting + CDCL
+	SessQueries  uint64  // queries answered by a persistent session
+	SessReuse    uint64  // conjunct blastings reused across queries
+	SessBypasses uint64  // session-eligible queries routed one-shot
 }
 
 // runTool executes one configuration on a tool.
@@ -72,6 +77,11 @@ func runTool(tool *coreutils.Tool, mut func(*symx.Config), opts Options) (RunOut
 		FFMerged:   res.Stats.FFMerged,
 		Exact:      res.Stats.ExactPaths,
 		Queries:    res.Stats.Solver.Queries,
+
+		SATTime:      res.Stats.Solver.SATTime.Seconds(),
+		SessQueries:  res.Stats.Solver.SessionQueries,
+		SessReuse:    res.Stats.Solver.SessionBlastReuse,
+		SessBypasses: res.Stats.Solver.SessionBypass,
 	}
 	if res.Stats.FFSelected > 0 {
 		out.FFRate = float64(res.Stats.FFMerged) / float64(res.Stats.FFSelected)

@@ -390,9 +390,9 @@ func Spectrum(opts Options) *Table {
 	}
 	t := &Table{
 		Title: "Design-space spectrum (paper §2.2): none / summaries / SSM / DSM",
-		Comment: fmt.Sprintf("timeout %v; exhaustive exploration on call-heavy tools",
+		Comment: fmt.Sprintf("timeout %v; exhaustive exploration on call-heavy tools; sess_q counts queries answered by the incremental solver sessions",
 			opts.Timeout),
-		Header: []string{"tool", "regime", "t_s", "completed", "states", "merges", "queries"},
+		Header: []string{"tool", "regime", "t_s", "completed", "states", "merges", "queries", "sess_q", "blast_reuse"},
 	}
 	// Tools whose models route work through helper functions, so function
 	// summaries have join points to act on.
@@ -416,8 +416,84 @@ func Spectrum(opts Options) *Table {
 				fmt.Sprint(out.Completed),
 				fmt.Sprint(out.States),
 				fmt.Sprint(out.Merges),
-				fmt.Sprint(out.Queries)})
+				fmt.Sprint(out.Queries),
+				fmt.Sprint(out.SessQueries),
+				fmt.Sprint(out.SessReuse)})
 		}
+	}
+	return t
+}
+
+// SolverSessions is the incremental-session ablation table: every tool runs
+// the Figure-6-style SSM+QCE configuration twice — sessions on (default) and
+// off — and reports wall time, solver time, and the session counters. The
+// session arm blasts each path-condition conjunct once per lineage and
+// answers repeat queries under assumptions; the off arm re-blasts the whole
+// constraint set per query, which is the O(n²)-per-path overhead the
+// sessions remove.
+func SolverSessions(opts Options) *Table {
+	t := &Table{
+		Title: "Incremental solver sessions: blast-once/assume-many vs one-shot",
+		Comment: fmt.Sprintf("timeout %v per run; SSM+QCE on every tool; reuse = conjunct blastings avoided",
+			opts.Timeout),
+		Header: []string{"tool", "t_oneshot_s", "t_session_s", "speedup",
+			"sat_oneshot_s", "sat_session_s", "sess_q", "reuse", "bypass"},
+	}
+	var speedups []float64
+	timeouts := 0
+	for _, tool := range coreutils.All() {
+		run := func(disable bool) RunOutcome {
+			out, err := runTool(tool, func(cfg *symx.Config) {
+				grow(tool, cfg, 2)
+				cfg.Merge = symx.MergeSSM
+				cfg.UseQCE = true
+				cfg.DisableSessions = disable
+				cfg.MaxTime = opts.Timeout
+			}, opts)
+			if err != nil {
+				panic(err)
+			}
+			return out
+		}
+		oneShot := run(true)
+		sess := run(false)
+		wall := func(o RunOutcome) string {
+			if !o.Completed {
+				return "timeout"
+			}
+			return fmt.Sprintf("%.3f", o.Elapsed)
+		}
+		if !oneShot.Completed || !sess.Completed {
+			// A timed-out arm makes the ratio meaningless; keep the row
+			// (marked) so the exclusion from the mean stays visible.
+			timeouts++
+			t.Rows = append(t.Rows, []string{
+				tool.Name, wall(oneShot), wall(sess), "-",
+				fmt.Sprintf("%.3f", oneShot.SATTime),
+				fmt.Sprintf("%.3f", sess.SATTime),
+				fmt.Sprint(sess.SessQueries),
+				fmt.Sprint(sess.SessReuse),
+				fmt.Sprint(sess.SessBypasses)})
+			continue
+		}
+		sp := oneShot.Elapsed / math.Max(sess.Elapsed, 1e-6)
+		speedups = append(speedups, sp)
+		t.Rows = append(t.Rows, []string{
+			tool.Name, wall(oneShot), wall(sess),
+			fmt.Sprintf("%.2f", sp),
+			fmt.Sprintf("%.3f", oneShot.SATTime),
+			fmt.Sprintf("%.3f", sess.SATTime),
+			fmt.Sprint(sess.SessQueries),
+			fmt.Sprint(sess.SessReuse),
+			fmt.Sprint(sess.SessBypasses)})
+	}
+	if len(speedups) > 0 {
+		var sum float64
+		for _, s := range speedups {
+			sum += s
+		}
+		t.Comment += fmt.Sprintf("\nmean wall-clock speedup: %.2fx over %d tools (%d timed-out rows excluded)",
+			sum/float64(len(speedups)), len(speedups), timeouts)
 	}
 	return t
 }

@@ -234,8 +234,14 @@ func (e *Engine) merge(s1, s2 *State) *State {
 		PC:     newPC,
 		Mult:   new(big.Int).Add(s1.Mult, s2.Mult),
 		nSyms:  maxInt(s1.nSyms, s2.nSyms),
+		// Sessions from one solver share their blasted prefix, so either
+		// side's session serves the merged lineage.
+		sess: s1.sess.Fork(),
 	}
 	e.nextID++
+	if !disj.IsTrue() {
+		m.sess.NoteConjunct(disj)
+	}
 
 	// Merge outputs precisely: the common prefix stays as is; each side's
 	// divergent suffix is guarded by that side's path-condition suffix,

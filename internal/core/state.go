@@ -12,6 +12,7 @@ import (
 
 	"symmerge/internal/expr"
 	"symmerge/internal/ir"
+	"symmerge/internal/solver"
 )
 
 // Object is a fixed-size array of scalar cells living in a stack frame.
@@ -144,6 +145,12 @@ type State struct {
 	// the state now sits at a function-exit join point. MergeFunc merges
 	// only such states.
 	justRet bool
+
+	// sess is the state lineage's incremental solver session: the path
+	// condition is blasted into it exactly once, and feasibility queries
+	// reuse the encoding via assumptions. Forks share the blasted prefix.
+	// Nil when sessions are disabled; queries then take the one-shot path.
+	sess *solver.Session
 }
 
 func (s *State) top() *Frame { return s.Frames[len(s.Frames)-1] }
@@ -165,6 +172,7 @@ func (s *State) fork(newID uint64) *State {
 		nSyms:   s.nSyms,
 		histPos: s.histPos,
 		ff:      s.ff,
+		sess:    s.sess.Fork(),
 	}
 	for i, f := range s.Frames {
 		for _, o := range f.Objects {

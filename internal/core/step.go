@@ -283,7 +283,7 @@ func (e *Engine) doStore(s *State, in *ir.Instr) error {
 // checkIndex reports an error if the index can fall outside [0, n).
 func (e *Engine) checkIndex(s *State, idx *expr.Expr, n int) error {
 	inBounds := e.build.Ult(idx, e.build.Const(uint64(n), 32)) // unsigned: negative is huge
-	may, err := e.solv.MayBeTrue(s.PC, e.build.Not(inBounds))
+	may, err := e.solv.MayBeTrueIn(s.sess, s.PC, e.build.Not(inBounds))
 	if err != nil {
 		return err
 	}
@@ -358,11 +358,12 @@ func (e *Engine) assume(s *State, cond *expr.Expr) bool {
 	if cond.IsFalse() {
 		return false
 	}
-	may, err := e.solv.MayBeTrue(s.PC, cond)
+	may, err := e.solv.MayBeTrueIn(s.sess, s.PC, cond)
 	if err != nil || !may {
 		return false
 	}
 	s.PC = appendPC(s.PC, cond)
+	s.sess.NoteConjunct(cond)
 	return true
 }
 
@@ -398,7 +399,7 @@ func (e *Engine) doAssert(s *State, in *ir.Instr, loc ir.Loc) []*State {
 		f.PC++
 		return []*State{s}
 	}
-	mayFail, err := e.solv.MayBeTrue(s.PC, e.build.Not(cond))
+	mayFail, err := e.solv.MayBeTrueIn(s.sess, s.PC, e.build.Not(cond))
 	if err != nil {
 		e.failPath(s, loc, in.Pos, "solver budget exhausted at assert")
 		return []*State{s}
@@ -409,7 +410,7 @@ func (e *Engine) doAssert(s *State, in *ir.Instr, loc ir.Loc) []*State {
 	}
 	mayHold := false
 	if !cond.IsFalse() {
-		mayHold, _ = e.solv.MayBeTrue(s.PC, cond)
+		mayHold, _ = e.solv.MayBeTrueIn(s.sess, s.PC, cond)
 	}
 	if !mayHold {
 		// Assertion always fails here.
@@ -421,8 +422,10 @@ func (e *Engine) doAssert(s *State, in *ir.Instr, loc ir.Loc) []*State {
 	e.nextID++
 	e.stats.Forks++
 	errState.PC = appendPC(errState.PC, e.build.Not(cond))
+	errState.sess.NoteConjunct(e.build.Not(cond))
 	e.failPath(errState, loc, in.Pos, in.Msg)
 	s.PC = appendPC(s.PC, cond)
+	s.sess.NoteConjunct(cond)
 	f.PC++
 	if s.Shadow != nil {
 		e.splitShadow(s, errState, cond)
@@ -443,9 +446,9 @@ func (e *Engine) doBranch(s *State, in *ir.Instr, loc ir.Loc) []*State {
 		}
 		return e.blockBoundary(s)
 	}
-	mayTrue, err1 := e.solv.MayBeTrue(s.PC, cond)
+	mayTrue, err1 := e.solv.MayBeTrueIn(s.sess, s.PC, cond)
 	notCond := e.build.Not(cond)
-	mayFalse, err2 := e.solv.MayBeTrue(s.PC, notCond)
+	mayFalse, err2 := e.solv.MayBeTrueIn(s.sess, s.PC, notCond)
 	if err1 != nil || err2 != nil {
 		// Solver budget: be conservative, follow both without narrowing
 		// is unsound; instead kill the path silently.
@@ -458,8 +461,10 @@ func (e *Engine) doBranch(s *State, in *ir.Instr, loc ir.Loc) []*State {
 		e.nextID++
 		e.stats.Forks++
 		s.PC = appendPC(s.PC, cond)
+		s.sess.NoteConjunct(cond)
 		f.PC = in.Target
 		other.PC = appendPC(other.PC, notCond)
+		other.sess.NoteConjunct(notCond)
 		other.top().PC = in.FTarget
 		if s.Shadow != nil {
 			e.splitShadow(s, other, cond)
@@ -467,9 +472,11 @@ func (e *Engine) doBranch(s *State, in *ir.Instr, loc ir.Loc) []*State {
 		return append(e.blockBoundary(s), e.blockBoundary(other)...)
 	case mayTrue:
 		s.PC = appendPC(s.PC, cond)
+		s.sess.NoteConjunct(cond)
 		f.PC = in.Target
 	case mayFalse:
 		s.PC = appendPC(s.PC, notCond)
+		s.sess.NoteConjunct(notCond)
 		f.PC = in.FTarget
 	default:
 		// Path condition itself became unsat (possible after merges
@@ -489,10 +496,12 @@ func (e *Engine) splitShadow(sTrue, sFalse *State, cond *expr.Expr) {
 	sFalse.Shadow = nil
 	notCond := e.build.Not(cond)
 	for _, p := range paths {
-		if may, err := e.solv.MayBeTrue(p, cond); err == nil && may {
+		// Shadow paths are built from the same conjuncts as the real
+		// path conditions, so they ride the same session's blasted set.
+		if may, err := e.solv.MayBeTrueIn(sTrue.sess, p, cond); err == nil && may {
 			sTrue.Shadow = append(sTrue.Shadow, appendPC(p, cond))
 		}
-		if may, err := e.solv.MayBeTrue(p, notCond); err == nil && may {
+		if may, err := e.solv.MayBeTrueIn(sTrue.sess, p, notCond); err == nil && may {
 			sFalse.Shadow = append(sFalse.Shadow, appendPC(p, notCond))
 		}
 	}

@@ -6,7 +6,9 @@
 // It plays the role STP plays for KLEE in the paper, including the
 // KLEE-style optimizations that the paper's measurements rely on:
 // constraint-independence slicing, a counterexample cache, and a
-// model-reuse fast path.
+// model-reuse fast path. On top of the one-shot path, Session provides
+// incremental blast-once/assume-many solving over a shared path-condition
+// prefix (see session.go).
 package solver
 
 import (
@@ -502,11 +504,7 @@ func (b *blaster) modelValue(v *expr.Expr) uint64 {
 	}
 	var out uint64
 	for i, l := range lits {
-		bit := b.s.Value(l.Var())
-		if l.Neg() {
-			bit = !bit
-		}
-		if bit {
+		if b.s.ValueLit(l) {
 			out |= 1 << uint(i)
 		}
 	}

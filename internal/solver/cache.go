@@ -1,21 +1,34 @@
 package solver
 
+import "slices"
+
 // cexCache is the counterexample cache: it memoizes the result (and model,
-// when sat) of previously solved constraint sets, keyed by the canonical
-// query key. This mirrors KLEE's CexCachingSolver, which the paper's
-// baseline relies on; merged states re-issue many structurally identical
-// feasibility queries, so the hit rate directly shapes the measured
-// trade-off between merging and solving.
+// when sat) of previously solved constraint sets, keyed by the FNV-1a hash
+// of the canonical query fingerprint (sorted, de-duplicated expression IDs).
+// This mirrors KLEE's CexCachingSolver, which the paper's baseline relies
+// on; merged states re-issue many structurally identical feasibility
+// queries, so the hit rate directly shapes the measured trade-off between
+// merging and solving.
+//
+// Hash buckets store the full id list and verify it on lookup, so a hash
+// collision degrades to a bucket scan, never to a wrong answer.
+//
+// Eviction is segment-based: entries live in two generations. Inserts go to
+// the current generation; when it fills to half the cache capacity, the
+// previous generation (the older half) is dropped and the current one takes
+// its place. Lookups hitting the old generation promote the entry, keeping
+// hot queries alive across rotations. Compared to the previous full reset,
+// a long run no longer falls off a periodic 0%-hit-rate cliff, and the
+// bookkeeping stays O(1) amortized.
 type cexCache struct {
-	entries map[string]cexEntry
-	// Bounded size with coarse eviction: when the cache exceeds maxEntries
-	// it is reset. Symbolic-execution workloads churn through query keys
-	// as the path condition grows, so an LRU would mostly age out anyway;
-	// the reset keeps memory bounded with O(1) bookkeeping.
-	maxEntries int
+	cur, old map[uint64][]cexEntry
+	curN     int // entries in cur (map len counts buckets, not entries)
+	oldN     int
+	segCap   int // rotation threshold: half the total capacity
 }
 
 type cexEntry struct {
+	ids   []uint64 // canonical fingerprint, for collision checking
 	sat   bool
 	model Model
 }
@@ -24,25 +37,79 @@ const defaultCacheSize = 1 << 16
 
 func newCexCache() *cexCache {
 	return &cexCache{
-		entries:    make(map[string]cexEntry, 1024),
-		maxEntries: defaultCacheSize,
+		cur:    make(map[uint64][]cexEntry, 1024),
+		old:    make(map[uint64][]cexEntry),
+		segCap: defaultCacheSize / 2,
 	}
 }
 
-func (c *cexCache) lookup(key string) (satisfiable bool, model Model, ok bool) {
-	e, ok := c.entries[key]
-	if !ok {
-		return false, nil, false
+// lookup returns the cached verdict for a fingerprint. When needModel is
+// set, the returned model is a defensive copy (callers may mutate it without
+// corrupting the cache); verdict-only callers skip the copy.
+func (c *cexCache) lookup(hash uint64, ids []uint64, needModel bool) (satisfiable bool, model Model, ok bool) {
+	handOut := func(e cexEntry) (bool, Model, bool) {
+		if !needModel {
+			return e.sat, nil, true
+		}
+		return e.sat, cloneModel(e.model), true
 	}
-	return e.sat, e.model, true
+	for _, e := range c.cur[hash] {
+		if slices.Equal(e.ids, ids) {
+			return handOut(e)
+		}
+	}
+	for i, e := range c.old[hash] {
+		if slices.Equal(e.ids, ids) {
+			// Promote into the current generation so a hot entry
+			// survives the next rotation — unless that generation is
+			// already full (the entry stays a plain old-gen hit then,
+			// keeping the total bounded by both segments).
+			if c.curN < c.segCap {
+				c.promote(hash, i, e)
+			}
+			return handOut(e)
+		}
+	}
+	return false, nil, false
 }
 
-func (c *cexCache) insert(key string, satisfiable bool, model Model) {
-	if len(c.entries) >= c.maxEntries {
-		c.entries = make(map[string]cexEntry, 1024)
+// promote moves an old-generation entry into the current generation.
+func (c *cexCache) promote(hash uint64, i int, e cexEntry) {
+	bucket := c.old[hash]
+	bucket[i] = bucket[len(bucket)-1]
+	if len(bucket) == 1 {
+		delete(c.old, hash)
+	} else {
+		c.old[hash] = bucket[:len(bucket)-1]
 	}
-	c.entries[key] = cexEntry{sat: satisfiable, model: model}
+	c.oldN--
+	c.cur[hash] = append(c.cur[hash], e)
+	c.curN++
+}
+
+// insert records a verdict. The ids slice and the model are copied: the
+// caller keeps ownership of (and may reuse or mutate) both.
+func (c *cexCache) insert(hash uint64, ids []uint64, satisfiable bool, model Model) {
+	stored := cexEntry{
+		ids:   append([]uint64(nil), ids...),
+		sat:   satisfiable,
+		model: cloneModel(model),
+	}
+	c.cur[hash] = append(c.cur[hash], stored)
+	c.curN++
+	c.maybeRotate()
+}
+
+// maybeRotate drops the older half once the current generation fills.
+func (c *cexCache) maybeRotate() {
+	if c.curN < c.segCap {
+		return
+	}
+	c.old = c.cur
+	c.oldN = c.curN
+	c.cur = make(map[uint64][]cexEntry, 1024)
+	c.curN = 0
 }
 
 // Len reports the number of cached queries (used by tests).
-func (c *cexCache) Len() int { return len(c.entries) }
+func (c *cexCache) Len() int { return c.curN + c.oldN }

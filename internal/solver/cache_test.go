@@ -1,0 +1,135 @@
+package solver
+
+// Tests for the counterexample cache: fingerprint keying, collision safety,
+// segment-based eviction, and model-aliasing defenses.
+
+import (
+	"slices"
+	"testing"
+
+	"symmerge/internal/expr"
+)
+
+func TestCacheCollisionChecked(t *testing.T) {
+	c := newCexCache()
+	// Two distinct fingerprints forced into the same bucket.
+	idsA := []uint64{1, 2, 3}
+	idsB := []uint64{4, 5, 6}
+	const hash = 42
+	c.insert(hash, idsA, true, Model{})
+	c.insert(hash, idsB, false, nil)
+	if sat, _, ok := c.lookup(hash, idsA, true); !ok || !sat {
+		t.Fatalf("A: sat=%v ok=%v", sat, ok)
+	}
+	if sat, _, ok := c.lookup(hash, idsB, true); !ok || sat {
+		t.Fatalf("B: sat=%v ok=%v", sat, ok)
+	}
+	if _, _, ok := c.lookup(hash, []uint64{7}, true); ok {
+		t.Fatal("phantom hit for unseen fingerprint in occupied bucket")
+	}
+}
+
+func TestCacheSegmentEviction(t *testing.T) {
+	c := newCexCache()
+	c.segCap = 4 // rotate every 4 entries entering the current generation
+	key := func(i uint64) []uint64 { return []uint64{i} }
+	for i := uint64(0); i < 6; i++ {
+		c.insert(i, key(i), true, nil)
+	}
+	// Inserts 0..3 filled generation 1 (rotated to old at insert 3);
+	// 4..5 live in the current generation. Everything is still visible:
+	// no full-reset cliff.
+	for i := uint64(0); i < 6; i++ {
+		if _, _, ok := c.lookup(i, key(i), true); !ok {
+			t.Fatalf("entry %d evicted too early", i)
+		}
+	}
+	if c.Len() > 2*c.segCap {
+		t.Fatalf("cache grew past both segments: %d", c.Len())
+	}
+	// The lookups above promoted 0..3 out of the old generation; after
+	// the next rotation (insert 20 tips the refilled current generation)
+	// the promoted entries must survive while never-again-touched ones
+	// from the dropped generation are gone.
+	c.insert(20, key(20), true, nil)
+	if _, _, ok := c.lookup(20, key(20), true); !ok {
+		t.Fatal("fresh entry 20 missing after rotation")
+	}
+	survivors, dropped := 0, 0
+	for i := uint64(0); i < 6; i++ {
+		if _, _, ok := c.lookup(i, key(i), true); ok {
+			survivors++
+		} else {
+			dropped++
+		}
+	}
+	if survivors == 0 {
+		t.Fatal("rotation behaved like a full reset: nothing survived")
+	}
+	if c.Len() > 2*c.segCap {
+		t.Fatalf("cache grew past both segments: %d", c.Len())
+	}
+}
+
+func TestCacheModelAliasing(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(DefaultOptions())
+	x := b.Var("x", 8)
+	q := []*expr.Expr{b.Eq(x, b.Const(9, 8))}
+	ok, m1, err := s.CheckSat(q)
+	if err != nil || !ok || m1[x] != 9 {
+		t.Fatalf("setup: ok=%v err=%v m=%v", ok, err, m1)
+	}
+	// Corrupt the returned model; the cached copy must be unaffected.
+	m1[x] = 77
+	y := b.Var("y", 8)
+	m1[y] = 1
+	ok, m2, err := s.CheckSat(q)
+	if err != nil || !ok {
+		t.Fatalf("cached: ok=%v err=%v", ok, err)
+	}
+	if m2[x] != 9 {
+		t.Fatalf("cached model corrupted by caller mutation: x=%d", m2[x])
+	}
+	if _, leaked := m2[y]; leaked {
+		t.Fatal("caller-added binding leaked into the cache")
+	}
+}
+
+func TestRecentModelAliasing(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(Options{EnableModelReuse: true})
+	x := b.Var("x", 8)
+	if ok, _, _ := s.CheckSat([]*expr.Expr{b.Eq(x, b.Const(9, 8))}); !ok {
+		t.Fatal("setup query unsat")
+	}
+	// Reuse hit hands out a model; mutate it.
+	ok, m, _ := s.CheckSat([]*expr.Expr{b.Ugt(x, b.Const(3, 8))})
+	if !ok || m[x] != 9 {
+		t.Fatalf("reuse: ok=%v m=%v", ok, m)
+	}
+	m[x] = 0 // would violate x > 3 if retained by the ring
+	ok, m2, _ := s.CheckSat([]*expr.Expr{b.Ugt(x, b.Const(4, 8))})
+	if !ok || m2[x] != 9 {
+		t.Fatalf("ring corrupted by caller mutation: ok=%v m=%v", ok, m2)
+	}
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(Options{})
+	x := b.Var("x", 8)
+	c1 := b.Ult(x, b.Const(5, 8))
+	c2 := b.Ugt(x, b.Const(1, 8))
+	h1, ids1 := s.fingerprint([]*expr.Expr{c1, c2})
+	ids1 = append([]uint64(nil), ids1...) // scratch: copy before reuse
+	h2, ids2 := s.fingerprint([]*expr.Expr{c2, c1, c2})
+	if h1 != h2 || !slices.Equal(ids1, ids2) {
+		t.Fatalf("order/duplicates changed the fingerprint: %x/%v vs %x/%v",
+			h1, ids1, h2, ids2)
+	}
+	h3, _ := s.fingerprint([]*expr.Expr{c1})
+	if h3 == h1 {
+		t.Fatal("distinct constraint sets hashed equal (FNV degenerate)")
+	}
+}

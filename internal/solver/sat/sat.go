@@ -96,6 +96,7 @@ type varData struct {
 
 // Stats counts solver activity across Solve calls.
 type Stats struct {
+	Solves       uint64 // Solve invocations (incremental callers reuse one instance)
 	Decisions    uint64
 	Propagations uint64
 	Conflicts    uint64
@@ -554,6 +555,7 @@ func (s *Solver) detach(c *clause) {
 // is unsatisfiable under those assumptions (the solver does not produce an
 // unsat core). Solve may be called repeatedly with different assumptions.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.Stats.Solves++
 	if s.unsatAtRoot {
 		return Unsat
 	}
@@ -673,6 +675,15 @@ func (s *Solver) Value(v int) bool {
 		return false
 	}
 	return s.model[v]
+}
+
+// ValueLit returns the model value of a literal after a Sat result.
+func (s *Solver) ValueLit(l Lit) bool {
+	v := s.Value(l.Var())
+	if l.Neg() {
+		return !v
+	}
+	return v
 }
 
 // validActivity is used by the solver's internal consistency tests.

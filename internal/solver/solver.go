@@ -3,6 +3,7 @@ package solver
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 	"time"
@@ -45,6 +46,12 @@ type Stats struct {
 	SATTime        time.Duration // time spent inside CDCL (incl. blasting)
 	IndepSliced    uint64        // queries shrunk by independence slicing
 	Timeouts       uint64        // budget-limited unknowns
+
+	// Incremental-session activity (see session.go).
+	SessionQueries    uint64 // queries answered by a persistent session
+	SessionBlastReuse uint64 // conjuncts whose blasting was reused
+	SessionBypass     uint64 // session available but query fell back to one-shot
+	SessionRebases    uint64 // persistent cores rebuilt at the size limit
 }
 
 // Options configures a Solver.
@@ -86,6 +93,11 @@ type Solver struct {
 	recentModels [8]Model
 	recentNext   int
 
+	// keyIDs is the scratch buffer for query fingerprints (sorted,
+	// de-duplicated expression IDs), reused across queries to keep the
+	// cache-key computation allocation-free.
+	keyIDs []uint64
+
 	Stats Stats
 }
 
@@ -108,6 +120,24 @@ func (s *Solver) AttachBuilder(b *expr.Builder) { s.build = b }
 // satisfiable. On sat it returns a model covering at least the variables of
 // the constraints. The constraint slice is not modified.
 func (s *Solver) CheckSat(constraints []*expr.Expr) (bool, Model, error) {
+	return s.CheckSatIn(nil, constraints)
+}
+
+// CheckSatIn is CheckSat with an optional incremental session. When the
+// query extends a conjunct prefix the session has already blasted (at most
+// one new conjunct), it is answered by the session's persistent SAT
+// instance under assumptions; otherwise it falls back to the one-shot path,
+// where independence slicing and equality substitution apply, and the
+// bypass is recorded in Stats.SessionBypass. A nil session always takes the
+// one-shot path.
+func (s *Solver) CheckSatIn(sess *Session, constraints []*expr.Expr) (bool, Model, error) {
+	return s.checkSatIn(sess, constraints, true)
+}
+
+// checkSatIn implements CheckSatIn; needModel=false lets verdict-only
+// callers (MayBeTrue's branch-feasibility pattern, the hottest path in the
+// engine) skip the defensive model copy on cache and model-reuse hits.
+func (s *Solver) checkSatIn(sess *Session, constraints []*expr.Expr, needModel bool) (bool, Model, error) {
 	s.Stats.Queries++
 
 	// Concrete fast path: drop trivially-true conjuncts, fail fast on
@@ -129,42 +159,68 @@ func (s *Solver) CheckSat(constraints []*expr.Expr) (bool, Model, error) {
 	if s.opts.EnableModelReuse {
 		if m := s.tryRecentModels(live); m != nil {
 			s.Stats.ModelReuseHits++
-			return true, m, nil
+			if !needModel {
+				return true, nil, nil
+			}
+			return true, cloneModel(m), nil
 		}
 	}
 
-	key := queryKey(live)
+	hash, ids := s.fingerprint(live)
 	if s.opts.EnableCexCache {
-		if res, m, ok := s.cache.lookup(key); ok {
+		if res, m, ok := s.cache.lookup(hash, ids, needModel); ok {
 			s.Stats.CacheHits++
 			return res, m, nil
 		}
 	}
 
-	// Equality substitution: conjuncts pinning a variable to a constant
-	// are folded into the rest of the query before bit-blasting. The
-	// bindings rejoin the model afterwards so callers still see values
-	// for the substituted variables.
-	var binding expr.Env
-	solveSet := live
-	if s.build != nil {
-		solveSet, binding = substituteEqualities(s.build, live)
+	var (
+		res bool
+		m   Model
+		err error
+	)
+	if sess != nil && sess.misses(live) <= 1 {
+		// Incremental path: blast-once/assume-many over the shared
+		// prefix. Slicing and substitution would rewrite the conjuncts
+		// and defeat reuse, so they are deliberately skipped here.
+		s.Stats.SessionQueries++
+		res, m, err = sess.check(live)
+	} else {
+		if sess != nil {
+			s.Stats.SessionBypass++
+			// Catch-up sync: register the conjuncts so the next query
+			// over this prefix extends a known set again. Without
+			// this, a lineage whose core was rebased (or whose early
+			// queries were absorbed by the fast paths) would miss the
+			// session permanently — misses() never shrinks on its own.
+			for _, c := range live {
+				sess.NoteConjunct(c)
+			}
+		}
+		// Equality substitution: conjuncts pinning a variable to a
+		// constant are folded into the rest of the query before
+		// bit-blasting. The bindings rejoin the model afterwards so
+		// callers still see values for the substituted variables.
+		var binding expr.Env
+		solveSet := live
+		if s.build != nil {
+			solveSet, binding = substituteEqualities(s.build, live)
+		}
+		res, m, err = s.checkSliced(solveSet)
+		if err == nil && res && len(binding) > 0 {
+			if m == nil {
+				m = Model{}
+			}
+			for v, val := range binding {
+				m[v] = val
+			}
+		}
 	}
-
-	res, m, err := s.checkSliced(solveSet)
 	if err != nil {
 		return false, nil, err
 	}
-	if res && len(binding) > 0 {
-		if m == nil {
-			m = Model{}
-		}
-		for v, val := range binding {
-			m[v] = val
-		}
-	}
 	if s.opts.EnableCexCache {
-		s.cache.insert(key, res, m)
+		s.cache.insert(hash, ids, res, m)
 	}
 	if res && s.opts.EnableModelReuse {
 		s.remember(m)
@@ -366,7 +422,14 @@ func (s *Solver) checkSAT(constraints []*expr.Expr) (bool, Model, error) {
 	}
 }
 
-// tryRecentModels evaluates the constraints under recently found models.
+// cloneModel returns an independent copy of a model. Fast paths hand models
+// to callers that may merge bindings into them; defensive copies keep the
+// cached originals immutable.
+func cloneModel(m Model) Model { return maps.Clone(m) }
+
+// tryRecentModels evaluates the constraints under recently found models. It
+// returns the ring's own map — checkSatIn clones it before handing it to a
+// caller that wants the model.
 func (s *Solver) tryRecentModels(constraints []*expr.Expr) Model {
 	for _, m := range s.recentModels {
 		if m == nil {
@@ -390,7 +453,8 @@ func modelSatisfies(m Model, constraints []*expr.Expr) bool {
 }
 
 func (s *Solver) remember(m Model) {
-	s.recentModels[s.recentNext] = m
+	// Retain a copy: the caller owns the returned model and may mutate it.
+	s.recentModels[s.recentNext] = cloneModel(m)
 	s.recentNext = (s.recentNext + 1) % len(s.recentModels)
 }
 
@@ -398,14 +462,19 @@ func (s *Solver) remember(m Model) {
 
 // MayBeTrue reports whether cond can be true under the path condition.
 func (s *Solver) MayBeTrue(pc []*expr.Expr, cond *expr.Expr) (bool, error) {
+	return s.MayBeTrueIn(nil, pc, cond)
+}
+
+// MayBeTrueIn is MayBeTrue through an optional incremental session.
+func (s *Solver) MayBeTrueIn(sess *Session, pc []*expr.Expr, cond *expr.Expr) (bool, error) {
 	if cond.IsTrue() {
 		return true, nil
 	}
 	if cond.IsFalse() {
 		return false, nil
 	}
-	q := append(append([]*expr.Expr{}, pc...), cond)
-	res, _, err := s.CheckSat(q)
+	q := append(append(make([]*expr.Expr, 0, len(pc)+1), pc...), cond)
+	res, _, err := s.checkSatIn(sess, q, false) // verdict only: skip model copies
 	return res, err
 }
 
@@ -420,7 +489,12 @@ func (s *Solver) MustBeTrue(pc []*expr.Expr, notCond *expr.Expr) (bool, error) {
 // GetModel returns a satisfying assignment of the path condition, or nil if
 // it is unsatisfiable.
 func (s *Solver) GetModel(pc []*expr.Expr) (Model, error) {
-	res, m, err := s.CheckSat(pc)
+	return s.GetModelIn(nil, pc)
+}
+
+// GetModelIn is GetModel through an optional incremental session.
+func (s *Solver) GetModelIn(sess *Session, pc []*expr.Expr) (Model, error) {
+	res, m, err := s.CheckSatIn(sess, pc)
 	if err != nil || !res {
 		return nil, err
 	}
@@ -482,23 +556,45 @@ func independentGroups(constraints []*expr.Expr) [][]*expr.Expr {
 	return out
 }
 
-// queryKey builds a canonical cache key from the constraint set: the sorted,
-// de-duplicated list of expression IDs. IDs are builder-unique, so within
-// one engine run the key identifies the constraint set exactly.
-func queryKey(constraints []*expr.Expr) string {
-	ids := make([]uint64, 0, len(constraints))
+// fingerprint canonicalizes the constraint set into the sorted,
+// de-duplicated list of expression IDs plus its FNV-1a hash. IDs are
+// builder-unique, so within one engine run the id list identifies the
+// constraint set exactly; the cache stores the list alongside the hash and
+// verifies it on lookup, so hash collisions cannot alias distinct queries.
+// The returned slice is the solver's reusable scratch buffer — valid until
+// the next fingerprint call; the cache copies it when it retains an entry.
+func (s *Solver) fingerprint(constraints []*expr.Expr) (uint64, []uint64) {
+	ids := s.keyIDs[:0]
 	for _, c := range constraints {
 		ids = append(ids, c.ID())
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var b strings.Builder
+	// De-duplicate in place (the slice is sorted).
+	out := ids[:0]
 	var last uint64 = ^uint64(0)
 	for _, id := range ids {
 		if id == last {
 			continue
 		}
 		last = id
-		fmt.Fprintf(&b, "%x.", id)
+		out = append(out, id)
 	}
-	return b.String()
+	s.keyIDs = out
+	return fnvIDs(out), out
+}
+
+// fnvIDs hashes a sorted id list with FNV-1a over the ids' bytes.
+func fnvIDs(ids []uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, id := range ids {
+		for i := 0; i < 8; i++ {
+			h ^= (id >> (8 * uint(i))) & 0xff
+			h *= prime64
+		}
+	}
+	return h
 }

@@ -146,6 +146,11 @@ type Config struct {
 	// (counterexample cache, independence slicing, model reuse) for
 	// ablation measurements.
 	DisableSolverOpts bool
+
+	// DisableSessions turns off the incremental solver sessions (the
+	// blast-once/assume-many SAT instances shared along state lineages)
+	// for ablation measurements; every query then re-blasts one-shot.
+	DisableSessions bool
 }
 
 // Result re-exports the engine result.
@@ -215,6 +220,7 @@ func newEngine(p *Program, cfg Config) (*core.Engine, core.Strategy) {
 		CollectTests:    cfg.CollectTests,
 		MaxTests:        cfg.MaxTests,
 		TrackExactPaths: cfg.TrackExactPaths,
+		DisableSessions: cfg.DisableSessions,
 		SolverOpts:      solver.DefaultOptions(),
 	}
 	if cfg.DisableSolverOpts {

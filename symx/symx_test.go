@@ -187,7 +187,10 @@ func TestMaxStatesPruning(t *testing.T) {
 
 func TestTimeBudget(t *testing.T) {
 	p := MustCompile(echoSrc)
-	res := Run(p, Config{NArgs: 3, ArgLen: 6, MaxTime: 50 * time.Millisecond})
+	// Sized so the run cannot finish within the budget even with the
+	// incremental solver sessions (which completed the previous
+	// 3×6-argument workload inside 50ms).
+	res := Run(p, Config{NArgs: 4, ArgLen: 12, MaxTime: 50 * time.Millisecond})
 	if res.Completed {
 		t.Fatal("50ms run reported complete on a huge workload")
 	}
