@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver] [-budget 2s] [-timeout 10s] [-seed 1]
+//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver|scaling] [-budget 2s] [-timeout 10s] [-seed 1] [-workers N]
 //
 // Budgets replace the paper's 1h/2h wall-clock budgets; the shapes of the
 // results (who wins, scaling with input size, crossovers) are the claims
 // being checked, not absolute numbers.
+//
+// -workers N shards every exploration across N parallel workers; the
+// "scaling" figure additionally compares N workers against the sequential
+// baseline on the whole COREUTILS suite and verifies that sharding leaves
+// the exploration results (paths, coverage, errors) identical.
 package main
 
 import (
@@ -21,13 +26,14 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate (3..9, ff, all)")
+	figure := flag.String("figure", "all", "which figure to regenerate (3..9, ff, spectrum, solver, scaling, all)")
 	budget := flag.Duration("budget", 2*time.Second, "time budget per budget-bound run")
 	timeout := flag.Duration("timeout", 10*time.Second, "cutoff for exhaustive runs")
 	seed := flag.Int64("seed", 1, "random seed for the randomized strategies")
+	workers := flag.Int("workers", 0, "parallel exploration workers per run (0 = sequential)")
 	flag.Parse()
 
-	opts := bench.Options{Budget: *budget, Timeout: *timeout, Seed: *seed}
+	opts := bench.Options{Budget: *budget, Timeout: *timeout, Seed: *seed, Workers: *workers}
 	run := func(name string, f func(bench.Options) *bench.Table) {
 		if *figure == "all" || *figure == name {
 			fmt.Print(f(opts).String())
@@ -49,9 +55,10 @@ func main() {
 	run("ff", bench.FFStat)
 	run("spectrum", bench.Spectrum)
 	run("solver", bench.SolverSessions)
+	run("scaling", bench.ParallelScaling)
 
 	switch *figure {
-	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver":
+	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver", "scaling":
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", *figure)
 		os.Exit(2)

@@ -10,12 +10,20 @@
 //
 //	symx -args 2 -arglen 2 -merge dsm -qce -tool echo
 //	symx -args 1 -arglen 3 -tests prog.mc
+//	symx -workers 4 -tool base64                      # sharded exploration
+//	symx -portfolio none,ssm+qce,dsm+qce -tool expr   # race merging regimes
+//
+// Ctrl-C cancels the exploration promptly (Completed=false) instead of
+// killing the process mid-run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"symmerge/internal/coreutils"
@@ -41,6 +49,8 @@ func main() {
 		dumpIR   = flag.Bool("ir", false, "print the compiled IR and exit")
 		census   = flag.Bool("census", false, "track the exact-path shadow census")
 		noSess   = flag.Bool("nosessions", false, "disable incremental solver sessions (ablation)")
+		workers  = flag.Int("workers", 0, "parallel exploration workers (0 = sequential)")
+		portf    = flag.String("portfolio", "", "race merge regimes concurrently, first to finish wins (comma list, e.g. none,ssm+qce,dsm+qce)")
 	)
 	flag.Parse()
 
@@ -75,6 +85,11 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels the exploration through the engine's context poll, so
+	// a long run stops promptly and still prints its partial statistics.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cfg := symx.Config{
 		NArgs:           *nArgs,
 		ArgLen:          *argLen,
@@ -84,26 +99,34 @@ func main() {
 		Strategy:        symx.Strategy(*strategy),
 		Seed:            *seed,
 		MaxTime:         *budget,
+		Workers:         *workers,
+		Context:         ctx,
 		CollectTests:    *tests,
 		CheckBounds:     *bounds,
 		TrackExactPaths: *census,
 		DisableSessions: *noSess,
 	}
-	switch *merge {
-	case "none":
-		cfg.Merge = symx.MergeNone
-	case "ssm":
-		cfg.Merge = symx.MergeSSM
-	case "dsm":
-		cfg.Merge = symx.MergeDSM
-	case "func":
-		cfg.Merge = symx.MergeFunc
-	default:
-		fatal(fmt.Errorf("unknown merge mode %q", *merge))
+	cfg.Merge = parseMerge(*merge)
+
+	if *portf != "" {
+		regimes := strings.Split(*portf, ",")
+		for _, r := range regimes {
+			sub := cfg
+			sub.Portfolio = nil
+			spec, qce := strings.CutSuffix(strings.TrimSpace(r), "+qce")
+			sub.UseQCE = qce
+			sub.Merge = parseMerge(spec)
+			cfg.Portfolio = append(cfg.Portfolio, sub)
+		}
 	}
 
 	res := symx.Run(prog, cfg)
 	st := res.Stats
+	if res.PortfolioWinner >= 0 {
+		spec := strings.Split(*portf, ",")[res.PortfolioWinner]
+		fmt.Printf("portfolio:     regime %q won (%d raced)\n",
+			strings.TrimSpace(spec), len(cfg.Portfolio))
+	}
 	fmt.Printf("completed:     %v (%.3fs)\n", res.Completed, st.ElapsedSeconds)
 	fmt.Printf("paths:         %s (states completed: %d)\n", st.PathsMult, st.PathsCompleted)
 	if *census {
@@ -129,6 +152,21 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+func parseMerge(spec string) symx.MergeMode {
+	switch spec {
+	case "none":
+		return symx.MergeNone
+	case "ssm":
+		return symx.MergeSSM
+	case "dsm":
+		return symx.MergeDSM
+	case "func":
+		return symx.MergeFunc
+	}
+	fatal(fmt.Errorf("unknown merge mode %q", spec))
+	panic("unreachable")
 }
 
 func fatal(err error) {

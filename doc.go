@@ -8,5 +8,7 @@
 // benchmark entry points are in bench_test.go at the module root.
 //
 // See README.md for the package tour and the architecture notes on the
-// incremental solver sessions that back the engine's feasibility queries.
+// incremental solver sessions that back the engine's feasibility queries
+// and on the parallel exploration subsystem (symx.Config.Workers) that
+// shards the symbolic frontier across worker goroutines.
 package symmerge

@@ -27,6 +27,10 @@ type Options struct {
 	Timeout time.Duration
 	// Seed drives randomized strategies.
 	Seed int64
+	// Workers shards every exploration across this many goroutines
+	// (0/1 = sequential); the ParallelScaling figure additionally
+	// compares this worker count against the sequential baseline.
+	Workers int
 }
 
 // DefaultOptions returns budgets that complete the full evaluation in a few
@@ -64,6 +68,7 @@ func runTool(tool *coreutils.Tool, mut func(*symx.Config), opts Options) (RunOut
 	}
 	cfg := tool.BaseConfig()
 	cfg.Seed = opts.Seed
+	cfg.Workers = opts.Workers
 	mut(&cfg)
 	res := symx.Run(p, cfg)
 	out := RunOutcome{

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"math/big"
+	"sort"
 	"time"
 
 	"symmerge/internal/cfg"
@@ -95,6 +97,23 @@ type Config struct {
 	MaxSteps  uint64
 	MaxTime   time.Duration
 	MaxStates int // prune excess states beyond this worklist size
+
+	// Context, when non-nil, cancels the exploration early: the step loop
+	// polls it on the same cadence as the wall-clock deadline, so portfolio
+	// losers and interrupted CLI runs stop promptly with Completed=false.
+	Context context.Context
+
+	// Builder, when non-nil, supplies the expression builder instead of a
+	// private one. The parallel subsystem shares one (concurrency-safe)
+	// builder across all workers so expression identity — pointer equality,
+	// builder-unique IDs, and thus counterexample-cache fingerprints — is
+	// globally consistent and states can migrate between workers.
+	Builder *expr.Builder
+
+	// QCEAnalysis, when non-nil and UseQCE is set, supplies a precomputed
+	// analysis instead of running qce.Analyze per engine. The analysis is
+	// immutable after construction, so parallel workers share one.
+	QCEAnalysis *qce.Analysis
 
 	// CheckBounds makes out-of-bounds array accesses path errors instead
 	// of returning 0 / ignoring the write.
@@ -197,16 +216,28 @@ type Engine struct {
 	errors    []PathError
 	deadline  time.Time
 	started   time.Time
+
+	// sessRoot is the engine's root solver session. Every state lineage —
+	// the entry state and every injected migrant — forks it, so the whole
+	// engine shares one persistent SAT core: conjuncts blast once per
+	// worker and learned clauses amortize across subtrees, exactly as they
+	// do across fork lineages in a sequential run. Nil until first use and
+	// when sessions are disabled.
+	sessRoot *solver.Session
 }
 
 // NewEngine prepares an exploration of prog under cfg with the given driving
 // strategy (may be nil for MergeNone+DFS default — callers normally supply
 // one from symmerge/internal/search).
 func NewEngine(prog *ir.Program, config Config, strat Strategy) *Engine {
+	build := config.Builder
+	if build == nil {
+		build = expr.NewBuilder()
+	}
 	e := &Engine{
 		prog:      prog,
 		cfg:       config,
-		build:     expr.NewBuilder(),
+		build:     build,
 		solv:      solver.New(config.SolverOpts),
 		worklist:  map[*State]bool{},
 		byStack:   map[uint64][]*State{},
@@ -224,7 +255,11 @@ func NewEngine(prog *ir.Program, config Config, strat Strategy) *Engine {
 		e.cfgs[i] = cfg.Build(f)
 	}
 	if config.UseQCE {
-		e.qce = qce.Analyze(prog, config.QCE)
+		if config.QCEAnalysis != nil {
+			e.qce = config.QCEAnalysis
+		} else {
+			e.qce = qce.Analyze(prog, config.QCE)
+		}
 	}
 	if e.cfg.DSMDelta == 0 {
 		e.cfg.DSMDelta = 8
@@ -298,9 +333,7 @@ func (e *Engine) initialState() *State {
 		ID:   e.nextID,
 		Mult: big.NewInt(1),
 	}
-	if !e.cfg.DisableSessions {
-		s.sess = e.solv.NewSession()
-	}
+	s.sess = e.forkRootSession()
 	e.nextID++
 	s.pushFrame(e.newFrame(e.prog.Main, -1))
 	if e.cfg.TrackExactPaths {
@@ -359,10 +392,31 @@ type Result struct {
 	// Completed is true when the worklist drained (exhaustive
 	// exploration); false when a budget stopped the run.
 	Completed bool
+	// PortfolioWinner is the index of the winning configuration when the
+	// run raced a portfolio (symx.Config.Portfolio); -1 otherwise.
+	PortfolioWinner int
 }
 
 // Run explores until the worklist drains or a budget trips.
 func (e *Engine) Run() *Result {
+	e.Begin(true)
+	completed := true
+	for e.strategy.Len() > 0 {
+		if e.stopRequested() {
+			completed = false
+			break
+		}
+		if !e.stepOnce() {
+			break
+		}
+	}
+	return e.Finish(completed)
+}
+
+// Begin starts the exploration clock, arms the budgets, and (when seed is
+// set) enqueues the entry state. Parallel workers call Begin(false) and
+// receive their states via Inject; Run calls Begin(true).
+func (e *Engine) Begin(seed bool) {
 	e.started = time.Now()
 	if e.cfg.MaxTime > 0 {
 		e.deadline = e.started.Add(e.cfg.MaxTime)
@@ -374,44 +428,173 @@ func (e *Engine) Run() *Result {
 	}
 	e.stats.PathsMult = big.NewInt(0)
 	e.stats.TotalInstrs = e.prog.NumLocations()
+	if seed {
+		e.addState(e.initialState())
+	}
+}
 
-	e.addState(e.initialState())
-	completed := true
-	for e.strategy.Len() > 0 {
-		if e.cfg.MaxSteps > 0 && e.stats.Steps >= e.cfg.MaxSteps {
-			completed = false
-			break
+// stopRequested reports whether a budget or cancellation should end the
+// exploration. The wall clock and the context are polled every 64 steps.
+func (e *Engine) stopRequested() bool {
+	if e.cfg.MaxSteps > 0 && e.stats.Steps >= e.cfg.MaxSteps {
+		return true
+	}
+	if e.stats.Steps%64 == 0 {
+		if e.cfg.Context != nil && e.cfg.Context.Err() != nil {
+			return true
 		}
-		if !e.deadline.IsZero() && e.stats.Steps%64 == 0 && time.Now().After(e.deadline) {
-			completed = false
-			break
-		}
-		s := e.pickNext()
-		if s == nil {
-			break
-		}
-		e.removeState(s)
-		e.stats.Steps++
-		succs := e.stepBlock(s)
-		for _, ns := range succs {
-			e.dispatch(ns)
-		}
-		if n := e.strategy.Len(); n > e.stats.MaxWorklist {
-			e.stats.MaxWorklist = n
-		}
-		if e.cfg.MaxStates > 0 {
-			e.pruneExcess()
+		if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+			return true
 		}
 	}
+	return false
+}
+
+// stepOnce runs one scheduler step: pick, step to the next block boundary,
+// dispatch successors. It reports whether a state was stepped.
+func (e *Engine) stepOnce() bool {
+	s := e.pickNext()
+	if s == nil {
+		return false
+	}
+	e.removeState(s)
+	e.stats.Steps++
+	succs := e.stepBlock(s)
+	for _, ns := range succs {
+		e.dispatch(ns)
+	}
+	if n := e.strategy.Len(); n > e.stats.MaxWorklist {
+		e.stats.MaxWorklist = n
+	}
+	if e.cfg.MaxStates > 0 {
+		e.pruneExcess()
+	}
+	return true
+}
+
+// RunStatus is the outcome of a bounded StepN call.
+type RunStatus uint8
+
+// StepN outcomes.
+const (
+	// RunMore: the quantum ran out with work remaining.
+	RunMore RunStatus = iota
+	// RunDrained: the worklist is empty.
+	RunDrained
+	// RunStopped: a budget tripped or the context was cancelled.
+	RunStopped
+)
+
+// StepN runs up to n scheduler steps. It is the quantum the parallel
+// subsystem's workers interleave with frontier polls: returning to the
+// caller every n steps bounds how stale a worker's view of the shared
+// frontier (hungry peers, cancellation) can get.
+func (e *Engine) StepN(n int) RunStatus {
+	for i := 0; i < n; i++ {
+		if e.strategy.Len() == 0 {
+			return RunDrained
+		}
+		if e.stopRequested() {
+			return RunStopped
+		}
+		if !e.stepOnce() {
+			return RunDrained
+		}
+	}
+	if e.strategy.Len() == 0 {
+		return RunDrained
+	}
+	return RunMore
+}
+
+// Finish closes the exploration and packages the result. completed should
+// be false when a budget or cancellation stopped the run early.
+func (e *Engine) Finish(completed bool) *Result {
 	e.stats.CoveredInstrs = e.covered
 	e.stats.Solver = e.solv.Stats
 	e.stats.ElapsedSeconds = time.Since(e.started).Seconds()
 	return &Result{
-		Stats:     e.stats,
-		Tests:     e.testCases,
-		Errors:    e.errors,
-		Completed: completed,
+		Stats:           e.stats,
+		Tests:           e.testCases,
+		Errors:          e.errors,
+		Completed:       completed,
+		PortfolioWinner: -1,
 	}
+}
+
+// WorklistLen reports the number of live states awaiting exploration.
+func (e *Engine) WorklistLen() int { return len(e.worklist) }
+
+// Inject adopts a state detached from another engine (or freshly seeded by
+// the splitter): it re-numbers the state into this engine's ID space —
+// keeping victim selection and TopoLess tie-breaks deterministic per worker
+// — attaches a fresh solver session (the path condition re-blasts here on
+// demand), and dispatches it, so an incoming state may immediately merge
+// with a resident one.
+func (e *Engine) Inject(s *State) {
+	s.ID = e.nextID
+	e.nextID++
+	if s.sess == nil {
+		s.sess = e.forkRootSession()
+	}
+	e.dispatch(s)
+}
+
+// forkRootSession hands out a lineage session sharing the engine-wide
+// persistent SAT core (nil when sessions are disabled).
+func (e *Engine) forkRootSession() *solver.Session {
+	if e.cfg.DisableSessions {
+		return nil
+	}
+	if e.sessRoot == nil {
+		e.sessRoot = e.solv.NewSession()
+	}
+	return e.sessRoot.Fork()
+}
+
+// ExtractStates detaches up to max worklist states for migration to another
+// engine, always leaving at least one behind (the donor keeps working).
+// Victims are the oldest states (lowest ID): in a forking exploration the
+// oldest frontier entries root the largest unexplored subtrees, which makes
+// them the best work to ship elsewhere. Returned states are fully detached
+// — no mutable memory is shared with this engine (see State.detach).
+func (e *Engine) ExtractStates(max int) []*State {
+	return e.extract(max, 1)
+}
+
+// ExtractAll detaches every worklist state (the splitter's hand-off to the
+// frontier after the initial sharding phase).
+func (e *Engine) ExtractAll() []*State {
+	return e.extract(len(e.worklist), 0)
+}
+
+func (e *Engine) extract(max, keep int) []*State {
+	n := len(e.worklist) - keep
+	if n > max {
+		n = max
+	}
+	if n <= 0 {
+		return nil
+	}
+	all := make([]*State, 0, len(e.worklist))
+	for s := range e.worklist {
+		all = append(all, s)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	victims := all[:n]
+	for _, s := range victims {
+		e.removeState(s)
+		s.detach()
+	}
+	return victims
+}
+
+// CoverageMask returns a copy of the per-location coverage bitmap, for
+// cross-worker union at join time.
+func (e *Engine) CoverageMask() []bool {
+	out := make([]bool, len(e.coverage))
+	copy(out, e.coverage)
+	return out
 }
 
 // dispatch routes a stepped successor: record completion, attempt merging,

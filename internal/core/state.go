@@ -195,6 +195,31 @@ func (s *State) fork(newID uint64) *State {
 	return ns
 }
 
+// detach severs every mutable tie between the state and its originating
+// engine so it can migrate to another worker:
+//
+//   - Array objects are cloned. Copy-on-write sharing with sibling states
+//     is safe within one engine (one goroutine), but across workers even
+//     the redundant `shared = true` store during a sibling's fork would
+//     race with a reader; cloning leaves nothing mutable in common. The
+//     path condition, output entries, and shadow census keep sharing their
+//     slices — they are length-clamped and their contents (hash-consed
+//     expressions from the shared builder) are immutable.
+//   - The solver session is dropped: sessions wrap a worker-local SAT
+//     instance. The receiving engine attaches a fresh one on Inject and
+//     the path condition re-blasts there on demand.
+func (s *State) detach() {
+	for _, f := range s.Frames {
+		for i, o := range f.Objects {
+			if o != nil {
+				f.Objects[i] = o.clone()
+			}
+		}
+	}
+	s.sess = nil
+	s.ff = false
+}
+
 // resolveRef walks parameter references to the owning frame's object.
 func (s *State) resolveRef(r ObjRef) ObjRef {
 	for {

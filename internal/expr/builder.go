@@ -3,36 +3,61 @@ package expr
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
-// Builder constructs hash-consed expressions. A Builder is not safe for
-// concurrent use; the engine owns one per run.
+// internShards is the number of independently locked hash-cons table
+// segments. Interning is on the engine's hottest path (every executed
+// instruction builds expressions), so when one Builder is shared by several
+// exploration workers a single lock would serialize them; sharding by
+// structural hash keeps contention negligible. 64 shards cover any
+// plausible worker count with headroom.
+const internShards = 64
+
+// internShard is one lock-striped segment of the hash-cons table.
+type internShard struct {
+	mu    sync.Mutex
+	table map[uint64][]*Expr // structural hash -> nodes with that hash
+}
+
+// Builder constructs hash-consed expressions. A Builder is safe for
+// concurrent use: the intern table uses sharded locks and the activity
+// counters are atomic, so parallel exploration workers can share one
+// Builder (sharing is what makes expression identity — pointer equality
+// and builder-unique IDs — globally consistent across workers).
 type Builder struct {
-	table  map[uint64][]*Expr // structural hash -> nodes with that hash
-	nextID uint64
+	shards [internShards]internShard
+	nextID atomic.Uint64
 
 	true_  *Expr
 	false_ *Expr
 
 	// Stats counts constructor activity, used by solver benchmarks.
-	Stats struct {
-		Nodes uint64 // distinct nodes created
-		Hits  uint64 // hash-cons hits
-		Folds uint64 // constructions answered by constant folding
-		Simps uint64 // constructions answered by a simplification rule
-	}
+	Stats BuilderStats
+}
+
+// BuilderStats are atomic constructor-activity counters.
+type BuilderStats struct {
+	Nodes atomic.Uint64 // distinct nodes created
+	Hits  atomic.Uint64 // hash-cons hits
+	Folds atomic.Uint64 // constructions answered by constant folding
+	Simps atomic.Uint64 // constructions answered by a simplification rule
 }
 
 // NewBuilder returns an empty builder with the boolean constants interned.
 func NewBuilder() *Builder {
-	b := &Builder{table: make(map[uint64][]*Expr, 1024)}
+	b := &Builder{}
+	for i := range b.shards {
+		b.shards[i].table = make(map[uint64][]*Expr, 16)
+	}
 	b.false_ = b.mk(&Expr{Kind: KConst, Width: 0, Val: 0})
 	b.true_ = b.mk(&Expr{Kind: KConst, Width: 0, Val: 1})
 	return b
 }
 
 // NumNodes returns the number of distinct interned nodes.
-func (b *Builder) NumNodes() int { return int(b.Stats.Nodes) }
+func (b *Builder) NumNodes() int { return int(b.Stats.Nodes.Load()) }
 
 func hashExpr(e *Expr) uint64 {
 	const (
@@ -74,25 +99,31 @@ func sameExpr(a, e *Expr) bool {
 	return true
 }
 
-// mk interns e, returning the canonical node.
+// mk interns e, returning the canonical node. All of e's derived fields are
+// filled in before the node is published into the shard table, so every
+// reader — whether it got the pointer from this call or from a later lookup
+// under the shard lock — sees a fully initialized, immutable node.
 func (b *Builder) mk(e *Expr) *Expr {
 	e.hash = hashExpr(e)
-	for _, cand := range b.table[e.hash] {
+	sh := &b.shards[e.hash%internShards]
+	sh.mu.Lock()
+	for _, cand := range sh.table[e.hash] {
 		if sameExpr(cand, e) {
-			b.Stats.Hits++
+			sh.mu.Unlock()
+			b.Stats.Hits.Add(1)
 			return cand
 		}
 	}
-	e.id = b.nextID
-	b.nextID++
+	e.id = b.nextID.Add(1) - 1
 	e.symbolic = e.Kind == KVar
 	e.nodes = 1
 	for _, k := range e.Kids {
 		e.symbolic = e.symbolic || k.symbolic
 		e.nodes += k.nodes
 	}
-	b.table[e.hash] = append(b.table[e.hash], e)
-	b.Stats.Nodes++
+	sh.table[e.hash] = append(sh.table[e.hash], e)
+	sh.mu.Unlock()
+	b.Stats.Nodes.Add(1)
 	return e
 }
 
@@ -144,11 +175,11 @@ func (b *Builder) checkBool(op string, es ...*Expr) {
 func (b *Builder) Not(x *Expr) *Expr {
 	b.checkBool("not", x)
 	if x.IsConst() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.Bool(x.Val == 0)
 	}
 	if x.Kind == KNot {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x.Kids[0] // not(not(a)) = a
 	}
 	return b.mk(&Expr{Kind: KNot, Kids: []*Expr{x}})
@@ -159,20 +190,20 @@ func (b *Builder) And(x, y *Expr) *Expr {
 	b.checkBool("and", x, y)
 	switch {
 	case x.IsFalse() || y.IsFalse():
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.false_
 	case x.IsTrue():
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return y
 	case y.IsTrue():
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	case x == y:
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	}
 	if x.Kind == KNot && x.Kids[0] == y || y.Kind == KNot && y.Kids[0] == x {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return b.false_
 	}
 	x, y = orderPair(x, y)
@@ -184,20 +215,20 @@ func (b *Builder) Or(x, y *Expr) *Expr {
 	b.checkBool("or", x, y)
 	switch {
 	case x.IsTrue() || y.IsTrue():
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.true_
 	case x.IsFalse():
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return y
 	case y.IsFalse():
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	case x == y:
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	}
 	if x.Kind == KNot && x.Kids[0] == y || y.Kind == KNot && y.Kids[0] == x {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return b.true_
 	}
 	x, y = orderPair(x, y)
@@ -208,11 +239,11 @@ func (b *Builder) Or(x, y *Expr) *Expr {
 func (b *Builder) Xor(x, y *Expr) *Expr {
 	b.checkBool("xor", x, y)
 	if x.IsConst() && y.IsConst() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.Bool(x.Val != y.Val)
 	}
 	if x == y {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return b.false_
 	}
 	if x.IsFalse() {
@@ -235,7 +266,7 @@ func (b *Builder) Xor(x, y *Expr) *Expr {
 func (b *Builder) Implies(x, y *Expr) *Expr {
 	b.checkBool("=>", x, y)
 	if x.IsFalse() || y.IsTrue() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.true_
 	}
 	if x.IsTrue() {
@@ -245,7 +276,7 @@ func (b *Builder) Implies(x, y *Expr) *Expr {
 		return b.Not(x)
 	}
 	if x == y {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return b.true_
 	}
 	return b.mk(&Expr{Kind: KImplies, Kids: []*Expr{x, y}})
@@ -291,11 +322,11 @@ func (b *Builder) Eq(x, y *Expr) *Expr {
 		panic(fmt.Sprintf("expr: = width mismatch: %s vs %s", x, y))
 	}
 	if x == y {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return b.true_
 	}
 	if x.IsConst() && y.IsConst() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.Bool(x.Val == y.Val)
 	}
 	if x.Width == 0 {
@@ -323,11 +354,11 @@ func (b *Builder) Ne(x, y *Expr) *Expr { return b.Not(b.Eq(x, y)) }
 func (b *Builder) cmp(k Kind, x, y *Expr, fold func(a, c uint64, w uint8) bool) *Expr {
 	b.checkSameBV(k.String(), x, y)
 	if x.IsConst() && y.IsConst() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.Bool(fold(x.Val, y.Val, x.Width))
 	}
 	if x == y {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		// ult/slt are irreflexive, ule/sle reflexive.
 		return b.Bool(k == KUle || k == KSle)
 	}
@@ -375,7 +406,7 @@ func (b *Builder) Sge(x, y *Expr) *Expr { return b.Sle(y, x) }
 func (b *Builder) arith(k Kind, x, y *Expr, fold func(a, c uint64, w uint8) uint64) *Expr {
 	b.checkSameBV(k.String(), x, y)
 	if x.IsConst() && y.IsConst() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.Const(fold(x.Val, y.Val, x.Width), x.Width)
 	}
 	return b.mk(&Expr{Kind: k, Width: x.Width, Kids: []*Expr{x, y}})
@@ -384,11 +415,11 @@ func (b *Builder) arith(k Kind, x, y *Expr, fold func(a, c uint64, w uint8) uint
 // Add returns x + y (modular).
 func (b *Builder) Add(x, y *Expr) *Expr {
 	if x.IsConst() && x.Val == 0 {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return y
 	}
 	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	}
 	if !x.IsConst() && y.IsConst() || (!x.IsConst() && !y.IsConst() && y.id < x.id) {
@@ -400,11 +431,11 @@ func (b *Builder) Add(x, y *Expr) *Expr {
 // Sub returns x − y (modular).
 func (b *Builder) Sub(x, y *Expr) *Expr {
 	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	}
 	if x == y {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return b.Const(0, x.Width)
 	}
 	return b.arith(KSub, x, y, func(a, c uint64, _ uint8) uint64 { return a - c })
@@ -415,20 +446,20 @@ func (b *Builder) Mul(x, y *Expr) *Expr {
 	if x.IsConst() {
 		switch x.Val {
 		case 0:
-			b.Stats.Folds++
+			b.Stats.Folds.Add(1)
 			return b.Const(0, x.Width)
 		case 1:
-			b.Stats.Simps++
+			b.Stats.Simps.Add(1)
 			return y
 		}
 	}
 	if y.IsConst() {
 		switch y.Val {
 		case 0:
-			b.Stats.Folds++
+			b.Stats.Folds.Add(1)
 			return b.Const(0, y.Width)
 		case 1:
-			b.Stats.Simps++
+			b.Stats.Simps.Add(1)
 			return x
 		}
 	}
@@ -439,7 +470,7 @@ func (b *Builder) Mul(x, y *Expr) *Expr {
 // UDiv returns x ÷ y unsigned; division by zero yields all-ones (SMT-LIB).
 func (b *Builder) UDiv(x, y *Expr) *Expr {
 	if y.IsConst() && y.Val == 1 {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	}
 	return b.arith(KUDiv, x, y, func(a, c uint64, w uint8) uint64 {
@@ -494,11 +525,11 @@ func (b *Builder) SRem(x, y *Expr) *Expr {
 // Neg returns −x (two's complement).
 func (b *Builder) Neg(x *Expr) *Expr {
 	if x.IsConst() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.Const(-x.Val, x.Width)
 	}
 	if x.Kind == KNeg {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x.Kids[0]
 	}
 	return b.mk(&Expr{Kind: KNeg, Width: x.Width, Kids: []*Expr{x}})
@@ -509,19 +540,19 @@ func (b *Builder) Neg(x *Expr) *Expr {
 // BAnd returns the bitwise conjunction x & y.
 func (b *Builder) BAnd(x, y *Expr) *Expr {
 	if x == y {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	}
 	if x.IsConst() && x.Val == 0 || y.IsConst() && y.Val == 0 {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.Const(0, x.Width)
 	}
 	if x.IsConst() && x.Val == mask(x.Width) {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return y
 	}
 	if y.IsConst() && y.Val == mask(y.Width) {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	}
 	x, y = orderPair(x, y)
@@ -531,15 +562,15 @@ func (b *Builder) BAnd(x, y *Expr) *Expr {
 // BOr returns the bitwise disjunction x | y.
 func (b *Builder) BOr(x, y *Expr) *Expr {
 	if x == y {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	}
 	if x.IsConst() && x.Val == 0 {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return y
 	}
 	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	}
 	x, y = orderPair(x, y)
@@ -549,15 +580,15 @@ func (b *Builder) BOr(x, y *Expr) *Expr {
 // BXor returns the bitwise exclusive or x ^ y.
 func (b *Builder) BXor(x, y *Expr) *Expr {
 	if x == y {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return b.Const(0, x.Width)
 	}
 	if x.IsConst() && x.Val == 0 {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return y
 	}
 	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	}
 	x, y = orderPair(x, y)
@@ -567,11 +598,11 @@ func (b *Builder) BXor(x, y *Expr) *Expr {
 // BNot returns the bitwise complement of x.
 func (b *Builder) BNot(x *Expr) *Expr {
 	if x.IsConst() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.Const(^x.Val, x.Width)
 	}
 	if x.Kind == KBNot {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x.Kids[0]
 	}
 	return b.mk(&Expr{Kind: KBNot, Width: x.Width, Kids: []*Expr{x}})
@@ -580,7 +611,7 @@ func (b *Builder) BNot(x *Expr) *Expr {
 // Shl returns x << y; shifts ≥ width yield zero.
 func (b *Builder) Shl(x, y *Expr) *Expr {
 	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	}
 	return b.arith(KShl, x, y, func(a, c uint64, w uint8) uint64 {
@@ -594,7 +625,7 @@ func (b *Builder) Shl(x, y *Expr) *Expr {
 // LShr returns the logical right shift x >> y; shifts ≥ width yield zero.
 func (b *Builder) LShr(x, y *Expr) *Expr {
 	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	}
 	return b.arith(KLShr, x, y, func(a, c uint64, w uint8) uint64 {
@@ -608,7 +639,7 @@ func (b *Builder) LShr(x, y *Expr) *Expr {
 // AShr returns the arithmetic right shift x >> y (sign filling).
 func (b *Builder) AShr(x, y *Expr) *Expr {
 	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return x
 	}
 	return b.arith(KAShr, x, y, func(a, c uint64, w uint8) uint64 {
@@ -632,7 +663,7 @@ func (b *Builder) ZExt(x *Expr, w uint8) *Expr {
 		return x
 	}
 	if x.IsConst() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.Const(x.Val, w)
 	}
 	return b.mk(&Expr{Kind: KZExt, Width: w, Aux: uint16(x.Width), Kids: []*Expr{x}})
@@ -647,7 +678,7 @@ func (b *Builder) SExt(x *Expr, w uint8) *Expr {
 		return x
 	}
 	if x.IsConst() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.Const(signExtend(x.Val, x.Width), w)
 	}
 	return b.mk(&Expr{Kind: KSExt, Width: w, Aux: uint16(x.Width), Kids: []*Expr{x}})
@@ -662,24 +693,24 @@ func (b *Builder) Extract(x *Expr, lo, w uint8) *Expr {
 		return x
 	}
 	if x.IsConst() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.Const(x.Val>>lo, w)
 	}
 	if x.Kind == KZExt || x.Kind == KSExt {
 		src := x.Kids[0]
 		if int(lo)+int(w) <= int(src.Width) {
-			b.Stats.Simps++
+			b.Stats.Simps.Add(1)
 			return b.Extract(src, lo, w)
 		}
 	}
 	if x.Kind == KConcat {
 		hi, lo2 := x.Kids[0], x.Kids[1]
 		if int(lo)+int(w) <= int(lo2.Width) {
-			b.Stats.Simps++
+			b.Stats.Simps.Add(1)
 			return b.Extract(lo2, lo, w)
 		}
 		if int(lo) >= int(lo2.Width) {
-			b.Stats.Simps++
+			b.Stats.Simps.Add(1)
 			return b.Extract(hi, lo-lo2.Width, w)
 		}
 	}
@@ -693,11 +724,11 @@ func (b *Builder) Concat(hi, lo *Expr) *Expr {
 		panic(fmt.Sprintf("expr: concat widths %d+%d invalid", hi.Width, lo.Width))
 	}
 	if hi.IsConst() && lo.IsConst() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return b.Const(hi.Val<<lo.Width|lo.Val, uint8(w))
 	}
 	if hi.IsConst() && hi.Val == 0 {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return b.ZExt(lo, uint8(w))
 	}
 	return b.mk(&Expr{Kind: KConcat, Width: uint8(w), Kids: []*Expr{hi, lo}})
@@ -712,15 +743,15 @@ func (b *Builder) Ite(c, t, f *Expr) *Expr {
 		panic(fmt.Sprintf("expr: ite arm width mismatch: %s vs %s", t, f))
 	}
 	if c.IsTrue() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return t
 	}
 	if c.IsFalse() {
-		b.Stats.Folds++
+		b.Stats.Folds.Add(1)
 		return f
 	}
 	if t == f {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		return t
 	}
 	if c.Kind == KNot {
@@ -730,10 +761,10 @@ func (b *Builder) Ite(c, t, f *Expr) *Expr {
 		// Boolean ite simplifications.
 		switch {
 		case t.IsTrue() && f.IsFalse():
-			b.Stats.Simps++
+			b.Stats.Simps.Add(1)
 			return c
 		case t.IsFalse() && f.IsTrue():
-			b.Stats.Simps++
+			b.Stats.Simps.Add(1)
 			return b.Not(c)
 		case t.IsTrue():
 			return b.Or(c, f)
@@ -747,11 +778,11 @@ func (b *Builder) Ite(c, t, f *Expr) *Expr {
 	}
 	// ite(c, ite(c, a, _), f) = ite(c, a, f), same for the else arm.
 	if t.Kind == KIte && t.Kids[0] == c {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		t = t.Kids[1]
 	}
 	if f.Kind == KIte && f.Kids[0] == c {
-		b.Stats.Simps++
+		b.Stats.Simps.Add(1)
 		f = f.Kids[2]
 	}
 	if t == f {

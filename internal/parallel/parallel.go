@@ -1,0 +1,390 @@
+// Package parallel is the multi-worker exploration subsystem: it shards the
+// symbolic frontier across N goroutines, each running its own core.Engine
+// over subtrees claimed from a shared, mutex-guarded frontier, with
+// work-stealing when a worker's local worklist drains.
+//
+// What is shared and what is per-worker:
+//
+//   - Shared, race-clean: one expr.Builder (sharded-lock hash-consing, so
+//     expression identity and builder-unique IDs are globally consistent),
+//     one counterexample cache (sharded locks, atomic hit/miss counters),
+//     one immutable QCE analysis, and the frontier itself.
+//   - Per-worker: the engine, its solver (incremental sessions, the
+//     recent-model ring, scratch buffers), its driving strategy, its DSM
+//     bookkeeping, and its stats. Merging (SSM/DSM, Algorithm 2) therefore
+//     stays worker-local per subtree: two states can only merge if the same
+//     worker holds both, which keeps the paper's merge bookkeeping entirely
+//     lock-free. Cross-worker sharding forgoes some merges — that changes
+//     how many *states* complete, never how many *paths* they represent
+//     (Σ multiplicity), nor coverage, nor the set of errors reachable.
+//
+// Exploration runs in two phases. A splitter engine runs the entry state
+// single-threaded until the frontier is wide enough (or the program is
+// done), then hands every live state to the frontier. Workers then claim
+// states, explore the claimed subtree to exhaustion with their own engine,
+// and claim again; a worker whose quantum ends while peers are starved
+// donates its oldest states (the roots of its largest unexplored subtrees)
+// back to the frontier. At join, per-worker stats are aggregated into one
+// deterministic Result (fixed summation order: splitter, then workers by
+// index).
+package parallel
+
+import (
+	"context"
+	"math/big"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"symmerge/internal/core"
+	"symmerge/internal/expr"
+	"symmerge/internal/ir"
+	"symmerge/internal/qce"
+	"symmerge/internal/solver"
+)
+
+// NewEngineFunc builds one exploration engine (with its driving strategy)
+// for the given configuration. The symx layer supplies it; parallel calls
+// it once for the splitter and once per worker, after injecting the shared
+// builder, cache, and QCE analysis into the configuration.
+type NewEngineFunc func(core.Config) *core.Engine
+
+// Options tunes the pool.
+type Options struct {
+	// Workers is the number of exploration goroutines; values <= 1 run the
+	// single-threaded path.
+	Workers int
+	// SplitFactor scales the initial sharding phase: the splitter runs
+	// until the frontier holds SplitFactor*Workers states (default 4).
+	SplitFactor int
+	// StepQuantum is how many scheduler steps a worker runs between
+	// frontier polls (default 128).
+	StepQuantum int
+}
+
+func (o Options) splitTarget() int {
+	f := o.SplitFactor
+	if f <= 0 {
+		f = 4
+	}
+	return f * o.Workers
+}
+
+func (o Options) quantum() int {
+	if o.StepQuantum > 0 {
+		return o.StepQuantum
+	}
+	return 128
+}
+
+// maxSplitSteps bounds the single-threaded sharding phase: a program whose
+// frontier never widens (merging collapses it, or a long straight-line
+// prefix) must not serialize the whole run. Past the cap, whatever frontier
+// exists is handed off and workers balance via stealing.
+const maxSplitSteps = 4096
+
+// Explore shards the exploration of prog under cfg across opts.Workers
+// goroutines and returns the aggregated result.
+func Explore(prog *ir.Program, cfg core.Config, opts Options, newEngine NewEngineFunc) *core.Result {
+	if opts.Workers <= 1 {
+		return newEngine(cfg).Run()
+	}
+	start := time.Now()
+
+	// Shared infrastructure. The builder must be common to all workers:
+	// states migrate with their expressions, and the counterexample cache
+	// keys on builder-unique expression IDs.
+	if cfg.Builder == nil {
+		cfg.Builder = expr.NewBuilder()
+	}
+	if cfg.SolverOpts.EnableCexCache && cfg.SolverOpts.SharedCache == nil {
+		cfg.SolverOpts.SharedCache = solver.NewSharedCache()
+	}
+	if cfg.UseQCE && cfg.QCEAnalysis == nil {
+		cfg.QCEAnalysis = qce.Analyze(prog, cfg.QCE)
+	}
+	baseCtx := cfg.Context
+	if baseCtx == nil {
+		baseCtx = context.Background()
+	}
+	pctx, cancel := context.WithCancel(baseCtx)
+	defer cancel()
+	cfg.Context = pctx
+
+	// Phase 1: single-threaded split until the frontier is wide enough.
+	split := newEngine(cfg)
+	split.Begin(true)
+	status := core.RunDrained
+	for steps := 0; split.WorklistLen() > 0 && split.WorklistLen() < opts.splitTarget() && steps < maxSplitSteps; steps++ {
+		status = split.StepN(1)
+		if status != core.RunMore {
+			break
+		}
+	}
+	if status == core.RunDrained && split.WorklistLen() == 0 {
+		// The program was exhausted (or every path pruned) before the
+		// frontier ever widened: the splitter's run is the whole result.
+		res := split.Finish(true)
+		res.Stats.ElapsedSeconds = time.Since(start).Seconds()
+		return res
+	}
+	if status == core.RunStopped {
+		return split.Finish(false)
+	}
+	seeds := split.ExtractAll()
+	splitRes := split.Finish(true)
+
+	fr := newFrontier(opts.Workers)
+	fr.put(seeds)
+
+	// Phase 2: the worker fleet. Budgets are split across workers: each
+	// gets an equal share of the remaining steps and the remaining wall
+	// clock (workers start together, so their deadlines coincide).
+	wcfg := cfg
+	if cfg.MaxSteps > 0 {
+		rem := uint64(0)
+		if cfg.MaxSteps > splitRes.Stats.Steps {
+			rem = cfg.MaxSteps - splitRes.Stats.Steps
+		}
+		wcfg.MaxSteps = max(rem/uint64(opts.Workers), 1)
+	}
+	if cfg.MaxStates > 0 {
+		// Keep the configured bound a cap on *total* live states (it is a
+		// memory budget): worklists are disjoint shards, so each worker
+		// prunes past an equal share.
+		wcfg.MaxStates = max(cfg.MaxStates/opts.Workers, 1)
+	}
+	if cfg.MaxTime > 0 {
+		wcfg.MaxTime = max(cfg.MaxTime-time.Since(start), time.Millisecond)
+	}
+
+	engines := make([]*core.Engine, opts.Workers)
+	results := make([]*core.Result, opts.Workers)
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	for i := range engines {
+		engines[i] = newEngine(wcfg)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runWorker(engines[i], fr, &stopped, opts.quantum())
+		}(i)
+	}
+	wg.Wait()
+
+	masks := make([][]bool, 0, opts.Workers+1)
+	masks = append(masks, split.CoverageMask())
+	for _, e := range engines {
+		masks = append(masks, e.CoverageMask())
+	}
+	all := append([]*core.Result{splitRes}, results...)
+	res := aggregate(all, masks, !stopped.Load(), cfg)
+	res.Stats.ElapsedSeconds = time.Since(start).Seconds()
+	return res
+}
+
+// runWorker is one exploration goroutine: claim a subtree root from the
+// frontier, run it to exhaustion in quanta, donate states to starved peers
+// between quanta, repeat until the frontier closes.
+func runWorker(eng *core.Engine, fr *frontier, stopped *atomic.Bool, quantum int) *core.Result {
+	eng.Begin(false)
+	for {
+		s := fr.take()
+		if s == nil {
+			return eng.Finish(true)
+		}
+		eng.Inject(s)
+	subtree:
+		for {
+			switch eng.StepN(quantum) {
+			case core.RunDrained:
+				break subtree
+			case core.RunStopped:
+				// This worker's budget share tripped (or the shared
+				// context/deadline fired, which every peer observes on
+				// its own within a step-poll). Retire locally instead
+				// of cancelling the pool: peers keep spending their own
+				// shares, so an imbalanced frontier cannot strand most
+				// of the configured budget. The claimed states left in
+				// this worklist are abandoned, exactly like a
+				// budget-stop in a sequential run.
+				stopped.Store(true)
+				fr.leave()
+				return eng.Finish(false)
+			case core.RunMore:
+				if n := fr.hungry(); n > 0 {
+					fr.put(eng.ExtractStates(n))
+				}
+			}
+		}
+	}
+}
+
+// frontier is the shared, mutex-guarded work pool. take blocks until a
+// state is available; when every worker is blocked simultaneously with the
+// queue empty, no work can ever appear again and the frontier closes.
+type frontier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*core.State
+	waiting int
+	workers int
+	closed  bool
+
+	// starved mirrors `waiting` atomically so donors can poll it between
+	// step quanta without taking the lock.
+	starved atomic.Int32
+}
+
+func newFrontier(workers int) *frontier {
+	f := &frontier{workers: workers}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// put appends detached states and wakes starved workers.
+func (f *frontier) put(ss []*core.State) {
+	if len(ss) == 0 {
+		return
+	}
+	f.mu.Lock()
+	f.queue = append(f.queue, ss...)
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// take returns the next claimable state, blocking while the queue is empty
+// and some peer might still donate. It returns nil once the frontier is
+// closed (global drain, budget stop, or cancellation).
+func (f *frontier) take() *core.State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.closed {
+			return nil
+		}
+		if len(f.queue) > 0 {
+			s := f.queue[0]
+			f.queue[0] = nil // release the claimed state's backing slot
+			f.queue = f.queue[1:]
+			return s
+		}
+		f.waiting++
+		f.starved.Add(1)
+		if f.waiting == f.workers {
+			// Everyone is starved with an empty queue: nobody is
+			// running, so nobody can donate. Global drain.
+			f.closed = true
+			f.cond.Broadcast()
+			return nil
+		}
+		f.cond.Wait()
+		f.waiting--
+		f.starved.Add(-1)
+	}
+}
+
+// leave retires a worker that stopped on its own budget share: the drain
+// detection must no longer count it, and if every remaining worker is
+// already starved with an empty queue, the frontier closes now (the
+// leaver was the only one who could still have donated).
+func (f *frontier) leave() {
+	f.mu.Lock()
+	f.workers--
+	if f.waiting >= f.workers && len(f.queue) == 0 {
+		f.closed = true
+	}
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// close wakes every blocked worker and makes all future takes return nil.
+func (f *frontier) close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// hungry reports how many workers are currently blocked on an empty queue —
+// the donation target for a running worker's next steal poll.
+func (f *frontier) hungry() int { return int(f.starved.Load()) }
+
+// aggregate folds the splitter's and every worker's result into one, in
+// fixed order so the output is deterministic for a given set of per-worker
+// results. Counters sum; coverage is the union of the per-engine bitmaps;
+// MaxWorklist is the per-worker maximum (worklists are disjoint shards);
+// solver time sums across workers, so it can exceed wall-clock — it is
+// aggregate solver effort, as in the paper's query-time accounting.
+func aggregate(all []*core.Result, masks [][]bool, completed bool, cfg core.Config) *core.Result {
+	agg := &core.Result{Completed: completed, PortfolioWinner: -1}
+	st := &agg.Stats
+	st.PathsMult = big.NewInt(0)
+	maxTests := cfg.MaxTests
+	if maxTests == 0 {
+		maxTests = 256
+	}
+	for _, r := range all {
+		s := r.Stats
+		st.Steps += s.Steps
+		st.Instructions += s.Instructions
+		st.Forks += s.Forks
+		st.MergeAttempts += s.MergeAttempts
+		st.Merges += s.Merges
+		st.FFSelected += s.FFSelected
+		st.FFMerged += s.FFMerged
+		st.PathsCompleted += s.PathsCompleted
+		if s.PathsMult != nil {
+			st.PathsMult.Add(st.PathsMult, s.PathsMult)
+		}
+		st.ExactPaths += s.ExactPaths
+		st.ErrorsFound += s.ErrorsFound
+		st.Pruned += s.Pruned
+		if s.MaxWorklist > st.MaxWorklist {
+			st.MaxWorklist = s.MaxWorklist
+		}
+		st.TotalInstrs = s.TotalInstrs
+
+		st.Solver.Queries += s.Solver.Queries
+		st.Solver.CacheHits += s.Solver.CacheHits
+		st.Solver.ModelReuseHits += s.Solver.ModelReuseHits
+		st.Solver.SATCalls += s.Solver.SATCalls
+		st.Solver.SATTime += s.Solver.SATTime
+		st.Solver.IndepSliced += s.Solver.IndepSliced
+		st.Solver.Timeouts += s.Solver.Timeouts
+		st.Solver.SessionQueries += s.Solver.SessionQueries
+		st.Solver.SessionBlastReuse += s.Solver.SessionBlastReuse
+		st.Solver.SessionBypass += s.Solver.SessionBypass
+		st.Solver.SessionRebases += s.Solver.SessionRebases
+
+		if len(agg.Tests) < maxTests {
+			agg.Tests = append(agg.Tests, r.Tests...)
+		}
+		if len(agg.Errors) < maxTests {
+			agg.Errors = append(agg.Errors, r.Errors...)
+		}
+		agg.Completed = agg.Completed && r.Completed
+	}
+	if len(agg.Tests) > maxTests {
+		agg.Tests = agg.Tests[:maxTests]
+	}
+	if len(agg.Errors) > maxTests {
+		agg.Errors = agg.Errors[:maxTests]
+	}
+	covered := 0
+	if len(masks) > 0 {
+		union := make([]bool, len(masks[0]))
+		for _, m := range masks {
+			for i, c := range m {
+				if c && !union[i] {
+					union[i] = true
+					covered++
+				}
+			}
+		}
+	}
+	st.CoveredInstrs = covered
+	return agg
+}

@@ -1,0 +1,66 @@
+package parallel
+
+// Portfolio mode: race several complete exploration configurations and keep
+// the first to finish. Merging regimes trade off differently per program
+// (the paper's central observation); racing none/SSM/DSM concurrently buys
+// the best regime's wall-clock without knowing it in advance.
+
+import (
+	"context"
+
+	"symmerge/internal/core"
+)
+
+// Portfolio runs every entry concurrently, each under a context that is
+// cancelled as soon as one entry finishes its exploration completely
+// (Result.Completed). The winner is the first completed entry; if no entry
+// completes (every arm hit its budget), the entry with the best coverage
+// wins, ties broken by lowest index. It returns the winning entry's index
+// and result; losers stop promptly via cancellation and are discarded.
+func Portfolio(ctx context.Context, runs []func(context.Context) *core.Result) (int, *core.Result) {
+	if len(runs) == 0 {
+		return -1, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		idx int
+		res *core.Result
+	}
+	ch := make(chan outcome, len(runs))
+	for i, run := range runs {
+		go func(i int, run func(context.Context) *core.Result) {
+			ch <- outcome{i, run(pctx)}
+		}(i, run)
+	}
+
+	winnerIdx, results := -1, make([]*core.Result, len(runs))
+	for n := 0; n < len(runs); n++ {
+		o := <-ch
+		results[o.idx] = o.res
+		if o.res != nil && o.res.Completed && winnerIdx == -1 {
+			winnerIdx = o.idx
+			cancel() // losers stop at their next context poll
+		}
+	}
+	if winnerIdx >= 0 {
+		return winnerIdx, results[winnerIdx]
+	}
+	// No arm completed: best coverage, lowest index on ties.
+	for i, r := range results {
+		if r == nil {
+			continue
+		}
+		if winnerIdx == -1 || r.Stats.Coverage() > results[winnerIdx].Stats.Coverage() {
+			winnerIdx = i
+		}
+	}
+	if winnerIdx == -1 {
+		return -1, nil
+	}
+	return winnerIdx, results[winnerIdx]
+}

@@ -1,8 +1,12 @@
 package solver
 
-import "slices"
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+)
 
-// cexCache is the counterexample cache: it memoizes the result (and model,
+// Cache is the counterexample cache: it memoizes the result (and model,
 // when sat) of previously solved constraint sets, keyed by the FNV-1a hash
 // of the canonical query fingerprint (sorted, de-duplicated expression IDs).
 // This mirrors KLEE's CexCachingSolver, which the paper's baseline relies
@@ -10,21 +14,41 @@ import "slices"
 // queries, so the hit rate directly shapes the measured trade-off between
 // merging and solving.
 //
-// Hash buckets store the full id list and verify it on lookup, so a hash
-// collision degrades to a bucket scan, never to a wrong answer.
+// The cache is safe for concurrent use and may be shared by several Solvers
+// (NewSharedCache): parallel exploration workers re-discover each other's
+// verdicts, which is exactly the cross-worker reuse a sharded frontier
+// creates. Entries are striped over independently locked shards by
+// fingerprint hash, so workers contend only when they touch the same
+// stripe; the aggregate hit/miss counters are atomics.
 //
-// Eviction is segment-based: entries live in two generations. Inserts go to
-// the current generation; when it fills to half the cache capacity, the
-// previous generation (the older half) is dropped and the current one takes
-// its place. Lookups hitting the old generation promote the entry, keeping
-// hot queries alive across rotations. Compared to the previous full reset,
-// a long run no longer falls off a periodic 0%-hit-rate cliff, and the
-// bookkeeping stays O(1) amortized.
-type cexCache struct {
+// Hash buckets store the full id list and verify it on lookup, so a hash
+// collision degrades to a bucket scan, never to a wrong answer. Fingerprint
+// IDs are builder-unique, so sharing a cache requires sharing the
+// expression builder too (the parallel subsystem does both).
+//
+// Eviction is segment-based per shard: entries live in two generations.
+// Inserts go to the current generation; when it fills to half the shard
+// capacity, the previous generation (the older half) is dropped and the
+// current one takes its place. Lookups hitting the old generation promote
+// the entry, keeping hot queries alive across rotations. Compared to a full
+// reset, a long run no longer falls off a periodic 0%-hit-rate cliff, and
+// the bookkeeping stays O(1) amortized.
+type Cache struct {
+	shards [cacheShards]cacheShard
+
+	// hits/misses aggregate lookup outcomes across all sharing solvers
+	// (per-solver counts live in Solver.Stats).
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// cacheShard is one independently locked stripe of the cache.
+type cacheShard struct {
+	mu       sync.Mutex
 	cur, old map[uint64][]cexEntry
 	curN     int // entries in cur (map len counts buckets, not entries)
 	oldN     int
-	segCap   int // rotation threshold: half the total capacity
+	segCap   int // rotation threshold: half the shard capacity
 }
 
 type cexEntry struct {
@@ -33,83 +57,137 @@ type cexEntry struct {
 	model Model
 }
 
-const defaultCacheSize = 1 << 16
+const (
+	defaultCacheSize = 1 << 16
+	// cacheShards stripes the lock. 16 is plenty: lookups are short
+	// (hash + id-list compare) and the engine's worker counts are small.
+	cacheShards = 16
+)
 
-func newCexCache() *cexCache {
-	return &cexCache{
-		cur:    make(map[uint64][]cexEntry, 1024),
-		old:    make(map[uint64][]cexEntry),
-		segCap: defaultCacheSize / 2,
+func newCexCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].cur = make(map[uint64][]cexEntry, 64)
+		c.shards[i].old = make(map[uint64][]cexEntry)
+		c.shards[i].segCap = defaultCacheSize / 2 / cacheShards
 	}
+	return c
+}
+
+// NewSharedCache returns a counterexample cache intended to be shared by
+// several Solvers via Options.SharedCache. All methods are safe for
+// concurrent use.
+func NewSharedCache() *Cache { return newCexCache() }
+
+// setSegCap overrides every shard's rotation threshold (testing knob).
+func (c *Cache) setSegCap(n int) {
+	for i := range c.shards {
+		c.shards[i].segCap = n
+	}
+}
+
+func (c *Cache) shardFor(hash uint64) *cacheShard {
+	// The low bits index map buckets; pick high bits for the stripe so the
+	// two partitions stay independent.
+	return &c.shards[(hash>>48)%cacheShards]
 }
 
 // lookup returns the cached verdict for a fingerprint. When needModel is
 // set, the returned model is a defensive copy (callers may mutate it without
 // corrupting the cache); verdict-only callers skip the copy.
-func (c *cexCache) lookup(hash uint64, ids []uint64, needModel bool) (satisfiable bool, model Model, ok bool) {
+func (c *Cache) lookup(hash uint64, ids []uint64, needModel bool) (satisfiable bool, model Model, ok bool) {
+	sh := c.shardFor(hash)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	handOut := func(e cexEntry) (bool, Model, bool) {
+		c.hits.Add(1)
 		if !needModel {
 			return e.sat, nil, true
 		}
 		return e.sat, cloneModel(e.model), true
 	}
-	for _, e := range c.cur[hash] {
+	for _, e := range sh.cur[hash] {
 		if slices.Equal(e.ids, ids) {
 			return handOut(e)
 		}
 	}
-	for i, e := range c.old[hash] {
+	for i, e := range sh.old[hash] {
 		if slices.Equal(e.ids, ids) {
 			// Promote into the current generation so a hot entry
 			// survives the next rotation — unless that generation is
 			// already full (the entry stays a plain old-gen hit then,
 			// keeping the total bounded by both segments).
-			if c.curN < c.segCap {
-				c.promote(hash, i, e)
+			if sh.curN < sh.segCap {
+				sh.promote(hash, i, e)
 			}
 			return handOut(e)
 		}
 	}
+	c.misses.Add(1)
 	return false, nil, false
 }
 
-// promote moves an old-generation entry into the current generation.
-func (c *cexCache) promote(hash uint64, i int, e cexEntry) {
-	bucket := c.old[hash]
+// promote moves an old-generation entry into the current generation. The
+// caller holds the shard lock.
+func (sh *cacheShard) promote(hash uint64, i int, e cexEntry) {
+	bucket := sh.old[hash]
 	bucket[i] = bucket[len(bucket)-1]
 	if len(bucket) == 1 {
-		delete(c.old, hash)
+		delete(sh.old, hash)
 	} else {
-		c.old[hash] = bucket[:len(bucket)-1]
+		sh.old[hash] = bucket[:len(bucket)-1]
 	}
-	c.oldN--
-	c.cur[hash] = append(c.cur[hash], e)
-	c.curN++
+	sh.oldN--
+	sh.cur[hash] = append(sh.cur[hash], e)
+	sh.curN++
 }
 
 // insert records a verdict. The ids slice and the model are copied: the
-// caller keeps ownership of (and may reuse or mutate) both.
-func (c *cexCache) insert(hash uint64, ids []uint64, satisfiable bool, model Model) {
+// caller keeps ownership of (and may reuse or mutate) both. Concurrent
+// inserts of the same fingerprint may briefly duplicate an entry in a
+// bucket; both copies carry the same verdict (the solver is deterministic
+// on a fixed constraint set), so lookups stay correct and the duplicate
+// ages out with its generation.
+func (c *Cache) insert(hash uint64, ids []uint64, satisfiable bool, model Model) {
 	stored := cexEntry{
 		ids:   append([]uint64(nil), ids...),
 		sat:   satisfiable,
 		model: cloneModel(model),
 	}
-	c.cur[hash] = append(c.cur[hash], stored)
-	c.curN++
-	c.maybeRotate()
+	sh := c.shardFor(hash)
+	sh.mu.Lock()
+	sh.cur[hash] = append(sh.cur[hash], stored)
+	sh.curN++
+	sh.maybeRotate()
+	sh.mu.Unlock()
 }
 
-// maybeRotate drops the older half once the current generation fills.
-func (c *cexCache) maybeRotate() {
-	if c.curN < c.segCap {
+// maybeRotate drops the older half once the current generation fills. The
+// caller holds the shard lock.
+func (sh *cacheShard) maybeRotate() {
+	if sh.curN < sh.segCap {
 		return
 	}
-	c.old = c.cur
-	c.oldN = c.curN
-	c.cur = make(map[uint64][]cexEntry, 1024)
-	c.curN = 0
+	sh.old = sh.cur
+	sh.oldN = sh.curN
+	sh.cur = make(map[uint64][]cexEntry, 64)
+	sh.curN = 0
 }
 
 // Len reports the number of cached queries (used by tests).
-func (c *cexCache) Len() int { return c.curN + c.oldN }
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.curN + sh.oldN
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Hits returns the aggregate lookup-hit count across all sharing solvers.
+func (c *Cache) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns the aggregate lookup-miss count across all sharing solvers.
+func (c *Cache) Misses() uint64 { return c.misses.Load() }

@@ -64,6 +64,12 @@ type Options struct {
 	EnableModelReuse bool
 	// ConflictBudget bounds a single CDCL call; 0 means unlimited.
 	ConflictBudget uint64
+	// SharedCache, when non-nil, replaces the solver's private
+	// counterexample cache with a cache shared across several solvers
+	// (parallel exploration workers). The cache keys on builder-unique
+	// expression IDs, so every sharing solver must also share one
+	// expr.Builder. Ignored unless EnableCexCache is set.
+	SharedCache *Cache
 }
 
 // DefaultOptions enables every optimization, mirroring the paper's KLEE
@@ -80,9 +86,14 @@ func DefaultOptions() Options {
 var ErrBudget = errors.New("solver: conflict budget exhausted")
 
 // Solver decides satisfiability of conjunctions of boolean expressions.
+//
+// A Solver is single-goroutine state (scratch buffers, the recent-model
+// ring, Stats): parallel exploration gives each worker its own Solver and
+// shares only the counterexample cache (Options.SharedCache) and the
+// expression builder across workers.
 type Solver struct {
 	opts  Options
-	cache *cexCache
+	cache *Cache
 	build *expr.Builder // for equality substitution; nil disables it
 
 	// deadline bounds each underlying SAT call in wall-clock time; zero
@@ -109,7 +120,11 @@ func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
 
 // New returns a solver with the given options.
 func New(opts Options) *Solver {
-	return &Solver{opts: opts, cache: newCexCache()}
+	cache := opts.SharedCache
+	if cache == nil {
+		cache = newCexCache()
+	}
+	return &Solver{opts: opts, cache: cache}
 }
 
 // AttachBuilder enables equality-substitution simplification; the builder

@@ -19,11 +19,13 @@
 package symx
 
 import (
+	"context"
 	"time"
 
 	"symmerge/internal/core"
 	"symmerge/internal/ir"
 	"symmerge/internal/lang"
+	"symmerge/internal/parallel"
 	"symmerge/internal/qce"
 	"symmerge/internal/search"
 	"symmerge/internal/solver"
@@ -132,6 +134,34 @@ type Config struct {
 	MaxTime   time.Duration
 	MaxStates int
 
+	// Workers shards the exploration across this many goroutines (the
+	// internal/parallel subsystem): each worker runs its own engine over
+	// subtrees claimed from a shared frontier with work-stealing, while
+	// the expression builder and the counterexample cache are shared
+	// race-clean. 0 or 1 explores single-threaded. Sharding never changes
+	// the explored path set: paths-multiplicity, coverage, and the set of
+	// errors found match the single-threaded run on exhaustive
+	// explorations (only the count of separately completed states may
+	// differ, since merging is worker-local). Budgets shard with the
+	// work: MaxSteps and MaxStates are divided evenly across workers
+	// (keeping them total-work and total-memory bounds), and MaxTime is a
+	// shared deadline; a worker that exhausts its own share retires while
+	// the others keep spending theirs.
+	Workers int
+
+	// Context, when non-nil, cancels the exploration early (Ctrl-C,
+	// portfolio losers). The engine polls it on the deadline cadence and
+	// returns with Completed=false.
+	Context context.Context
+
+	// Portfolio, when non-empty, races the given complete configurations
+	// concurrently over the same program: the first to finish its
+	// exploration wins and the losers are cancelled via context. The
+	// winning entry's index is reported in Result.PortfolioWinner. The
+	// outer Config's other fields are ignored (each entry is complete);
+	// nested portfolios are stripped.
+	Portfolio []Config
+
 	// CheckBounds turns out-of-bounds array accesses into path errors.
 	CheckBounds bool
 	// CollectTests solves for a concrete test case at every path end.
@@ -166,20 +196,75 @@ type TestCase = core.TestCase
 type PathError = core.PathError
 
 // Run explores the program under the configuration and returns the result.
+// With Workers > 1 the exploration is sharded across a worker pool
+// (internal/parallel); with a non-empty Portfolio the configurations race
+// and the first to finish wins.
 func Run(p *Program, cfg Config) *Result {
-	eng, strat := newEngine(p, cfg)
-	_ = strat
-	return eng.Run()
+	if len(cfg.Portfolio) > 0 {
+		return runPortfolio(p, cfg)
+	}
+	return runSingle(p, cfg)
+}
+
+// runSingle runs one configuration, sharded when cfg.Workers > 1.
+func runSingle(p *Program, cfg Config) *Result {
+	ccfg, kind, seed := coreConfig(cfg)
+	factory := engineFactory(p, kind, seed)
+	if cfg.Workers > 1 {
+		return parallel.Explore(p.ir, ccfg, parallel.Options{Workers: cfg.Workers}, factory)
+	}
+	return factory(ccfg).Run()
+}
+
+// runPortfolio races cfg.Portfolio's entries; see Config.Portfolio.
+func runPortfolio(p *Program, cfg Config) *Result {
+	runs := make([]func(context.Context) *core.Result, len(cfg.Portfolio))
+	for i := range cfg.Portfolio {
+		entry := cfg.Portfolio[i]
+		entry.Portfolio = nil // no nesting
+		runs[i] = func(ctx context.Context) *core.Result {
+			sub := entry
+			sub.Context = ctx
+			return runSingle(p, sub)
+		}
+	}
+	idx, res := parallel.Portfolio(cfg.Context, runs)
+	if res == nil {
+		// Unreachable with a non-empty portfolio, but keep the API total.
+		return runSingle(p, cfg.Portfolio[0])
+	}
+	res.PortfolioWinner = idx
+	return res
 }
 
 // NewEngine exposes a prepared engine for callers that need incremental
-// control (the bench harness samples stats mid-run).
+// control (the bench harness samples stats mid-run). Single-threaded only:
+// Workers and Portfolio are ignored here.
 func NewEngine(p *Program, cfg Config) *core.Engine {
-	eng, _ := newEngine(p, cfg)
-	return eng
+	ccfg, kind, seed := coreConfig(cfg)
+	return engineFactory(p, kind, seed)(ccfg)
 }
 
-func newEngine(p *Program, cfg Config) (*core.Engine, core.Strategy) {
+// engineFactory builds engines for a program: one call per parallel worker
+// (plus the splitter), or a single call for a sequential run. Each engine
+// gets its own driving strategy instance; shared pieces (builder, cache,
+// QCE analysis) arrive through the core.Config.
+func engineFactory(p *Program, kind Strategy, seed int64) parallel.NewEngineFunc {
+	return func(ccfg core.Config) *core.Engine {
+		// The engine needs the strategy at construction, but the strategy
+		// needs the engine as its context; break the cycle with a
+		// forwarder.
+		fwd := &ctxForwarder{}
+		strat := search.New(kind, fwd, seed)
+		eng := core.NewEngine(p.ir, ccfg, strat)
+		fwd.ctx = eng
+		return eng
+	}
+}
+
+// coreConfig lowers the public Config to the engine configuration plus the
+// resolved strategy kind and seed.
+func coreConfig(cfg Config) (core.Config, Strategy, int64) {
 	if cfg.Strategy == "" {
 		switch cfg.Merge {
 		case MergeSSM, MergeFunc:
@@ -216,6 +301,7 @@ func newEngine(p *Program, cfg Config) (*core.Engine, core.Strategy) {
 		MaxSteps:        cfg.MaxSteps,
 		MaxTime:         cfg.MaxTime,
 		MaxStates:       cfg.MaxStates,
+		Context:         cfg.Context,
 		CheckBounds:     cfg.CheckBounds,
 		CollectTests:    cfg.CollectTests,
 		MaxTests:        cfg.MaxTests,
@@ -226,13 +312,7 @@ func newEngine(p *Program, cfg Config) (*core.Engine, core.Strategy) {
 	if cfg.DisableSolverOpts {
 		ccfg.SolverOpts = solver.Options{}
 	}
-	// The engine needs the strategy at construction, but the strategy
-	// needs the engine as its context; break the cycle with a forwarder.
-	fwd := &ctxForwarder{}
-	strat := search.New(cfg.Strategy, fwd, cfg.Seed)
-	eng := core.NewEngine(p.ir, ccfg, strat)
-	fwd.ctx = eng
-	return eng, strat
+	return ccfg, cfg.Strategy, cfg.Seed
 }
 
 // ctxForwarder defers StrategyContext calls to the engine once built.
