@@ -278,6 +278,57 @@ func BenchmarkParallelScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkPreprocessPipeline compares a merged-state workload with the
+// solver's preprocessing pipeline (simplify + equality substitution +
+// independence slicing over canonical n-ary constraints) on vs off.
+// Sessions are disabled so every query takes the one-shot path the
+// pipeline preprocesses; the reported enc/query metric is the SAT
+// variables+clauses emitted per top-level query, the number the pipeline
+// exists to shrink. Results must be identical across the two arms.
+func BenchmarkPreprocessPipeline(b *testing.B) {
+	tool, err := coreutils.Get("echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := tool.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := symx.Config{
+		NArgs: 2, ArgLen: 4, Seed: 1,
+		Merge: symx.MergeSSM, UseQCE: true,
+		DisableSessions: true,
+	}
+	cfg.Preprocess = "off"
+	baseline := symx.Run(prog, cfg)
+	if !baseline.Completed {
+		b.Fatal("baseline exploration did not complete")
+	}
+	for _, spec := range []string{"off", "on"} {
+		b.Run(spec, func(b *testing.B) {
+			var vars, clauses, queries uint64
+			for i := 0; i < b.N; i++ {
+				run := cfg
+				run.Preprocess = spec
+				res := symx.Run(prog, run)
+				if !res.Completed {
+					b.Fatal("exploration did not complete")
+				}
+				if res.Stats.PathsMult.Cmp(baseline.Stats.PathsMult) != 0 {
+					b.Fatalf("preprocess=%s changed the explored paths: %s vs %s",
+						spec, res.Stats.PathsMult, baseline.Stats.PathsMult)
+				}
+				vars += res.Stats.Solver.SATVars
+				clauses += res.Stats.Solver.SATClauses
+				queries += res.Stats.Solver.Queries
+			}
+			if queries > 0 {
+				b.ReportMetric(float64(vars+clauses)/float64(queries), "enc/query")
+			}
+		})
+	}
+}
+
 // BenchmarkSolverAblation compares the engine with and without the
 // KLEE-style solver optimizations the paper's baseline depends on.
 func BenchmarkSolverAblation(b *testing.B) {

@@ -4,7 +4,9 @@
 //
 // Usage:
 //
-//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver|scaling] [-budget 2s] [-timeout 10s] [-seed 1] [-workers N]
+//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver|scaling|preprocess] \
+//	           [-budget 2s] [-timeout 10s] [-seed 1] [-workers N] \
+//	           [-preprocess on|off|passes] [-json BENCH_pr3.json]
 //
 // Budgets replace the paper's 1h/2h wall-clock budgets; the shapes of the
 // results (who wins, scaling with input size, crossovers) are the claims
@@ -14,6 +16,12 @@
 // "scaling" figure additionally compares N workers against the sequential
 // baseline on the whole COREUTILS suite and verifies that sharding leaves
 // the exploration results (paths, coverage, errors) identical.
+//
+// -preprocess forces the solver's preprocessing-pass pipeline spec on every
+// run (ablation); the "preprocess" figure instead measures the on/off pair
+// explicitly and verifies result identity. -json writes that figure's
+// machine-readable report (schema documented in README.md) to the given
+// path — the artifact the bench trajectory tracks as BENCH_pr3.json.
 package main
 
 import (
@@ -23,17 +31,25 @@ import (
 	"time"
 
 	"symmerge/internal/bench"
+	"symmerge/symx"
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate (3..9, ff, spectrum, solver, scaling, all)")
+	figure := flag.String("figure", "all", "which figure to regenerate (3..9, ff, spectrum, solver, scaling, preprocess, all)")
 	budget := flag.Duration("budget", 2*time.Second, "time budget per budget-bound run")
 	timeout := flag.Duration("timeout", 10*time.Second, "cutoff for exhaustive runs")
 	seed := flag.Int64("seed", 1, "random seed for the randomized strategies")
 	workers := flag.Int("workers", 0, "parallel exploration workers per run (0 = sequential)")
+	preproc := flag.String("preprocess", "", "force a solver preprocessing spec on every run (on, off, or comma list of passes)")
+	jsonOut := flag.String("json", "", "write the preprocess figure's machine-readable report to this path (e.g. BENCH_pr3.json)")
 	flag.Parse()
 
-	opts := bench.Options{Budget: *budget, Timeout: *timeout, Seed: *seed, Workers: *workers}
+	if err := symx.ParsePreprocess(*preproc); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(2)
+	}
+	opts := bench.Options{Budget: *budget, Timeout: *timeout, Seed: *seed,
+		Workers: *workers, Preprocess: *preproc}
 	run := func(name string, f func(bench.Options) *bench.Table) {
 		if *figure == "all" || *figure == name {
 			fmt.Print(f(opts).String())
@@ -56,9 +72,26 @@ func main() {
 	run("spectrum", bench.Spectrum)
 	run("solver", bench.SolverSessions)
 	run("scaling", bench.ParallelScaling)
+	if *figure == "all" || *figure == "preprocess" {
+		t, fig := bench.PreprocessFigure(opts)
+		fmt.Print(t.String())
+		fmt.Println()
+		if *jsonOut != "" {
+			rep := bench.Report{Schema: "symmerge-paperbench/v1", Figures: []bench.JSONFigure{fig}}
+			data, err := rep.Marshal()
+			if err == nil {
+				err = os.WriteFile(*jsonOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("# wrote %s\n", *jsonOut)
+		}
+	}
 
 	switch *figure {
-	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver", "scaling":
+	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver", "scaling", "preprocess":
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", *figure)
 		os.Exit(2)

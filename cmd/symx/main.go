@@ -49,6 +49,8 @@ func main() {
 		dumpIR   = flag.Bool("ir", false, "print the compiled IR and exit")
 		census   = flag.Bool("census", false, "track the exact-path shadow census")
 		noSess   = flag.Bool("nosessions", false, "disable incremental solver sessions (ablation)")
+		preproc  = flag.String("preprocess", "on", "solver preprocessing pipeline: on, off, or comma list of passes (simplify,subst-eq,slice)")
+		stats    = flag.Bool("stats", false, "print rewrite-rule hit counters and preprocessing statistics")
 		workers  = flag.Int("workers", 0, "parallel exploration workers (0 = sequential)")
 		portf    = flag.String("portfolio", "", "race merge regimes concurrently, first to finish wins (comma list, e.g. none,ssm+qce,dsm+qce)")
 	)
@@ -105,8 +107,12 @@ func main() {
 		CheckBounds:     *bounds,
 		TrackExactPaths: *census,
 		DisableSessions: *noSess,
+		Preprocess:      *preproc,
 	}
 	cfg.Merge = parseMerge(*merge)
+	if err := symx.ParsePreprocess(*preproc); err != nil {
+		fatal(err)
+	}
 
 	if *portf != "" {
 		regimes := strings.Split(*portf, ",")
@@ -141,6 +147,9 @@ func main() {
 	fmt.Printf("solver:        %d queries, %d SAT calls, %d cache hits, %v in SAT\n",
 		st.Solver.Queries, st.Solver.SATCalls,
 		st.Solver.CacheHits+st.Solver.ModelReuseHits, st.Solver.SATTime.Round(time.Millisecond))
+	if *stats {
+		printStats(st)
+	}
 	for i, e := range res.Errors {
 		fmt.Printf("error[%d]:      %s (args %q)\n", i, e.Error(), e.Args)
 	}
@@ -151,6 +160,33 @@ func main() {
 			fmt.Printf(" ERROR: %s", tc.Msg)
 		}
 		fmt.Println()
+	}
+}
+
+// printStats renders the -stats block: CNF encoding effort, the
+// preprocessing pipeline's node-count trajectory, and the rewrite-rule hit
+// counters from the expression builder's rule table.
+func printStats(st symx.Stats) {
+	fmt.Printf("encoding:      %d SAT vars, %d clauses emitted\n",
+		st.Solver.SATVars, st.Solver.SATClauses)
+	if st.Solver.PreprocQueries > 0 {
+		in, out := st.Solver.PreprocNodesIn, st.Solver.PreprocNodesOut
+		pct := 0.0
+		if in > 0 {
+			pct = 100 * (1 - float64(out)/float64(in))
+		}
+		fmt.Printf("preprocess:    %d queries, nodes %d -> %d (%.1f%% shed)\n",
+			st.Solver.PreprocQueries, in, out, pct)
+	}
+	if len(st.Rules) > 0 {
+		fmt.Printf("rules:         %d distinct rewrite rules fired\n", len(st.Rules))
+		for i, r := range st.Rules {
+			if i >= 12 {
+				fmt.Printf("    ... %d more\n", len(st.Rules)-i)
+				break
+			}
+			fmt.Printf("    %-18s %d\n", r.Name, r.Hits)
+		}
 	}
 }
 

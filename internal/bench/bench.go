@@ -31,6 +31,11 @@ type Options struct {
 	// (0/1 = sequential); the ParallelScaling figure additionally
 	// compares this worker count against the sequential baseline.
 	Workers int
+	// Preprocess, when non-empty, forces the solver preprocessing spec
+	// ("on", "off", or a comma list of pass names) on every run — the
+	// global ablation hook behind `paperbench -preprocess`. The
+	// Preprocess figure ignores it: its whole point is the on/off pair.
+	Preprocess string
 }
 
 // DefaultOptions returns budgets that complete the full evaluation in a few
@@ -69,6 +74,7 @@ func runTool(tool *coreutils.Tool, mut func(*symx.Config), opts Options) (RunOut
 	cfg := tool.BaseConfig()
 	cfg.Seed = opts.Seed
 	cfg.Workers = opts.Workers
+	cfg.Preprocess = opts.Preprocess
 	mut(&cfg)
 	res := symx.Run(p, cfg)
 	out := RunOutcome{

@@ -1,0 +1,280 @@
+// preprocess.go: the PR-3 benchmark — the solver's preprocessing-pass
+// pipeline (simplify → equality substitution → independence slicing over
+// canonical n-ary constraints) ablated on vs off across the COREUTILS
+// suite, with the machine-readable BENCH_pr3.json report cmd/paperbench
+// writes for the bench trajectory.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"symmerge/internal/coreutils"
+	"symmerge/symx"
+)
+
+// Report is the top-level machine-readable benchmark artifact
+// (BENCH_pr3.json). The schema is documented in README.md.
+type Report struct {
+	Schema  string       `json:"schema"` // "symmerge-paperbench/v1"
+	Figures []JSONFigure `json:"figures"`
+}
+
+// JSONFigure is one figure's machine-readable form: per-arm aggregates
+// plus the per-tool rows behind them.
+type JSONFigure struct {
+	Name  string    `json:"name"`
+	Notes string    `json:"notes,omitempty"`
+	Arms  []JSONArm `json:"arms"`
+	Rows  []JSONRow `json:"rows"`
+}
+
+// JSONArm aggregates one configuration arm over the completed rows.
+type JSONArm struct {
+	Name        string  `json:"name"`
+	Tools       int     `json:"tools"` // completed runs aggregated
+	MeanWallS   float64 `json:"mean_wall_s"`
+	MedianWallS float64 `json:"median_wall_s"`
+	Queries     uint64  `json:"queries"`
+	SATCalls    uint64  `json:"sat_calls"`
+	SATVars     uint64  `json:"sat_vars"`
+	SATClauses  uint64  `json:"sat_clauses"`
+}
+
+// JSONRow is one (tool, arm) measurement.
+type JSONRow struct {
+	Tool        string  `json:"tool"`
+	Arm         string  `json:"arm"`
+	Completed   bool    `json:"completed"`
+	WallS       float64 `json:"wall_s"`
+	Queries     uint64  `json:"queries"`
+	SATCalls    uint64  `json:"sat_calls"`
+	SATVars     uint64  `json:"sat_vars"`
+	SATClauses  uint64  `json:"sat_clauses"`
+	Paths       string  `json:"paths"`
+	CoveragePct float64 `json:"coverage_pct"`
+	// Identical is set on "on"-arm rows: paths-multiplicity, coverage and
+	// the error set match the "off" arm bit-for-bit (the correctness
+	// invariant of a semantics-preserving pipeline).
+	Identical *bool `json:"identical,omitempty"`
+}
+
+// Marshal renders the report as indented JSON with a trailing newline.
+func (r *Report) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// PreprocessFigure runs the preprocessing ablation: every COREUTILS tool
+// explores under SSM+QCE — the merged-state regime whose ite-heavy
+// disjunctions the pipeline exists to digest — once with the pipeline off
+// and once on, and the table reports wall time, per-query SAT encoding
+// size (variables + clauses), and a result-identity check. Sessions are
+// disabled in both arms so every query takes the one-shot path the
+// pipeline preprocesses; per-query numbers then measure the encoding the
+// pipeline actually produced rather than session-reuse deltas.
+func PreprocessFigure(opts Options) (*Table, JSONFigure) {
+	t := &Table{
+		Title: "Preprocessing pipeline: simplify + subst-eq + slice over n-ary constraints, on vs off",
+		Comment: fmt.Sprintf("timeout %v per run; SSM+QCE, sessions off (every query one-shot); enc/q = (SAT vars+clauses)/query",
+			opts.Timeout),
+		Header: []string{"tool", "t_off_s", "t_on_s", "speedup",
+			"enc/q_off", "enc/q_on", "shrink", "identical"},
+	}
+	fig := JSONFigure{
+		Name: "preprocess",
+		Notes: "SSM+QCE over the COREUTILS suite; sessions disabled so every query takes the one-shot " +
+			"preprocessing path; identical = paths-multiplicity, coverage and error set match the off arm",
+	}
+
+	type arm struct {
+		wall           []float64 // completed runs only
+		queries, calls uint64
+		vars, clauses  uint64
+	}
+	var on, off arm
+	timeouts, mismatches := 0, 0
+
+	for _, tool := range coreutils.All() {
+		p, err := tool.Compile()
+		if err != nil {
+			panic(err)
+		}
+		run := func(spec string) *symx.Result {
+			cfg := tool.BaseConfig()
+			grow(tool, &cfg, 2)
+			cfg.Seed = opts.Seed
+			cfg.Workers = opts.Workers
+			cfg.Merge = symx.MergeSSM
+			cfg.UseQCE = true
+			cfg.MaxTime = opts.Timeout
+			cfg.DisableSessions = true
+			cfg.Preprocess = spec
+			return symx.Run(p, cfg)
+		}
+		resOff := run("off")
+		resOn := run("on")
+
+		row := func(arm string, res *symx.Result) JSONRow {
+			return JSONRow{
+				Tool:        tool.Name,
+				Arm:         arm,
+				Completed:   res.Completed,
+				WallS:       res.Stats.ElapsedSeconds,
+				Queries:     res.Stats.Solver.Queries,
+				SATCalls:    res.Stats.Solver.SATCalls,
+				SATVars:     res.Stats.Solver.SATVars,
+				SATClauses:  res.Stats.Solver.SATClauses,
+				Paths:       res.Stats.PathsMult.String(),
+				CoveragePct: 100 * res.Stats.Coverage(),
+			}
+		}
+		jOff, jOn := row("off", resOff), row("on", resOn)
+
+		if !resOff.Completed || !resOn.Completed {
+			timeouts++
+			fig.Rows = append(fig.Rows, jOff, jOn)
+			t.Rows = append(t.Rows, []string{tool.Name, wallOrTimeout(resOff), wallOrTimeout(resOn),
+				"-", "-", "-", "-", "-"})
+			continue
+		}
+
+		same := sameResult(resOff, resOn)
+		jOn.Identical = &same
+		if !same {
+			mismatches++
+		}
+		fig.Rows = append(fig.Rows, jOff, jOn)
+
+		encOff := encPerQuery(resOff)
+		encOn := encPerQuery(resOn)
+		off.wall = append(off.wall, resOff.Stats.ElapsedSeconds)
+		on.wall = append(on.wall, resOn.Stats.ElapsedSeconds)
+		off.queries += resOff.Stats.Solver.Queries
+		on.queries += resOn.Stats.Solver.Queries
+		off.calls += resOff.Stats.Solver.SATCalls
+		on.calls += resOn.Stats.Solver.SATCalls
+		off.vars += resOff.Stats.Solver.SATVars
+		on.vars += resOn.Stats.Solver.SATVars
+		off.clauses += resOff.Stats.Solver.SATClauses
+		on.clauses += resOn.Stats.Solver.SATClauses
+
+		t.Rows = append(t.Rows, []string{
+			tool.Name,
+			fmt.Sprintf("%.3f", resOff.Stats.ElapsedSeconds),
+			fmt.Sprintf("%.3f", resOn.Stats.ElapsedSeconds),
+			fmt.Sprintf("%.2f", resOff.Stats.ElapsedSeconds/math.Max(resOn.Stats.ElapsedSeconds, 1e-6)),
+			fmt.Sprintf("%.0f", encOff),
+			fmt.Sprintf("%.0f", encOn),
+			fmt.Sprintf("%.0f%%", 100*(1-safeRatio(encOn, encOff))),
+			fmt.Sprint(same),
+		})
+	}
+
+	mkArm := func(name string, a arm) JSONArm {
+		return JSONArm{
+			Name:        name,
+			Tools:       len(a.wall),
+			MeanWallS:   mean(a.wall),
+			MedianWallS: median(a.wall),
+			Queries:     a.queries,
+			SATCalls:    a.calls,
+			SATVars:     a.vars,
+			SATClauses:  a.clauses,
+		}
+	}
+	fig.Arms = []JSONArm{mkArm("off", off), mkArm("on", on)}
+
+	encOffTotal := safePerQuery(off.vars+off.clauses, off.queries)
+	encOnTotal := safePerQuery(on.vars+on.clauses, on.queries)
+	t.Comment += fmt.Sprintf(
+		"\nsuite aggregate: enc/q %.0f (off) -> %.0f (on), %.0f%% smaller; wall mean %.3fs -> %.3fs, median %.3fs -> %.3fs"+
+			"\n%d tools aggregated (%d timed-out rows excluded, %d result mismatches)",
+		encOffTotal, encOnTotal, 100*(1-safeRatio(encOnTotal, encOffTotal)),
+		mean(off.wall), mean(on.wall), median(off.wall), median(on.wall),
+		len(on.wall), timeouts, mismatches)
+	return t, fig
+}
+
+// sameResult checks the ablation's correctness invariant: identical
+// paths-multiplicity, coverage, and error set.
+func sameResult(a, b *symx.Result) bool {
+	if a.Stats.PathsMult.Cmp(b.Stats.PathsMult) != 0 ||
+		a.Stats.CoveredInstrs != b.Stats.CoveredInstrs {
+		return false
+	}
+	es := func(r *symx.Result) map[string]bool {
+		out := map[string]bool{}
+		for _, e := range r.Errors {
+			out[fmt.Sprintf("%v|%s", e.Loc, e.Msg)] = true
+		}
+		return out
+	}
+	ea, eb := es(a), es(b)
+	if len(ea) != len(eb) {
+		return false
+	}
+	for k := range ea {
+		if !eb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func wallOrTimeout(r *symx.Result) string {
+	if !r.Completed {
+		return "timeout"
+	}
+	return fmt.Sprintf("%.3f", r.Stats.ElapsedSeconds)
+}
+
+// encPerQuery is the figure's headline metric: SAT variables plus clauses
+// emitted per top-level query.
+func encPerQuery(r *symx.Result) float64 {
+	return safePerQuery(r.Stats.Solver.SATVars+r.Stats.Solver.SATClauses, r.Stats.Solver.Queries)
+}
+
+func safePerQuery(total, queries uint64) float64 {
+	if queries == 0 {
+		return 0
+	}
+	return float64(total) / float64(queries)
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return a / b
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}

@@ -172,6 +172,11 @@ type Stats struct {
 	ElapsedSeconds float64
 
 	Solver solver.Stats
+
+	// Rules is a snapshot of the expression builder's per-rewrite-rule hit
+	// counters (expr/rules.go), most active first. With a shared builder
+	// (parallel workers) the counts are builder-global, not per-engine.
+	Rules []expr.RuleHit
 }
 
 // Coverage returns statement coverage as a fraction in [0,1].
@@ -512,6 +517,7 @@ func (e *Engine) StepN(n int) RunStatus {
 func (e *Engine) Finish(completed bool) *Result {
 	e.stats.CoveredInstrs = e.covered
 	e.stats.Solver = e.solv.Stats
+	e.stats.Rules = e.build.RuleHits()
 	e.stats.ElapsedSeconds = time.Since(e.started).Seconds()
 	return &Result{
 		Stats:           e.stats,
@@ -884,5 +890,6 @@ func (e *Engine) Stats() Stats {
 	st := e.stats
 	st.CoveredInstrs = e.covered
 	st.Solver = e.solv.Stats
+	st.Rules = e.build.RuleHits()
 	return st
 }

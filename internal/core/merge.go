@@ -215,18 +215,32 @@ func (e *Engine) tryMerge(ns *State) bool {
 func (e *Engine) merge(s1, s2 *State) *State {
 	b := e.build
 
-	// Factor the path conditions: common prefix + differing suffixes.
+	// Factor the path conditions: the positionally common prefix is shared
+	// structurally (same backing array, zero new nodes); each differing
+	// suffix becomes ONE canonical n-ary conjunction; and the disjunction
+	// of the suffixes factors any conjuncts they still share — the
+	// or/factor rewrite rule — which catches prefixes that earlier merges
+	// re-conjoined out of positional alignment.
 	k := 0
 	for k < len(s1.PC) && k < len(s2.PC) && s1.PC[k] == s2.PC[k] {
 		k++
 	}
-	c1 := b.AndAll(s1.PC[k:])
-	c2 := b.AndAll(s2.PC[k:])
+	c1 := b.AndN(s1.PC[k:])
+	c2 := b.AndN(s2.PC[k:])
 	disj := b.Or(c1, c2)
-	newPC := s1.PC[:k:k]
-	if !disj.IsTrue() {
-		newPC = appendPC(newPC, disj)
+	// A factored disjunction comes back as a conjunction
+	// (shared ∧ residual-or): splice its conjuncts into the path condition
+	// separately, so the session blasts each once and the independence
+	// slicer can partition them.
+	var added []*expr.Expr
+	switch {
+	case disj.IsTrue():
+	case disj.Kind == expr.KAnd:
+		added = disj.Kids
+	default:
+		added = []*expr.Expr{disj}
 	}
+	newPC := append(s1.PC[:k:k], added...) // full slice expr: append copies
 
 	m := &State{
 		ID:     e.nextID,
@@ -239,8 +253,8 @@ func (e *Engine) merge(s1, s2 *State) *State {
 		sess: s1.sess.Fork(),
 	}
 	e.nextID++
-	if !disj.IsTrue() {
-		m.sess.NoteConjunct(disj)
+	for _, c := range added {
+		m.sess.NoteConjunct(c)
 	}
 
 	// Merge outputs precisely: the common prefix stays as is; each side's

@@ -33,6 +33,10 @@ type Builder struct {
 	true_  *Expr
 	false_ *Expr
 
+	// ruleHits counts applications per rewrite rule (see rules.go);
+	// RuleHits returns the nonzero entries by name.
+	ruleHits [numRules]atomic.Uint64
+
 	// Stats counts constructor activity, used by solver benchmarks.
 	Stats BuilderStats
 }
@@ -178,61 +182,42 @@ func (b *Builder) Not(x *Expr) *Expr {
 		b.Stats.Folds.Add(1)
 		return b.Bool(x.Val == 0)
 	}
-	if x.Kind == KNot {
-		b.Stats.Simps.Add(1)
-		return x.Kids[0] // not(not(a)) = a
+	if r := b.applyRules(KNot, x, nil); r != nil {
+		return r
 	}
 	return b.mk(&Expr{Kind: KNot, Kids: []*Expr{x}})
 }
 
-// And returns the boolean conjunction of x and y.
+// And returns the boolean conjunction of x and y. Conjunctions are n-ary
+// and canonical: see AndN.
 func (b *Builder) And(x, y *Expr) *Expr {
 	b.checkBool("and", x, y)
-	switch {
-	case x.IsFalse() || y.IsFalse():
-		b.Stats.Folds.Add(1)
-		return b.false_
-	case x.IsTrue():
-		b.Stats.Simps.Add(1)
-		return y
-	case y.IsTrue():
-		b.Stats.Simps.Add(1)
-		return x
-	case x == y:
-		b.Stats.Simps.Add(1)
-		return x
-	}
-	if x.Kind == KNot && x.Kids[0] == y || y.Kind == KNot && y.Kids[0] == x {
-		b.Stats.Simps.Add(1)
-		return b.false_
-	}
-	x, y = orderPair(x, y)
-	return b.mk(&Expr{Kind: KAnd, Kids: []*Expr{x, y}})
+	return b.naryBool(KAnd, []*Expr{x, y})
 }
 
-// Or returns the boolean disjunction of x and y.
+// Or returns the boolean disjunction of x and y. Disjunctions are n-ary
+// and canonical: see OrN.
 func (b *Builder) Or(x, y *Expr) *Expr {
 	b.checkBool("or", x, y)
-	switch {
-	case x.IsTrue() || y.IsTrue():
-		b.Stats.Folds.Add(1)
-		return b.true_
-	case x.IsFalse():
-		b.Stats.Simps.Add(1)
-		return y
-	case y.IsFalse():
-		b.Stats.Simps.Add(1)
-		return x
-	case x == y:
-		b.Stats.Simps.Add(1)
-		return x
-	}
-	if x.Kind == KNot && x.Kids[0] == y || y.Kind == KNot && y.Kids[0] == x {
-		b.Stats.Simps.Add(1)
-		return b.true_
-	}
-	x, y = orderPair(x, y)
-	return b.mk(&Expr{Kind: KOr, Kids: []*Expr{x, y}})
+	return b.naryBool(KOr, []*Expr{x, y})
+}
+
+// AndN returns the canonical n-ary conjunction of es: nested conjunctions
+// flatten, kids sort by node ID, duplicates and absorbed members drop, a
+// complementary pair collapses the whole term to ⊥. The empty conjunction
+// is ⊤. The slice is not retained.
+func (b *Builder) AndN(es []*Expr) *Expr {
+	b.checkBool("and", es...)
+	return b.naryBool(KAnd, es)
+}
+
+// OrN returns the canonical n-ary disjunction of es, dual to AndN, with
+// one extra rule: disjuncts sharing common conjuncts factor them out
+// ((p∧a) ∨ (p∧b) → p ∧ (a∨b)), which keeps merged-state guards small. The
+// empty disjunction is ⊥. The slice is not retained.
+func (b *Builder) OrN(es []*Expr) *Expr {
+	b.checkBool("or", es...)
+	return b.naryBool(KOr, es)
 }
 
 // Xor returns the boolean exclusive or of x and y.
@@ -242,21 +227,8 @@ func (b *Builder) Xor(x, y *Expr) *Expr {
 		b.Stats.Folds.Add(1)
 		return b.Bool(x.Val != y.Val)
 	}
-	if x == y {
-		b.Stats.Simps.Add(1)
-		return b.false_
-	}
-	if x.IsFalse() {
-		return y
-	}
-	if y.IsFalse() {
-		return x
-	}
-	if x.IsTrue() {
-		return b.Not(y)
-	}
-	if y.IsTrue() {
-		return b.Not(x)
+	if r := b.applyRules(KXor, x, y); r != nil {
+		return r
 	}
 	x, y = orderPair(x, y)
 	return b.mk(&Expr{Kind: KXor, Kids: []*Expr{x, y}})
@@ -265,40 +237,17 @@ func (b *Builder) Xor(x, y *Expr) *Expr {
 // Implies returns x → y.
 func (b *Builder) Implies(x, y *Expr) *Expr {
 	b.checkBool("=>", x, y)
-	if x.IsFalse() || y.IsTrue() {
-		b.Stats.Folds.Add(1)
-		return b.true_
-	}
-	if x.IsTrue() {
-		return y
-	}
-	if y.IsFalse() {
-		return b.Not(x)
-	}
-	if x == y {
-		b.Stats.Simps.Add(1)
-		return b.true_
+	if r := b.applyRules(KImplies, x, y); r != nil {
+		return r
 	}
 	return b.mk(&Expr{Kind: KImplies, Kids: []*Expr{x, y}})
 }
 
-// AndAll folds And over es; the empty conjunction is true.
-func (b *Builder) AndAll(es []*Expr) *Expr {
-	r := b.true_
-	for _, e := range es {
-		r = b.And(r, e)
-	}
-	return r
-}
+// AndAll is AndN: the conjunction of es as one canonical n-ary node.
+func (b *Builder) AndAll(es []*Expr) *Expr { return b.AndN(es) }
 
-// OrAll folds Or over es; the empty disjunction is false.
-func (b *Builder) OrAll(es []*Expr) *Expr {
-	r := b.false_
-	for _, e := range es {
-		r = b.Or(r, e)
-	}
-	return r
-}
+// OrAll is OrN: the disjunction of es as one canonical n-ary node.
+func (b *Builder) OrAll(es []*Expr) *Expr { return b.OrN(es) }
 
 // orderPair orders a commutative pair by node ID for canonical form.
 func orderPair(x, y *Expr) (*Expr, *Expr) {
@@ -321,28 +270,12 @@ func (b *Builder) Eq(x, y *Expr) *Expr {
 	if x.Width != y.Width {
 		panic(fmt.Sprintf("expr: = width mismatch: %s vs %s", x, y))
 	}
-	if x == y {
-		b.Stats.Simps.Add(1)
-		return b.true_
-	}
 	if x.IsConst() && y.IsConst() {
 		b.Stats.Folds.Add(1)
 		return b.Bool(x.Val == y.Val)
 	}
-	if x.Width == 0 {
-		// Boolean equality: rewrite with constants simplified.
-		if x.IsTrue() {
-			return y
-		}
-		if y.IsTrue() {
-			return x
-		}
-		if x.IsFalse() {
-			return b.Not(y)
-		}
-		if y.IsFalse() {
-			return b.Not(x)
-		}
+	if r := b.applyRules(KEq, x, y); r != nil {
+		return r
 	}
 	x, y = orderPair(x, y)
 	return b.mk(&Expr{Kind: KEq, Kids: []*Expr{x, y}})
@@ -357,10 +290,8 @@ func (b *Builder) cmp(k Kind, x, y *Expr, fold func(a, c uint64, w uint8) bool) 
 		b.Stats.Folds.Add(1)
 		return b.Bool(fold(x.Val, y.Val, x.Width))
 	}
-	if x == y {
-		b.Stats.Simps.Add(1)
-		// ult/slt are irreflexive, ule/sle reflexive.
-		return b.Bool(k == KUle || k == KSle)
+	if r := b.applyRules(k, x, y); r != nil {
+		return r
 	}
 	return b.mk(&Expr{Kind: k, Kids: []*Expr{x, y}})
 }
@@ -414,13 +345,10 @@ func (b *Builder) arith(k Kind, x, y *Expr, fold func(a, c uint64, w uint8) uint
 
 // Add returns x + y (modular).
 func (b *Builder) Add(x, y *Expr) *Expr {
-	if x.IsConst() && x.Val == 0 {
-		b.Stats.Simps.Add(1)
-		return y
-	}
-	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps.Add(1)
-		return x
+	if !(x.IsConst() && y.IsConst()) {
+		if r := b.applyRules(KAdd, x, y); r != nil {
+			return r
+		}
 	}
 	if !x.IsConst() && y.IsConst() || (!x.IsConst() && !y.IsConst() && y.id < x.id) {
 		x, y = y, x // canonical: constant or lower-id first
@@ -430,37 +358,23 @@ func (b *Builder) Add(x, y *Expr) *Expr {
 
 // Sub returns x − y (modular).
 func (b *Builder) Sub(x, y *Expr) *Expr {
-	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps.Add(1)
-		return x
-	}
-	if x == y {
-		b.Stats.Simps.Add(1)
-		return b.Const(0, x.Width)
+	if !(x.IsConst() && y.IsConst()) {
+		if r := b.applyRules(KSub, x, y); r != nil {
+			return r
+		}
 	}
 	return b.arith(KSub, x, y, func(a, c uint64, _ uint8) uint64 { return a - c })
 }
 
 // Mul returns x × y (modular).
 func (b *Builder) Mul(x, y *Expr) *Expr {
-	if x.IsConst() {
-		switch x.Val {
-		case 0:
-			b.Stats.Folds.Add(1)
-			return b.Const(0, x.Width)
-		case 1:
-			b.Stats.Simps.Add(1)
-			return y
-		}
+	if x.IsConst() && x.Val == 0 || y.IsConst() && y.Val == 0 {
+		b.Stats.Folds.Add(1)
+		return b.Const(0, x.Width)
 	}
-	if y.IsConst() {
-		switch y.Val {
-		case 0:
-			b.Stats.Folds.Add(1)
-			return b.Const(0, y.Width)
-		case 1:
-			b.Stats.Simps.Add(1)
-			return x
+	if !(x.IsConst() && y.IsConst()) {
+		if r := b.applyRules(KMul, x, y); r != nil {
+			return r
 		}
 	}
 	x, y = orderPair(x, y)
@@ -469,9 +383,10 @@ func (b *Builder) Mul(x, y *Expr) *Expr {
 
 // UDiv returns x ÷ y unsigned; division by zero yields all-ones (SMT-LIB).
 func (b *Builder) UDiv(x, y *Expr) *Expr {
-	if y.IsConst() && y.Val == 1 {
-		b.Stats.Simps.Add(1)
-		return x
+	if !(x.IsConst() && y.IsConst()) {
+		if r := b.applyRules(KUDiv, x, y); r != nil {
+			return r
+		}
 	}
 	return b.arith(KUDiv, x, y, func(a, c uint64, w uint8) uint64 {
 		if c == 0 {
@@ -528,9 +443,8 @@ func (b *Builder) Neg(x *Expr) *Expr {
 		b.Stats.Folds.Add(1)
 		return b.Const(-x.Val, x.Width)
 	}
-	if x.Kind == KNeg {
-		b.Stats.Simps.Add(1)
-		return x.Kids[0]
+	if r := b.applyRules(KNeg, x, nil); r != nil {
+		return r
 	}
 	return b.mk(&Expr{Kind: KNeg, Width: x.Width, Kids: []*Expr{x}})
 }
@@ -539,21 +453,10 @@ func (b *Builder) Neg(x *Expr) *Expr {
 
 // BAnd returns the bitwise conjunction x & y.
 func (b *Builder) BAnd(x, y *Expr) *Expr {
-	if x == y {
-		b.Stats.Simps.Add(1)
-		return x
-	}
-	if x.IsConst() && x.Val == 0 || y.IsConst() && y.Val == 0 {
-		b.Stats.Folds.Add(1)
-		return b.Const(0, x.Width)
-	}
-	if x.IsConst() && x.Val == mask(x.Width) {
-		b.Stats.Simps.Add(1)
-		return y
-	}
-	if y.IsConst() && y.Val == mask(y.Width) {
-		b.Stats.Simps.Add(1)
-		return x
+	if !(x.IsConst() && y.IsConst()) {
+		if r := b.applyRules(KBAnd, x, y); r != nil {
+			return r
+		}
 	}
 	x, y = orderPair(x, y)
 	return b.arith(KBAnd, x, y, func(a, c uint64, _ uint8) uint64 { return a & c })
@@ -561,17 +464,10 @@ func (b *Builder) BAnd(x, y *Expr) *Expr {
 
 // BOr returns the bitwise disjunction x | y.
 func (b *Builder) BOr(x, y *Expr) *Expr {
-	if x == y {
-		b.Stats.Simps.Add(1)
-		return x
-	}
-	if x.IsConst() && x.Val == 0 {
-		b.Stats.Simps.Add(1)
-		return y
-	}
-	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps.Add(1)
-		return x
+	if !(x.IsConst() && y.IsConst()) {
+		if r := b.applyRules(KBOr, x, y); r != nil {
+			return r
+		}
 	}
 	x, y = orderPair(x, y)
 	return b.arith(KBOr, x, y, func(a, c uint64, _ uint8) uint64 { return a | c })
@@ -579,17 +475,10 @@ func (b *Builder) BOr(x, y *Expr) *Expr {
 
 // BXor returns the bitwise exclusive or x ^ y.
 func (b *Builder) BXor(x, y *Expr) *Expr {
-	if x == y {
-		b.Stats.Simps.Add(1)
-		return b.Const(0, x.Width)
-	}
-	if x.IsConst() && x.Val == 0 {
-		b.Stats.Simps.Add(1)
-		return y
-	}
-	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps.Add(1)
-		return x
+	if !(x.IsConst() && y.IsConst()) {
+		if r := b.applyRules(KBXor, x, y); r != nil {
+			return r
+		}
 	}
 	x, y = orderPair(x, y)
 	return b.arith(KBXor, x, y, func(a, c uint64, _ uint8) uint64 { return a ^ c })
@@ -601,18 +490,18 @@ func (b *Builder) BNot(x *Expr) *Expr {
 		b.Stats.Folds.Add(1)
 		return b.Const(^x.Val, x.Width)
 	}
-	if x.Kind == KBNot {
-		b.Stats.Simps.Add(1)
-		return x.Kids[0]
+	if r := b.applyRules(KBNot, x, nil); r != nil {
+		return r
 	}
 	return b.mk(&Expr{Kind: KBNot, Width: x.Width, Kids: []*Expr{x}})
 }
 
 // Shl returns x << y; shifts ≥ width yield zero.
 func (b *Builder) Shl(x, y *Expr) *Expr {
-	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps.Add(1)
-		return x
+	if !(x.IsConst() && y.IsConst()) {
+		if r := b.applyRules(KShl, x, y); r != nil {
+			return r
+		}
 	}
 	return b.arith(KShl, x, y, func(a, c uint64, w uint8) uint64 {
 		if c >= uint64(w) {
@@ -624,9 +513,10 @@ func (b *Builder) Shl(x, y *Expr) *Expr {
 
 // LShr returns the logical right shift x >> y; shifts ≥ width yield zero.
 func (b *Builder) LShr(x, y *Expr) *Expr {
-	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps.Add(1)
-		return x
+	if !(x.IsConst() && y.IsConst()) {
+		if r := b.applyRules(KLShr, x, y); r != nil {
+			return r
+		}
 	}
 	return b.arith(KLShr, x, y, func(a, c uint64, w uint8) uint64 {
 		if c >= uint64(w) {
@@ -638,9 +528,10 @@ func (b *Builder) LShr(x, y *Expr) *Expr {
 
 // AShr returns the arithmetic right shift x >> y (sign filling).
 func (b *Builder) AShr(x, y *Expr) *Expr {
-	if y.IsConst() && y.Val == 0 {
-		b.Stats.Simps.Add(1)
-		return x
+	if !(x.IsConst() && y.IsConst()) {
+		if r := b.applyRules(KAShr, x, y); r != nil {
+			return r
+		}
 	}
 	return b.arith(KAShr, x, y, func(a, c uint64, w uint8) uint64 {
 		sa := int64(signExtend(a, w))
@@ -699,18 +590,18 @@ func (b *Builder) Extract(x *Expr, lo, w uint8) *Expr {
 	if x.Kind == KZExt || x.Kind == KSExt {
 		src := x.Kids[0]
 		if int(lo)+int(w) <= int(src.Width) {
-			b.Stats.Simps.Add(1)
+			b.hit(rExtractExt)
 			return b.Extract(src, lo, w)
 		}
 	}
 	if x.Kind == KConcat {
 		hi, lo2 := x.Kids[0], x.Kids[1]
 		if int(lo)+int(w) <= int(lo2.Width) {
-			b.Stats.Simps.Add(1)
+			b.hit(rExtractConcat)
 			return b.Extract(lo2, lo, w)
 		}
 		if int(lo) >= int(lo2.Width) {
-			b.Stats.Simps.Add(1)
+			b.hit(rExtractConcat)
 			return b.Extract(hi, lo-lo2.Width, w)
 		}
 	}
@@ -728,7 +619,7 @@ func (b *Builder) Concat(hi, lo *Expr) *Expr {
 		return b.Const(hi.Val<<lo.Width|lo.Val, uint8(w))
 	}
 	if hi.IsConst() && hi.Val == 0 {
-		b.Stats.Simps.Add(1)
+		b.hit(rConcatZeroHi)
 		return b.ZExt(lo, uint8(w))
 	}
 	return b.mk(&Expr{Kind: KConcat, Width: uint8(w), Kids: []*Expr{hi, lo}})
@@ -751,38 +642,43 @@ func (b *Builder) Ite(c, t, f *Expr) *Expr {
 		return f
 	}
 	if t == f {
-		b.Stats.Simps.Add(1)
+		b.hit(rIteSameArms)
 		return t
 	}
 	if c.Kind == KNot {
+		b.hit(rIteNotCond)
 		c, t, f = c.Kids[0], f, t
 	}
 	if t.Width == 0 {
 		// Boolean ite simplifications.
 		switch {
 		case t.IsTrue() && f.IsFalse():
-			b.Stats.Simps.Add(1)
+			b.hit(rIteBoolLower)
 			return c
 		case t.IsFalse() && f.IsTrue():
-			b.Stats.Simps.Add(1)
+			b.hit(rIteBoolLower)
 			return b.Not(c)
 		case t.IsTrue():
+			b.hit(rIteBoolLower)
 			return b.Or(c, f)
 		case t.IsFalse():
+			b.hit(rIteBoolLower)
 			return b.And(b.Not(c), f)
 		case f.IsTrue():
+			b.hit(rIteBoolLower)
 			return b.Or(b.Not(c), t)
 		case f.IsFalse():
+			b.hit(rIteBoolLower)
 			return b.And(c, t)
 		}
 	}
 	// ite(c, ite(c, a, _), f) = ite(c, a, f), same for the else arm.
 	if t.Kind == KIte && t.Kids[0] == c {
-		b.Stats.Simps.Add(1)
+		b.hit(rIteNested)
 		t = t.Kids[1]
 	}
 	if f.Kind == KIte && f.Kids[0] == c {
-		b.Stats.Simps.Add(1)
+		b.hit(rIteNested)
 		f = f.Kids[2]
 	}
 	if t == f {

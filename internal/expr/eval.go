@@ -28,9 +28,17 @@ func eval(e *Expr, env Env, memo map[*Expr]uint64) uint64 {
 	case KNot:
 		v = 1 - eval(e.Kids[0], env, memo)
 	case KAnd:
-		v = eval(e.Kids[0], env, memo) & eval(e.Kids[1], env, memo)
+		// n-ary conjunction: all kids must hold.
+		v = 1
+		for _, k := range e.Kids {
+			v &= eval(k, env, memo)
+		}
 	case KOr:
-		v = eval(e.Kids[0], env, memo) | eval(e.Kids[1], env, memo)
+		// n-ary disjunction: any kid suffices.
+		v = 0
+		for _, k := range e.Kids {
+			v |= eval(k, env, memo)
+		}
 	case KXor:
 		v = eval(e.Kids[0], env, memo) ^ eval(e.Kids[1], env, memo)
 	case KImplies:

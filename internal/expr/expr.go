@@ -10,10 +10,13 @@
 // once, and gives every expression a stable small integer ID used by the
 // solver caches and by dynamic state merging's similarity hashes.
 //
-// Builders also perform constant folding and a set of local simplifications
-// (identity elements, ite collapsing, double negation, ...). Simplification
-// is semantics-preserving; the evaluator in eval.go is the reference
-// semantics and the property tests in simplify_test.go check the two agree.
+// Builders also perform constant folding and a table of named local
+// simplifications (identity elements, ite collapsing, double negation,
+// n-ary flattening and factoring, ...; see rules.go), each with a per-rule
+// hit counter. Simplify re-runs the table bottom-up over whole expressions
+// and SimplifySet over whole path conditions. Simplification is
+// semantics-preserving; the evaluator in eval.go is the reference semantics
+// and the property/fuzz tests check the two agree.
 package expr
 
 import (
@@ -32,7 +35,11 @@ const (
 	KConst Kind = iota // constant (Val, Width; Width==0 means boolean 0/1)
 	KVar               // named input variable
 
-	// Boolean connectives.
+	// Boolean connectives. KAnd and KOr are n-ary (Kids holds two or more
+	// operands) in canonical form: flattened, ID-sorted, duplicate-free,
+	// with no complementary pair and no absorbed member — see
+	// Builder.AndN/OrN and naryBool in rules.go. KNot, KXor and KImplies
+	// stay unary/binary.
 	KNot
 	KAnd
 	KOr

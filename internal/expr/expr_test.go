@@ -343,10 +343,15 @@ func TestRebuildStability(t *testing.T) {
 			return b.Var(e.Name, e.Width)
 		case KNot:
 			return b.Not(rebuild(e.Kids[0]))
-		case KAnd:
-			return b.And(rebuild(e.Kids[0]), rebuild(e.Kids[1]))
-		case KOr:
-			return b.Or(rebuild(e.Kids[0]), rebuild(e.Kids[1]))
+		case KAnd, KOr:
+			kids := make([]*Expr, len(e.Kids))
+			for i, k := range e.Kids {
+				kids[i] = rebuild(k)
+			}
+			if e.Kind == KAnd {
+				return b.AndN(kids)
+			}
+			return b.OrN(kids)
 		case KEq:
 			return b.Eq(rebuild(e.Kids[0]), rebuild(e.Kids[1]))
 		case KUlt:

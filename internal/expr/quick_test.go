@@ -172,6 +172,43 @@ func TestQuickIteSelectsArm(t *testing.T) {
 	}
 }
 
+// TestQuickSimplifyAgreesWithEval: Simplify (the whole rewrite table,
+// re-run bottom-up) must agree with the eval.go reference semantics on
+// n-ary connective compositions under arbitrary assignments, and must be
+// idempotent on constructor-built terms.
+func TestQuickSimplifyAgreesWithEval(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 32)
+	y := b.Var("y", 32)
+	p := b.Var("p", 0)
+	f := func(xv, yv uint32, pv bool, c uint32) bool {
+		env := Env{x: uint64(xv), y: uint64(yv)}
+		if pv {
+			env[p] = 1
+		}
+		lim := b.Const(uint64(c), 32)
+		parts := []*Expr{
+			b.Ult(x, lim),
+			b.Or(p, b.Eq(x, y)),
+			b.Not(b.And(p, b.Ule(y, lim))),
+		}
+		and := b.AndN(parts)
+		or := b.OrN(parts)
+		wantAnd, wantOr := true, false
+		for _, pt := range parts {
+			v := EvalBool(pt, env)
+			wantAnd = wantAnd && v
+			wantOr = wantOr || v
+		}
+		return EvalBool(and, env) == wantAnd &&
+			EvalBool(or, env) == wantOr &&
+			b.Simplify(and) == and && b.Simplify(or) == or
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQuickExtractConcatRoundTrip(t *testing.T) {
 	b := NewBuilder()
 	f := func(hi, lo uint8) bool {

@@ -1,0 +1,765 @@
+package expr
+
+// rules.go is the table-driven simplification layer of the Builder: every
+// constructor-time rewrite beyond literal constant folding is a named entry
+// in ruleTable with its own hit counter. Unary and binary rules are
+// dispatched generically by applyRules from the constructors in builder.go;
+// the structural rules of the n-ary connectives (flattening, duplicate and
+// complement elimination, absorption, guard factoring) are applied by
+// naryBool below; a few rules whose shape does not fit the generic
+// signature (extract/concat, ite) are applied inline by their constructor
+// and charged to their table entry via Builder.hit.
+//
+// All rules are local and semantics-preserving: eval.go is the reference
+// semantics, and the property/fuzz tests check agreement on random
+// expressions. Simplify re-runs the whole table bottom-up over an existing
+// expression (or a whole path-condition set via SimplifySet), which is how
+// the solver's preprocessing pipeline canonicalizes queries before
+// bit-blasting.
+
+import (
+	"sort"
+)
+
+// Rule indices. Order within a kind is the order applyRules attempts them.
+const (
+	rNotNot = iota
+
+	// n-ary conjunction (structural, applied by naryBool).
+	rAndFlatten
+	rAndUnit
+	rAndZero
+	rAndDup
+	rAndCompl
+	rAndAbsorb
+
+	// n-ary disjunction (structural, applied by naryBool).
+	rOrFlatten
+	rOrUnit
+	rOrOne
+	rOrDup
+	rOrCompl
+	rOrAbsorb
+	rOrFactor
+
+	rXorSame
+	rXorZero
+	rXorOne
+	rImpliesSelf
+	rImpliesConst
+	rEqRefl
+	rEqBoolConst
+	rCmpRefl
+	rAddZero
+	rSubZero
+	rSubSelf
+	rMulOne
+	rUDivOne
+	rNegNeg
+	rBAndIdem
+	rBAndZero
+	rBAndOnes
+	rBOrIdem
+	rBOrZero
+	rBXorSame
+	rBXorZero
+	rBNotNot
+	rShiftZero
+
+	// Width-changing rules (applied inline by Extract/Concat).
+	rExtractExt
+	rExtractConcat
+	rConcatZeroHi
+
+	// Ite rules (applied inline by Ite).
+	rIteSameArms
+	rIteNotCond
+	rIteBoolLower
+	rIteNested
+
+	numRules
+)
+
+// rule is one rewrite-table entry. fn is nil for rules applied structurally
+// (n-ary normalization, extract/ite shapes); for the rest it attempts the
+// rewrite on the operands and returns nil when the rule does not match.
+// x is the sole operand of unary rules (y is nil).
+type rule struct {
+	name  string
+	kinds []Kind
+	fn    func(b *Builder, k Kind, x, y *Expr) *Expr
+}
+
+// ruleTable is populated by init below: the rule closures call back into
+// Builder constructors, which consult the table through applyRules, so a
+// package-level composite literal would form an initialization cycle.
+var ruleTable [numRules]rule
+
+var ruleTableInit = [numRules]rule{
+	rNotNot: {name: "not/involution", kinds: []Kind{KNot},
+		fn: func(b *Builder, _ Kind, x, _ *Expr) *Expr {
+			if x.Kind == KNot {
+				return x.Kids[0] // ¬¬a → a
+			}
+			return nil
+		}},
+
+	rAndFlatten: {name: "and/flatten"},
+	rAndUnit:    {name: "and/unit"},       // drop ⊤ conjuncts
+	rAndZero:    {name: "and/zero"},       // … ∧ ⊥ → ⊥
+	rAndDup:     {name: "and/dup"},        // x ∧ x → x
+	rAndCompl:   {name: "and/complement"}, // x ∧ ¬x → ⊥
+	rAndAbsorb:  {name: "and/absorb"},     // x ∧ (x ∨ y) → x
+
+	rOrFlatten: {name: "or/flatten"},
+	rOrUnit:    {name: "or/unit"},       // drop ⊥ disjuncts
+	rOrOne:     {name: "or/one"},        // … ∨ ⊤ → ⊤
+	rOrDup:     {name: "or/dup"},        // x ∨ x → x
+	rOrCompl:   {name: "or/complement"}, // x ∨ ¬x → ⊤
+	rOrAbsorb:  {name: "or/absorb"},     // x ∨ (x ∧ y) → x
+	rOrFactor:  {name: "or/factor"},     // (p∧a) ∨ (p∧b) → p ∧ (a∨b)
+
+	rXorSame: {name: "xor/same", kinds: []Kind{KXor},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x == y {
+				return b.false_
+			}
+			return nil
+		}},
+	rXorZero: {name: "xor/zero", kinds: []Kind{KXor},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x.IsFalse() {
+				return y
+			}
+			if y.IsFalse() {
+				return x
+			}
+			return nil
+		}},
+	rXorOne: {name: "xor/one", kinds: []Kind{KXor},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x.IsTrue() {
+				return b.Not(y)
+			}
+			if y.IsTrue() {
+				return b.Not(x)
+			}
+			return nil
+		}},
+
+	rImpliesSelf: {name: "implies/self", kinds: []Kind{KImplies},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x == y {
+				return b.true_
+			}
+			return nil
+		}},
+	rImpliesConst: {name: "implies/const", kinds: []Kind{KImplies},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			switch {
+			case x.IsFalse() || y.IsTrue():
+				return b.true_
+			case x.IsTrue():
+				return y
+			case y.IsFalse():
+				return b.Not(x)
+			}
+			return nil
+		}},
+
+	rEqRefl: {name: "eq/reflexive", kinds: []Kind{KEq},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x == y {
+				return b.true_
+			}
+			return nil
+		}},
+	rEqBoolConst: {name: "eq/bool-const", kinds: []Kind{KEq},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x.Width != 0 {
+				return nil
+			}
+			switch {
+			case x.IsTrue():
+				return y
+			case y.IsTrue():
+				return x
+			case x.IsFalse():
+				return b.Not(y)
+			case y.IsFalse():
+				return b.Not(x)
+			}
+			return nil
+		}},
+
+	rCmpRefl: {name: "cmp/reflexive", kinds: []Kind{KUlt, KUle, KSlt, KSle},
+		fn: func(b *Builder, k Kind, x, y *Expr) *Expr {
+			if x == y {
+				// ult/slt are irreflexive, ule/sle reflexive.
+				return b.Bool(k == KUle || k == KSle)
+			}
+			return nil
+		}},
+
+	rAddZero: {name: "add/zero", kinds: []Kind{KAdd},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x.IsConst() && x.Val == 0 {
+				return y
+			}
+			if y.IsConst() && y.Val == 0 {
+				return x
+			}
+			return nil
+		}},
+	rSubZero: {name: "sub/zero", kinds: []Kind{KSub},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if y.IsConst() && y.Val == 0 {
+				return x
+			}
+			return nil
+		}},
+	rSubSelf: {name: "sub/self", kinds: []Kind{KSub},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x == y {
+				return b.Const(0, x.Width)
+			}
+			return nil
+		}},
+	rMulOne: {name: "mul/one", kinds: []Kind{KMul},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x.IsConst() && x.Val == 1 {
+				return y
+			}
+			if y.IsConst() && y.Val == 1 {
+				return x
+			}
+			return nil
+		}},
+	rUDivOne: {name: "udiv/one", kinds: []Kind{KUDiv},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if y.IsConst() && y.Val == 1 {
+				return x
+			}
+			return nil
+		}},
+	rNegNeg: {name: "neg/involution", kinds: []Kind{KNeg},
+		fn: func(b *Builder, _ Kind, x, _ *Expr) *Expr {
+			if x.Kind == KNeg {
+				return x.Kids[0]
+			}
+			return nil
+		}},
+
+	rBAndIdem: {name: "band/idempotent", kinds: []Kind{KBAnd},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x == y {
+				return x
+			}
+			return nil
+		}},
+	rBAndZero: {name: "band/zero", kinds: []Kind{KBAnd},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x.IsConst() && x.Val == 0 || y.IsConst() && y.Val == 0 {
+				return b.Const(0, x.Width)
+			}
+			return nil
+		}},
+	rBAndOnes: {name: "band/ones", kinds: []Kind{KBAnd},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x.IsConst() && x.Val == mask(x.Width) {
+				return y
+			}
+			if y.IsConst() && y.Val == mask(y.Width) {
+				return x
+			}
+			return nil
+		}},
+	rBOrIdem: {name: "bor/idempotent", kinds: []Kind{KBOr},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x == y {
+				return x
+			}
+			return nil
+		}},
+	rBOrZero: {name: "bor/zero", kinds: []Kind{KBOr},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x.IsConst() && x.Val == 0 {
+				return y
+			}
+			if y.IsConst() && y.Val == 0 {
+				return x
+			}
+			return nil
+		}},
+	rBXorSame: {name: "bxor/same", kinds: []Kind{KBXor},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x == y {
+				return b.Const(0, x.Width)
+			}
+			return nil
+		}},
+	rBXorZero: {name: "bxor/zero", kinds: []Kind{KBXor},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if x.IsConst() && x.Val == 0 {
+				return y
+			}
+			if y.IsConst() && y.Val == 0 {
+				return x
+			}
+			return nil
+		}},
+	rBNotNot: {name: "bnot/involution", kinds: []Kind{KBNot},
+		fn: func(b *Builder, _ Kind, x, _ *Expr) *Expr {
+			if x.Kind == KBNot {
+				return x.Kids[0]
+			}
+			return nil
+		}},
+	rShiftZero: {name: "shift/zero", kinds: []Kind{KShl, KLShr, KAShr},
+		fn: func(b *Builder, _ Kind, x, y *Expr) *Expr {
+			if y.IsConst() && y.Val == 0 {
+				return x
+			}
+			return nil
+		}},
+
+	rExtractExt:    {name: "extract/ext"},
+	rExtractConcat: {name: "extract/concat"},
+	rConcatZeroHi:  {name: "concat/zero-hi"},
+
+	rIteSameArms:  {name: "ite/same-arms"},
+	rIteNotCond:   {name: "ite/not-cond"},
+	rIteBoolLower: {name: "ite/bool-lower"},
+	rIteNested:    {name: "ite/nested"},
+}
+
+// rulesFor indexes the generically dispatched rules by operator kind.
+var rulesFor [numKinds][]int
+
+func init() {
+	ruleTable = ruleTableInit
+	for ri := range ruleTable {
+		for _, k := range ruleTable[ri].kinds {
+			rulesFor[k] = append(rulesFor[k], ri)
+		}
+	}
+}
+
+// hit charges one application to a rule's counter (and the aggregate
+// simplification counter the benchmarks report).
+func (b *Builder) hit(ri int) {
+	b.ruleHits[ri].Add(1)
+	b.Stats.Simps.Add(1)
+}
+
+// applyRules attempts every table rule registered for the kind, in table
+// order, returning the first rewrite or nil. y is nil for unary operators.
+func (b *Builder) applyRules(k Kind, x, y *Expr) *Expr {
+	for _, ri := range rulesFor[k] {
+		if r := ruleTable[ri].fn(b, k, x, y); r != nil {
+			b.hit(ri)
+			return r
+		}
+	}
+	return nil
+}
+
+// RuleHit is one rule's activity snapshot.
+type RuleHit struct {
+	Name string
+	Hits uint64
+}
+
+// RuleHits returns the rules that fired at least once, most active first
+// (ties broken by name for determinism). Safe to call concurrently with
+// construction; counts are a consistent-enough snapshot for reporting.
+func (b *Builder) RuleHits() []RuleHit {
+	out := make([]RuleHit, 0, numRules)
+	for ri := range ruleTable {
+		if h := b.ruleHits[ri].Load(); h > 0 {
+			out = append(out, RuleHit{Name: ruleTable[ri].name, Hits: h})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// --- n-ary connective normalization ---
+
+// naryBool builds the canonical n-ary conjunction (KAnd) or disjunction
+// (KOr) of es. Canonical form: kids are flattened (no nested node of the
+// same kind), sorted by node ID, duplicate-free, contain no complementary
+// pair, no kid absorbed by another, and — for disjunctions — share no
+// common conjunct (guard factoring hoists it). Zero kids yield the unit
+// element, one kid yields the kid itself.
+func (b *Builder) naryBool(k Kind, es []*Expr) *Expr {
+	if len(es) == 2 {
+		if r, ok := b.bool2(k, es[0], es[1]); ok {
+			return r
+		}
+	}
+	unit, zero := b.true_, b.false_
+	flatten, unitR, zeroR, dupR, complR, absorbR := rAndFlatten, rAndUnit, rAndZero, rAndDup, rAndCompl, rAndAbsorb
+	dual := KOr
+	if k == KOr {
+		unit, zero = b.false_, b.true_
+		flatten, unitR, zeroR, dupR, complR, absorbR = rOrFlatten, rOrUnit, rOrOne, rOrDup, rOrCompl, rOrAbsorb
+		dual = KAnd
+	}
+
+	// Flatten nested nodes of the same kind and strip unit elements; the
+	// zero element annihilates immediately.
+	kids := make([]*Expr, 0, len(es)+4)
+	for _, e := range es {
+		switch {
+		case e == zero:
+			b.hit(zeroR)
+			return zero
+		case e == unit:
+			b.hit(unitR)
+		case e.Kind == k:
+			b.hit(flatten)
+			kids = append(kids, e.Kids...)
+		default:
+			kids = append(kids, e)
+		}
+	}
+
+	// Canonical commutative order + duplicate elimination. Nested kids are
+	// already duplicate-free, but flattening two sets can re-introduce
+	// overlaps, so the scan runs over the merged list.
+	sort.Slice(kids, func(i, j int) bool { return kids[i].id < kids[j].id })
+	w := 0
+	for i, e := range kids {
+		if i > 0 && e == kids[i-1] {
+			b.hit(dupR)
+			continue
+		}
+		kids[w] = e
+		w++
+	}
+	kids = kids[:w]
+
+	// Complementary pair: x and ¬x together collapse to the zero element.
+	for _, e := range kids {
+		if e.Kind == KNot && containsNode(kids, e.Kids[0]) {
+			b.hit(complR)
+			return zero
+		}
+	}
+
+	// Absorption: a dual-kind kid one of whose operands already appears in
+	// the set is redundant (x ∧ (x∨y) → x; x ∨ (x∧y) → x). Absorbers are
+	// never dual-kind themselves (dual kids are flattened), so dropping
+	// absorbed kids cannot invalidate earlier absorption decisions.
+	w = 0
+	for _, e := range kids {
+		absorbed := false
+		if e.Kind == dual {
+			for _, c := range e.Kids {
+				if containsNode(kids, c) {
+					absorbed = true
+					break
+				}
+			}
+		}
+		if absorbed {
+			b.hit(absorbR)
+			continue
+		}
+		kids[w] = e
+		w++
+	}
+	kids = kids[:w]
+
+	switch len(kids) {
+	case 0:
+		return unit
+	case 1:
+		return kids[0]
+	}
+
+	// Guard factoring (disjunctions only): when every disjunct is a
+	// conjunction and all share common conjuncts, hoist the shared part —
+	// (p∧a) ∨ (p∧b) → p ∧ (a∨b). This is the structure of merged-state
+	// guards: path-condition suffixes that re-conjoin a shared prefix
+	// factor back out, so the bit-blaster encodes the prefix once.
+	// (After absorption a surviving non-conjunction kid can never be a
+	// conjunct of every other kid, so all-KAnd is a complete gate.)
+	if k == KOr {
+		all := true
+		for _, e := range kids {
+			if e.Kind != KAnd {
+				all = false
+				break
+			}
+		}
+		if all {
+			common := append([]*Expr(nil), kids[0].Kids...)
+			for _, e := range kids[1:] {
+				common = intersectSorted(common, e.Kids)
+				if len(common) == 0 {
+					break
+				}
+			}
+			if len(common) > 0 {
+				b.hit(rOrFactor)
+				parts := make([]*Expr, 0, len(kids))
+				for _, e := range kids {
+					parts = append(parts, b.AndN(subtractSorted(e.Kids, common)))
+				}
+				return b.AndN(append(common, b.OrN(parts)))
+			}
+		}
+	}
+
+	return b.mk(&Expr{Kind: k, Kids: kids})
+}
+
+// bool2 is the allocation-free fast path for the binary case — the
+// engine's hottest constructor call (one per executed branch). It handles
+// units, zeros, duplicates, and complements directly, and reports !ok to
+// route to the general slice path whenever a same-kind kid (flattening) or
+// dual-kind kid (absorption, factoring) makes the full normalization
+// necessary. Results are identical to the slice path by construction.
+func (b *Builder) bool2(k Kind, x, y *Expr) (*Expr, bool) {
+	unit, zero := b.true_, b.false_
+	unitR, zeroR, dupR, complR := rAndUnit, rAndZero, rAndDup, rAndCompl
+	dual := KOr
+	if k == KOr {
+		unit, zero = b.false_, b.true_
+		unitR, zeroR, dupR, complR = rOrUnit, rOrOne, rOrDup, rOrCompl
+		dual = KAnd
+	}
+	switch {
+	case x == zero || y == zero:
+		b.hit(zeroR)
+		return zero, true
+	case x == unit:
+		b.hit(unitR)
+		return y, true
+	case y == unit:
+		b.hit(unitR)
+		return x, true
+	case x == y:
+		b.hit(dupR)
+		return x, true
+	}
+	if x.Kind == k || y.Kind == k || x.Kind == dual || y.Kind == dual {
+		return nil, false
+	}
+	if x.Kind == KNot && x.Kids[0] == y || y.Kind == KNot && y.Kids[0] == x {
+		b.hit(complR)
+		return zero, true
+	}
+	if y.id < x.id {
+		x, y = y, x
+	}
+	return b.mk(&Expr{Kind: k, Kids: []*Expr{x, y}}), true
+}
+
+// containsNode reports membership of e in an ID-sorted node list.
+func containsNode(sorted []*Expr, e *Expr) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid].id < e.id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == e
+}
+
+// intersectSorted intersects two ID-sorted node lists into a fresh slice
+// reusing a's backing array (a is owned by the caller).
+func intersectSorted(a, bs []*Expr) []*Expr {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(bs) {
+		switch {
+		case a[i].id < bs[j].id:
+			i++
+		case bs[j].id < a[i].id:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// subtractSorted returns a \ bs over ID-sorted node lists.
+func subtractSorted(a, bs []*Expr) []*Expr {
+	out := make([]*Expr, 0, len(a))
+	j := 0
+	for _, e := range a {
+		for j < len(bs) && bs[j].id < e.id {
+			j++
+		}
+		if j < len(bs) && bs[j] == e {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// --- Whole-expression simplification ---
+
+// Simplify rebuilds e bottom-up through the rule-applying constructors,
+// returning the canonical equivalent. On expressions already built by this
+// Builder the walk is usually the identity (constructors are idempotent);
+// it pays off on terms assembled before a rule existed, on substituted
+// terms, and as the first pass of the solver's preprocessing pipeline.
+// The memoized walk is linear in the DAG size.
+func (b *Builder) Simplify(e *Expr) *Expr {
+	return b.simplifyMemo(e, make(map[*Expr]*Expr, 64))
+}
+
+func (b *Builder) simplifyMemo(e *Expr, memo map[*Expr]*Expr) *Expr {
+	if e.Kind == KConst || e.Kind == KVar {
+		return e
+	}
+	if r, ok := memo[e]; ok {
+		return r
+	}
+	kids := make([]*Expr, len(e.Kids))
+	changed := false
+	for i, k := range e.Kids {
+		kids[i] = b.simplifyMemo(k, memo)
+		changed = changed || kids[i] != k
+	}
+	r := e
+	if changed {
+		r = b.Rebuild(e, kids)
+	}
+	memo[e] = r
+	return r
+}
+
+// SimplifySet canonicalizes a constraint set interpreted as a conjunction:
+// every member is simplified, then the members are conjoined through the
+// n-ary constructor — which deduplicates, eliminates complementary pairs
+// across conjuncts, absorbs, and factors — and the resulting conjunction is
+// flattened back into a slice of conjuncts. An empty slice means the set
+// reduced to ⊤; a single ⊥ conjunct means it reduced to contradiction.
+func (b *Builder) SimplifySet(cs []*Expr) []*Expr {
+	if len(cs) == 0 {
+		return nil
+	}
+	memo := make(map[*Expr]*Expr, 64)
+	simp := make([]*Expr, len(cs))
+	for i, c := range cs {
+		simp[i] = b.simplifyMemo(c, memo)
+	}
+	conj := b.AndN(simp)
+	switch {
+	case conj.IsTrue():
+		return nil
+	case conj.Kind == KAnd:
+		// Kids are immutable; copy so callers may append or reorder.
+		return append([]*Expr(nil), conj.Kids...)
+	default:
+		return []*Expr{conj}
+	}
+}
+
+// Rebuild reconstructs a node with new children through the Builder so
+// that constant folding and every table rule apply. Kids must be
+// sort-compatible with the original node.
+func (b *Builder) Rebuild(e *Expr, k []*Expr) *Expr {
+	switch e.Kind {
+	case KNot:
+		return b.Not(k[0])
+	case KAnd:
+		return b.AndN(k)
+	case KOr:
+		return b.OrN(k)
+	case KXor:
+		return b.Xor(k[0], k[1])
+	case KImplies:
+		return b.Implies(k[0], k[1])
+	case KEq:
+		return b.Eq(k[0], k[1])
+	case KUlt:
+		return b.Ult(k[0], k[1])
+	case KUle:
+		return b.Ule(k[0], k[1])
+	case KSlt:
+		return b.Slt(k[0], k[1])
+	case KSle:
+		return b.Sle(k[0], k[1])
+	case KAdd:
+		return b.Add(k[0], k[1])
+	case KSub:
+		return b.Sub(k[0], k[1])
+	case KMul:
+		return b.Mul(k[0], k[1])
+	case KUDiv:
+		return b.UDiv(k[0], k[1])
+	case KURem:
+		return b.URem(k[0], k[1])
+	case KSDiv:
+		return b.SDiv(k[0], k[1])
+	case KSRem:
+		return b.SRem(k[0], k[1])
+	case KBAnd:
+		return b.BAnd(k[0], k[1])
+	case KBOr:
+		return b.BOr(k[0], k[1])
+	case KBXor:
+		return b.BXor(k[0], k[1])
+	case KBNot:
+		return b.BNot(k[0])
+	case KNeg:
+		return b.Neg(k[0])
+	case KShl:
+		return b.Shl(k[0], k[1])
+	case KLShr:
+		return b.LShr(k[0], k[1])
+	case KAShr:
+		return b.AShr(k[0], k[1])
+	case KZExt:
+		return b.ZExt(k[0], e.Width)
+	case KSExt:
+		return b.SExt(k[0], e.Width)
+	case KExtract:
+		return b.Extract(k[0], uint8(e.Aux), e.Width)
+	case KConcat:
+		return b.Concat(k[0], k[1])
+	case KIte:
+		return b.Ite(k[0], k[1], k[2])
+	}
+	panic("expr: Rebuild of unexpected kind " + e.Kind.String())
+}
+
+// DagSize counts the distinct nodes reachable from the constraint set —
+// the size a structure-sharing consumer (the bit-blaster, whose memo is
+// keyed by node) actually processes, as opposed to the tree size Nodes()
+// reports.
+func DagSize(cs []*Expr) int {
+	seen := make(map[*Expr]bool, 64)
+	var walk func(e *Expr)
+	walk = func(e *Expr) {
+		if seen[e] {
+			return
+		}
+		seen[e] = true
+		for _, k := range e.Kids {
+			walk(k)
+		}
+	}
+	for _, c := range cs {
+		walk(c)
+	}
+	return len(seen)
+}

@@ -1,0 +1,305 @@
+package expr
+
+// Tests for the table-driven rewrite layer: canonical n-ary connective
+// construction, the structural rules (flatten, dedupe, complement,
+// absorption, factoring), per-rule hit counters, Simplify/SimplifySet, and
+// the SMT-LIB printer's golden output on n-ary nodes.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNaryFlattenSortDedupe(t *testing.T) {
+	b := NewBuilder()
+	p := b.Var("p", 0)
+	q := b.Var("q", 0)
+	r := b.Var("r", 0)
+
+	nested := b.And(p, b.And(q, r))
+	if nested.Kind != KAnd || len(nested.Kids) != 3 {
+		t.Fatalf("nested And did not flatten: %s", nested)
+	}
+	for i := 1; i < len(nested.Kids); i++ {
+		if nested.Kids[i-1].ID() >= nested.Kids[i].ID() {
+			t.Fatalf("kids not ID-sorted: %s", nested)
+		}
+	}
+	// Any association and order interns to the same node.
+	if got := b.And(b.And(r, p), q); got != nested {
+		t.Fatalf("association changed identity: %s vs %s", got, nested)
+	}
+	if got := b.AndN([]*Expr{r, q, p, q, r}); got != nested {
+		t.Fatalf("duplicates not eliminated: %s", got)
+	}
+	// Dual for Or.
+	orN := b.OrN([]*Expr{p, q, r})
+	if orN.Kind != KOr || len(orN.Kids) != 3 {
+		t.Fatalf("OrN shape: %s", orN)
+	}
+	if got := b.Or(q, b.Or(r, p)); got != orN {
+		t.Fatalf("Or association changed identity: %s vs %s", got, orN)
+	}
+}
+
+func TestNaryUnitsAndZeros(t *testing.T) {
+	b := NewBuilder()
+	p := b.Var("p", 0)
+	q := b.Var("q", 0)
+	if got := b.AndN([]*Expr{p, b.True(), q}); got != b.And(p, q) {
+		t.Fatalf("true conjunct not dropped: %s", got)
+	}
+	if got := b.AndN([]*Expr{p, b.False(), q}); !got.IsFalse() {
+		t.Fatalf("false conjunct did not annihilate: %s", got)
+	}
+	if got := b.OrN([]*Expr{p, b.False(), q}); got != b.Or(p, q) {
+		t.Fatalf("false disjunct not dropped: %s", got)
+	}
+	if got := b.OrN([]*Expr{p, b.True(), q}); !got.IsTrue() {
+		t.Fatalf("true disjunct did not annihilate: %s", got)
+	}
+	if got := b.AndN(nil); !got.IsTrue() {
+		t.Fatalf("empty conjunction = %s, want true", got)
+	}
+	if got := b.OrN(nil); !got.IsFalse() {
+		t.Fatalf("empty disjunction = %s, want false", got)
+	}
+	if got := b.AndN([]*Expr{p}); got != p {
+		t.Fatalf("singleton conjunction = %s, want p", got)
+	}
+}
+
+func TestNaryComplement(t *testing.T) {
+	b := NewBuilder()
+	p := b.Var("p", 0)
+	q := b.Var("q", 0)
+	r := b.Var("r", 0)
+	if got := b.AndN([]*Expr{p, q, b.Not(q), r}); !got.IsFalse() {
+		t.Fatalf("x ∧ ¬x inside n-ary set = %s, want false", got)
+	}
+	if got := b.OrN([]*Expr{p, q, b.Not(q), r}); !got.IsTrue() {
+		t.Fatalf("x ∨ ¬x inside n-ary set = %s, want true", got)
+	}
+	// Complement arriving via flattening of two disjoint sets.
+	left := b.And(p, q)
+	right := b.And(r, b.Not(q))
+	if got := b.And(left, right); !got.IsFalse() {
+		t.Fatalf("complement across flattened sets = %s, want false", got)
+	}
+}
+
+func TestNaryAbsorption(t *testing.T) {
+	b := NewBuilder()
+	p := b.Var("p", 0)
+	q := b.Var("q", 0)
+	r := b.Var("r", 0)
+	if got := b.And(p, b.Or(p, q)); got != p {
+		t.Fatalf("p ∧ (p∨q) = %s, want p", got)
+	}
+	if got := b.Or(p, b.And(p, q)); got != p {
+		t.Fatalf("p ∨ (p∧q) = %s, want p", got)
+	}
+	// Absorption inside a wider set keeps the rest.
+	got := b.AndN([]*Expr{p, r, b.Or(q, p)})
+	if got != b.And(p, r) {
+		t.Fatalf("absorption in wider set = %s, want (and p r)", got)
+	}
+}
+
+func TestOrFactoring(t *testing.T) {
+	b := NewBuilder()
+	p := b.Var("p", 0)
+	q := b.Var("q", 0)
+	r := b.Var("r", 0)
+	s := b.Var("s", 0)
+
+	// (p∧q) ∨ (p∧r) → p ∧ (q∨r): the merged-guard shape.
+	got := b.Or(b.And(p, q), b.And(p, r))
+	want := b.And(p, b.Or(q, r))
+	if got != want {
+		t.Fatalf("factoring: got %s, want %s", got, want)
+	}
+	// Multi-conjunct common prefix over three disjuncts.
+	got = b.OrN([]*Expr{
+		b.AndN([]*Expr{p, q, r}),
+		b.AndN([]*Expr{p, q, s}),
+		b.AndN([]*Expr{p, q, b.Not(s)}),
+	})
+	// r ∨ s ∨ ¬s → true, so the whole thing is p ∧ q.
+	if got != b.And(p, q) {
+		t.Fatalf("multi-way factoring: got %s, want (and p q)", got)
+	}
+	// No factoring without a shared conjunct.
+	got = b.Or(b.And(p, q), b.And(r, s))
+	if got.Kind != KOr {
+		t.Fatalf("unexpected factoring of disjoint conjunctions: %s", got)
+	}
+}
+
+func TestRuleHitCounters(t *testing.T) {
+	b := NewBuilder()
+	p := b.Var("p", 0)
+	q := b.Var("q", 0)
+	r := b.Var("r", 0)
+	b.And(p, b.And(q, r))          // and/flatten
+	b.Or(b.And(p, q), b.And(p, r)) // or/factor (+ flattens)
+	b.Not(b.Not(p))                // not/involution
+	x := b.Var("x", 8)
+	b.Add(x, b.Const(0, 8)) // add/zero
+
+	hits := map[string]uint64{}
+	for _, h := range b.RuleHits() {
+		hits[h.Name] = h.Hits
+	}
+	for _, want := range []string{"and/flatten", "or/factor", "not/involution", "add/zero"} {
+		if hits[want] == 0 {
+			t.Errorf("rule %q has no recorded hits; got %v", want, hits)
+		}
+	}
+	// Counters feed the aggregate Simps counter too.
+	if b.Stats.Simps.Load() == 0 {
+		t.Error("aggregate Simps counter not bumped")
+	}
+}
+
+func TestSimplifyIdempotentOnBuilderOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBuilder()
+	x := b.Var("x", 4)
+	y := b.Var("y", 4)
+	vars := []*Expr{x, y}
+	for iter := 0; iter < 500; iter++ {
+		e := randomBool(b, rng, vars, 4)
+		if s := b.Simplify(e); s != e {
+			t.Fatalf("iter %d: Simplify changed constructor output: %s -> %s", iter, e, s)
+		}
+	}
+}
+
+func TestSimplifySetSemantics(t *testing.T) {
+	b := NewBuilder()
+	p := b.Var("p", 0)
+	q := b.Var("q", 0)
+	x := b.Var("x", 4)
+	y := b.Var("y", 4)
+
+	cs := []*Expr{p, b.Or(p, q), b.Ult(x, y), b.Ult(x, y), b.True()}
+	out := b.SimplifySet(cs)
+	// p absorbs (p∨q); the duplicate comparison and the ⊤ conjunct drop.
+	if len(out) != 2 {
+		t.Fatalf("SimplifySet kept %d conjuncts (%v), want 2", len(out), out)
+	}
+	// Semantics must be preserved on every assignment.
+	for env := uint64(0); env < 1<<10; env++ {
+		e := Env{p: env & 1, q: env >> 1 & 1, x: env >> 2 & 0xf, y: env >> 6 & 0xf}
+		want := EvalBool(p, e) && EvalBool(b.Or(p, q), e) && EvalBool(b.Ult(x, y), e)
+		got := true
+		for _, c := range out {
+			got = got && EvalBool(c, e)
+		}
+		if got != want {
+			t.Fatalf("SimplifySet changed semantics under %v", e)
+		}
+	}
+
+	// A contradictory set reduces to a single ⊥ conjunct.
+	out = b.SimplifySet([]*Expr{p, q, b.Not(p)})
+	if len(out) != 1 || !out[0].IsFalse() {
+		t.Fatalf("contradictory set = %v, want [false]", out)
+	}
+	// An all-⊤ set reduces to nothing.
+	if out = b.SimplifySet([]*Expr{b.True(), b.True()}); len(out) != 0 {
+		t.Fatalf("trivial set = %v, want empty", out)
+	}
+}
+
+func TestDagSize(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 8)
+	sum := b.Add(x, x)      // nodes: x, sum
+	prod := b.Mul(sum, sum) // + prod
+	if got := DagSize([]*Expr{prod}); got != 3 {
+		t.Fatalf("DagSize = %d, want 3 (shared subtrees once)", got)
+	}
+	if got := DagSize([]*Expr{prod, sum, x}); got != 3 {
+		t.Fatalf("DagSize over overlapping set = %d, want 3", got)
+	}
+}
+
+// TestSMTLibNaryGolden pins the printer's exact output on n-ary nodes:
+// SMT-LIB and/or are variadic, so canonical n-ary nodes print directly.
+func TestSMTLibNaryGolden(t *testing.T) {
+	b := NewBuilder()
+	p := b.Var("p", 0)
+	q := b.Var("q", 0)
+	r := b.Var("r", 0)
+	x := b.Var("x", 8)
+
+	conj := b.AndN([]*Expr{p, q, r})
+	disj := b.OrN([]*Expr{p, b.And(q, b.Ult(x, b.Const(10, 8)))})
+	got := SMTLib([]*Expr{conj, disj})
+	want := strings.Join([]string{
+		"(set-logic QF_BV)",
+		"(declare-const p Bool)",
+		"(declare-const q Bool)",
+		"(declare-const r Bool)",
+		"(declare-const x (_ BitVec 8))",
+		"(assert (and p q r))",
+		"(assert (or p (and q (bvult x (_ bv10 8)))))",
+		"(check-sat)",
+		"(get-model)",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestNaryStringPrinting pins the debug printer on n-ary nodes.
+func TestNaryStringPrinting(t *testing.T) {
+	b := NewBuilder()
+	p := b.Var("p", 0)
+	q := b.Var("q", 0)
+	r := b.Var("r", 0)
+	if got := b.AndN([]*Expr{p, q, r}).String(); got != "(and p q r)" {
+		t.Fatalf("String() = %q, want (and p q r)", got)
+	}
+}
+
+// TestQuickNaryAgreesWithEval is the n-ary construction property test: a
+// conjunction/disjunction built through any mix of binary and n-ary calls
+// must evaluate exactly like the naive fold over its inputs.
+func TestQuickNaryAgreesWithEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder()
+	x := b.Var("x", 4)
+	y := b.Var("y", 4)
+	vars := []*Expr{x, y}
+	for iter := 0; iter < 400; iter++ {
+		n := 2 + rng.Intn(5)
+		parts := make([]*Expr, n)
+		for i := range parts {
+			parts[i] = randomBool(b, rng, vars, 3)
+		}
+		and := b.AndN(parts)
+		or := b.OrN(parts)
+		for xv := uint64(0); xv < 16; xv++ {
+			for yv := uint64(0); yv < 16; yv++ {
+				env := Env{x: xv, y: yv}
+				wantAnd, wantOr := true, false
+				for _, pt := range parts {
+					v := EvalBool(pt, env)
+					wantAnd = wantAnd && v
+					wantOr = wantOr || v
+				}
+				if EvalBool(and, env) != wantAnd {
+					t.Fatalf("iter %d: AndN disagrees with fold at x=%d y=%d: %s", iter, xv, yv, and)
+				}
+				if EvalBool(or, env) != wantOr {
+					t.Fatalf("iter %d: OrN disagrees with fold at x=%d y=%d: %s", iter, xv, yv, or)
+				}
+			}
+		}
+	}
+}

@@ -358,6 +358,18 @@ func aggregate(all []*core.Result, masks [][]bool, completed bool, cfg core.Conf
 		st.Solver.SessionBlastReuse += s.Solver.SessionBlastReuse
 		st.Solver.SessionBypass += s.Solver.SessionBypass
 		st.Solver.SessionRebases += s.Solver.SessionRebases
+		st.Solver.PreprocQueries += s.Solver.PreprocQueries
+		st.Solver.PreprocNodesIn += s.Solver.PreprocNodesIn
+		st.Solver.PreprocNodesOut += s.Solver.PreprocNodesOut
+		st.Solver.SATVars += s.Solver.SATVars
+		st.Solver.SATClauses += s.Solver.SATClauses
+
+		// Rule hits are builder-global (workers share one builder): every
+		// snapshot reports the same cumulative counters at slightly
+		// different times, so keep the latest (largest) one, not the sum.
+		if ruleTotal(s.Rules) > ruleTotal(st.Rules) {
+			st.Rules = s.Rules
+		}
 
 		if len(agg.Tests) < maxTests {
 			agg.Tests = append(agg.Tests, r.Tests...)
@@ -387,4 +399,14 @@ func aggregate(all []*core.Result, masks [][]bool, completed bool, cfg core.Conf
 	}
 	st.CoveredInstrs = covered
 	return agg
+}
+
+// ruleTotal sums a rule-hit snapshot for the keep-the-latest comparison in
+// aggregate (counters are monotone, so the largest total is the newest).
+func ruleTotal(rs []expr.RuleHit) uint64 {
+	var t uint64
+	for _, r := range rs {
+		t += r.Hits
+	}
+	return t
 }

@@ -116,6 +116,60 @@ func TestParallelDifferential(t *testing.T) {
 	}
 }
 
+// TestPreprocessDifferential asserts that the solver's preprocessing
+// pipeline is invisible to the exploration: for merged-state regimes over
+// coreutils models, preprocess on vs off — and each crossed with Workers 1
+// vs 8 — produce bit-identical paths-multiplicity, coverage, and error
+// sets. This is the guard on the refactor's hash-consing invariants:
+// preprocessing rewrites queries *after* fingerprinting and sessions key
+// on conjunct identity, so no pipeline configuration may change what gets
+// explored.
+func TestPreprocessDifferential(t *testing.T) {
+	t.Parallel()
+	tools := []string{"echo", "basename", "cat", "expr"}
+	regimes := []mode{
+		{"ssm+qce", symx.MergeSSM, true},
+		{"dsm+qce", symx.MergeDSM, true},
+	}
+	for _, name := range tools {
+		tool, err := coreutils.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := tool.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range regimes {
+			t.Run(name+"/"+m.name, func(t *testing.T) {
+				t.Parallel()
+				base := tool.BaseConfig()
+				base.Merge, base.UseQCE = m.merge, m.qce
+				base.Seed = 1
+				base.CheckBounds = true
+
+				var ref *outcome
+				for _, workers := range []int{1, 8} {
+					for _, spec := range []string{"on", "off"} {
+						cfg := base
+						cfg.Workers = workers
+						cfg.Preprocess = spec
+						got := reduce(t, symx.Run(prog, cfg))
+						if ref == nil {
+							ref = &got
+							continue
+						}
+						if diff := sameOutcome(*ref, got); diff != "" {
+							t.Fatalf("workers=%d preprocess=%s diverged from baseline: %s",
+								workers, spec, diff)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestParallelRepeatable runs the same sharded exploration twice: the
 // invariant components must also be stable run-to-run (scheduling noise may
 // reorder workers, never change the explored set).

@@ -89,6 +89,65 @@ func (b *blaster) gateOr(x, y sat.Lit) sat.Lit {
 	return b.gateAnd(x.Flip(), y.Flip()).Flip()
 }
 
+// gateAndN returns a literal equivalent to the conjunction of xs, encoded
+// as ONE clause group: n short clauses (¬o ∨ xᵢ) plus one long clause
+// (o ∨ ¬x₁ ∨ … ∨ ¬xₙ). Compared to a chain of binary AND gates this costs
+// one Tseitin variable and n+1 clauses instead of n−1 variables and
+// 3(n−1) clauses — the reason the blaster keeps n-ary connectives n-ary.
+// The list is normalized first (constants, duplicates, complements), so
+// degenerate inputs cost nothing. xs is scratch and may be reordered.
+func (b *blaster) gateAndN(xs []sat.Lit) sat.Lit {
+	// Normalize: drop true, shortcut on false, dedupe, detect x ∧ ¬x.
+	w := 0
+	for _, x := range xs {
+		if x == b.litTrue {
+			continue
+		}
+		if x == b.litFalse {
+			return b.litFalse
+		}
+		dup := false
+		for _, o := range xs[:w] {
+			if o == x {
+				dup = true
+				break
+			}
+			if o == x.Flip() {
+				return b.litFalse
+			}
+		}
+		if !dup {
+			xs[w] = x
+			w++
+		}
+	}
+	xs = xs[:w]
+	switch len(xs) {
+	case 0:
+		return b.litTrue
+	case 1:
+		return xs[0]
+	case 2:
+		return b.gateAnd(xs[0], xs[1])
+	}
+	o := b.fresh()
+	long := make([]sat.Lit, 0, len(xs)+1)
+	for _, x := range xs {
+		b.s.AddClause(o.Flip(), x)
+		long = append(long, x.Flip())
+	}
+	b.s.AddClause(append(long, o)...)
+	return o
+}
+
+// gateOrN is the dual of gateAndN: one clause group for an n-ary OR.
+func (b *blaster) gateOrN(xs []sat.Lit) sat.Lit {
+	for i := range xs {
+		xs[i] = xs[i].Flip()
+	}
+	return b.gateAndN(xs).Flip()
+}
+
 // gateXor returns a literal equivalent to x ⊕ y.
 func (b *blaster) gateXor(x, y sat.Lit) sat.Lit {
 	if x == b.litFalse {
@@ -323,10 +382,18 @@ func (b *blaster) blastBool(e *expr.Expr) sat.Lit {
 		b.vars[e] = []sat.Lit{l}
 	case expr.KNot:
 		l = b.blastBool(e.Kids[0]).Flip()
-	case expr.KAnd:
-		l = b.gateAnd(b.blastBool(e.Kids[0]), b.blastBool(e.Kids[1]))
-	case expr.KOr:
-		l = b.gateOr(b.blastBool(e.Kids[0]), b.blastBool(e.Kids[1]))
+	case expr.KAnd, expr.KOr:
+		// N-ary connectives blast to one clause group per distinct node;
+		// the memo above makes that "once per node" DAG-wide.
+		lits := make([]sat.Lit, len(e.Kids))
+		for i, k := range e.Kids {
+			lits[i] = b.blastBool(k)
+		}
+		if e.Kind == expr.KAnd {
+			l = b.gateAndN(lits)
+		} else {
+			l = b.gateOrN(lits)
+		}
 	case expr.KXor:
 		l = b.gateXor(b.blastBool(e.Kids[0]), b.blastBool(e.Kids[1]))
 	case expr.KImplies:

@@ -121,6 +121,7 @@ type Solver struct {
 	claInc float64
 
 	unsatAtRoot bool
+	numAdded    uint64 // problem clauses accepted by AddClause
 
 	// conflict analysis scratch
 	analyzeStack []Lit
@@ -154,6 +155,12 @@ func New() *Solver {
 
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return len(s.vars) }
+
+// NumClauses returns the number of problem clauses accepted by AddClause
+// (root-satisfied and tautological submissions excluded; learnt clauses are
+// tracked separately in Stats). The SMT layer reads this to report encoding
+// sizes per query.
+func (s *Solver) NumClauses() uint64 { return s.numAdded }
 
 // NewVar allocates a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
@@ -218,6 +225,7 @@ func (s *Solver) AddClause(lits ...Lit) {
 		s.unsatAtRoot = true
 		return
 	case 1:
+		s.numAdded++
 		if !s.enqueue(out[0], nil) {
 			s.unsatAtRoot = true
 			return
@@ -227,6 +235,7 @@ func (s *Solver) AddClause(lits ...Lit) {
 		}
 		return
 	}
+	s.numAdded++
 	c := &clause{lits: out}
 	s.clauses = append(s.clauses, c)
 	s.attach(c)

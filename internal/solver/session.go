@@ -167,6 +167,7 @@ func (sess *Session) check(live []*expr.Expr) (bool, Model, error) {
 
 	core.ss.Budget = s.opts.ConflictBudget
 	core.ss.Deadline = s.deadline
+	v0, c0 := core.ss.NumVars(), core.ss.NumClauses()
 	assumps := make([]sat.Lit, len(live))
 	for i, c := range live {
 		rec, ok := core.acts[c]
@@ -185,6 +186,10 @@ func (sess *Session) check(live []*expr.Expr) (bool, Model, error) {
 		}
 		assumps[i] = rec.act
 	}
+	// Per-query encoding effort: only the delta this query blasted counts;
+	// reused conjunct encodings are free — the whole point of the session.
+	s.Stats.SATVars += uint64(core.ss.NumVars() - v0)
+	s.Stats.SATClauses += core.ss.NumClauses() - c0
 	if rebased && core.ss.NumVars() >= core.rebaseVars {
 		// The live set alone overflows the limit: the reset we just did
 		// could not get the core under it, and re-triggering on every

@@ -52,6 +52,19 @@ type Stats struct {
 	SessionBlastReuse uint64 // conjuncts whose blasting was reused
 	SessionBypass     uint64 // session available but query fell back to one-shot
 	SessionRebases    uint64 // persistent cores rebuilt at the size limit
+
+	// Preprocessing-pass pipeline activity (see passes.go). Node counts
+	// are summed Expr.Nodes() tree sizes (cheap, cached per node), not
+	// distinct-DAG-node counts.
+	PreprocQueries  uint64 // one-shot queries that ran the pipeline
+	PreprocNodesIn  uint64 // constraint nodes entering the pipeline
+	PreprocNodesOut uint64 // constraint nodes after all passes
+
+	// CNF encoding effort: variables allocated and problem clauses
+	// emitted by bit-blasting, summed over queries (on the session path,
+	// only the newly blasted delta counts — reused encodings are free).
+	SATVars    uint64
+	SATClauses uint64
 }
 
 // Options configures a Solver.
@@ -70,6 +83,14 @@ type Options struct {
 	// expression IDs, so every sharing solver must also share one
 	// expr.Builder. Ignored unless EnableCexCache is set.
 	SharedCache *Cache
+
+	// Passes is the ordered preprocessing pipeline applied to one-shot
+	// queries before bit-blasting (see passes.go). nil selects the
+	// default: simplification and equality substitution, plus
+	// independence slicing when EnableIndependence is set. An explicit
+	// empty slice disables preprocessing entirely — the
+	// `-preprocess off` ablation baseline.
+	Passes []Pass
 }
 
 // DefaultOptions enables every optimization, mirroring the paper's KLEE
@@ -92,9 +113,10 @@ var ErrBudget = errors.New("solver: conflict budget exhausted")
 // shares only the counterexample cache (Options.SharedCache) and the
 // expression builder across workers.
 type Solver struct {
-	opts  Options
-	cache *Cache
-	build *expr.Builder // for equality substitution; nil disables it
+	opts   Options
+	cache  *Cache
+	build  *expr.Builder // for simplification + substitution; nil disables both
+	passes []Pass        // resolved preprocessing pipeline (see New)
 
 	// deadline bounds each underlying SAT call in wall-clock time; zero
 	// means none. See SetDeadline.
@@ -124,8 +146,20 @@ func New(opts Options) *Solver {
 	if cache == nil {
 		cache = newCexCache()
 	}
-	return &Solver{opts: opts, cache: cache}
+	s := &Solver{opts: opts, cache: cache}
+	if opts.Passes != nil {
+		s.passes = opts.Passes
+	} else {
+		s.passes = []Pass{SimplifyPass(), SubstitutePass()}
+		if opts.EnableIndependence {
+			s.passes = append(s.passes, SlicePass())
+		}
+	}
+	return s
 }
+
+// Passes returns the resolved preprocessing pipeline (testing/reporting).
+func (s *Solver) Passes() []Pass { return s.passes }
 
 // AttachBuilder enables equality-substitution simplification; the builder
 // must be the one that constructed the query expressions.
@@ -141,10 +175,11 @@ func (s *Solver) CheckSat(constraints []*expr.Expr) (bool, Model, error) {
 // CheckSatIn is CheckSat with an optional incremental session. When the
 // query extends a conjunct prefix the session has already blasted (at most
 // one new conjunct), it is answered by the session's persistent SAT
-// instance under assumptions; otherwise it falls back to the one-shot path,
-// where independence slicing and equality substitution apply, and the
-// bypass is recorded in Stats.SessionBypass. A nil session always takes the
-// one-shot path.
+// instance under assumptions; otherwise it falls back to the one-shot
+// path, where the preprocessing pipeline (simplification, equality
+// substitution, independence slicing — see passes.go) applies, and the
+// bypass is recorded in Stats.SessionBypass. A nil session always takes
+// the one-shot path.
 func (s *Solver) CheckSatIn(sess *Session, constraints []*expr.Expr) (bool, Model, error) {
 	return s.checkSatIn(sess, constraints, true)
 }
@@ -212,21 +247,18 @@ func (s *Solver) checkSatIn(sess *Session, constraints []*expr.Expr, needModel b
 				sess.NoteConjunct(c)
 			}
 		}
-		// Equality substitution: conjuncts pinning a variable to a
-		// constant are folded into the rest of the query before
-		// bit-blasting. The bindings rejoin the model afterwards so
-		// callers still see values for the substituted variables.
-		var binding expr.Env
-		solveSet := live
-		if s.build != nil {
-			solveSet, binding = substituteEqualities(s.build, live)
-		}
-		res, m, err = s.checkSliced(solveSet)
-		if err == nil && res && len(binding) > 0 {
+		// Preprocessing pipeline (passes.go): simplification, equality
+		// substitution, and independence slicing run in Options.Passes
+		// order. Any bindings a substitution pass extracted rejoin the
+		// model afterwards so callers still see values for the
+		// substituted variables.
+		q := s.runPasses(live)
+		res, m, err = s.solveQuery(q)
+		if err == nil && res && len(q.Binding) > 0 {
 			if m == nil {
 				m = Model{}
 			}
-			for v, val := range binding {
+			for v, val := range q.Binding {
 				m[v] = val
 			}
 		}
@@ -308,93 +340,23 @@ func substitute(b *expr.Builder, e *expr.Expr, binding expr.Env, memo map[*expr.
 	}
 	r := e
 	if changed {
-		r = rebuild(b, e, kids)
+		// Rebuild through the Builder so folding and every rewrite-table
+		// rule apply to the substituted node.
+		r = b.Rebuild(e, kids)
 	}
 	memo[e] = r
 	return r
 }
 
-// rebuild reconstructs a node with new children through the Builder so that
-// folding and simplification apply.
-func rebuild(b *expr.Builder, e *expr.Expr, k []*expr.Expr) *expr.Expr {
-	switch e.Kind {
-	case expr.KNot:
-		return b.Not(k[0])
-	case expr.KAnd:
-		return b.And(k[0], k[1])
-	case expr.KOr:
-		return b.Or(k[0], k[1])
-	case expr.KXor:
-		return b.Xor(k[0], k[1])
-	case expr.KImplies:
-		return b.Implies(k[0], k[1])
-	case expr.KEq:
-		return b.Eq(k[0], k[1])
-	case expr.KUlt:
-		return b.Ult(k[0], k[1])
-	case expr.KUle:
-		return b.Ule(k[0], k[1])
-	case expr.KSlt:
-		return b.Slt(k[0], k[1])
-	case expr.KSle:
-		return b.Sle(k[0], k[1])
-	case expr.KAdd:
-		return b.Add(k[0], k[1])
-	case expr.KSub:
-		return b.Sub(k[0], k[1])
-	case expr.KMul:
-		return b.Mul(k[0], k[1])
-	case expr.KUDiv:
-		return b.UDiv(k[0], k[1])
-	case expr.KURem:
-		return b.URem(k[0], k[1])
-	case expr.KSDiv:
-		return b.SDiv(k[0], k[1])
-	case expr.KSRem:
-		return b.SRem(k[0], k[1])
-	case expr.KBAnd:
-		return b.BAnd(k[0], k[1])
-	case expr.KBOr:
-		return b.BOr(k[0], k[1])
-	case expr.KBXor:
-		return b.BXor(k[0], k[1])
-	case expr.KBNot:
-		return b.BNot(k[0])
-	case expr.KNeg:
-		return b.Neg(k[0])
-	case expr.KShl:
-		return b.Shl(k[0], k[1])
-	case expr.KLShr:
-		return b.LShr(k[0], k[1])
-	case expr.KAShr:
-		return b.AShr(k[0], k[1])
-	case expr.KZExt:
-		return b.ZExt(k[0], e.Width)
-	case expr.KSExt:
-		return b.SExt(k[0], e.Width)
-	case expr.KExtract:
-		return b.Extract(k[0], uint8(e.Aux), e.Width)
-	case expr.KConcat:
-		return b.Concat(k[0], k[1])
-	case expr.KIte:
-		return b.Ite(k[0], k[1], k[2])
-	}
-	panic("solver: rebuild of unexpected kind " + e.Kind.String())
-}
-
-// checkSliced partitions the constraints into independent groups (connected
-// components of the shared-variable graph) and solves each separately; the
-// conjunction is sat iff every component is.
-func (s *Solver) checkSliced(constraints []*expr.Expr) (bool, Model, error) {
-	if !s.opts.EnableIndependence || len(constraints) <= 1 {
-		return s.checkSAT(constraints)
-	}
-	groups := independentGroups(constraints)
-	if len(groups) > 1 {
-		s.Stats.IndepSliced++
+// solveQuery blasts and solves a preprocessed query: each independent
+// group separately when the slice pass partitioned it, the whole set at
+// once otherwise. The conjunction is sat iff every group is.
+func (s *Solver) solveQuery(q *Query) (bool, Model, error) {
+	if q.Groups == nil {
+		return s.checkSAT(q.Constraints)
 	}
 	model := Model{}
-	for _, g := range groups {
+	for _, g := range q.Groups {
 		res, m, err := s.checkSAT(g)
 		if err != nil {
 			return false, nil, err
@@ -422,6 +384,8 @@ func (s *Solver) checkSAT(constraints []*expr.Expr) (bool, Model, error) {
 	for _, c := range constraints {
 		bl.assertTrue(c)
 	}
+	s.Stats.SATVars += uint64(ss.NumVars())
+	s.Stats.SATClauses += ss.NumClauses()
 	switch ss.Solve() {
 	case sat.Sat:
 		m := Model{}

@@ -181,6 +181,23 @@ type Config struct {
 	// blast-once/assume-many SAT instances shared along state lineages)
 	// for ablation measurements; every query then re-blasts one-shot.
 	DisableSessions bool
+
+	// Preprocess selects the solver's preprocessing-pass pipeline (the
+	// rewrites applied to one-shot queries before bit-blasting): "" or
+	// "on" runs the default pipeline (simplify, equality substitution,
+	// independence slicing), "off"/"none" disables it — the ablation
+	// baseline — and a comma-separated list of pass names
+	// ("simplify,subst-eq,slice") runs a custom pipeline in that order.
+	// Validate CLI input with ParsePreprocess.
+	Preprocess string
+}
+
+// ParsePreprocess validates a Config.Preprocess spec, returning an error
+// for unknown pass names. "" and "on" select the default pipeline,
+// "off"/"none" disable preprocessing.
+func ParsePreprocess(spec string) error {
+	_, err := solver.ParsePasses(spec)
+	return err
 }
 
 // Result re-exports the engine result.
@@ -311,6 +328,16 @@ func coreConfig(cfg Config) (core.Config, Strategy, int64) {
 	}
 	if cfg.DisableSolverOpts {
 		ccfg.SolverOpts = solver.Options{}
+	}
+	if cfg.Preprocess != "" {
+		// An explicit spec overrides the pipeline the solver would derive
+		// from its boolean options; "" keeps Passes nil so ablations like
+		// DisableSolverOpts retain their historical meaning.
+		passes, err := solver.ParsePasses(cfg.Preprocess)
+		if err != nil {
+			panic(err) // CLI boundaries validate with ParsePreprocess
+		}
+		ccfg.SolverOpts.Passes = passes
 	}
 	return ccfg, cfg.Strategy, cfg.Seed
 }
