@@ -1,0 +1,157 @@
+// Command corpusgen maintains the committed golden mini-corpus: the
+// on-disk test corpus of every COREUTILS model explored exhaustively at
+// the pinned miniature input sizes (coreutils.Tool.MiniConfig).
+//
+// Usage:
+//
+//	corpusgen [-dir internal/coreutils/testdata/corpus] [-tool name]
+//	corpusgen -check
+//
+// Without -check it (re)generates the corpus in place — run it after
+// changing a model, the engine's test generation, or the corpus format,
+// and commit the result. With -check it regenerates into a temporary
+// directory and compares per-tool content digests against the committed
+// tree, exiting non-zero on any drift: the CI gate that the committed
+// corpus is exactly what the current engine emits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"symmerge/internal/corpus"
+	"symmerge/internal/coreutils"
+	"symmerge/symx"
+)
+
+func main() {
+	dir := flag.String("dir", "internal/coreutils/testdata/corpus", "corpus root directory (one subdirectory per tool)")
+	one := flag.String("tool", "", "regenerate a single tool's corpus")
+	check := flag.Bool("check", false, "regenerate into a temp dir and diff digests against -dir instead of writing")
+	flag.Parse()
+
+	tools := coreutils.All()
+	if *one != "" {
+		t, err := coreutils.Get(*one)
+		if err != nil {
+			fatal(err)
+		}
+		tools = []*coreutils.Tool{t}
+	}
+
+	outRoot := *dir
+	if *check {
+		tmp, err := os.MkdirTemp("", "corpusgen-check-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		outRoot = tmp
+	}
+
+	drift := 0
+	for _, tool := range tools {
+		sub := filepath.Join(outRoot, tool.Name)
+		if !*check {
+			// Regenerate from scratch so stale test files cannot linger.
+			if err := os.RemoveAll(sub); err != nil {
+				fatal(err)
+			}
+		}
+		n, err := generate(tool, sub)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", tool.Name, err))
+		}
+		if *check {
+			got, err := corpus.DirDigest(sub)
+			if err != nil {
+				fatal(err)
+			}
+			want, err := corpus.DirDigest(filepath.Join(*dir, tool.Name))
+			if err != nil {
+				fmt.Printf("DRIFT %-10s committed corpus unreadable: %v\n", tool.Name, err)
+				drift++
+				continue
+			}
+			if got != want {
+				fmt.Printf("DRIFT %-10s regenerated digest %s… != committed %s…\n", tool.Name, got[:12], want[:12])
+				drift++
+				continue
+			}
+			fmt.Printf("ok    %-10s %d tests\n", tool.Name, n)
+		} else {
+			fmt.Printf("wrote %-10s %d tests -> %s\n", tool.Name, n, sub)
+		}
+	}
+	// A full pass also polices orphans: committed corpus directories whose
+	// tool no longer exists in the registry (renamed or removed models)
+	// would otherwise linger forever — drift in -check mode, deleted on
+	// regeneration.
+	if *one == "" {
+		orphans, err := orphanDirs(*dir)
+		if err != nil && !os.IsNotExist(err) {
+			fatal(err)
+		}
+		for _, name := range orphans {
+			if *check {
+				fmt.Printf("DRIFT %-10s corpus directory has no registered tool\n", name)
+				drift++
+				continue
+			}
+			if err := os.RemoveAll(filepath.Join(*dir, name)); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("prune %-10s removed (no registered tool)\n", name)
+		}
+	}
+	if drift > 0 {
+		fmt.Printf("corpusgen: %d tools drifted from the committed corpus; regenerate with `go run ./cmd/corpusgen` and commit\n", drift)
+		os.Exit(1)
+	}
+}
+
+// orphanDirs lists subdirectories of the committed corpus root that do not
+// correspond to a registered tool.
+func orphanDirs(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := coreutils.Get(e.Name()); err != nil {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}
+
+// generate explores one tool at the mini sizes and writes its corpus,
+// returning the number of unique tests.
+func generate(tool *coreutils.Tool, dir string) (int, error) {
+	p, err := tool.Compile()
+	if err != nil {
+		return 0, err
+	}
+	cfg := tool.MiniConfig()
+	cfg.CorpusDir = dir
+	cfg.CorpusLabel = tool.Name
+	res := symx.Run(p, cfg)
+	if res.CorpusErr != nil {
+		return 0, res.CorpusErr
+	}
+	if !res.Completed {
+		return 0, fmt.Errorf("exploration did not complete at mini sizes")
+	}
+	return res.Stats.TestsEmitted - res.Stats.TestsDeduped, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "corpusgen:", err)
+	os.Exit(1)
+}

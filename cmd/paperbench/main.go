@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver|scaling|preprocess] \
+//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver|scaling|preprocess|corpus] \
 //	           [-budget 2s] [-timeout 10s] [-seed 1] [-workers N] \
 //	           [-preprocess on|off|passes] [-json BENCH_pr3.json]
 //
@@ -19,9 +19,12 @@
 //
 // -preprocess forces the solver's preprocessing-pass pipeline spec on every
 // run (ablation); the "preprocess" figure instead measures the on/off pair
-// explicitly and verifies result identity. -json writes that figure's
-// machine-readable report (schema documented in README.md) to the given
-// path — the artifact the bench trajectory tracks as BENCH_pr3.json.
+// explicitly and verifies result identity. The "corpus" figure emits an
+// on-disk test corpus per tool per merging regime, replays each through the
+// IR interpreter, and checks expectation and coverage-parity invariants.
+// -json writes the ran figures' machine-readable report (schema documented
+// in README.md) to the given path — the artifacts the bench trajectory
+// tracks as BENCH_pr3.json (preprocess) and BENCH_pr4.json (corpus).
 package main
 
 import (
@@ -72,26 +75,34 @@ func main() {
 	run("spectrum", bench.Spectrum)
 	run("solver", bench.SolverSessions)
 	run("scaling", bench.ParallelScaling)
+	var jsonFigs []bench.JSONFigure
 	if *figure == "all" || *figure == "preprocess" {
 		t, fig := bench.PreprocessFigure(opts)
 		fmt.Print(t.String())
 		fmt.Println()
-		if *jsonOut != "" {
-			rep := bench.Report{Schema: "symmerge-paperbench/v1", Figures: []bench.JSONFigure{fig}}
-			data, err := rep.Marshal()
-			if err == nil {
-				err = os.WriteFile(*jsonOut, data, 0o644)
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "paperbench:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("# wrote %s\n", *jsonOut)
+		jsonFigs = append(jsonFigs, fig)
+	}
+	if *figure == "all" || *figure == "corpus" {
+		t, fig := bench.CorpusFigure(opts)
+		fmt.Print(t.String())
+		fmt.Println()
+		jsonFigs = append(jsonFigs, fig)
+	}
+	if *jsonOut != "" && len(jsonFigs) > 0 {
+		rep := bench.Report{Schema: "symmerge-paperbench/v1", Figures: jsonFigs}
+		data, err := rep.Marshal()
+		if err == nil {
+			err = os.WriteFile(*jsonOut, data, 0o644)
 		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %s\n", *jsonOut)
 	}
 
 	switch *figure {
-	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver", "scaling", "preprocess":
+	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver", "scaling", "preprocess", "corpus":
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", *figure)
 		os.Exit(2)

@@ -12,6 +12,14 @@
 //	symx -args 1 -arglen 3 -tests prog.mc
 //	symx -workers 4 -tool base64                      # sharded exploration
 //	symx -portfolio none,ssm+qce,dsm+qce -tool expr   # race merging regimes
+//	symx -emit-corpus /tmp/echo.corpus -tool echo     # persist the tests
+//	symx -replay /tmp/echo.corpus -tool echo          # replay them (oracle)
+//
+// -emit-corpus streams every generated test case to an on-disk corpus
+// (internal/corpus format); -replay executes a stored corpus through the
+// independent IR interpreter and fails on any expectation or
+// coverage-parity mismatch — the regression gate CI runs against the
+// committed golden corpus.
 //
 // Ctrl-C cancels the exploration promptly (Completed=false) instead of
 // killing the process mid-run.
@@ -26,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"symmerge/internal/corpus"
 	"symmerge/internal/coreutils"
 	"symmerge/symx"
 )
@@ -53,10 +62,12 @@ func main() {
 		stats    = flag.Bool("stats", false, "print rewrite-rule hit counters and preprocessing statistics")
 		workers  = flag.Int("workers", 0, "parallel exploration workers (0 = sequential)")
 		portf    = flag.String("portfolio", "", "race merge regimes concurrently, first to finish wins (comma list, e.g. none,ssm+qce,dsm+qce)")
+		emitDir  = flag.String("emit-corpus", "", "stream generated tests to an on-disk corpus at this directory (implies -tests)")
+		replayTo = flag.String("replay", "", "replay a stored corpus through the IR interpreter instead of exploring; non-zero exit on any mismatch")
 	)
 	flag.Parse()
 
-	var src string
+	var src, label string
 	switch {
 	case *toolName != "":
 		tool, err := coreutils.Get(*toolName)
@@ -64,6 +75,7 @@ func main() {
 			fatal(err)
 		}
 		src = tool.Source
+		label = tool.Name
 		if *stdinLen == 0 && tool.UsesStdin {
 			*stdinLen = tool.DefaultStdin
 		}
@@ -73,6 +85,7 @@ func main() {
 			fatal(err)
 		}
 		src = string(data)
+		label = flag.Arg(0)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: symx [flags] file.mc | symx [flags] -tool name")
 		os.Exit(2)
@@ -84,6 +97,10 @@ func main() {
 	}
 	if *dumpIR {
 		fmt.Print(prog.IR())
+		return
+	}
+	if *replayTo != "" {
+		replayCorpus(*replayTo, prog)
 		return
 	}
 
@@ -108,6 +125,8 @@ func main() {
 		TrackExactPaths: *census,
 		DisableSessions: *noSess,
 		Preprocess:      *preproc,
+		CorpusDir:       *emitDir,
+		CorpusLabel:     label,
 	}
 	cfg.Merge = parseMerge(*merge)
 	if err := symx.ParsePreprocess(*preproc); err != nil {
@@ -147,6 +166,13 @@ func main() {
 	fmt.Printf("solver:        %d queries, %d SAT calls, %d cache hits, %v in SAT\n",
 		st.Solver.Queries, st.Solver.SATCalls,
 		st.Solver.CacheHits+st.Solver.ModelReuseHits, st.Solver.SATTime.Round(time.Millisecond))
+	if *emitDir != "" {
+		if res.CorpusErr != nil {
+			fatal(res.CorpusErr)
+		}
+		fmt.Printf("corpus:        %d tests at %s (%d emitted, %d duplicates dropped)\n",
+			st.TestsEmitted-st.TestsDeduped, *emitDir, st.TestsEmitted, st.TestsDeduped)
+	}
 	if *stats {
 		printStats(st)
 	}
@@ -169,6 +195,10 @@ func main() {
 func printStats(st symx.Stats) {
 	fmt.Printf("encoding:      %d SAT vars, %d clauses emitted\n",
 		st.Solver.SATVars, st.Solver.SATClauses)
+	if st.TestsEmitted > 0 {
+		fmt.Printf("tests:         %d emitted, %d deduplicated away\n",
+			st.TestsEmitted, st.TestsDeduped)
+	}
 	if st.Solver.PreprocQueries > 0 {
 		in, out := st.Solver.PreprocNodesIn, st.Solver.PreprocNodesOut
 		pct := 0.0
@@ -187,6 +217,28 @@ func printStats(st symx.Stats) {
 			}
 			fmt.Printf("    %-18s %d\n", r.Name, r.Hits)
 		}
+	}
+}
+
+// replayCorpus runs the stored corpus through the IR interpreter and exits
+// non-zero on any expectation or coverage-parity mismatch.
+func replayCorpus(dir string, prog *symx.Program) {
+	rep, err := corpus.Replay(dir, prog.Internal())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep.Summary())
+	for _, m := range rep.Mismatches {
+		fmt.Println("  MISMATCH", m)
+	}
+	if len(rep.MissingLocs) > 0 {
+		fmt.Printf("  PARITY: %d symbolically covered locations unreached by replay\n", len(rep.MissingLocs))
+	}
+	if len(rep.ExtraLocs) > 0 {
+		fmt.Printf("  PARITY: %d replay-covered locations outside the symbolic set\n", len(rep.ExtraLocs))
+	}
+	if !rep.OK() {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,218 @@
+// corpus.go: the PR-4 benchmark — every COREUTILS tool explored under the
+// unmerged and merged regimes with on-disk corpus emission, each corpus
+// replayed through the independent IR interpreter, checking (1) zero
+// expectation mismatches, (2) replay branch coverage equal to the symbolic
+// run's covered set, and (3) that merging does not change the deduplicated
+// concrete test-input set. cmd/paperbench writes the machine-readable
+// BENCH_pr4.json report from this figure.
+
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"symmerge/internal/corpus"
+	"symmerge/internal/coreutils"
+	"symmerge/symx"
+)
+
+// JSONCorpusRow is one (tool, arm) corpus measurement in BENCH_pr4.json.
+type JSONCorpusRow struct {
+	Tool      string  `json:"tool"`
+	Arm       string  `json:"arm"`
+	Completed bool    `json:"completed"`
+	WallS     float64 `json:"wall_s"`
+
+	TestsEmitted int `json:"tests_emitted"`
+	TestsDeduped int `json:"tests_deduped"`
+	TestsUnique  int `json:"tests_unique"`
+
+	ReplayMismatches int  `json:"replay_mismatches"`
+	SymCovered       int  `json:"sym_covered"`
+	ReplayCovered    int  `json:"replay_covered"`
+	CoverageParity   bool `json:"coverage_parity"`
+	// InputsMatchBaseline is set on merged arms of fully completed tools:
+	// the deduplicated input-ID set equals the unmerged ("none") arm's —
+	// the state-merging evaluation's ground-truth equivalence.
+	InputsMatchBaseline *bool `json:"inputs_match_baseline,omitempty"`
+}
+
+// corpusArms are the merging regimes the figure compares.
+var corpusArms = []struct {
+	name string
+	mut  func(*symx.Config)
+}{
+	{"none", func(c *symx.Config) { c.Merge = symx.MergeNone }},
+	{"ssm+qce", func(c *symx.Config) { c.Merge = symx.MergeSSM; c.UseQCE = true }},
+	{"dsm+qce", func(c *symx.Config) { c.Merge = symx.MergeDSM; c.UseQCE = true }},
+}
+
+// CorpusFigure runs the corpus emission + replay benchmark.
+func CorpusFigure(opts Options) (*Table, JSONFigure) {
+	t := &Table{
+		Title: "Replayable corpus: emission + concrete replay per merging regime",
+		Comment: fmt.Sprintf("timeout %v per run; tests = unique corpus entries; mm = replay expectation mismatches;\n"+
+			"parity = replay branch coverage == symbolic covered set; inputs≡none = merged arm's deduplicated\n"+
+			"input set equals the unmerged arm's", opts.Timeout),
+		Header: corpusHeader(),
+	}
+	fig := JSONFigure{
+		Name: "corpus",
+		Notes: "each tool explored exhaustively per arm with CorpusDir emission (canonical minimal-model tests, " +
+			"per-path census under merging), corpus replayed through internal/ir.InterpWith; " +
+			"coverage_parity means replay coverage equals the symbolic covered set",
+	}
+
+	tmp, err := os.MkdirTemp("", "paperbench-corpus-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	type armAgg struct {
+		wall            []float64
+		mismatches      int
+		parityFailures  int
+		inputMismatches int
+	}
+	aggs := make([]armAgg, len(corpusArms))
+	timeouts := 0
+
+	for _, tool := range coreutils.All() {
+		p, err := tool.Compile()
+		if err != nil {
+			panic(err)
+		}
+		var (
+			rows     = make([]*JSONCorpusRow, len(corpusArms))
+			baseline map[string]bool // unique input IDs of the "none" arm
+			allDone  = true
+			mm       int
+			parityOK = true
+			inputsOK = true
+		)
+		for ai, arm := range corpusArms {
+			dir := filepath.Join(tmp, tool.Name, arm.name)
+			cfg := tool.BaseConfig()
+			cfg.Seed = opts.Seed
+			cfg.Workers = opts.Workers
+			cfg.Preprocess = opts.Preprocess
+			cfg.MaxTime = opts.Timeout
+			cfg.CorpusDir = dir
+			cfg.CorpusLabel = tool.Name
+			arm.mut(&cfg)
+			res := symx.Run(p, cfg)
+			row := &JSONCorpusRow{
+				Tool:         tool.Name,
+				Arm:          arm.name,
+				Completed:    res.Completed && res.CorpusErr == nil,
+				WallS:        res.Stats.ElapsedSeconds,
+				TestsEmitted: res.Stats.TestsEmitted,
+				TestsDeduped: res.Stats.TestsDeduped,
+				TestsUnique:  res.Stats.TestsEmitted - res.Stats.TestsDeduped,
+			}
+			rows[ai] = row
+			if !row.Completed {
+				// A tripped budget — including one that surfaced as a
+				// CorpusErr when the deadline hit a model solve — leaves a
+				// partial corpus that cannot promise parity; record the
+				// arm as incomplete rather than aborting the suite.
+				allDone = false
+				continue
+			}
+			rep, err := corpus.Replay(dir, p.Internal())
+			if err != nil {
+				panic(err)
+			}
+			man := rep.Manifest
+			row.ReplayMismatches = len(rep.Mismatches)
+			row.SymCovered = rep.SymCovered
+			row.ReplayCovered = rep.ReplayCovered
+			row.CoverageParity = rep.ParityOK()
+			mm += len(rep.Mismatches)
+			parityOK = parityOK && rep.ParityOK()
+			aggs[ai].wall = append(aggs[ai].wall, res.Stats.ElapsedSeconds)
+			aggs[ai].mismatches += len(rep.Mismatches)
+			if !rep.ParityOK() {
+				aggs[ai].parityFailures++
+			}
+
+			ids := make(map[string]bool, len(man.Tests))
+			for _, e := range man.Tests {
+				ids[e.ID] = true
+			}
+			if ai == 0 {
+				baseline = ids
+			} else if baseline != nil {
+				same := sameIDSet(baseline, ids)
+				row.InputsMatchBaseline = &same
+				if !same {
+					inputsOK = false
+					aggs[ai].inputMismatches++
+				}
+			}
+		}
+		cells := []string{tool.Name}
+		for _, r := range rows {
+			fig.CorpusRows = append(fig.CorpusRows, *r)
+			cells = append(cells, cellOrTimeout(r))
+		}
+		if !allDone {
+			timeouts++
+			t.Rows = append(t.Rows, append(cells, "-", "-", "-"))
+			continue
+		}
+		t.Rows = append(t.Rows, append(cells,
+			fmt.Sprint(mm), fmt.Sprint(parityOK), fmt.Sprint(inputsOK)))
+	}
+
+	for ai, arm := range corpusArms {
+		fig.Arms = append(fig.Arms, JSONArm{
+			Name:        arm.name,
+			Tools:       len(aggs[ai].wall),
+			MeanWallS:   mean(aggs[ai].wall),
+			MedianWallS: median(aggs[ai].wall),
+		})
+	}
+	totalMM, totalParity, totalInputs := 0, 0, 0
+	for _, a := range aggs {
+		totalMM += a.mismatches
+		totalParity += a.parityFailures
+		totalInputs += a.inputMismatches
+	}
+	t.Comment += fmt.Sprintf("\nsuite aggregate: %d replay mismatches, %d parity failures, %d input-set divergences across all arms"+
+		"\n(%d tools with a timed-out arm excluded from the checks)",
+		totalMM, totalParity, totalInputs, timeouts)
+	return t, fig
+}
+
+// corpusHeader derives the table header from the arm list: one unique-test
+// column per arm, then the suite-wide verdict columns.
+func corpusHeader() []string {
+	h := []string{"tool"}
+	for _, arm := range corpusArms {
+		h = append(h, "tests("+arm.name+")")
+	}
+	return append(h, "mm", "parity", "inputs≡none")
+}
+
+func cellOrTimeout(r *JSONCorpusRow) string {
+	if r == nil || !r.Completed {
+		return "timeout"
+	}
+	return fmt.Sprint(r.TestsUnique)
+}
+
+func sameIDSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

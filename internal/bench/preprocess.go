@@ -24,12 +24,14 @@ type Report struct {
 }
 
 // JSONFigure is one figure's machine-readable form: per-arm aggregates
-// plus the per-tool rows behind them.
+// plus the per-tool rows behind them. Solver-centric figures fill Rows;
+// the corpus figure fills CorpusRows (see corpus.go / BENCH_pr4.json).
 type JSONFigure struct {
-	Name  string    `json:"name"`
-	Notes string    `json:"notes,omitempty"`
-	Arms  []JSONArm `json:"arms"`
-	Rows  []JSONRow `json:"rows"`
+	Name       string          `json:"name"`
+	Notes      string          `json:"notes,omitempty"`
+	Arms       []JSONArm       `json:"arms"`
+	Rows       []JSONRow       `json:"rows,omitempty"`
+	CorpusRows []JSONCorpusRow `json:"corpus_rows,omitempty"`
 }
 
 // JSONArm aggregates one configuration arm over the completed rows.

@@ -128,6 +128,24 @@ type Config struct {
 	// CollectTests solves for a concrete model at every path end.
 	CollectTests bool
 
+	// CanonicalTests makes collected tests replayable and run-independent:
+	// inputs come from the lexicographically minimal model of each path
+	// (solver.MinModelIn) instead of an arbitrary solver model, so the same
+	// path yields byte-identical inputs regardless of worker count, search
+	// strategy, or cache state; and a merged state with a shadow census
+	// (TrackExactPaths) emits one test per constituent single path rather
+	// than one per state, so the union of the tests' concrete executions
+	// covers exactly what the symbolic run covered. The corpus subsystem
+	// sets this; plain CollectTests keeps the cheaper arbitrary-model path.
+	CanonicalTests bool
+
+	// TestSink, when non-nil, receives every collected test case as it is
+	// generated, before (and regardless of) the MaxTests-bounded in-memory
+	// recording. The corpus writer streams tests to disk through it; with
+	// parallel workers all engines share one sink, which therefore must be
+	// safe for concurrent calls.
+	TestSink func(TestCase)
+
 	// DisableSessions turns off the incremental solver sessions (one
 	// blast-once/assume-many SAT instance shared along a state lineage)
 	// and makes every query take the one-shot blast path. Ablation knob:
@@ -146,6 +164,11 @@ type TestCase struct {
 	Exit   int64
 	IsErr  bool
 	Msg    string
+	// Assert marks an error test whose failure is an assert tripping —
+	// program semantics a concrete interpreter reproduces. Other error
+	// kinds (bounds checking, solver budget) are engine analyses with no
+	// concrete-replay counterpart; the corpus writer skips those.
+	Assert bool
 }
 
 // Stats aggregates engine activity.
@@ -170,6 +193,18 @@ type Stats struct {
 	CoveredInstrs  int
 	TotalInstrs    int
 	ElapsedSeconds float64
+
+	// Corpus emission counters, filled by the symx layer when the run was
+	// configured with a CorpusDir: tests streamed to the writer and
+	// duplicates dropped by input-hash deduplication.
+	TestsEmitted int
+	TestsDeduped int
+	// TestGenFailures counts path ends whose test was dropped because the
+	// model solve failed (solver budget/deadline) rather than being
+	// infeasible. A non-zero count means the test set under-represents
+	// the explored paths — corpus emission turns it into a CorpusErr so
+	// a later replay parity failure is explained at emission time.
+	TestGenFailures int
 
 	Solver solver.Stats
 
@@ -215,6 +250,7 @@ type Engine struct {
 	argv0  []byte
 	stdin  []*expr.Expr
 	hotBuf []int
+	inVars []*expr.Expr // cached canonical input-variable order (inputVars)
 
 	stats     Stats
 	testCases []TestCase
@@ -400,6 +436,14 @@ type Result struct {
 	// PortfolioWinner is the index of the winning configuration when the
 	// run raced a portfolio (symx.Config.Portfolio); -1 otherwise.
 	PortfolioWinner int
+	// CoverageMask is the per-location coverage bitmap (Program.LocIndex
+	// order; CoveredInstrs counts its set bits). The corpus manifest
+	// records it as the symbolic covered set replays are checked against.
+	CoverageMask []bool
+	// CorpusErr reports a corpus-emission failure (symx.Config.CorpusDir):
+	// an unwritable directory, a non-replayable program, or an I/O error
+	// while streaming tests. The exploration result itself is unaffected.
+	CorpusErr error
 }
 
 // Run explores until the worklist drains or a budget trips.
@@ -525,6 +569,7 @@ func (e *Engine) Finish(completed bool) *Result {
 		Errors:          e.errors,
 		Completed:       completed,
 		PortfolioWinner: -1,
+		CoverageMask:    e.CoverageMask(),
 	}
 }
 
@@ -775,9 +820,14 @@ func (e *Engine) finishState(s *State) {
 				e.errors = append(e.errors, pe)
 			}
 		}
-		if e.cfg.CollectTests && len(e.testCases) < e.cfg.MaxTests {
-			if tc, ok := e.makeTest(s); ok {
-				e.testCases = append(e.testCases, tc)
+		if e.cfg.CollectTests && (e.cfg.TestSink != nil || len(e.testCases) < e.cfg.MaxTests) {
+			for _, tc := range e.makeTests(s) {
+				if e.cfg.TestSink != nil {
+					e.cfg.TestSink(tc)
+				}
+				if len(e.testCases) < e.cfg.MaxTests {
+					e.testCases = append(e.testCases, tc)
+				}
 			}
 		}
 	case HaltSilent:
@@ -785,10 +835,84 @@ func (e *Engine) finishState(s *State) {
 	}
 }
 
-// makeTest solves the path condition and concretizes inputs and output.
-func (e *Engine) makeTest(s *State) (TestCase, bool) {
-	model, err := e.solv.GetModelIn(s.sess, s.PC)
-	if err != nil || model == nil {
+// makeTests turns a finished state into concrete test cases. The default
+// path produces one test from an arbitrary model of the state's path
+// condition. With CanonicalTests, inputs come from the canonical minimal
+// model instead, and a merged state carrying a shadow census emits one test
+// per constituent single path — together these make the test set a function
+// of the explored path set alone, independent of scheduling (the property
+// the corpus determinism and strategy-parity suites pin down).
+func (e *Engine) makeTests(s *State) []TestCase {
+	if !e.cfg.CanonicalTests {
+		if tc, ok := e.makeTest(e.pathModel(s.PC, s), s); ok {
+			return []TestCase{tc}
+		}
+		return nil
+	}
+	if len(s.Shadow) > 0 {
+		out := make([]TestCase, 0, len(s.Shadow))
+		for _, p := range s.Shadow {
+			if tc, ok := e.makeTest(e.canonModel(p, s), s); ok {
+				out = append(out, tc)
+			}
+		}
+		return out
+	}
+	if tc, ok := e.makeTest(e.canonModel(s.PC, s), s); ok {
+		return []TestCase{tc}
+	}
+	return nil
+}
+
+// pathModel solves a path condition for an arbitrary model.
+func (e *Engine) pathModel(pc []*expr.Expr, s *State) solver.Model {
+	model, err := e.solv.GetModelIn(s.sess, pc)
+	if err != nil {
+		e.stats.TestGenFailures++
+		return nil
+	}
+	return model
+}
+
+// canonModel solves a path condition for the canonical minimal model over
+// the program's input variables.
+func (e *Engine) canonModel(pc []*expr.Expr, s *State) solver.Model {
+	model, err := e.solv.MinModelIn(s.sess, pc, e.inputVars())
+	if err != nil {
+		e.stats.TestGenFailures++
+		return nil
+	}
+	return model
+}
+
+// inputVars lists the symbolic environment cells in canonical order — argv
+// byte cells argument-major, then stdin bytes — the variable order the
+// canonical minimal model minimizes lexicographically.
+func (e *Engine) inputVars() []*expr.Expr {
+	if e.inVars != nil {
+		return e.inVars
+	}
+	vars := []*expr.Expr{}
+	for _, cells := range e.argv {
+		for _, c := range cells {
+			if !c.IsConst() {
+				vars = append(vars, c)
+			}
+		}
+	}
+	for _, c := range e.stdin {
+		if !c.IsConst() {
+			vars = append(vars, c)
+		}
+	}
+	e.inVars = vars
+	return vars
+}
+
+// makeTest concretizes inputs and expectations under a path model (nil when
+// the solve failed; the test is then dropped).
+func (e *Engine) makeTest(model solver.Model, s *State) (TestCase, bool) {
+	if model == nil {
 		return TestCase{}, false
 	}
 	tc := TestCase{Args: e.concretizeArgs(model)}
@@ -805,7 +929,7 @@ func (e *Engine) makeTest(s *State) (TestCase, bool) {
 		tc.Exit = int64(int32(expr.Eval(s.ExitCode, env)))
 	}
 	if s.Err != nil {
-		tc.IsErr, tc.Msg = true, s.Err.Msg
+		tc.IsErr, tc.Msg, tc.Assert = true, s.Err.Msg, s.Err.Assert
 	}
 	return tc, true
 }

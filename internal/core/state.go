@@ -89,6 +89,10 @@ type PathError struct {
 	Pos  ir.Pos
 	Msg  string
 	Args [][]byte // concrete argv reproducing the error (excluding argv[0])
+	// Assert marks a genuine assert failure (program semantics, concretely
+	// replayable) as opposed to an engine-side analysis error like a bounds
+	// violation or an exhausted solver budget.
+	Assert bool
 }
 
 func (e *PathError) Error() string {

@@ -415,6 +415,7 @@ func (e *Engine) doAssert(s *State, in *ir.Instr, loc ir.Loc) []*State {
 	if !mayHold {
 		// Assertion always fails here.
 		e.failPath(s, loc, in.Pos, in.Msg)
+		s.Err.Assert = true
 		return []*State{s}
 	}
 	// Both possible: fork an error state, continue the main state.
@@ -424,6 +425,7 @@ func (e *Engine) doAssert(s *State, in *ir.Instr, loc ir.Loc) []*State {
 	errState.PC = appendPC(errState.PC, e.build.Not(cond))
 	errState.sess.NoteConjunct(e.build.Not(cond))
 	e.failPath(errState, loc, in.Pos, in.Msg)
+	errState.Err.Assert = true
 	s.PC = appendPC(s.PC, cond)
 	s.sess.NoteConjunct(cond)
 	f.PC++

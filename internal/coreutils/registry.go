@@ -89,3 +89,21 @@ func (t *Tool) BaseConfig() symx.Config {
 		StdinLen: t.DefaultStdin,
 	}
 }
+
+// MiniConfig returns the pinned miniature input sizes behind the committed
+// golden corpus (testdata/corpus): one symbolic argument of one character,
+// at most two stdin bytes. Small enough that every tool explores
+// exhaustively in milliseconds and the corpus stays a few dozen files, big
+// enough that option dispatch and the first input byte branch for real.
+// Changing this invalidates the committed corpus — regenerate with
+// cmd/corpusgen.
+func (t *Tool) MiniConfig() symx.Config {
+	cfg := symx.Config{NArgs: 1, ArgLen: 1}
+	if t.UsesStdin {
+		cfg.StdinLen = t.DefaultStdin
+		if cfg.StdinLen > 2 {
+			cfg.StdinLen = 2
+		}
+	}
+	return cfg
+}

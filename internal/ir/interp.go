@@ -35,6 +35,21 @@ type InterpResult struct {
 	// path; the symbolic engine drops such paths silently).
 	AssumeFailed bool
 	Steps        uint64
+	// Covered is the per-location execution bitmap, indexed by
+	// Program.LocIndex, when coverage accounting was requested
+	// (InterpOptions.Coverage); nil otherwise. It marks exactly the
+	// instructions this run executed — the same location space the
+	// symbolic engine's coverage bitmap uses — so a concrete replay's
+	// coverage is directly comparable to a symbolic exploration's.
+	Covered []bool
+}
+
+// InterpOptions configures a concrete interpretation.
+type InterpOptions struct {
+	// MaxSteps bounds the run; 0 means 1e8 instructions.
+	MaxSteps uint64
+	// Coverage enables the per-location execution bitmap in the result.
+	Coverage bool
 }
 
 // ErrBudget is returned when the interpreter exceeds its step budget.
@@ -59,10 +74,25 @@ type iframe struct {
 // Interp runs the program on concrete inputs. maxSteps bounds the run
 // (0 means 1e8 instructions).
 func Interp(p *Program, args [][]byte, stdin []byte, maxSteps uint64) (*InterpResult, error) {
-	if maxSteps == 0 {
-		maxSteps = 1e8
+	return InterpWith(p, args, stdin, InterpOptions{MaxSteps: maxSteps})
+}
+
+// InterpWith is Interp with options; the corpus replay oracle uses it to
+// collect the covered-location set of each test input.
+func InterpWith(p *Program, args [][]byte, stdin []byte, opts InterpOptions) (*InterpResult, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 1e8
 	}
-	it := &interp{prog: p, args: args, stdin: stdin, budget: maxSteps}
+	it := &interp{prog: p, args: args, stdin: stdin, budget: opts.MaxSteps}
+	if opts.Coverage {
+		it.result.Covered = make([]bool, p.NumLocations())
+		it.locBase = make([]int, len(p.Funcs))
+		base := 0
+		for i, f := range p.Funcs {
+			it.locBase[i] = base
+			base += len(f.Instrs)
+		}
+	}
 	return it.run()
 }
 
@@ -71,6 +101,10 @@ type interp struct {
 	args   [][]byte
 	stdin  []byte
 	budget uint64
+
+	// locBase flattens (function, pc) into the coverage bitmap index the
+	// same way Program.LocIndex does; nil when coverage is off.
+	locBase []int
 
 	// arena holds every live array object; frames reference objects by
 	// arena index so by-reference parameters alias correctly.
@@ -139,6 +173,9 @@ func (it *interp) run() (*InterpResult, error) {
 			continue
 		}
 		in := &f.fn.Instrs[f.pc]
+		if it.locBase != nil {
+			it.result.Covered[it.locBase[f.fn.Index]+f.pc] = true
+		}
 		switch in.Op {
 		case OpNop:
 			f.pc++

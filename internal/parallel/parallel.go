@@ -342,6 +342,7 @@ func aggregate(all []*core.Result, masks [][]bool, completed bool, cfg core.Conf
 		st.ExactPaths += s.ExactPaths
 		st.ErrorsFound += s.ErrorsFound
 		st.Pruned += s.Pruned
+		st.TestGenFailures += s.TestGenFailures
 		if s.MaxWorklist > st.MaxWorklist {
 			st.MaxWorklist = s.MaxWorklist
 		}
@@ -396,6 +397,7 @@ func aggregate(all []*core.Result, masks [][]bool, completed bool, cfg core.Conf
 				}
 			}
 		}
+		agg.CoverageMask = union
 	}
 	st.CoveredInstrs = covered
 	return agg

@@ -1,0 +1,129 @@
+package solver
+
+import (
+	"testing"
+
+	"symmerge/internal/expr"
+)
+
+// minimize is the test harness: solve pc over vars canonically.
+func minimize(t *testing.T, b *expr.Builder, s *Solver, sess *Session, pc, vars []*expr.Expr) Model {
+	t.Helper()
+	m, err := s.MinModelIn(sess, pc, vars)
+	if err != nil {
+		t.Fatalf("MinModelIn: %v", err)
+	}
+	return m
+}
+
+func TestMinModelBasics(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(DefaultOptions())
+	s.AttachBuilder(b)
+	x := b.Var("x", 8)
+	y := b.Var("y", 8)
+
+	// Unconstrained variables minimize to zero.
+	m := minimize(t, b, s, nil, nil, []*expr.Expr{x, y})
+	if m[x] != 0 || m[y] != 0 {
+		t.Fatalf("unconstrained: got x=%d y=%d, want 0 0", m[x], m[y])
+	}
+
+	// x > 10 (unsigned) has minimum 11.
+	pc := []*expr.Expr{b.Ult(b.Const(10, 8), x)}
+	m = minimize(t, b, s, nil, pc, []*expr.Expr{x, y})
+	if m[x] != 11 || m[y] != 0 {
+		t.Fatalf("x>10: got x=%d y=%d, want 11 0", m[x], m[y])
+	}
+
+	// Variable order matters: minimizing x first can push y up.
+	// x + y == 200 with x <= 150: x minimizes to 50... no wait — x can be 0
+	// only if y == 200. Minimizing x first gives x=0, y=200.
+	pc = []*expr.Expr{b.Eq(b.Add(x, y), b.Const(200, 8))}
+	m = minimize(t, b, s, nil, pc, []*expr.Expr{x, y})
+	if m[x] != 0 || m[y] != 200 {
+		t.Fatalf("x+y=200 (x first): got x=%d y=%d, want 0 200", m[x], m[y])
+	}
+	m = minimize(t, b, s, nil, pc, []*expr.Expr{y, x})
+	if m[y] != 0 || m[x] != 200 {
+		t.Fatalf("x+y=200 (y first): got x=%d y=%d, want 200 0", m[x], m[y])
+	}
+
+	// Unsat returns nil without error.
+	pc = []*expr.Expr{b.Eq(x, b.Const(1, 8)), b.Eq(x, b.Const(2, 8))}
+	if m, err := s.MinModelIn(nil, pc, []*expr.Expr{x}); err != nil || m != nil {
+		t.Fatalf("unsat: got model %v err %v, want nil nil", m, err)
+	}
+}
+
+func TestMinModelBool(t *testing.T) {
+	b := expr.NewBuilder()
+	s := New(DefaultOptions())
+	s.AttachBuilder(b)
+	p := b.Var("p", 0)
+	q := b.Var("q", 0)
+	pc := []*expr.Expr{b.Or(p, q)} // minimal: p=0, q=1
+	m := minimize(t, b, s, nil, pc, []*expr.Expr{p, q})
+	if m[p] != 0 || m[q] != 1 {
+		t.Fatalf("p∨q: got p=%d q=%d, want 0 1", m[p], m[q])
+	}
+}
+
+// TestMinModelSessionAgreesWithOneShot pins the determinism claim: the
+// canonical model must not depend on whether a session (with its persistent
+// learned clauses) or the one-shot path answers the probes.
+func TestMinModelSessionAgreesWithOneShot(t *testing.T) {
+	build := func() (*expr.Builder, []*expr.Expr, []*expr.Expr) {
+		b := expr.NewBuilder()
+		vars := make([]*expr.Expr, 6)
+		for i := range vars {
+			vars[i] = b.Var("v"+string(rune('0'+i)), 8)
+		}
+		pc := []*expr.Expr{
+			b.Ult(b.Const(5, 8), vars[0]),                      // v0 > 5
+			b.Eq(b.BAnd(vars[1], b.Const(3, 8)), b.Const(2, 8)), // v1 & 3 == 2
+			b.Or(b.Eq(vars[2], b.Const(7, 8)), b.Eq(vars[3], b.Const(9, 8))),
+			b.Ule(vars[4], vars[5]),
+			b.Ult(b.Const(100, 8), b.Add(vars[4], vars[5])),
+		}
+		return b, pc, vars
+	}
+
+	b1, pc1, vars1 := build()
+	s1 := New(DefaultOptions())
+	s1.AttachBuilder(b1)
+	sess := s1.NewSession()
+	// Warm the session with extra history so its internal state differs
+	// maximally from a fresh one-shot solver.
+	for _, c := range pc1 {
+		sess.NoteConjunct(c)
+		if _, err := s1.MayBeTrueIn(sess, pc1[:1], c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mSess, err := s1.MinModelIn(sess, pc1, vars1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b2, pc2, vars2 := build()
+	s2 := New(Options{}) // every optimization off, one-shot everything
+	s2.AttachBuilder(b2)
+	mShot, err := s2.MinModelIn(nil, pc2, vars2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range vars1 {
+		if mSess[vars1[i]] != mShot[vars2[i]] {
+			t.Fatalf("var %d: session path got %d, one-shot got %d", i, mSess[vars1[i]], mShot[vars2[i]])
+		}
+	}
+	// And the result is the known lexicographic minimum.
+	want := []uint64{6, 2, 0, 9, 0, 101}
+	for i, v := range vars1 {
+		if mSess[v] != want[i] {
+			t.Fatalf("var %d: got %d, want %d", i, mSess[v], want[i])
+		}
+	}
+}

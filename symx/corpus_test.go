@@ -1,0 +1,153 @@
+package symx
+
+// Corpus-level properties of canonical test generation: search-strategy
+// parity of the deduplicated input set, and the write → read → replay
+// round-trip fuzz target over random MiniC programs.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"symmerge/internal/corpus"
+)
+
+// inputSet reduces a test list to its deduplicated input identity set.
+func inputSet(tests []TestCase) map[string]bool {
+	out := make(map[string]bool, len(tests))
+	for _, tc := range tests {
+		out[corpus.InputID(tc.Args, tc.Stdin)] = true
+	}
+	return out
+}
+
+// TestSearchStrategyParity: on loop-free programs, every driving strategy
+// explores the same finite path set, so with canonical test generation the
+// deduplicated test-input set must be identical across DFS, BFS, random,
+// coverage-guided, and topological search. An arbitrary-model test
+// generator fails this immediately — models drift with query order — which
+// is exactly why the corpus pipeline pins canonical minimal models.
+func TestSearchStrategyParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	gen := &progGen{rng: rng, noLoops: true}
+	strategies := []Strategy{StrategyDFS, StrategyBFS, StrategyRandom, StrategyCoverage, StrategyTopo}
+	checked := 0
+	for iter := 0; iter < 25; iter++ {
+		src := gen.generate(5 + rng.Intn(5))
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, src)
+		}
+		results := make([]*Result, len(strategies))
+		done := true
+		for i, st := range strategies {
+			results[i] = Run(p, Config{
+				NArgs: 1, ArgLen: 2,
+				Strategy:       st,
+				Seed:           int64(iter),
+				CollectTests:   true,
+				CanonicalTests: true,
+				MaxTests:       1 << 20,
+				MaxTime:        10 * time.Second,
+			})
+			if !results[i].Completed {
+				done = false
+				break
+			}
+		}
+		if !done {
+			continue
+		}
+		checked++
+		ref := inputSet(results[0].Tests)
+		for i := 1; i < len(strategies); i++ {
+			got := inputSet(results[i].Tests)
+			if len(got) != len(ref) {
+				t.Fatalf("iter %d: %s produced %d unique inputs, %s produced %d\n%s",
+					iter, strategies[0], len(ref), strategies[i], len(got), src)
+			}
+			for id := range ref {
+				if !got[id] {
+					t.Fatalf("iter %d: input %s found by %s but not by %s\n%s",
+						iter, id, strategies[0], strategies[i], src)
+				}
+			}
+		}
+	}
+	if checked < 15 {
+		t.Fatalf("only %d programs fully checked", checked)
+	}
+}
+
+// FuzzCorpusRoundTrip: emit a corpus for a random program under merging,
+// read it back (decode validation), re-marshal each test (byte identity
+// with the on-disk form), and replay it through the IR interpreter — any
+// decode divergence, expectation mismatch, or coverage-parity failure is a
+// bug in the pipeline.
+func FuzzCorpusRoundTrip(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 20260730} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		gen := &progGen{rng: rng}
+		src := gen.generate(4 + rng.Intn(6))
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("generated program does not compile: %v\n%s", err, src)
+		}
+		dir := t.TempDir()
+		res := Run(p, Config{
+			NArgs: 1, ArgLen: 2,
+			Merge: MergeSSM, UseQCE: true,
+			CorpusDir:   dir,
+			CorpusLabel: "fuzz",
+			MaxTests:    1 << 20,
+			MaxTime:     10 * time.Second,
+		})
+		if res.CorpusErr != nil {
+			t.Fatalf("corpus emission: %v\n%s", res.CorpusErr, src)
+		}
+		if !res.Completed {
+			t.Skip("program too big for the fuzz budget")
+		}
+
+		man, tests, err := corpus.Load(dir)
+		if err != nil {
+			t.Fatalf("load: %v\n%s", err, src)
+		}
+		if len(tests) != res.Stats.TestsEmitted-res.Stats.TestsDeduped {
+			t.Fatalf("loaded %d tests, writer reported %d unique",
+				len(tests), res.Stats.TestsEmitted-res.Stats.TestsDeduped)
+		}
+		// Decode → encode must reproduce the stored bytes exactly.
+		for i, tc := range tests {
+			disk, err := os.ReadFile(filepath.Join(dir, man.Tests[i].File))
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc, err := json.MarshalIndent(tc, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(append(enc, '\n')) != string(disk) {
+				t.Fatalf("test %s: decode/encode round trip not byte-identical\n%s", tc.ID, src)
+			}
+		}
+
+		rep, err := corpus.Replay(dir, p.Internal())
+		if err != nil {
+			t.Fatalf("replay: %v\n%s", err, src)
+		}
+		for _, m := range rep.Mismatches {
+			t.Errorf("replay divergence: %s\n%s", m, src)
+		}
+		if !rep.ParityOK() {
+			t.Errorf("coverage parity failed: %d missing, %d extra locations\n%s",
+				len(rep.MissingLocs), len(rep.ExtraLocs), src)
+		}
+	})
+}

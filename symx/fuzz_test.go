@@ -33,6 +33,10 @@ type progGen struct {
 	indent int
 	budget int // remaining statement budget
 	depth  int
+	// noLoops restricts generation to loop-free programs (the corpus
+	// strategy-parity suite: every strategy must explore the identical,
+	// finite path set quickly).
+	noLoops bool
 }
 
 func (g *progGen) line(format string, args ...interface{}) {
@@ -109,7 +113,7 @@ func (g *progGen) stmt() {
 		g.line("}")
 		g.depth--
 	case 4: // bounded counted loop
-		if g.depth >= 2 {
+		if g.depth >= 2 || g.noLoops {
 			g.stmt()
 			return
 		}

@@ -20,9 +20,12 @@ package symx
 
 import (
 	"context"
+	"fmt"
+	"math/big"
 	"time"
 
 	"symmerge/internal/core"
+	"symmerge/internal/corpus"
 	"symmerge/internal/ir"
 	"symmerge/internal/lang"
 	"symmerge/internal/parallel"
@@ -166,8 +169,32 @@ type Config struct {
 	CheckBounds bool
 	// CollectTests solves for a concrete test case at every path end.
 	CollectTests bool
+	// CanonicalTests derives each test from the lexicographically minimal
+	// model of its path instead of an arbitrary solver model, and — when
+	// the shadow census is on — emits one test per constituent single path
+	// of a merged state. Canonical tests are a pure function of the
+	// explored path set: worker count, search strategy, and solver cache
+	// state cannot change them. Implied by CorpusDir.
+	CanonicalTests bool
 	// MaxTests bounds recorded test cases and errors (0 = 256).
 	MaxTests int
+
+	// CorpusDir, when non-empty, streams every generated test case to an
+	// on-disk corpus at that directory (internal/corpus format: one JSON
+	// file per test named by input hash, plus manifest.json) and implies
+	// CollectTests and CanonicalTests — plus TrackExactPaths under a
+	// merging regime, so merged states contribute one test per constituent
+	// path and replay coverage can match symbolic coverage exactly. All
+	// run shapes emit: sequential, parallel (workers share one writer),
+	// and portfolio (the winner's tests are written). A writer that cannot
+	// even be created (non-replayable program, unwritable directory) fails
+	// the run up front with an empty Result carrying CorpusErr; emission
+	// failures during or after the run land in Result.CorpusErr with the
+	// exploration result intact.
+	CorpusDir string
+	// CorpusLabel names the program in the corpus manifest (tool name or
+	// source file); informational only.
+	CorpusLabel string
 	// TrackExactPaths maintains the shadow single-path census alongside
 	// merged states (paper §5.2; used for Figure 3).
 	TrackExactPaths bool
@@ -223,24 +250,116 @@ func Run(p *Program, cfg Config) *Result {
 	return runSingle(p, cfg)
 }
 
-// runSingle runs one configuration, sharded when cfg.Workers > 1.
-func runSingle(p *Program, cfg Config) *Result {
-	ccfg, kind, seed := coreConfig(cfg)
-	factory := engineFactory(p, kind, seed)
-	if cfg.Workers > 1 {
-		return parallel.Explore(p.ir, ccfg, parallel.Options{Workers: cfg.Workers}, factory)
+// applyCorpusImplications turns on everything corpus emission needs: test
+// collection, canonical minimal-model inputs, and — under a merging regime
+// — the shadow census, so merged states contribute one test per
+// constituent path.
+func applyCorpusImplications(cfg Config) Config {
+	cfg.CollectTests = true
+	cfg.CanonicalTests = true
+	if cfg.Merge != MergeNone {
+		cfg.TrackExactPaths = true
 	}
-	return factory(ccfg).Run()
+	return cfg
 }
 
-// runPortfolio races cfg.Portfolio's entries; see Config.Portfolio.
+// emitToWriter streams one engine test case into a corpus writer, skipping
+// error tests whose failure is an engine analysis (bounds checking, solver
+// budget) rather than program semantics — those have no concrete-replay
+// counterpart.
+func emitToWriter(w *corpus.Writer, tc core.TestCase) {
+	if tc.IsErr && !tc.Assert {
+		w.SkipUnreplayable()
+		return
+	}
+	w.Add(tc.Args, tc.Stdin, tc.Output, tc.Exit, tc.IsErr, tc.Msg)
+}
+
+// corpusFailure builds the well-formed empty result a run returns when its
+// corpus writer cannot even be created (non-replayable program, unwritable
+// directory): failing before the exploration beats discovering after a
+// long run that nothing was persisted.
+func corpusFailure(err error) *Result {
+	res := &Result{PortfolioWinner: -1, CorpusErr: err}
+	res.Stats.PathsMult = big.NewInt(0)
+	return res
+}
+
+// configDescriptor renders the canonical producing-configuration string the
+// corpus manifest records. Scheduling knobs (Workers, Context, budgets) are
+// excluded on purpose: they must not change the corpus.
+func configDescriptor(cfg Config, kind Strategy) string {
+	return fmt.Sprintf("merge=%s qce=%v strategy=%s seed=%d nargs=%d arglen=%d stdin=%d",
+		cfg.Merge, cfg.UseQCE, kind, cfg.Seed, cfg.NArgs, cfg.ArgLen, cfg.StdinLen)
+}
+
+// runSingle runs one configuration, sharded when cfg.Workers > 1.
+func runSingle(p *Program, cfg Config) *Result {
+	if cfg.CorpusDir != "" {
+		cfg = applyCorpusImplications(cfg)
+	}
+	ccfg, kind, seed := coreConfig(cfg)
+
+	var writer *corpus.Writer
+	if cfg.CorpusDir != "" {
+		var err error
+		writer, err = corpus.NewWriter(cfg.CorpusDir, p.ir, cfg.CorpusLabel, configDescriptor(cfg, kind))
+		if err != nil {
+			return corpusFailure(err)
+		}
+		ccfg.TestSink = func(tc core.TestCase) { emitToWriter(writer, tc) }
+	}
+
+	factory := engineFactory(p, kind, seed)
+	var res *Result
+	if cfg.Workers > 1 {
+		res = parallel.Explore(p.ir, ccfg, parallel.Options{Workers: cfg.Workers}, factory)
+	} else {
+		res = factory(ccfg).Run()
+	}
+	if writer != nil {
+		res.CorpusErr = finishCorpus(writer, res)
+	}
+	return res
+}
+
+// finishCorpus writes the manifest and fills the emission counters. A run
+// that pruned states is recorded as incomplete (its manifest makes no
+// parity promise), and dropped test generations (solver budget during the
+// model solve) become the corpus error that explains a later parity gap.
+func finishCorpus(writer *corpus.Writer, res *Result) error {
+	exhaustive := res.Completed && res.Stats.Pruned == 0
+	_, err := writer.Finalize(res.CoverageMask, exhaustive)
+	res.Stats.TestsEmitted, res.Stats.TestsDeduped = writer.Counts()
+	if err == nil && res.Stats.TestGenFailures > 0 {
+		err = fmt.Errorf("corpus: %d path ends produced no test (solver budget during model extraction); the corpus under-represents the exploration", res.Stats.TestGenFailures)
+	}
+	return err
+}
+
+// runPortfolio races cfg.Portfolio's entries; see Config.Portfolio. With a
+// CorpusDir the racing entries collect canonical tests in memory and the
+// winner's set is written out after the race — losers leave no files.
 func runPortfolio(p *Program, cfg Config) *Result {
 	runs := make([]func(context.Context) *core.Result, len(cfg.Portfolio))
+	entries := make([]Config, len(cfg.Portfolio))
 	for i := range cfg.Portfolio {
 		entry := cfg.Portfolio[i]
 		entry.Portfolio = nil // no nesting
+		entry.CorpusDir = ""  // the winner's tests are written post-race
+		if cfg.CorpusDir != "" {
+			entry = applyCorpusImplications(entry)
+			if entry.MaxTests < 1<<20 {
+				// The corpus is built from the winner's in-memory test
+				// set here (the streaming sink cannot race), so any
+				// smaller cap would silently truncate it and break the
+				// coverage-parity guarantee.
+				entry.MaxTests = 1 << 20
+			}
+		}
+		entries[i] = entry
 		runs[i] = func(ctx context.Context) *core.Result {
-			sub := entry
+			sub := entries[i]
 			sub.Context = ctx
 			return runSingle(p, sub)
 		}
@@ -251,7 +370,23 @@ func runPortfolio(p *Program, cfg Config) *Result {
 		return runSingle(p, cfg.Portfolio[0])
 	}
 	res.PortfolioWinner = idx
+	if cfg.CorpusDir != "" {
+		res.CorpusErr = writePortfolioCorpus(p, cfg, entries[idx], res)
+	}
 	return res
+}
+
+// writePortfolioCorpus persists the winning entry's in-memory test set.
+func writePortfolioCorpus(p *Program, outer, winner Config, res *Result) error {
+	_, kind, _ := coreConfig(winner)
+	writer, err := corpus.NewWriter(outer.CorpusDir, p.ir, outer.CorpusLabel, configDescriptor(winner, kind))
+	if err != nil {
+		return err
+	}
+	for _, tc := range res.Tests {
+		emitToWriter(writer, tc)
+	}
+	return finishCorpus(writer, res)
 }
 
 // NewEngine exposes a prepared engine for callers that need incremental
@@ -321,6 +456,7 @@ func coreConfig(cfg Config) (core.Config, Strategy, int64) {
 		Context:         cfg.Context,
 		CheckBounds:     cfg.CheckBounds,
 		CollectTests:    cfg.CollectTests,
+		CanonicalTests:  cfg.CanonicalTests,
 		MaxTests:        cfg.MaxTests,
 		TrackExactPaths: cfg.TrackExactPaths,
 		DisableSessions: cfg.DisableSessions,
