@@ -142,6 +142,9 @@ func generate(tool *coreutils.Tool, dir string) (int, error) {
 	cfg.CorpusDir = dir
 	cfg.CorpusLabel = tool.Name
 	res := symx.Run(p, cfg)
+	if res.ConfigErr != nil {
+		return 0, res.ConfigErr
+	}
 	if res.CorpusErr != nil {
 		return 0, res.CorpusErr
 	}

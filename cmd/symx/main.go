@@ -146,6 +146,9 @@ func main() {
 	}
 
 	res := symx.Run(prog, cfg)
+	if res.ConfigErr != nil {
+		fatal(res.ConfigErr)
+	}
 	st := res.Stats
 	if res.PortfolioWinner >= 0 {
 		spec := strings.Split(*portf, ",")[res.PortfolioWinner]

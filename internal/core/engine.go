@@ -374,6 +374,9 @@ func (e *Engine) initialState() *State {
 		ID:   e.nextID,
 		Mult: big.NewInt(1),
 	}
+	if n := e.prog.AllocSites; n > 0 {
+		s.allocs = make([]uint16, n)
+	}
 	s.sess = e.forkRootSession()
 	e.nextID++
 	s.pushFrame(e.newFrame(e.prog.Main, -1))
@@ -395,7 +398,7 @@ func (e *Engine) newFrame(fn *ir.Func, retDst int) *Frame {
 			f.Locals[i] = Value{E: e.build.False()}
 		case ir.Byte:
 			f.Locals[i] = Value{E: e.zero8}
-		case ir.Int:
+		case ir.Int, ir.Ptr: // ptr zero-initializes to the null pointer
 			f.Locals[i] = Value{E: e.zero32}
 		case ir.ArrayByte, ir.ArrayInt:
 			w := uint8(8)
@@ -444,6 +447,12 @@ type Result struct {
 	// an unwritable directory, a non-replayable program, or an I/O error
 	// while streaming tests. The exploration result itself is unaffected.
 	CorpusErr error
+	// ConfigErr reports a configuration the run refused up front (an
+	// unknown search strategy, for example): nothing was explored and the
+	// rest of the result is empty. Refusing beats the historical behaviour
+	// of silently exploring under a fallback strategy while any corpus
+	// manifest recorded the misspelled name.
+	ConfigErr error
 }
 
 // Run explores until the worklist drains or a budget trips.

@@ -1,0 +1,165 @@
+package core
+
+// White-box tests for the symbolic heap: allocation-site-canonical
+// addressing, copy-on-write across forks, the merge gating on heap shape,
+// and cell-wise heap merging under guard-ite.
+
+import (
+	"testing"
+
+	"symmerge/internal/ir"
+)
+
+const heapSrc = `
+void main() {
+    ptr p = alloc(4);
+    p[0] = 1;
+    p[1] = 2;
+    ptr q = alloc(2);
+    q[0] = p[0] + p[1];
+    putchar(tobyte(q[0]));
+}
+`
+
+func TestHeapAllocCanonicalAddresses(t *testing.T) {
+	e := newTestEngine(t, heapSrc, Config{})
+	s := e.initialState()
+	a1, err := e.doAlloc(s, &ir.Instr{Op: ir.OpAlloc, A: ir.ConstOp(4), Site: 0, Dst: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sibling forked before the second allocation must mint the same
+	// address for it: addresses depend on (site, per-site count) only.
+	sib := s.fork(99)
+	a2, err := e.doAlloc(s, &ir.Instr{Op: ir.OpAlloc, A: ir.ConstOp(2), Site: 0, Dst: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2s, err := e.doAlloc(sib, &ir.Instr{Op: ir.OpAlloc, A: ir.ConstOp(2), Site: 0, Dst: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Val == a2.Val {
+		t.Fatalf("two allocations share address %#x", a1.Val)
+	}
+	if a2.Val != a2s.Val {
+		t.Fatalf("sibling allocations at the same site diverged: %#x vs %#x", a2.Val, a2s.Val)
+	}
+	if got := ir.HeapBase(0, 0); uint32(a1.Val) != got {
+		t.Fatalf("first address %#x, want %#x", a1.Val, got)
+	}
+}
+
+func TestHeapCopyOnWriteAcrossFork(t *testing.T) {
+	e := newTestEngine(t, heapSrc, Config{})
+	s := e.initialState()
+	addr, err := e.doAlloc(s, &ir.Instr{Op: ir.OpAlloc, A: ir.ConstOp(2), Site: 0, Dst: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ir.HeapObjField(uint32(addr.Val))
+
+	i := s.findHeap(id)
+	s.heapObjectAt(i, true).Cells[0] = e.build.Const(11, 32)
+
+	child := s.fork(99)
+	child.heapObjectAt(child.findHeap(id), true).Cells[0] = e.build.Const(22, 32)
+
+	if v := s.heap[s.findHeap(id)].obj.Cells[0].Val; v != 11 {
+		t.Fatalf("parent heap cell changed to %d after child write", v)
+	}
+	if v := child.heap[child.findHeap(id)].obj.Cells[0].Val; v != 22 {
+		t.Fatalf("child heap cell is %d, want 22", v)
+	}
+}
+
+func TestHeapShapeGatesMerging(t *testing.T) {
+	e := newTestEngine(t, heapSrc, Config{Merge: MergeSSM})
+	s := e.initialState()
+	if _, err := e.doAlloc(s, &ir.Instr{Op: ir.OpAlloc, A: ir.ConstOp(2), Site: 0, Dst: 0}); err != nil {
+		t.Fatal(err)
+	}
+	twin := s.fork(1)
+	if !sameHeapShape(s, twin) || !e.similar(s, twin) {
+		t.Fatal("identical heap shapes must be similar")
+	}
+	if s.stackHash() != twin.stackHash() {
+		t.Fatal("identical states hash differently")
+	}
+	// One side allocates again: shapes diverge, merging must be blocked.
+	if _, err := e.doAlloc(twin, &ir.Instr{Op: ir.OpAlloc, A: ir.ConstOp(2), Site: 1, Dst: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if sameHeapShape(s, twin) {
+		t.Fatal("diverged heaps report the same shape")
+	}
+	if e.similar(s, twin) {
+		t.Fatal("states with different heap shapes must not be similar")
+	}
+	if s.stackHash() == twin.stackHash() {
+		t.Fatal("heap shape not mixed into the merge-candidate hash")
+	}
+}
+
+func TestHeapMergeCellWise(t *testing.T) {
+	e := newTestEngine(t, heapSrc, Config{Merge: MergeSSM})
+	s1 := e.initialState()
+	if _, err := e.doAlloc(s1, &ir.Instr{Op: ir.OpAlloc, A: ir.ConstOp(2), Site: 0, Dst: 0}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := s1.fork(1)
+	cond := e.build.Var("c", 0)
+	s1.PC = appendPC(s1.PC, cond)
+	s2.PC = appendPC(s2.PC, e.build.Not(cond))
+
+	shared := e.build.Const(7, 32)
+	s1.heapObjectAt(0, true).Cells[0] = shared
+	s2.heapObjectAt(0, true).Cells[0] = shared
+	s1.heapObjectAt(0, true).Cells[1] = e.build.Const(1, 32)
+	s2.heapObjectAt(0, true).Cells[1] = e.build.Const(2, 32)
+
+	m := e.merge(s1, s2)
+	if len(m.heap) != 1 {
+		t.Fatalf("merged heap has %d objects, want 1", len(m.heap))
+	}
+	cells := m.heap[0].obj.Cells
+	if cells[0] != shared {
+		t.Fatalf("equal cells must merge to the shared node, got %v", cells[0])
+	}
+	if cells[1].IsConst() {
+		t.Fatalf("divergent cells must merge to a guarded ite, got %v", cells[1])
+	}
+	if m.allocs == nil || m.allocs[0] != 1 {
+		t.Fatalf("merged allocation counters wrong: %v", m.allocs)
+	}
+}
+
+func TestHeapSymbolicOffsetStoreLoad(t *testing.T) {
+	e := newTestEngine(t, heapSrc, Config{})
+	s := e.initialState()
+	addr, err := e.doAlloc(s, &ir.Instr{Op: ir.OpAlloc, A: ir.ConstOp(3), Site: 0, Dst: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed a frame whose local 0 holds base+sym (a symbolic address).
+	sym := e.build.Var("i", 32)
+	symAddr := e.build.Add(addr, sym)
+	s.top().Locals = append([]Value{{E: symAddr}, {E: e.build.Const(42, 32)}}, s.top().Locals...)
+
+	if err := e.doPtrStore(s, &ir.Instr{Op: ir.OpPtrStore, A: ir.LocalOp(0), B: ir.LocalOp(1)}); err != nil {
+		t.Fatal(err)
+	}
+	obj := s.heap[0].obj
+	for i, c := range obj.Cells {
+		if c.IsConst() {
+			t.Fatalf("cell %d stayed concrete (%v) after a symbolic-offset store", i, c)
+		}
+	}
+	v, err := e.doPtrLoad(s, &ir.Instr{Op: ir.OpPtrLoad, A: ir.LocalOp(0), Dst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.IsConst() {
+		t.Fatalf("symbolic-offset load folded to a constant %v", v)
+	}
+}

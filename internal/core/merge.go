@@ -4,6 +4,7 @@ import (
 	"math/big"
 
 	"symmerge/internal/expr"
+	"symmerge/internal/ir"
 )
 
 // hotLocals computes the hot-variable set for a frame (Equation 2):
@@ -52,10 +53,20 @@ func (e *Engine) simHash(s *State) uint64 {
 		hot := e.hotLocals(s, depth, e.hotBuf)
 		e.hotBuf = hot[:0]
 		f := s.Frames[depth]
+		fn := e.prog.Funcs[f.Fn]
 		for _, v := range hot {
 			val := f.Locals[v]
 			if val.E != nil {
 				mix(filterHash(val.E))
+				// Hot pointers carry the heap cells addressed through
+				// them into the similarity hash (paper §3.1).
+				if fn.Locals[v].Type.Kind == ir.Ptr && val.E.IsConst() {
+					if obj := s.heapObjByAddr(uint32(val.E.Val)); obj != nil {
+						for _, c := range obj.Cells {
+							mix(filterHash(c))
+						}
+					}
+				}
 				continue
 			}
 			obj := s.object(val.Ref, false)
@@ -85,6 +96,11 @@ func (e *Engine) similar(a, b *State) bool {
 	if !sameStack(a, b) {
 		return false
 	}
+	// Heap shapes must be positionally alignable for a cell-wise merge —
+	// a state that allocated and one that did not never merge.
+	if !sameHeapShape(a, b) {
+		return false
+	}
 	if e.qce == nil {
 		return true // merge-everything baseline
 	}
@@ -95,11 +111,27 @@ func (e *Engine) similar(a, b *State) bool {
 		hot := e.hotLocals(a, depth, e.hotBuf)
 		e.hotBuf = hot[:0]
 		fa, fb := a.Frames[depth], b.Frames[depth]
+		fn := e.prog.Funcs[fa.Fn]
 		for _, v := range hot {
 			va, vb := fa.Locals[v], fb.Locals[v]
 			if va.E != nil {
 				if !mergeableScalar(va.E, vb.E) {
 					return false
+				}
+				// A hot pointer stands for the heap cells addressed
+				// through it (paper §3.1: queries reach the pointed-to
+				// data): when both sides agree on a concrete address,
+				// the object's cells must themselves be mergeable.
+				if fn.Locals[v].Type.Kind == ir.Ptr && va.E.IsConst() && va.E == vb.E {
+					oa := a.heapObjByAddr(uint32(va.E.Val))
+					ob := b.heapObjByAddr(uint32(vb.E.Val))
+					if oa != nil && ob != nil {
+						for i := range oa.Cells {
+							if !mergeableScalar(oa.Cells[i], ob.Cells[i]) {
+								return false
+							}
+						}
+					}
 				}
 				continue
 			}
@@ -169,6 +201,15 @@ func (e *Engine) similarFullVariant(a, b *State) bool {
 			va, vb := fa.Locals[v], fb.Locals[v]
 			if va.E != nil {
 				scan(q, va.E, vb.E)
+				if fq.Fn.Locals[v].Type.Kind == ir.Ptr && va.E.IsConst() && va.E == vb.E {
+					oa := a.heapObjByAddr(uint32(va.E.Val))
+					ob := b.heapObjByAddr(uint32(vb.E.Val))
+					if oa != nil && ob != nil {
+						for c := range oa.Cells {
+							scan(q, oa.Cells[c], ob.Cells[c])
+						}
+					}
+				}
 				continue
 			}
 			oa := a.object(va.Ref, false)
@@ -313,6 +354,31 @@ func (e *Engine) merge(s1, s2 *State) *State {
 			nf.Objects[i] = &Object{Cells: merged, Width: o1.Width}
 		}
 		m.Frames[depth] = nf
+	}
+
+	// Merge the heap segment cell-wise under the same guard, exactly like
+	// frame-owned array objects. Allocation-site-canonical ids make the two
+	// segments positionally identical (sameHeapShape gated the merge), and
+	// the per-site counters agree for the same reason — no object is ever
+	// freed, so equal shapes imply equal allocation histories.
+	if s1.heap != nil {
+		m.heap = make([]heapEntry, len(s1.heap))
+		for i := range s1.heap {
+			o1, o2 := s1.heap[i].obj, s2.heap[i].obj
+			merged := make([]*expr.Expr, len(o1.Cells))
+			for c := range o1.Cells {
+				if o1.Cells[c] == o2.Cells[c] {
+					merged[c] = o1.Cells[c]
+				} else {
+					merged[c] = b.Ite(c1, o1.Cells[c], o2.Cells[c])
+				}
+			}
+			m.heap[i] = heapEntry{id: s1.heap[i].id, obj: &Object{Cells: merged, Width: o1.Width}}
+		}
+	}
+	if s1.allocs != nil {
+		m.allocs = make([]uint16, len(s1.allocs))
+		copy(m.allocs, s1.allocs)
 	}
 
 	// DSM history: a merged state starts a fresh history (its past is

@@ -46,6 +46,16 @@ type ObjRef struct {
 	Local int
 }
 
+// heapEntry pairs a heap object with its identity. The object field is the
+// high half of every address into the object (ir.HeapObjField: objectID+1),
+// which is allocation-site-canonical — two states forked from a common
+// prefix give "the n-th allocation at site s" the same field value, so their
+// heaps stay positionally alignable and mergeable.
+type heapEntry struct {
+	id  uint32 // ir.HeapObjField of every address into the object
+	obj *Object
+}
+
 // OutEntry is one conditionally-emitted output byte.
 type OutEntry struct {
 	Guard *expr.Expr // nil = unconditional
@@ -108,6 +118,14 @@ type State struct {
 	// the prefix slices structurally, which merging exploits to factor
 	// the common prefix out of the disjunction.
 	PC []*expr.Expr
+
+	// heap is the dynamically allocated memory segment: copy-on-write
+	// objects sorted by id. allocs counts executed allocations per site
+	// (indexed by ir.Instr.Site), which makes fresh addresses a function of
+	// the path alone — independent of scheduling, worker count, and sibling
+	// states.
+	heap   []heapEntry
+	allocs []uint16
 
 	// Mult is the state multiplicity: 1 for a single-path state, the sum
 	// of the merged states' multiplicities after a merge (paper §5.2).
@@ -186,6 +204,17 @@ func (s *State) fork(newID uint64) *State {
 		}
 		ns.Frames[i] = f.clone()
 	}
+	if s.heap != nil {
+		ns.heap = make([]heapEntry, len(s.heap))
+		copy(ns.heap, s.heap)
+		for _, h := range s.heap {
+			h.obj.shared = true
+		}
+	}
+	if s.allocs != nil {
+		ns.allocs = make([]uint16, len(s.allocs))
+		copy(ns.allocs, s.allocs)
+	}
 	if s.history != nil {
 		ns.history = make([]uint64, len(s.history))
 		copy(ns.history, s.history)
@@ -220,6 +249,9 @@ func (s *State) detach() {
 			}
 		}
 	}
+	for i, h := range s.heap {
+		s.heap[i].obj = h.obj.clone()
+	}
 	s.sess = nil
 	s.ff = false
 }
@@ -252,8 +284,73 @@ func (s *State) object(r ObjRef, forWrite bool) *Object {
 	return o
 }
 
-// stackHash summarizes the call stack (functions, PCs, return slots) — two
-// states may merge only when it matches exactly.
+// findHeap returns the index of the heap entry with the given object field,
+// or -1. The heap is sorted by id, so a binary search suffices.
+func (s *State) findHeap(id uint32) int {
+	lo, hi := 0, len(s.heap)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.heap[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.heap) && s.heap[lo].id == id {
+		return lo
+	}
+	return -1
+}
+
+// insertHeap adds a fresh object, keeping the segment sorted by id.
+func (s *State) insertHeap(id uint32, o *Object) {
+	i := len(s.heap)
+	for i > 0 && s.heap[i-1].id > id {
+		i--
+	}
+	s.heap = append(s.heap, heapEntry{})
+	copy(s.heap[i+1:], s.heap[i:])
+	s.heap[i] = heapEntry{id: id, obj: o}
+}
+
+// heapObjectAt returns the object at heap index i, cloning first if it is
+// shared and forWrite is set (the same copy-on-write discipline as frame
+// objects).
+func (s *State) heapObjectAt(i int, forWrite bool) *Object {
+	o := s.heap[i].obj
+	if forWrite && o.shared {
+		o = o.clone()
+		s.heap[i].obj = o
+	}
+	return o
+}
+
+// heapObjByAddr resolves a concrete address to its object, or nil.
+func (s *State) heapObjByAddr(addr uint32) *Object {
+	if i := s.findHeap(ir.HeapObjField(addr)); i >= 0 {
+		return s.heap[i].obj
+	}
+	return nil
+}
+
+// sameHeapShape reports whether two states hold the same heap objects with
+// the same sizes — the precondition for merging their heaps cell-wise.
+func sameHeapShape(a, b *State) bool {
+	if len(a.heap) != len(b.heap) {
+		return false
+	}
+	for i := range a.heap {
+		if a.heap[i].id != b.heap[i].id ||
+			len(a.heap[i].obj.Cells) != len(b.heap[i].obj.Cells) {
+			return false
+		}
+	}
+	return true
+}
+
+// stackHash summarizes the control state two merge candidates must share
+// exactly: the call stack (functions, PCs, return slots) plus the heap shape
+// (object identities and sizes).
 func (s *State) stackHash() uint64 {
 	const prime = 1099511628211
 	h := uint64(14695981039346656037)
@@ -261,6 +358,10 @@ func (s *State) stackHash() uint64 {
 		h = (h ^ uint64(f.Fn)) * prime
 		h = (h ^ uint64(f.PC)) * prime
 		h = (h ^ uint64(f.RetDst+1)) * prime
+	}
+	for _, he := range s.heap {
+		h = (h ^ uint64(he.id)) * prime
+		h = (h ^ uint64(len(he.obj.Cells))) * prime
 	}
 	return h
 }

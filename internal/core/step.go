@@ -53,6 +53,28 @@ func (e *Engine) stepBlock(s *State) []*State {
 				return []*State{s}
 			}
 			f.PC++
+		case ir.OpAlloc:
+			v, err := e.doAlloc(s, in)
+			if err != nil {
+				e.failPath(s, loc, in.Pos, err.Error())
+				return []*State{s}
+			}
+			f.Locals[in.Dst] = Value{E: v}
+			f.PC++
+		case ir.OpPtrLoad:
+			v, err := e.doPtrLoad(s, in)
+			if err != nil {
+				e.failPath(s, loc, in.Pos, err.Error())
+				return []*State{s}
+			}
+			f.Locals[in.Dst] = Value{E: v}
+			f.PC++
+		case ir.OpPtrStore:
+			if err := e.doPtrStore(s, in); err != nil {
+				e.failPath(s, loc, in.Pos, err.Error())
+				return []*State{s}
+			}
+			f.PC++
 		case ir.OpArgc:
 			f.Locals[in.Dst] = Value{E: e.build.Const(uint64(e.cfg.NArgs+1), 32)}
 			f.PC++
@@ -276,6 +298,152 @@ func (e *Engine) doStore(s *State, in *ir.Instr) error {
 	for i := range obj.Cells {
 		c := e.build.Eq(idx, e.build.Const(uint64(i), 32))
 		obj.Cells[i] = e.build.Ite(c, val, obj.Cells[i])
+	}
+	return nil
+}
+
+// doAlloc implements Dst = alloc(A): a fresh zero-initialized heap object at
+// the instruction's allocation site. The size must have folded to a constant
+// — a genuinely symbolic size is a path error (concretization policies are a
+// deliberate non-goal for now; see ROADMAP). The returned address is
+// allocation-site-canonical (ir.HeapBase), so it depends only on the path,
+// not on scheduling.
+func (e *Engine) doAlloc(s *State, in *ir.Instr) (*expr.Expr, error) {
+	size := e.operand(s, in.A, ir.Type{Kind: ir.Int})
+	if !size.IsConst() {
+		return nil, fmt.Errorf("symbolic allocation size at site %d", in.Site)
+	}
+	n := int(int32(size.Val))
+	if n < 0 || n > ir.HeapMaxCells {
+		return nil, fmt.Errorf("allocation size %d out of range [0,%d]", n, ir.HeapMaxCells)
+	}
+	count := int(s.allocs[in.Site])
+	if count >= ir.HeapSiteSpan || in.Site*ir.HeapSiteSpan+count > ir.HeapMaxID {
+		return nil, fmt.Errorf("allocation site %d executed %d times (max %d)",
+			in.Site, count, ir.HeapSiteSpan)
+	}
+	s.allocs[in.Site]++
+	base := ir.HeapBase(in.Site, count)
+	cells := make([]*expr.Expr, n)
+	for i := range cells {
+		cells[i] = e.zero32
+	}
+	s.insertHeap(ir.HeapObjField(base), &Object{Cells: cells, Width: 32})
+	return e.build.Const(uint64(base), 32), nil
+}
+
+// heapAddrParts splits an address expression into its object field and cell
+// offset (both 32-bit; constant addresses fold at the builder).
+func (e *Engine) heapAddrParts(addr *expr.Expr) (objF, off *expr.Expr) {
+	objF = e.build.LShr(addr, e.build.Const(ir.HeapOffBits, 32))
+	off = e.build.BAnd(addr, e.build.Const(ir.HeapMaxCells-1, 32))
+	return objF, off
+}
+
+// doPtrLoad implements Dst = *(A). A concrete address reads its cell
+// directly; a symbolic address lowers to nested guarded selects — one
+// object-identity guard per live heap object, each wrapping the familiar
+// SelectIte over that object's cells — exactly the ite expansion the paper
+// charges to merged states whose addresses went symbolic (§3.1). Unmapped or
+// out-of-bounds reads yield 0 unless CheckBounds is set.
+func (e *Engine) doPtrLoad(s *State, in *ir.Instr) (*expr.Expr, error) {
+	addr := e.operand(s, in.A, ir.Type{Kind: ir.Ptr})
+	if e.cfg.CheckBounds {
+		if err := e.checkHeapAddr(s, addr); err != nil {
+			return nil, err
+		}
+	}
+	if addr.IsConst() {
+		a := uint32(addr.Val)
+		obj := s.heapObjByAddr(a)
+		if obj == nil {
+			return e.zero32, nil
+		}
+		off := int(ir.HeapOffset(a))
+		if off >= len(obj.Cells) {
+			return e.zero32, nil
+		}
+		return obj.Cells[off], nil
+	}
+	objF, off := e.heapAddrParts(addr)
+	res := e.zero32
+	for _, h := range s.heap {
+		g := e.build.Eq(objF, e.build.Const(uint64(h.id), 32))
+		if g.IsFalse() {
+			continue
+		}
+		sel := e.build.SelectIte(h.obj.Cells, off, e.zero32)
+		if g.IsTrue() {
+			// The object field was concrete after all: no other object
+			// can match, and earlier guards all folded to false.
+			return sel, nil
+		}
+		res = e.build.Ite(g, sel, res)
+	}
+	return res, nil
+}
+
+// doPtrStore implements *(A) = B with the same lowering as doPtrLoad: a
+// concrete address writes one cell of one (copy-on-write) object; a symbolic
+// address rewrites every cell of every possibly-matching object under an
+// object-identity ∧ offset guard. Unmapped or out-of-bounds writes are
+// dropped unless CheckBounds is set.
+func (e *Engine) doPtrStore(s *State, in *ir.Instr) error {
+	addr := e.operand(s, in.A, ir.Type{Kind: ir.Ptr})
+	val := e.operand(s, in.B, ir.Type{Kind: ir.Int})
+	if e.cfg.CheckBounds {
+		if err := e.checkHeapAddr(s, addr); err != nil {
+			return err
+		}
+	}
+	if addr.IsConst() {
+		a := uint32(addr.Val)
+		i := s.findHeap(ir.HeapObjField(a))
+		if i < 0 {
+			return nil
+		}
+		off := int(ir.HeapOffset(a))
+		if off >= len(s.heap[i].obj.Cells) {
+			return nil
+		}
+		s.heapObjectAt(i, true).Cells[off] = val
+		return nil
+	}
+	objF, off := e.heapAddrParts(addr)
+	for i := range s.heap {
+		g := e.build.Eq(objF, e.build.Const(uint64(s.heap[i].id), 32))
+		if g.IsFalse() {
+			continue
+		}
+		obj := s.heapObjectAt(i, true)
+		for ci := range obj.Cells {
+			cond := e.build.And(g, e.build.Eq(off, e.build.Const(uint64(ci), 32)))
+			obj.Cells[ci] = e.build.Ite(cond, val, obj.Cells[ci])
+		}
+		if g.IsTrue() {
+			return nil // concrete object field: no other object can match
+		}
+	}
+	return nil
+}
+
+// checkHeapAddr reports an error if the address can fall outside every live
+// heap object (the heap counterpart of checkIndex, for CheckBounds runs).
+func (e *Engine) checkHeapAddr(s *State, addr *expr.Expr) error {
+	objF, off := e.heapAddrParts(addr)
+	valid := e.build.Bool(false)
+	for _, h := range s.heap {
+		g := e.build.And(
+			e.build.Eq(objF, e.build.Const(uint64(h.id), 32)),
+			e.build.Ult(off, e.build.Const(uint64(len(h.obj.Cells)), 32)))
+		valid = e.build.Or(valid, g)
+	}
+	may, err := e.solv.MayBeTrueIn(s.sess, s.PC, e.build.Not(valid))
+	if err != nil {
+		return err
+	}
+	if may {
+		return fmt.Errorf("heap access can fall outside every allocation")
 	}
 	return nil
 }

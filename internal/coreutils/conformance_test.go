@@ -340,3 +340,35 @@ func TestConformanceNewTools(t *testing.T) {
 		runConformance(t, c)
 	}
 }
+
+func TestConformanceHeapTools(t *testing.T) {
+	cases := []conformanceCase{
+		// sort: byte records, -r reverses, empty arg counts as absent.
+		{tool: "sort", args: []string{}, stdin: "cab", out: "abc"},
+		{tool: "sort", args: []string{}, stdin: "banana", out: "aaabnn"},
+		{tool: "sort", args: []string{""}, stdin: "ba", out: "ab"},
+		{tool: "sort", args: []string{"-r"}, stdin: "cab", out: "cba"},
+		{tool: "sort", args: []string{"-r"}, stdin: "", out: ""},
+		{tool: "sort", args: []string{"x"}, out: "?", exit: 1},
+		{tool: "sort", args: []string{"-n"}, out: "?", exit: 1},
+
+		// tail: last K bytes, default 2.
+		{tool: "tail", args: []string{}, stdin: "abcd", out: "cd"},
+		{tool: "tail", args: []string{}, stdin: "x", out: "x"},
+		{tool: "tail", args: []string{"-3"}, stdin: "abcd", out: "bcd"},
+		{tool: "tail", args: []string{"-9"}, stdin: "ab", out: "ab"},
+		{tool: "tail", args: []string{""}, stdin: "abc", out: "bc"},
+		{tool: "tail", args: []string{"-0"}, out: "?", exit: 1},
+		{tool: "tail", args: []string{"q"}, out: "?", exit: 1},
+
+		// fmt: single-space word reflow with trailing newline.
+		{tool: "fmt", args: []string{}, stdin: "a b", out: "a b\n"},
+		{tool: "fmt", args: []string{}, stdin: "  a \t b \nc ", out: "a b c\n"},
+		{tool: "fmt", args: []string{}, stdin: "word", out: "word\n"},
+		{tool: "fmt", args: []string{}, stdin: " \n\t", out: ""},
+		{tool: "fmt", args: []string{}, stdin: "", out: ""},
+	}
+	for _, c := range cases {
+		runConformance(t, c)
+	}
+}

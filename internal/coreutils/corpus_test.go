@@ -130,8 +130,10 @@ func TestCorpusConformanceAcrossRegimes(t *testing.T) {
 
 func TestCorpusDeterminism(t *testing.T) {
 	// A representative spread: argv-driven with options, stdin-driven,
-	// error paths (seq's numeric validation asserts), heavy branching.
-	for _, name := range []string{"echo", "wc", "seq", "fold"} {
+	// error paths (seq's numeric validation asserts), heavy branching, and
+	// heap-driven tools (sort/fmt allocate and address memory through
+	// pointers, whose addresses must also be scheduling-independent).
+	for _, name := range []string{"echo", "wc", "seq", "fold", "sort", "tail", "fmt"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			tool, err := Get(name)

@@ -1,0 +1,139 @@
+package coreutils
+
+// Heap-driven tools: models whose working state lives in dynamically
+// allocated memory (MiniC ptr locals from alloc) rather than fixed-size
+// frame arrays — the workload class the paper's heap-heavy COREUTILS half
+// (sort, tail, fmt, uniq -c, ...) represents. Buffers are sized from
+// stdinlen() up front (allocation sizes must be concrete; see ROADMAP), and
+// the interesting indices — sort's insertion point, tail's start offset,
+// fmt's word length — diverge per path, so under merging the p[i] accesses
+// go through symbolic addresses and exercise the guarded-select machinery.
+
+func init() {
+	register(&Tool{Name: "sort", Source: srcSort, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 3})
+	register(&Tool{Name: "tail", Source: srcTail, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 3})
+	register(&Tool{Name: "fmt", Source: srcFmt, UsesStdin: true,
+		DefaultArgs: 1, DefaultLen: 1, DefaultStdin: 4})
+}
+
+const srcSort = `
+// sort [-r] : sort the bytes of standard input (one record per byte);
+// -r sorts in reverse. An empty first argument counts as absent.
+void main() {
+    bool rev = false;
+    if (argc() > 1 && argchar(1, 0) != 0) {
+        if (argchar(1, 0) == '-' && argchar(1, 1) == 'r' && argchar(1, 2) == 0) {
+            rev = true;
+        } else {
+            putchar('?');
+            halt(1);
+        }
+    }
+    int n = stdinlen();
+    ptr buf = alloc(n);
+    for (int i = 0; i < n; i++) {
+        buf[i] = toint(stdinchar(i));
+    }
+    // Insertion sort: the insertion point j diverges per path, so merged
+    // states read and write buf through symbolic addresses.
+    for (int i = 1; i < n; i++) {
+        int v = buf[i];
+        int j = i;
+        while (j > 0 && buf[j - 1] > v) {
+            buf[j] = buf[j - 1];
+            j--;
+        }
+        buf[j] = v;
+    }
+    if (rev) {
+        ptr q = buf + n;
+        for (int k = 0; k < n; k++) {
+            q = q - 1;
+            putchar(tobyte(q[0]));
+        }
+    } else {
+        for (int k = 0; k < n; k++) {
+            putchar(tobyte(buf[k]));
+        }
+    }
+}
+`
+
+const srcTail = `
+// tail [-K] : print the last K bytes of standard input (K a single digit;
+// default 2). An empty first argument counts as absent.
+void main() {
+    int n = stdinlen();
+    ptr buf = alloc(n);
+    for (int i = 0; i < n; i++) {
+        buf[i] = toint(stdinchar(i));
+    }
+    int k = 2;
+    if (argc() > 1 && argchar(1, 0) != 0) {
+        if (argchar(1, 0) == '-' && argchar(1, 1) >= '1' && argchar(1, 1) <= '9'
+                && argchar(1, 2) == 0) {
+            k = toint(argchar(1, 1)) - 48;
+        } else {
+            putchar('?');
+            halt(1);
+        }
+    }
+    int start = n - k;
+    if (start < 0) {
+        start = 0;
+    }
+    // Walk a moving pointer to the end: merged states make start (and with
+    // it q) symbolic, so both the bound check and the reads go through
+    // symbolic addresses.
+    ptr end = buf + n;
+    ptr q = buf + start;
+    while (q < end) {
+        putchar(tobyte(q[0]));
+        q = q + 1;
+    }
+}
+`
+
+const srcFmt = `
+// fmt : reflow standard input into words separated by single spaces, with a
+// trailing newline when anything was printed. The current word lives in a
+// heap buffer whose fill level diverges per path.
+void main() {
+    int n = stdinlen();
+    ptr w = alloc(n);
+    int wl = 0;
+    bool any = false;
+    for (int i = 0; i < n; i++) {
+        int c = toint(stdinchar(i));
+        if (c == ' ' || c == '\n' || c == '\t') {
+            if (wl > 0) {
+                if (any) {
+                    putchar(' ');
+                }
+                for (int j = 0; j < wl; j++) {
+                    putchar(tobyte(w[j]));
+                }
+                any = true;
+                wl = 0;
+            }
+        } else {
+            w[wl] = c;
+            wl++;
+        }
+    }
+    if (wl > 0) {
+        if (any) {
+            putchar(' ');
+        }
+        for (int j = 0; j < wl; j++) {
+            putchar(tobyte(w[j]));
+        }
+        any = true;
+    }
+    if (any) {
+        putchar('\n');
+    }
+}
+`

@@ -14,6 +14,10 @@ package ir
 //     saturate);
 //   - out-of-bounds array reads yield 0 and out-of-bounds writes are
 //     dropped (the engine's behaviour when CheckBounds is off);
+//   - heap reads through unmapped or out-of-bounds pointers yield 0 and the
+//     corresponding writes are dropped; alloc zero-initializes and mints
+//     allocation-site-canonical addresses (ir.HeapBase), so addresses agree
+//     with the symbolic engine's on every path;
 //   - argv is zero-terminated: reads past an argument's end (or with an
 //     out-of-range index) yield 0; argv[0] is the fixed program name.
 
@@ -58,6 +62,12 @@ var ErrBudget = errors.New("ir: interpreter step budget exhausted")
 // ErrSymbolic is returned when the program requests symbolic input, which a
 // concrete interpreter cannot provide.
 var ErrSymbolic = errors.New("ir: symbolic intrinsic reached in concrete interpretation")
+
+// ErrAlloc is returned when an allocation is invalid: a negative or
+// over-large size, or an allocation site executed more than HeapSiteSpan
+// times. The symbolic engine turns the same conditions into (non-replayable)
+// path errors, so a stored corpus never contains an input that trips this.
+var ErrAlloc = errors.New("ir: invalid heap allocation")
 
 const interpProgName = "prog"
 
@@ -108,7 +118,14 @@ type interp struct {
 
 	// arena holds every live array object; frames reference objects by
 	// arena index so by-reference parameters alias correctly.
-	arena  [][]uint64
+	arena [][]uint64
+
+	// heap maps an address's object field (HeapObjField; objectID+1) to its
+	// cell storage; siteCount numbers allocations per site so addresses are
+	// allocation-site-canonical and match the symbolic engine's exactly.
+	heap      map[uint32][]uint64
+	siteCount []int
+
 	stack  []*iframe
 	out    []byte
 	result InterpResult
@@ -222,6 +239,31 @@ func (it *interp) run() (*InterpResult, error) {
 				arr[idx] = v
 			}
 			f.pc++
+		case OpAlloc:
+			base, err := it.alloc(in.Site, sext32(f.val(in.A, Type{Kind: Int})))
+			if err != nil {
+				return nil, err
+			}
+			f.regs[in.Dst] = uint64(base)
+			f.pc++
+		case OpPtrLoad:
+			addr := uint32(f.val(in.A, Type{Kind: Ptr}))
+			var v uint64
+			if obj, ok := it.heap[HeapObjField(addr)]; ok {
+				if off := HeapOffset(addr); int(off) < len(obj) {
+					v = obj[off]
+				}
+			}
+			f.regs[in.Dst] = v
+			f.pc++
+		case OpPtrStore:
+			addr := uint32(f.val(in.A, Type{Kind: Ptr}))
+			if obj, ok := it.heap[HeapObjField(addr)]; ok {
+				if off := HeapOffset(addr); int(off) < len(obj) {
+					obj[off] = f.val(in.B, Type{Kind: Int})
+				}
+			}
+			f.pc++
 		case OpBr:
 			f.pc = in.Target
 		case OpCondBr:
@@ -320,6 +362,27 @@ func (it *interp) doReturn(rv uint64, hasVal bool) bool {
 		it.top().regs[top.retDst] = rv
 	}
 	return false
+}
+
+// alloc creates the next heap object at the given allocation site and
+// returns its base address. Cells are zero-initialized (the published MiniC
+// semantics: alloc behaves like calloc, so every read is determinate).
+func (it *interp) alloc(site int, n int64) (uint32, error) {
+	if n < 0 || n > HeapMaxCells {
+		return 0, fmt.Errorf("%w: size %d out of range", ErrAlloc, n)
+	}
+	if it.heap == nil {
+		it.heap = map[uint32][]uint64{}
+		it.siteCount = make([]int, it.prog.AllocSites)
+	}
+	count := it.siteCount[site]
+	if count >= HeapSiteSpan || site*HeapSiteSpan+count > HeapMaxID {
+		return 0, fmt.Errorf("%w: site %d allocated %d times", ErrAlloc, site, count)
+	}
+	it.siteCount[site] = count + 1
+	base := HeapBase(site, count)
+	it.heap[HeapObjField(base)] = make([]uint64, n)
+	return base, nil
 }
 
 // refOf resolves the arena index of an array local (own or parameter).

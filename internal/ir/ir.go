@@ -7,12 +7,16 @@
 // instruction indices, so every instruction boundary is a potential merge
 // point.
 //
-// Scalar values are 32-bit ints, 8-bit bytes, and booleans. Arrays are
-// fixed-size and referenced by handle: an array-typed local holds a
-// reference to a memory object owned by the executing state. The symbolic
-// command line (argv) and stdin are exposed through dedicated opcodes rather
-// than a general pointer model, mirroring how the paper's evaluation marks
-// program inputs symbolic without modelling a full OS environment.
+// Scalar values are 32-bit ints, 8-bit bytes, booleans, and 32-bit heap
+// pointers. Arrays are fixed-size and referenced by handle: an array-typed
+// local holds a reference to a memory object owned by the executing state.
+// Dynamically allocated objects live on a separate heap of 32-bit cells:
+// OpAlloc mints allocation-site-canonical addresses (see the Heap*
+// constants) and OpPtrLoad/OpPtrStore dereference them, so pointer
+// arithmetic is plain 32-bit arithmetic on addresses. The symbolic command
+// line (argv) and stdin are exposed through dedicated opcodes, mirroring how
+// the paper's evaluation marks program inputs symbolic without modelling a
+// full OS environment.
 package ir
 
 import (
@@ -29,6 +33,7 @@ const (
 	Bool
 	Byte // 8-bit unsigned
 	Int  // 32-bit signed
+	Ptr  // 32-bit heap address (see the heap addressing constants below)
 	ArrayByte
 	ArrayInt
 )
@@ -39,8 +44,10 @@ type Type struct {
 	Len  int // number of elements for array kinds
 }
 
-// Scalar reports whether the type is bool, byte or int.
-func (t Type) Scalar() bool { return t.Kind == Bool || t.Kind == Byte || t.Kind == Int }
+// Scalar reports whether the type is bool, byte, int or ptr.
+func (t Type) Scalar() bool {
+	return t.Kind == Bool || t.Kind == Byte || t.Kind == Int || t.Kind == Ptr
+}
 
 // Array reports whether the type is an array.
 func (t Type) Array() bool { return t.Kind == ArrayByte || t.Kind == ArrayInt }
@@ -64,7 +71,7 @@ func (t Type) Width() uint8 {
 		return 1
 	case Byte:
 		return 8
-	case Int:
+	case Int, Ptr:
 		return 32
 	}
 	panic(fmt.Sprintf("ir: Width of non-scalar type %v", t))
@@ -80,6 +87,8 @@ func (t Type) String() string {
 		return "byte"
 	case Int:
 		return "int"
+	case Ptr:
+		return "ptr"
 	case ArrayByte:
 		return fmt.Sprintf("byte[%d]", t.Len)
 	case ArrayInt:
@@ -147,6 +156,12 @@ const (
 	OpLoad  // Dst = Arr[Idx]
 	OpStore // Arr[Idx] = Val
 
+	// Heap: dynamically allocated objects of 32-bit cells addressed through
+	// ptr values (see the Heap* constants for the address encoding).
+	OpAlloc    // Dst = base address of a fresh A-cell object at site Site
+	OpPtrLoad  // Dst = heap cell at address A (0 when unmapped/out of bounds)
+	OpPtrStore // heap cell at address A = B (dropped when unmapped/out of bounds)
+
 	// Control flow.
 	OpBr     // unconditional jump to Target
 	OpCondBr // if Cond then Target else FTarget
@@ -178,6 +193,7 @@ var opNames = [numOps]string{
 	OpBoolAnd: "band", OpBoolOr: "bor",
 	OpIntToByte: "i2b", OpByteToInt: "b2i", OpBoolToInt: "bool2i",
 	OpLoad: "load", OpStore: "store",
+	OpAlloc: "alloc", OpPtrLoad: "pload", OpPtrStore: "pstore",
 	OpBr: "br", OpCondBr: "condbr", OpCall: "call", OpRet: "ret",
 	OpArgc: "argc", OpArgChar: "argchar", OpStdin: "stdin", OpStdinLen: "stdinlen",
 	OpOut: "out", OpAssert: "assert", OpAssume: "assume", OpHalt: "halt",
@@ -200,6 +216,7 @@ type Instr struct {
 	Target  int     // branch target (OpBr, OpCondBr true-arm)
 	FTarget int     // OpCondBr false-arm
 	Callee  int     // function index for OpCall
+	Site    int     // allocation-site index for OpAlloc (program-wide)
 	Args    []Operand
 	HasVal  bool   // OpRet/OpHalt carry a value
 	Msg     string // OpAssert message
@@ -231,7 +248,37 @@ type Program struct {
 	ByName map[string]*Func
 	Main   *Func
 	Source string // original source text, for diagnostics
+	// AllocSites is the number of distinct OpAlloc instructions; execution
+	// engines size their per-site allocation counters with it.
+	AllocSites int
 }
+
+// Heap addressing. A ptr value is a 32-bit address whose high 16 bits name a
+// heap object and whose low 16 bits are a cell offset into it. The object
+// field stores objectID+1, so the null pointer 0 (and any address with a zero
+// object field) maps to no object. Object IDs are allocation-site-canonical:
+// id = site*HeapSiteSpan + n for the n-th allocation executed at that site
+// along the current path. Two execution states forked from a common prefix
+// therefore assign the same address to "the next allocation at site s", which
+// is what makes heap-carrying states mergeable, and lets the independent
+// concrete interpreter agree with the symbolic engine byte-for-byte.
+const (
+	HeapOffBits  = 16               // low bits: cell offset within the object
+	HeapMaxCells = 1 << HeapOffBits // maximum cells per object
+	HeapSiteSpan = 256              // allocations per site before overflow
+	HeapMaxID    = (1 << 16) - 2    // ids above this cannot be encoded (+1 wraps)
+)
+
+// HeapBase returns the base address of the n-th object allocated at site.
+func HeapBase(site, n int) uint32 {
+	return uint32(site*HeapSiteSpan+n+1) << HeapOffBits
+}
+
+// HeapObjField extracts the object field (objectID+1; 0 = no object).
+func HeapObjField(addr uint32) uint32 { return addr >> HeapOffBits }
+
+// HeapOffset extracts the cell offset.
+func HeapOffset(addr uint32) uint32 { return addr & (HeapMaxCells - 1) }
 
 // Loc is a program location: the paper's ℓ.
 type Loc struct {
@@ -322,7 +369,8 @@ func (f *Func) String() string {
 				switch in.Op {
 				case OpMov, OpNot, OpNeg, OpBNot, OpIntToByte, OpByteToInt,
 					OpBoolToInt, OpArgc, OpStdinLen, OpOut, OpAssert, OpAssume,
-					OpSymInt, OpSymByte, OpSymBool, OpMakeSymArr:
+					OpSymInt, OpSymByte, OpSymBool, OpMakeSymArr,
+					OpAlloc, OpPtrLoad:
 				default:
 					fmt.Fprintf(&b, ", %s", f.operandString(in.B))
 				}

@@ -30,14 +30,17 @@ func Compile(src string) (*ir.Program, error) {
 		prog.ByName[fd.Name] = f
 		decls[fd.Name] = fd
 	}
-	// Pass 2: bodies.
+	// Pass 2: bodies. Allocation sites are numbered program-wide so heap
+	// addresses are allocation-site-canonical across the whole program.
+	sites := 0
 	for i, fd := range file.Funcs {
 		c := &funcCompiler{prog: prog, fn: prog.Funcs[i], decl: fd,
-			decls: decls, scopes: []map[string]int{{}}}
+			decls: decls, scopes: []map[string]int{{}}, sites: &sites}
 		if err := c.compile(); err != nil {
 			return nil, err
 		}
 	}
+	prog.AllocSites = sites
 	main, ok := prog.ByName["main"]
 	if !ok {
 		return nil, &Error{Line: 1, Col: 1, Msg: "program has no main function"}
@@ -55,6 +58,7 @@ var builtins = map[string]bool{
 	"sym_int": true, "sym_byte": true, "sym_bool": true,
 	"assume": true, "assert": true, "halt": true,
 	"toint": true, "tobyte": true, "make_symbolic": true,
+	"alloc": true,
 }
 
 func isBuiltin(name string) bool { return builtins[name] }
@@ -68,6 +72,7 @@ type funcCompiler struct {
 	scopes []map[string]int     // name -> local index
 	temps  int
 	loops  []loopCtx // break/continue patch lists
+	sites  *int      // program-wide allocation-site counter (shared)
 }
 
 type loopCtx struct {
@@ -260,6 +265,8 @@ func (c *funcCompiler) coerce(op ir.Operand, from, to ir.Type, at Expr) (ir.Oper
 			return op, c.errAt(line, col, "constant %d does not fit in byte", op.Const)
 		}
 		return op, nil
+	case from.Kind == ir.Int && to.Kind == ir.Ptr && op.IsConst && op.Const == 0:
+		return op, nil // the null pointer
 	}
 	return op, c.errAt(line, col, "cannot use %s value as %s (use toint/tobyte)", from, to)
 }
@@ -272,12 +279,15 @@ func (c *funcCompiler) compileAssign(a *AssignStmt) error {
 	lt := c.fn.Locals[idx].Type
 	pos := ir.Pos{Line: a.Line, Col: a.Col}
 
-	// Array element assignment.
+	// Array element / heap cell assignment.
 	if a.Target.Index != nil {
-		if !lt.Array() {
-			return c.errAt(a.Line, a.Col, "%s is not an array", a.Target.Name)
+		if !lt.Array() && lt.Kind != ir.Ptr {
+			return c.errAt(a.Line, a.Col, "%s is not an array or pointer", a.Target.Name)
 		}
-		elem := lt.Elem()
+		elem := ir.Type{Kind: ir.Int} // heap cells are 32-bit ints
+		if lt.Array() {
+			elem = lt.Elem()
+		}
 		idxOp, it, err := c.compileExpr(a.Target.Index)
 		if err != nil {
 			return err
@@ -285,6 +295,15 @@ func (c *funcCompiler) compileAssign(a *AssignStmt) error {
 		idxOp, err = c.coerce(idxOp, it, ir.Type{Kind: ir.Int}, a.Target.Index)
 		if err != nil {
 			return err
+		}
+		// For a pointer target, fold the index into an address once; load
+		// and store below then address the heap through it.
+		addr := ir.Operand{}
+		if lt.Kind == ir.Ptr {
+			at := c.newTemp(ir.Type{Kind: ir.Ptr})
+			c.emit(ir.Instr{Op: ir.OpAdd, Dst: at, A: ir.LocalOp(idx), B: idxOp,
+				T: ir.Type{Kind: ir.Ptr}, Pos: pos})
+			addr = ir.LocalOp(at)
 		}
 		var valOp ir.Operand
 		switch a.Op {
@@ -300,7 +319,11 @@ func (c *funcCompiler) compileAssign(a *AssignStmt) error {
 		case tPlusAssign, tMinusAssign, tInc, tDec:
 			// Load-modify-store.
 			cur := c.newTemp(elem)
-			c.emit(ir.Instr{Op: ir.OpLoad, Dst: cur, A: ir.LocalOp(idx), B: idxOp, T: elem, Pos: pos})
+			if lt.Kind == ir.Ptr {
+				c.emit(ir.Instr{Op: ir.OpPtrLoad, Dst: cur, A: addr, T: elem, Pos: pos})
+			} else {
+				c.emit(ir.Instr{Op: ir.OpLoad, Dst: cur, A: ir.LocalOp(idx), B: idxOp, T: elem, Pos: pos})
+			}
 			delta := ir.ConstOp(1)
 			if a.Value != nil {
 				v, vt, err := c.compileExpr(a.Value)
@@ -320,7 +343,11 @@ func (c *funcCompiler) compileAssign(a *AssignStmt) error {
 			c.emit(ir.Instr{Op: op, Dst: res, A: ir.LocalOp(cur), B: delta, T: elem, Pos: pos})
 			valOp = ir.LocalOp(res)
 		}
-		c.emit(ir.Instr{Op: ir.OpStore, Dst: idx, A: idxOp, B: valOp, T: elem, Pos: pos})
+		if lt.Kind == ir.Ptr {
+			c.emit(ir.Instr{Op: ir.OpPtrStore, Dst: -1, A: addr, B: valOp, T: elem, Pos: pos})
+		} else {
+			c.emit(ir.Instr{Op: ir.OpStore, Dst: idx, A: idxOp, B: valOp, T: elem, Pos: pos})
+		}
 		return nil
 	}
 
@@ -343,7 +370,12 @@ func (c *funcCompiler) compileAssign(a *AssignStmt) error {
 		if err != nil {
 			return err
 		}
-		v, err = c.coerce(v, vt, lt, a.Value)
+		// Pointer strides are int-typed: p += n advances n cells.
+		want := lt
+		if lt.Kind == ir.Ptr {
+			want = ir.Type{Kind: ir.Int}
+		}
+		v, err = c.coerce(v, vt, want, a.Value)
 		if err != nil {
 			return err
 		}
@@ -522,8 +554,8 @@ func (c *funcCompiler) compileExpr(e Expr) (ir.Operand, ir.Type, error) {
 			return ir.Operand{}, ir.Type{}, c.errAt(x.Line, x.Col, "undefined variable %s", x.Name)
 		}
 		at := c.fn.Locals[idx].Type
-		if !at.Array() {
-			return ir.Operand{}, ir.Type{}, c.errAt(x.Line, x.Col, "%s is not an array", x.Name)
+		if !at.Array() && at.Kind != ir.Ptr {
+			return ir.Operand{}, ir.Type{}, c.errAt(x.Line, x.Col, "%s is not an array or pointer", x.Name)
 		}
 		iop, it, err := c.compileExpr(x.Index)
 		if err != nil {
@@ -533,10 +565,20 @@ func (c *funcCompiler) compileExpr(e Expr) (ir.Operand, ir.Type, error) {
 		if err != nil {
 			return ir.Operand{}, ir.Type{}, err
 		}
+		pos := ir.Pos{Line: x.Line, Col: x.Col}
+		if at.Kind == ir.Ptr {
+			// p[i] reads the heap cell at address p+i.
+			intT := ir.Type{Kind: ir.Int}
+			addr := c.newTemp(ir.Type{Kind: ir.Ptr})
+			c.emit(ir.Instr{Op: ir.OpAdd, Dst: addr, A: ir.LocalOp(idx), B: iop,
+				T: ir.Type{Kind: ir.Ptr}, Pos: pos})
+			dst := c.newTemp(intT)
+			c.emit(ir.Instr{Op: ir.OpPtrLoad, Dst: dst, A: ir.LocalOp(addr), T: intT, Pos: pos})
+			return ir.LocalOp(dst), intT, nil
+		}
 		elem := at.Elem()
 		dst := c.newTemp(elem)
-		c.emit(ir.Instr{Op: ir.OpLoad, Dst: dst, A: ir.LocalOp(idx), B: iop, T: elem,
-			Pos: ir.Pos{Line: x.Line, Col: x.Col}})
+		c.emit(ir.Instr{Op: ir.OpLoad, Dst: dst, A: ir.LocalOp(idx), B: iop, T: elem, Pos: pos})
 		return ir.LocalOp(dst), elem, nil
 	case *CallExpr:
 		op, t, err := c.compileCall(x, true)
@@ -641,6 +683,12 @@ func (c *funcCompiler) compileBinary(x *BinaryExpr) (ir.Operand, ir.Type, error)
 		return ir.LocalOp(dst), boolT, nil
 	}
 
+	// Pointer operands: cell-granular address arithmetic, same-object
+	// ordering, and null/equality tests.
+	if lt.Kind == ir.Ptr || rt.Kind == ir.Ptr {
+		return c.compilePtrBinary(x, l, lt, r, rt)
+	}
+
 	// Numeric operands: unify types.
 	opT, err2 := c.unifyNumeric(&l, lt, &r, rt, x)
 	if err2 != nil {
@@ -690,6 +738,92 @@ func (c *funcCompiler) compileBinary(x *BinaryExpr) (ir.Operand, ir.Type, error)
 	dst := c.newTemp(resT)
 	c.emit(ir.Instr{Op: o, Dst: dst, A: l, B: r, T: opT, Pos: pos})
 	return ir.LocalOp(dst), resT, nil
+}
+
+// compilePtrBinary compiles the binary operators defined on pointers:
+//
+//	ptr + int, int + ptr, ptr - int  -> ptr   (cell-granular strides)
+//	ptr - ptr                        -> int   (cell distance; meaningful
+//	                                           within one object)
+//	ptr == / != ptr (or the 0 null constant) -> bool
+//	ptr < <= > >= ptr                -> bool  (unsigned address order;
+//	                                           meaningful within one object)
+//
+// Everything else is a compile error. Byte operands widen to int first so a
+// byte-valued stride works unannotated.
+func (c *funcCompiler) compilePtrBinary(x *BinaryExpr, l ir.Operand, lt ir.Type, r ir.Operand, rt ir.Type) (ir.Operand, ir.Type, error) {
+	pos := ir.Pos{Line: x.Line, Col: x.Col}
+	ptrT := ir.Type{Kind: ir.Ptr}
+	intT := ir.Type{Kind: ir.Int}
+	boolT := ir.Type{Kind: ir.Bool}
+	var err error
+	if lt.Kind == ir.Byte {
+		if l, err = c.coerce(l, lt, intT, x.L); err != nil {
+			return ir.Operand{}, ir.Type{}, err
+		}
+		lt = intT
+	}
+	if rt.Kind == ir.Byte {
+		if r, err = c.coerce(r, rt, intT, x.R); err != nil {
+			return ir.Operand{}, ir.Type{}, err
+		}
+		rt = intT
+	}
+	bothPtr := lt.Kind == ir.Ptr && rt.Kind == ir.Ptr
+	emit := func(op ir.Op, resT ir.Type) (ir.Operand, ir.Type, error) {
+		dst := c.newTemp(resT)
+		c.emit(ir.Instr{Op: op, Dst: dst, A: l, B: r, T: ptrT, Pos: pos})
+		return ir.LocalOp(dst), resT, nil
+	}
+	switch x.Op {
+	case tPlus:
+		if bothPtr {
+			return ir.Operand{}, ir.Type{}, c.errAt(x.Line, x.Col, "cannot add two pointers")
+		}
+		if lt.Kind != ir.Ptr { // int + ptr: commute so A is the pointer
+			l, r = r, l
+		}
+		return emit(ir.OpAdd, ptrT)
+	case tMinus:
+		if bothPtr {
+			return emit(ir.OpSub, intT)
+		}
+		if lt.Kind != ir.Ptr {
+			return ir.Operand{}, ir.Type{}, c.errAt(x.Line, x.Col, "cannot subtract a pointer from an int")
+		}
+		return emit(ir.OpSub, ptrT)
+	case tEq, tNe:
+		if !bothPtr {
+			// Only the null constant compares against a pointer.
+			if lt.Kind != ir.Ptr {
+				if l, err = c.coerce(l, lt, ptrT, x.L); err != nil {
+					return ir.Operand{}, ir.Type{}, err
+				}
+			} else if r, err = c.coerce(r, rt, ptrT, x.R); err != nil {
+				return ir.Operand{}, ir.Type{}, err
+			}
+		}
+		op := ir.OpEq
+		if x.Op == tNe {
+			op = ir.OpNe
+		}
+		return emit(op, boolT)
+	case tLt, tLe, tGt, tGe:
+		if !bothPtr {
+			return ir.Operand{}, ir.Type{}, c.errAt(x.Line, x.Col,
+				"pointer ordering requires two pointers")
+		}
+		if x.Op == tGt || x.Op == tGe {
+			l, r = r, l
+		}
+		op := ir.OpLt
+		if x.Op == tLe || x.Op == tGe {
+			op = ir.OpLe
+		}
+		return emit(op, boolT)
+	}
+	return ir.Operand{}, ir.Type{}, c.errAt(x.Line, x.Col,
+		"operator %s not defined on ptr", opName(x.Op))
 }
 
 // unifyNumeric reconciles the operand types of a numeric binary operator:
@@ -904,12 +1038,34 @@ func (c *funcCompiler) compileCall(x *CallExpr, wantValue bool) (ir.Operand, ir.
 			c.emit(ir.Instr{Op: ir.OpByteToInt, Dst: dst, A: op, T: intT, Pos: pos})
 		case ir.Bool:
 			c.emit(ir.Instr{Op: ir.OpBoolToInt, Dst: dst, A: op, T: intT, Pos: pos})
-		case ir.Int:
+		case ir.Int, ir.Ptr:
 			c.emit(ir.Instr{Op: ir.OpMov, Dst: dst, A: op, T: intT, Pos: pos})
 		default:
 			return ir.Operand{}, intT, argError("a scalar")
 		}
 		return ir.LocalOp(dst), intT, nil
+	case "alloc":
+		ptrT := ir.Type{Kind: ir.Ptr}
+		if len(x.Args) != 1 {
+			return ir.Operand{}, ptrT, argError("1 int argument")
+		}
+		op, t, err := c.compileExpr(x.Args[0])
+		if err != nil {
+			return ir.Operand{}, ptrT, err
+		}
+		if op, err = c.coerce(op, t, intT, x.Args[0]); err != nil {
+			return ir.Operand{}, ptrT, err
+		}
+		// Site indices must stay encodable: site*HeapSiteSpan+count <= HeapMaxID.
+		if *c.sites >= ir.HeapMaxID/ir.HeapSiteSpan {
+			return ir.Operand{}, ptrT, c.errAt(x.Line, x.Col,
+				"too many allocation sites (max %d)", ir.HeapMaxID/ir.HeapSiteSpan)
+		}
+		site := *c.sites
+		*c.sites++
+		dst := c.newTemp(ptrT)
+		c.emit(ir.Instr{Op: ir.OpAlloc, Dst: dst, A: op, Site: site, T: ptrT, Pos: pos})
+		return ir.LocalOp(dst), ptrT, nil
 	case "tobyte":
 		if len(x.Args) != 1 {
 			return ir.Operand{}, byteT, argError("1 argument")

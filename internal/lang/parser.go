@@ -70,6 +70,8 @@ func (p *parser) parseTypeName() (ir.Type, bool, error) {
 		t = ir.Type{Kind: ir.Byte}
 	case tKwBool:
 		t = ir.Type{Kind: ir.Bool}
+	case tKwPtr:
+		t = ir.Type{Kind: ir.Ptr}
 	case tKwVoid:
 		t = ir.Type{Kind: ir.Void}
 	default:
@@ -175,7 +177,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 	switch p.tok.kind {
 	case tLBrace:
 		return p.parseBlock()
-	case tKwInt, tKwByte, tKwBool:
+	case tKwInt, tKwByte, tKwBool, tKwPtr:
 		s, err := p.parseVarDecl()
 		if err != nil {
 			return nil, err
@@ -408,7 +410,7 @@ func (p *parser) parseFor() (Stmt, error) {
 	st := &ForStmt{}
 	if p.tok.kind != tSemi {
 		var err error
-		if p.tok.kind == tKwInt || p.tok.kind == tKwByte || p.tok.kind == tKwBool {
+		if p.tok.kind == tKwInt || p.tok.kind == tKwByte || p.tok.kind == tKwBool || p.tok.kind == tKwPtr {
 			st.Init, err = p.parseVarDecl()
 		} else {
 			st.Init, err = p.parseSimpleStmt()

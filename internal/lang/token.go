@@ -3,10 +3,11 @@
 // the symmerge/internal/ir three-address representation.
 //
 // MiniC is deliberately close to the C subset the paper's evaluation
-// exercises: scalar ints/bytes/bools, fixed-size arrays, functions,
-// short-circuit conditions (compiled to real branches, as LLVM does),
-// loops, and intrinsics for symbolic input (argc/argchar/stdin/sym_*),
-// assumptions and assertions.
+// exercises: scalar ints/bytes/bools, fixed-size arrays, heap pointers
+// (ptr locals from alloc(n), with pointer arithmetic and p[i] indirection),
+// functions, short-circuit conditions (compiled to real branches, as LLVM
+// does), loops, and intrinsics for symbolic input (argc/argchar/stdin/
+// sym_*), assumptions and assertions.
 package lang
 
 import (
@@ -65,6 +66,7 @@ const (
 	tKwInt
 	tKwByte
 	tKwBool
+	tKwPtr
 	tKwVoid
 	tKwIf
 	tKwElse
@@ -78,7 +80,7 @@ const (
 )
 
 var keywords = map[string]tokKind{
-	"int": tKwInt, "byte": tKwByte, "bool": tKwBool, "void": tKwVoid,
+	"int": tKwInt, "byte": tKwByte, "bool": tKwBool, "ptr": tKwPtr, "void": tKwVoid,
 	"if": tKwIf, "else": tKwElse, "while": tKwWhile, "for": tKwFor,
 	"return": tKwReturn, "break": tKwBreak, "continue": tKwContinue,
 	"true": tKwTrue, "false": tKwFalse,

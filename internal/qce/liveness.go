@@ -66,6 +66,17 @@ func liveness(fn *ir.Func, g *cfg.FuncCFG) [][]bool {
 			use[pc] = append(use[pc], in.Dst)
 			addUse(pc, in.A)
 			addUse(pc, in.B)
+		case ir.OpAlloc:
+			addUse(pc, in.A)
+			def[pc] = in.Dst
+		case ir.OpPtrLoad:
+			addUse(pc, in.A)
+			def[pc] = in.Dst
+		case ir.OpPtrStore:
+			// Partial def of the pointed-to object (proxied by the
+			// pointer local, which the address read keeps live anyway).
+			addUse(pc, in.A)
+			addUse(pc, in.B)
 		case ir.OpCall:
 			for _, a := range in.Args {
 				addUse(pc, a)

@@ -159,6 +159,13 @@ func (a *Analysis) analyzeFunc(fi int) *FuncQCE {
 			queryOperands = []ir.Operand{in.B}
 		case ir.OpStore:
 			queryOperands = []ir.Operand{in.A}
+		case ir.OpPtrLoad, ir.OpPtrStore:
+			// Symbolic address => guarded-select expansion over every
+			// heap object + queries; the pointer operand is the source
+			// of divergence, and through the dependence closure it makes
+			// the locals feeding it (and the heap cells proxied by the
+			// pointer, see dependenceClosure) hot.
+			queryOperands = []ir.Operand{in.A}
 		case ir.OpArgChar:
 			queryOperands = []ir.Operand{in.A, in.B}
 		case ir.OpStdin:
@@ -336,6 +343,22 @@ func dependenceClosure(fn *ir.Func) []map[int]bool {
 			// Value and index flow into the array variable.
 			addEdge(in.A, in.Dst)
 			addEdge(in.B, in.Dst)
+		case ir.OpAlloc:
+			addEdge(in.A, in.Dst) // size influences the address space
+		case ir.OpPtrLoad:
+			// The pointer local proxies its heap object: contents and
+			// address both flow to the destination.
+			addEdge(in.A, in.Dst)
+		case ir.OpPtrStore:
+			// The stored value flows into the heap reached through the
+			// pointer; the pointer local proxies that object, mirroring
+			// how OpStore folds array contents into the array local.
+			// (The address operand is usually a per-statement temp; the
+			// pointer alias clusters below carry the flow onward to the
+			// named pointer local and from there into future loads.)
+			if !in.A.IsConst {
+				addEdge(in.B, in.A.Local)
+			}
 		case ir.OpCall:
 			// Array arguments are passed by reference: the callee
 			// may both read and write them. Conservatively link
@@ -369,6 +392,32 @@ func dependenceClosure(fn *ir.Func) []map[int]bool {
 			}
 		}
 	}
+	// Pointer locals form alias clusters: a derived pointer (q = p + i, or
+	// the address temp the compiler emits for p[i]) addresses the same heap
+	// object as its base, so dependence flows both ways between them — the
+	// forward def edge above plus this reverse edge. Without the reverse
+	// edge, an OpPtrStore's value lands on the address temp and stops
+	// there; with it, the value reaches the named pointer local and, from
+	// there, every future load through that pointer.
+	for pc := range fn.Instrs {
+		in := &fn.Instrs[pc]
+		if in.Dst < 0 || fn.Locals[in.Dst].Type.Kind != ir.Ptr {
+			continue
+		}
+		switch in.Op {
+		case ir.OpAdd, ir.OpSub:
+			for _, o := range []ir.Operand{in.A, in.B} {
+				if !o.IsConst && fn.Locals[o.Local].Type.Kind == ir.Ptr {
+					addEdge(ir.LocalOp(in.Dst), o.Local)
+				}
+			}
+		case ir.OpMov:
+			if !in.A.IsConst && fn.Locals[in.A.Local].Type.Kind == ir.Ptr {
+				addEdge(ir.LocalOp(in.Dst), in.A.Local)
+			}
+		}
+	}
+
 	// Reflexive-transitive closure via BFS from each local.
 	reach := make([]map[int]bool, nl)
 	for v := 0; v < nl; v++ {

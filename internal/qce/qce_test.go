@@ -425,3 +425,60 @@ func TestStringOutput(t *testing.T) {
 		t.Fatal("empty table dump")
 	}
 }
+
+// heapFlowSrc stores an input-derived value through a pointer and later
+// branches on data loaded back through the same pointer.
+const heapFlowSrc = `
+void main() {
+    ptr p = alloc(4);
+    int v = toint(argchar(1, 0));
+    p[1] = v;
+    int u = p[1];
+    if (u > 0) {
+        putchar('x');
+    }
+}
+`
+
+// TestHeapPointerDependenceClosure pins the pointer alias clusters: the
+// compiler materializes every p[i] address as a per-statement temp, so
+// without the reverse derived-pointer edges a stored value would stop at
+// that temp and never reach the named pointer local — and a later branch on
+// loaded data would not count the stored value's sources among its query
+// dependencies (leaving them cold for QCE-gated merging).
+func TestHeapPointerDependenceClosure(t *testing.T) {
+	prog, a := analyze(t, heapFlowSrc, qce.DefaultParams())
+	fq := a.PerFunc[prog.Main.Index]
+	idx := func(name string) int {
+		t.Helper()
+		for i, l := range fq.Fn.Locals {
+			if l.Name == name {
+				return i
+			}
+		}
+		t.Fatalf("no local %q", name)
+		return -1
+	}
+	v, p, u := idx("v"), idx("p"), idx("u")
+	if !fq.Reach[v][p] {
+		t.Error("stored value does not reach the pointer local it was stored through")
+	}
+	if !fq.Reach[v][u] {
+		t.Error("stored value does not reach a later load through the same pointer")
+	}
+	if !fq.Reach[p][u] {
+		t.Error("pointer local does not reach a load through it")
+	}
+	// The flow must make v count toward future queries somewhere it is
+	// live: Qadd(pc, v) > 0 at v's definition.
+	found := false
+	for pc := range fq.Qadd {
+		if fq.Qadd[pc][v] > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("stored value has zero Qadd everywhere despite feeding a branch through the heap")
+	}
+}

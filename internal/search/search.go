@@ -9,6 +9,7 @@
 package search
 
 import (
+	"fmt"
 	"math/rand"
 
 	"symmerge/internal/core"
@@ -26,59 +27,130 @@ const (
 	Topo     Kind = "topo" // CFG topological order (for SSM)
 )
 
+// Kinds lists every valid strategy kind.
+func Kinds() []Kind { return []Kind{DFS, BFS, Random, Coverage, Topo} }
+
+// Validate reports whether kind names a known strategy. The empty kind is
+// invalid too: defaulting is the caller's decision (symx resolves it from
+// the merge mode), not this package's.
+func Validate(kind Kind) error {
+	for _, k := range Kinds() {
+		if kind == k {
+			return nil
+		}
+	}
+	return fmt.Errorf("search: unknown strategy %q (valid: dfs, bfs, random, coverage, topo)", kind)
+}
+
 // New builds a strategy. ctx is the engine (its StrategyContext view); seed
-// feeds the deterministic RNG of the randomized strategies.
-func New(kind Kind, ctx core.StrategyContext, seed int64) core.Strategy {
+// feeds the deterministic RNG of the randomized strategies. An unknown kind
+// is an error — a silent fallback would explore under a different strategy
+// than the one the caller (and any corpus manifest recording the
+// configuration) believes it asked for.
+func New(kind Kind, ctx core.StrategyContext, seed int64) (core.Strategy, error) {
 	switch kind {
 	case DFS:
-		return &stackStrategy{lifo: true}
+		return newStackStrategy(true), nil
 	case BFS:
-		return &stackStrategy{}
+		return newStackStrategy(false), nil
 	case Random:
-		return &randomStrategy{rng: rand.New(rand.NewSource(seed)), pos: map[*core.State]int{}}
+		return &randomStrategy{rng: rand.New(rand.NewSource(seed)), pos: map[*core.State]int{}}, nil
 	case Coverage:
 		return &coverageStrategy{
 			ctx: ctx,
 			rng: rand.New(rand.NewSource(seed)),
 			pos: map[*core.State]int{},
-		}
+		}, nil
 	case Topo:
-		return &topoStrategy{ctx: ctx, pos: map[*core.State]int{}}
+		return &topoStrategy{ctx: ctx, pos: map[*core.State]int{}}, nil
 	default:
-		return &stackStrategy{lifo: true}
+		return nil, Validate(kind)
 	}
 }
 
 // --- DFS / BFS ---
 
 // stackStrategy explores newest-first (DFS) or oldest-first (BFS).
+//
+// Removal is order-preserving lazy deletion: the engine removes a state on
+// every scheduler step (and DSM's fast-forwarding and MaxStates pruning
+// remove states from arbitrary positions), so an eager O(n) splice — or a
+// swap-delete, which would silently corrupt LIFO/FIFO order — made stepping
+// quadratic on large worklists. Instead, an index map locates the slot, the
+// slot becomes a tombstone (nil), and Pick skips and trims tombstones at the
+// live end; a full order-preserving compaction runs when tombstones outnumber
+// live states. Every operation is amortized O(1).
 type stackStrategy struct {
 	lifo  bool
-	items []*core.State
+	items []*core.State       // insertion order; nil slots are tombstones
+	pos   map[*core.State]int // state -> index in items
+	head  int                 // first slot that may be live (FIFO end)
+	dead  int                 // tombstones in items[head:]
 }
 
-func (s *stackStrategy) Add(st *core.State) { s.items = append(s.items, st) }
+func newStackStrategy(lifo bool) *stackStrategy {
+	return &stackStrategy{lifo: lifo, pos: map[*core.State]int{}}
+}
+
+func (s *stackStrategy) Add(st *core.State) {
+	s.pos[st] = len(s.items)
+	s.items = append(s.items, st)
+}
 
 func (s *stackStrategy) Remove(st *core.State) {
-	for i, x := range s.items {
-		if x == st {
-			s.items = append(s.items[:i], s.items[i+1:]...)
-			return
-		}
+	i, ok := s.pos[st]
+	if !ok {
+		return
 	}
+	delete(s.pos, st)
+	s.items[i] = nil
+	s.dead++
 }
 
 func (s *stackStrategy) Pick() *core.State {
-	if len(s.items) == 0 {
-		return nil
-	}
+	// Trim tombstones at the picking end so the scan below is amortized
+	// O(1): every trimmed slot was tombstoned by exactly one Remove.
 	if s.lifo {
+		for n := len(s.items); n > s.head && s.items[n-1] == nil; n = len(s.items) {
+			s.items = s.items[:n-1]
+			s.dead--
+		}
+		if len(s.items) == s.head {
+			return nil
+		}
+		s.compactIfStale()
 		return s.items[len(s.items)-1]
 	}
-	return s.items[0]
+	for s.head < len(s.items) && s.items[s.head] == nil {
+		s.head++
+		s.dead--
+	}
+	if s.head == len(s.items) {
+		return nil
+	}
+	s.compactIfStale()
+	return s.items[s.head]
 }
 
-func (s *stackStrategy) Len() int { return len(s.items) }
+// compactIfStale rebuilds the slice in order once tombstones dominate,
+// bounding memory at O(live) without disturbing LIFO/FIFO order.
+func (s *stackStrategy) compactIfStale() {
+	if s.dead <= len(s.pos) {
+		return
+	}
+	live := s.items[:0]
+	for _, st := range s.items[s.head:] {
+		if st != nil {
+			s.pos[st] = len(live)
+			live = append(live, st)
+		}
+	}
+	s.items = live
+	s.head = 0
+	s.dead = 0
+}
+
+func (s *stackStrategy) Len() int { return len(s.pos) }
 
 // --- Random ---
 
@@ -175,15 +247,63 @@ func (s *coverageStrategy) Len() int { return len(s.items) }
 // exploration order of static state merging: all predecessors of a join
 // point execute before any state at the join point, maximizing merge
 // opportunities (paper §2.2 "static state merging", §5.4).
+//
+// The worklist is a binary min-heap ordered by the engine's topological rank
+// (core.StrategyContext.TopoLess, a total order — ties break on state ID), with
+// an index map for O(log n) removal of arbitrary states. The previous
+// linear-scan Pick made SSM exploration O(n²) in the worklist size; the heap
+// picks the same state — the unique TopoLess-minimum — in O(1), so corpus
+// digests and exploration orders are unchanged. States are immutable while
+// queued (the engine removes a state before stepping it), so heap keys never
+// rot.
 type topoStrategy struct {
 	ctx   core.StrategyContext
-	items []*core.State
-	pos   map[*core.State]int
+	items []*core.State       // binary min-heap under ctx.TopoLess
+	pos   map[*core.State]int // state -> heap index
+}
+
+func (s *topoStrategy) less(i, j int) bool { return s.ctx.TopoLess(s.items[i], s.items[j]) }
+
+func (s *topoStrategy) swap(i, j int) {
+	s.items[i], s.items[j] = s.items[j], s.items[i]
+	s.pos[s.items[i]] = i
+	s.pos[s.items[j]] = j
+}
+
+func (s *topoStrategy) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *topoStrategy) down(i int) {
+	n := len(s.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s.swap(i, min)
+		i = min
+	}
 }
 
 func (s *topoStrategy) Add(st *core.State) {
 	s.pos[st] = len(s.items)
 	s.items = append(s.items, st)
+	s.up(len(s.items) - 1)
 }
 
 func (s *topoStrategy) Remove(st *core.State) {
@@ -192,23 +312,20 @@ func (s *topoStrategy) Remove(st *core.State) {
 		return
 	}
 	last := len(s.items) - 1
-	s.items[i] = s.items[last]
-	s.pos[s.items[i]] = i
+	s.swap(i, last)
 	s.items = s.items[:last]
 	delete(s.pos, st)
+	if i < last {
+		s.down(i)
+		s.up(i)
+	}
 }
 
 func (s *topoStrategy) Pick() *core.State {
 	if len(s.items) == 0 {
 		return nil
 	}
-	best := s.items[0]
-	for _, st := range s.items[1:] {
-		if s.ctx.TopoLess(st, best) {
-			best = st
-		}
-	}
-	return best
+	return s.items[0]
 }
 
 func (s *topoStrategy) Len() int { return len(s.items) }

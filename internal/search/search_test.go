@@ -36,8 +36,18 @@ func mkState(id uint64, pc int) *core.State {
 	}
 }
 
+// mustNew builds a strategy for a known-valid kind.
+func mustNew(t *testing.T, kind Kind, ctx core.StrategyContext, seed int64) core.Strategy {
+	t.Helper()
+	s, err := New(kind, ctx, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestDFSOrder(t *testing.T) {
-	s := New(DFS, &fakeCtx{}, 0)
+	s := mustNew(t, DFS, &fakeCtx{}, 0)
 	a, b, c := mkState(1, 0), mkState(2, 1), mkState(3, 2)
 	s.Add(a)
 	s.Add(b)
@@ -55,7 +65,7 @@ func TestDFSOrder(t *testing.T) {
 }
 
 func TestBFSOrder(t *testing.T) {
-	s := New(BFS, &fakeCtx{}, 0)
+	s := mustNew(t, BFS, &fakeCtx{}, 0)
 	a, b := mkState(1, 0), mkState(2, 1)
 	s.Add(a)
 	s.Add(b)
@@ -66,7 +76,7 @@ func TestBFSOrder(t *testing.T) {
 
 func TestPickDoesNotRemove(t *testing.T) {
 	for _, kind := range []Kind{DFS, BFS, Random, Coverage, Topo} {
-		s := New(kind, &fakeCtx{covered: map[ir.Loc]bool{}}, 1)
+		s := mustNew(t, kind, &fakeCtx{covered: map[ir.Loc]bool{}}, 1)
 		a := mkState(1, 0)
 		s.Add(a)
 		if s.Pick() == nil || s.Len() != 1 {
@@ -80,7 +90,7 @@ func TestPickDoesNotRemove(t *testing.T) {
 
 func TestRandomDeterministicBySeed(t *testing.T) {
 	mk := func(seed int64) []uint64 {
-		s := New(Random, &fakeCtx{}, seed)
+		s := mustNew(t, Random, &fakeCtx{}, seed)
 		for i := uint64(1); i <= 10; i++ {
 			s.Add(mkState(i, int(i)))
 		}
@@ -115,7 +125,7 @@ func TestCoveragePrefersUncovered(t *testing.T) {
 		{Fn: 0, PC: 0}: true,
 		{Fn: 0, PC: 1}: true,
 	}}
-	s := New(Coverage, ctx, 7)
+	s := mustNew(t, Coverage, ctx, 7)
 	covered1 := mkState(1, 0)
 	covered2 := mkState(2, 1)
 	fresh := mkState(3, 9) // uncovered location
@@ -130,7 +140,7 @@ func TestCoveragePrefersUncovered(t *testing.T) {
 }
 
 func TestTopoPicksEarliest(t *testing.T) {
-	s := New(Topo, &fakeCtx{}, 0)
+	s := mustNew(t, Topo, &fakeCtx{}, 0)
 	late := mkState(1, 9)
 	early := mkState(2, 1)
 	mid := mkState(3, 4)
@@ -148,7 +158,7 @@ func TestTopoPicksEarliest(t *testing.T) {
 
 func TestRemoveAbsentIsNoop(t *testing.T) {
 	for _, kind := range []Kind{DFS, BFS, Random, Coverage, Topo} {
-		s := New(kind, &fakeCtx{covered: map[ir.Loc]bool{}}, 1)
+		s := mustNew(t, kind, &fakeCtx{covered: map[ir.Loc]bool{}}, 1)
 		a := mkState(1, 0)
 		s.Remove(a) // must not panic
 		s.Add(a)
@@ -173,7 +183,7 @@ func TestFuzzStrategyInvariants(t *testing.T) {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(99))
-			s := New(kind, &fakeCtx{covered: map[ir.Loc]bool{}}, 5)
+			s := mustNew(t, kind, &fakeCtx{covered: map[ir.Loc]bool{}}, 5)
 			member := map[*core.State]bool{}
 			var pool []*core.State
 			nextID := uint64(1)
@@ -215,14 +225,20 @@ func TestFuzzStrategyInvariants(t *testing.T) {
 	}
 }
 
-func TestUnknownKindFallsBack(t *testing.T) {
-	s := New(Kind("bogus"), &fakeCtx{}, 0)
-	if s == nil {
-		t.Fatal("unknown kind returned nil strategy")
+func TestUnknownKindIsAnError(t *testing.T) {
+	// A typo like "tope" must refuse to build, not silently explore DFS
+	// while the corpus manifest records the misspelled name.
+	for _, bogus := range []Kind{"bogus", "tope", "", "DFS"} {
+		if s, err := New(bogus, &fakeCtx{}, 0); err == nil || s != nil {
+			t.Fatalf("New(%q) = (%v, %v), want a nil strategy and an error", bogus, s, err)
+		}
+		if err := Validate(bogus); err == nil {
+			t.Fatalf("Validate(%q) accepted an unknown kind", bogus)
+		}
 	}
-	a := mkState(1, 0)
-	s.Add(a)
-	if s.Pick() != a {
-		t.Fatal("fallback strategy unusable")
+	for _, kind := range Kinds() {
+		if err := Validate(kind); err != nil {
+			t.Fatalf("Validate(%q): %v", kind, err)
+		}
 	}
 }

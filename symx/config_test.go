@@ -1,0 +1,47 @@
+package symx
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnknownStrategyRefused pins the validation satellite: a typo'd
+// strategy ("tope" for "topo") must refuse the run up front with ConfigErr —
+// not silently explore under DFS while a corpus manifest records the typo.
+func TestUnknownStrategyRefused(t *testing.T) {
+	p := MustCompile(`void main() { putchar('x'); }`)
+	res := Run(p, Config{Strategy: "tope"})
+	if res.ConfigErr == nil {
+		t.Fatal("Run accepted an unknown strategy")
+	}
+	if !strings.Contains(res.ConfigErr.Error(), "tope") {
+		t.Fatalf("ConfigErr %q does not name the offending strategy", res.ConfigErr)
+	}
+	if res.Stats.PathsCompleted != 0 || res.Completed {
+		t.Fatalf("refused run still explored: %+v", res.Stats)
+	}
+
+	// A typo inside a portfolio entry is refused the same way.
+	res = Run(p, Config{Portfolio: []Config{{Merge: MergeNone}, {Strategy: "bogus"}}})
+	if res.ConfigErr == nil || !strings.Contains(res.ConfigErr.Error(), "bogus") {
+		t.Fatalf("portfolio typo not refused: %v", res.ConfigErr)
+	}
+
+	// Emitting a corpus under a typo'd strategy must not create one.
+	dir := t.TempDir()
+	res = Run(p, Config{Strategy: "tope", CorpusDir: dir})
+	if res.ConfigErr == nil {
+		t.Fatal("corpus run accepted an unknown strategy")
+	}
+
+	// Every valid strategy still runs.
+	for _, kind := range []Strategy{StrategyDFS, StrategyBFS, StrategyRandom, StrategyCoverage, StrategyTopo} {
+		res := Run(p, Config{Strategy: kind})
+		if res.ConfigErr != nil {
+			t.Fatalf("valid strategy %q refused: %v", kind, res.ConfigErr)
+		}
+		if !res.Completed {
+			t.Fatalf("strategy %q did not complete", kind)
+		}
+	}
+}

@@ -91,6 +91,13 @@ func FuzzCorpusRoundTrip(f *testing.F) {
 	for _, seed := range []int64{1, 7, 42, 20260730} {
 		f.Add(seed)
 	}
+	// Heap-program seed corpus: these seeds make progGen allocate a heap
+	// buffer and address it through data-dependent pointer offsets, so the
+	// fuzz round-trip keeps covering the symbolic heap (alloc addressing,
+	// guarded pointer stores, interpreter replay) from the first exec on.
+	for _, seed := range []int64{2, 5, 101, 4096} {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		rng := rand.New(rand.NewSource(seed))
 		gen := &progGen{rng: rng}

@@ -23,9 +23,11 @@ import (
 )
 
 // progGen emits random structured programs: straight-line arithmetic over
-// int locals, branches on argv bytes and locals, bounded counted loops, and
-// putchar output. All loops are concretely bounded, so every program
-// terminates under symbolic input.
+// int locals, branches on argv bytes and locals, bounded counted loops,
+// putchar output, and — for about half of the generated programs — a small
+// heap buffer written and read through data-dependent pointer offsets (the
+// symbolic-heap workload). All loops are concretely bounded, so every
+// program terminates under symbolic input.
 type progGen struct {
 	rng    *rand.Rand
 	b      strings.Builder
@@ -33,6 +35,9 @@ type progGen struct {
 	indent int
 	budget int // remaining statement budget
 	depth  int
+	// heap marks that the current program allocated the buffer h, enabling
+	// the pointer-store/load statement forms.
+	heap bool
 	// noLoops restricts generation to loop-free programs (the corpus
 	// strategy-parity suite: every strategy must explore the identical,
 	// finite path set quickly).
@@ -81,6 +86,16 @@ func (g *progGen) stmt() {
 		return
 	}
 	g.budget--
+	if g.heap {
+		switch g.rng.Intn(8) {
+		case 6: // heap store through a data-dependent offset
+			g.line("h[%s & 3] = %s;", g.intExpr(1), g.intExpr(2))
+			return
+		case 7: // heap read through a data-dependent offset
+			g.line("putchar(tobyte(h[%s & 3] & 0x7f));", g.intExpr(1))
+			return
+		}
+	}
 	switch g.rng.Intn(6) {
 	case 0: // new variable
 		name := fmt.Sprintf("v%d", len(g.vars))
@@ -146,9 +161,13 @@ func (g *progGen) scoped(body func()) {
 func (g *progGen) generate(stmts int) string {
 	g.b.Reset()
 	g.vars = nil
+	g.heap = g.rng.Intn(2) == 0
 	g.budget = stmts
 	g.line("void main() {")
 	g.indent++
+	if g.heap {
+		g.line("ptr h = alloc(4);")
+	}
 	for g.budget > 0 {
 		g.stmt()
 	}

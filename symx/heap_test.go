@@ -1,0 +1,156 @@
+package symx
+
+// End-to-end tests for the symbolic heap: exploration over dynamically
+// allocated state must merge soundly (exact-path census parity with the
+// unmerged exploration), generated tests must replay concretely, and a heap
+// program's corpus must round-trip through the independent IR interpreter
+// with full coverage parity.
+
+import (
+	"testing"
+
+	"symmerge/internal/corpus"
+	"symmerge/internal/ir"
+)
+
+// heapUniqSrc compresses adjacent duplicate stdin bytes through two heap
+// buffers. The write index m diverges per path, so under merging the
+// buf[m]/cnt[m-1] accesses go through symbolic addresses — the exact
+// workload class the symbolic heap exists for.
+const heapUniqSrc = `
+void main() {
+    int n = stdinlen();
+    ptr buf = alloc(n + 1);
+    for (int i = 0; i < n; i++) {
+        buf[i] = toint(stdinchar(i));
+    }
+    int m = 0;
+    ptr cnt = alloc(n + 1);
+    for (int i = 0; i < n; i++) {
+        if (m > 0 && buf[m-1] == buf[i]) {
+            cnt[m-1] += 1;
+        } else {
+            buf[m] = buf[i];
+            cnt[m] = 1;
+            m++;
+        }
+    }
+    for (int k = 0; k < m; k++) {
+        putchar(tobyte('0' + cnt[k]));
+        putchar(tobyte(buf[k]));
+    }
+}
+`
+
+func TestHeapMergeSoundness(t *testing.T) {
+	p, err := Compile(heapUniqSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Run(p, Config{StdinLen: 3, Merge: MergeNone, CollectTests: true, MaxTests: 4096})
+	if !plain.Completed {
+		t.Fatal("plain exploration did not complete")
+	}
+	for _, mode := range []MergeMode{MergeSSM, MergeDSM, MergeFunc} {
+		for _, useQCE := range []bool{false, true} {
+			m := Run(p, Config{
+				StdinLen: 3, Merge: mode, UseQCE: useQCE,
+				TrackExactPaths: true, CollectTests: true, MaxTests: 4096,
+			})
+			if !m.Completed {
+				t.Fatalf("%v qce=%v did not complete", mode, useQCE)
+			}
+			if m.Stats.ExactPaths != plain.Stats.PathsCompleted {
+				t.Fatalf("%v qce=%v: census %d != plain %d paths",
+					mode, useQCE, m.Stats.ExactPaths, plain.Stats.PathsCompleted)
+			}
+			for ti, tc := range m.Tests {
+				if ti >= 10 {
+					break
+				}
+				rr := Run(p, Config{ConcreteArgs: tc.Args, ConcreteStdin: tc.Stdin, CollectTests: true})
+				if len(rr.Tests) != 1 || string(rr.Tests[0].Output) != string(tc.Output) {
+					t.Fatalf("%v qce=%v test %d: predicted %q, concrete replay %q (stdin %q)",
+						mode, useQCE, ti, tc.Output, rr.Tests[0].Output, tc.Stdin)
+				}
+			}
+		}
+	}
+}
+
+func TestHeapCorpusRoundTrip(t *testing.T) {
+	p, err := Compile(heapUniqSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	res := Run(p, Config{
+		StdinLen: 2, Merge: MergeSSM, UseQCE: true,
+		CorpusDir: dir, CorpusLabel: "heap-uniq",
+	})
+	if res.CorpusErr != nil {
+		t.Fatalf("corpus emission: %v", res.CorpusErr)
+	}
+	if !res.Completed {
+		t.Fatal("exploration did not complete")
+	}
+	rep, err := corpus.Replay(dir, p.Internal())
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("replay divergence: %s", m)
+	}
+	if !rep.ParityOK() {
+		t.Errorf("coverage parity failed: %d missing, %d extra locations",
+			len(rep.MissingLocs), len(rep.ExtraLocs))
+	}
+	if rep.Tests == 0 {
+		t.Error("empty corpus")
+	}
+}
+
+// TestHeapEngineAgainstInterpreter pins the two execution pipelines together
+// on pointer-arithmetic-heavy concrete runs (the conformance suite does the
+// same for the registered models; this covers constructs models may not use,
+// like out-of-bounds heap reads and null-pointer dereferences).
+func TestHeapEngineAgainstInterpreter(t *testing.T) {
+	src := `
+void main() {
+    ptr a = alloc(3);
+    ptr b = alloc(2);
+    a[0] = 10; a[1] = 11; a[2] = 12;
+    b[0] = 20; b[1] = 21;
+    ptr q = a + 1;
+    putchar(tobyte('0' + (q[0] - 10)));        // in-bounds via arithmetic
+    putchar(tobyte('0' + q[5]));               // out of bounds: reads 0
+    ptr z = 0;
+    putchar(tobyte('0' + z[0]));               // null deref: reads 0
+    z[0] = 9;                                  // null store: dropped
+    q = q - 1;
+    putchar(tobyte('0' + (b - a) % 10));       // inter-object distance
+    if (a < b) { putchar('L'); }
+    if (a != b) { putchar('N'); }
+    if (q == a) { putchar('E'); }
+    int i = toint(stdinchar(0)) - 'a';
+    putchar(tobyte('0' + a[i]- 10));           // data-dependent offset
+}
+`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stdin := range []string{"a", "b", "c"} {
+		want, err := ir.Interp(p.Internal(), nil, []byte(stdin), 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Run(p, Config{ConcreteStdin: []byte(stdin), CollectTests: true})
+		if len(res.Tests) != 1 {
+			t.Fatalf("stdin %q: engine replay explored %d tests", stdin, len(res.Tests))
+		}
+		if string(res.Tests[0].Output) != string(want.Output) {
+			t.Fatalf("stdin %q: engine printed %q, interpreter %q", stdin, res.Tests[0].Output, want.Output)
+		}
+	}
+}

@@ -243,11 +243,40 @@ type PathError = core.PathError
 // With Workers > 1 the exploration is sharded across a worker pool
 // (internal/parallel); with a non-empty Portfolio the configurations race
 // and the first to finish wins.
+//
+// An invalid configuration — an unknown Strategy, in the outer config or any
+// portfolio entry — is refused up front: the returned (otherwise empty)
+// result carries the problem in Result.ConfigErr instead of silently
+// exploring under a fallback strategy.
 func Run(p *Program, cfg Config) *Result {
+	if err := validateConfig(cfg); err != nil {
+		res := &Result{PortfolioWinner: -1, ConfigErr: err}
+		res.Stats.PathsMult = big.NewInt(0)
+		return res
+	}
 	if len(cfg.Portfolio) > 0 {
 		return runPortfolio(p, cfg)
 	}
 	return runSingle(p, cfg)
+}
+
+// validateConfig rejects configurations the engine layers would otherwise
+// mis-handle silently. The empty Strategy is fine (coreConfig resolves it
+// from the merge mode); anything else must name a known strategy.
+func validateConfig(cfg Config) error {
+	if cfg.Strategy != "" {
+		if err := search.Validate(cfg.Strategy); err != nil {
+			return err
+		}
+	}
+	for i, sub := range cfg.Portfolio {
+		if sub.Strategy != "" {
+			if err := search.Validate(sub.Strategy); err != nil {
+				return fmt.Errorf("portfolio entry %d: %w", i, err)
+			}
+		}
+	}
+	return nil
 }
 
 // applyCorpusImplications turns on everything corpus emission needs: test
@@ -391,7 +420,8 @@ func writePortfolioCorpus(p *Program, outer, winner Config, res *Result) error {
 
 // NewEngine exposes a prepared engine for callers that need incremental
 // control (the bench harness samples stats mid-run). Single-threaded only:
-// Workers and Portfolio are ignored here.
+// Workers and Portfolio are ignored here. An unknown cfg.Strategy panics —
+// use Run for the error-reporting path.
 func NewEngine(p *Program, cfg Config) *core.Engine {
 	ccfg, kind, seed := coreConfig(cfg)
 	return engineFactory(p, kind, seed)(ccfg)
@@ -407,7 +437,12 @@ func engineFactory(p *Program, kind Strategy, seed int64) parallel.NewEngineFunc
 		// needs the engine as its context; break the cycle with a
 		// forwarder.
 		fwd := &ctxForwarder{}
-		strat := search.New(kind, fwd, seed)
+		strat, err := search.New(kind, fwd, seed)
+		if err != nil {
+			// Run validated the strategy before building any engine, so
+			// this is reachable only through NewEngine misuse.
+			panic(err)
+		}
 		eng := core.NewEngine(p.ir, ccfg, strat)
 		fwd.ctx = eng
 		return eng
