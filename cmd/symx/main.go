@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"symmerge/internal/corpus"
@@ -64,6 +65,9 @@ func main() {
 		portf    = flag.String("portfolio", "", "race merge regimes concurrently, first to finish wins (comma list, e.g. none,ssm+qce,dsm+qce)")
 		emitDir  = flag.String("emit-corpus", "", "stream generated tests to an on-disk corpus at this directory (implies -tests)")
 		replayTo = flag.String("replay", "", "replay a stored corpus through the IR interpreter instead of exploring; non-zero exit on any mismatch")
+		ckptDir  = flag.String("checkpoint", "", "crash-safe exploration: write resumable snapshots to this directory")
+		ckptInt  = flag.Duration("checkpoint-every", 30*time.Second, "snapshot interval with -checkpoint")
+		resume   = flag.Bool("resume", false, "with -checkpoint, resume from the newest valid snapshot")
 	)
 	flag.Parse()
 
@@ -104,9 +108,11 @@ func main() {
 		return
 	}
 
-	// Ctrl-C cancels the exploration through the engine's context poll, so
-	// a long run stops promptly and still prints its partial statistics.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C (and, for checkpointed runs under a supervisor, SIGTERM)
+	// cancels the exploration through the engine's context poll, so a long
+	// run stops promptly, still prints its partial statistics, and — with
+	// -checkpoint — persists a resumable snapshot on the way out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cfg := symx.Config{
@@ -127,6 +133,9 @@ func main() {
 		Preprocess:      *preproc,
 		CorpusDir:       *emitDir,
 		CorpusLabel:     label,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptInt,
+		Resume:          *resume,
 	}
 	cfg.Merge = parseMerge(*merge)
 	if err := symx.ParsePreprocess(*preproc); err != nil {
@@ -155,7 +164,14 @@ func main() {
 		fmt.Printf("portfolio:     regime %q won (%d raced)\n",
 			strings.TrimSpace(spec), len(cfg.Portfolio))
 	}
-	fmt.Printf("completed:     %v (%.3fs)\n", res.Completed, st.ElapsedSeconds)
+	if res.Completed {
+		fmt.Printf("completed:     true (%.3fs)\n", st.ElapsedSeconds)
+	} else {
+		fmt.Printf("completed:     false (%.3fs, interrupted: %s)\n", st.ElapsedSeconds, res.Interrupted)
+	}
+	if res.CheckpointErr != nil {
+		fmt.Fprintln(os.Stderr, "symx: checkpoint:", res.CheckpointErr)
+	}
 	fmt.Printf("paths:         %s (states completed: %d)\n", st.PathsMult, st.PathsCompleted)
 	if *census {
 		fmt.Printf("exact paths:   %d\n", st.ExactPaths)

@@ -46,8 +46,12 @@ func DefaultOptions() Options {
 
 // RunOutcome is one engine run's reduced result.
 type RunOutcome struct {
-	Completed  bool
-	Elapsed    float64 // seconds
+	Completed bool
+	// Interrupted is why the run stopped when Completed is false ("budget",
+	// "context", ...): a figure built from interrupted runs measures the
+	// interruption, not the regime, so the tables surface it.
+	Interrupted string
+	Elapsed     float64 // seconds
 	Paths      *big.Int
 	States     uint64 // separately completed states
 	Coverage   float64
@@ -63,6 +67,15 @@ type RunOutcome struct {
 	SessQueries  uint64  // queries answered by a persistent session
 	SessReuse    uint64  // conjunct blastings reused across queries
 	SessBypasses uint64  // session-eligible queries routed one-shot
+}
+
+// Status renders the completion cell for tables: "true", or "false(cause)"
+// naming why the run was interrupted.
+func (o RunOutcome) Status() string {
+	if o.Completed {
+		return "true"
+	}
+	return "false(" + o.Interrupted + ")"
 }
 
 // runTool executes one configuration on a tool.
@@ -93,6 +106,9 @@ func runTool(tool *coreutils.Tool, mut func(*symx.Config), opts Options) (RunOut
 		SessQueries:  res.Stats.Solver.SessionQueries,
 		SessReuse:    res.Stats.Solver.SessionBlastReuse,
 		SessBypasses: res.Stats.Solver.SessionBypass,
+	}
+	if !res.Completed {
+		out.Interrupted = res.Interrupted.String()
 	}
 	if res.Stats.FFSelected > 0 {
 		out.FFRate = float64(res.Stats.FFMerged) / float64(res.Stats.FFSelected)

@@ -254,7 +254,7 @@ func Figure7(opts Options) *Table {
 			t.Rows = append(t.Rows, []string{
 				name, a.label,
 				fmt.Sprintf("%.3f", out.Elapsed),
-				fmt.Sprint(out.Completed),
+				out.Status(),
 				fmt.Sprint(out.Merges)})
 		}
 	}
@@ -413,7 +413,7 @@ func Spectrum(opts Options) *Table {
 			t.Rows = append(t.Rows, []string{
 				name, r.label,
 				fmt.Sprintf("%.3f", out.Elapsed),
-				fmt.Sprint(out.Completed),
+				out.Status(),
 				fmt.Sprint(out.States),
 				fmt.Sprint(out.Merges),
 				fmt.Sprint(out.Queries),

@@ -1,0 +1,181 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"symmerge/internal/core"
+	"symmerge/internal/corpus"
+	"symmerge/internal/expr"
+)
+
+// wireFixture builds a small but representative pair of states sharing
+// expression structure: symbolic locals, a path condition, heap cells, a
+// guarded output byte, and a shadow path.
+func wireFixture(b *expr.Builder) []*core.StateWire {
+	x := b.Var("x", 8)
+	y := b.Var("y", 8)
+	sum := b.Add(x, y)
+	cond := b.Ult(x, b.Const(10, 8))
+	big := b.Const(1<<63|12345, 64)
+	return []*core.StateWire{
+		{
+			Frames: []core.WireFrame{{
+				Fn: 0, PC: 3, RetDst: -1,
+				Locals:  []core.WireValue{{E: sum}, {Depth: 0, Local: 1}, {E: big}},
+				Objects: []*core.WireObject{nil, {Cells: []*expr.Expr{x, sum}, Width: 8}, nil},
+			}},
+			PC:      []*expr.Expr{cond},
+			Heap:    []core.WireHeapEntry{{ID: 2, Obj: core.WireObject{Cells: []*expr.Expr{y}, Width: 8}}},
+			Allocs:  []uint16{1, 0},
+			Mult:    "3",
+			Output:  []core.WireOut{{Guard: cond, Val: x}},
+			NSyms:   2,
+			History: []uint64{7, 9, 0},
+			HistPos: 1,
+			Shadow:  [][]*expr.Expr{{cond}, {b.Not(cond)}},
+		},
+		{
+			Frames: []core.WireFrame{{
+				Fn: 0, PC: 5, RetDst: -1,
+				Locals:  []core.WireValue{{E: x}, {E: y}, {E: sum}},
+				Objects: []*core.WireObject{nil, nil, nil},
+			}},
+			PC:   []*expr.Expr{b.Not(cond)},
+			Mult: "1",
+		},
+	}
+}
+
+// TestEncodeDecodeRoundTrip checks the node table + index encoding against
+// both decode targets: the same builder must yield pointer-identical
+// expressions (pure hash-cons hits), and a fresh builder must yield a
+// byte-identical re-encoding.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b := expr.NewBuilder()
+	wires := wireFixture(b)
+
+	var sn Snapshot
+	sn.EncodeStates(wires)
+	enc1, err := json.Marshal(&sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same builder: every decoded expression is the original pointer.
+	back, err := sn.DecodeStates(b)
+	if err != nil {
+		t.Fatalf("decode (same builder): %v", err)
+	}
+	if len(back) != len(wires) {
+		t.Fatalf("decoded %d states, want %d", len(back), len(wires))
+	}
+	if back[0].PC[0] != wires[0].PC[0] {
+		t.Error("path conjunct did not hash-cons back to the original pointer")
+	}
+	if back[0].Frames[0].Locals[0].E != wires[0].Frames[0].Locals[0].E {
+		t.Error("local did not hash-cons back to the original pointer")
+	}
+	if back[0].Heap[0].Obj.Cells[0] != wires[0].Heap[0].Obj.Cells[0] {
+		t.Error("heap cell did not hash-cons back to the original pointer")
+	}
+	if back[0].Frames[0].Locals[1].E != nil || back[0].Frames[0].Locals[1].Local != 1 {
+		t.Error("object reference local did not survive")
+	}
+	if got := back[0].Frames[0].Locals[2].E; got.Val != 1<<63|12345 {
+		t.Errorf("uint64 constant corrupted: %d", got.Val)
+	}
+
+	// Fresh builder: decode, re-encode, byte-identical snapshot.
+	fresh, err := sn.DecodeStates(expr.NewBuilder())
+	if err != nil {
+		t.Fatalf("decode (fresh builder): %v", err)
+	}
+	var sn2 Snapshot
+	sn2.EncodeStates(fresh)
+	sn2.Schema = sn.Schema
+	enc2, err := json.Marshal(&sn2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc1) != string(enc2) {
+		t.Errorf("re-encoding through a fresh builder diverged:\n%s\nvs\n%s", enc1, enc2)
+	}
+}
+
+func TestDecodeRejectsForwardReference(t *testing.T) {
+	sn := Snapshot{
+		Exprs: []Node{{K: uint8(expr.KNot), Kids: []uint32{1}}, {K: uint8(expr.KVar), N: "b"}},
+	}
+	if _, err := sn.DecodeStates(expr.NewBuilder()); err == nil {
+		t.Fatal("forward kid reference decoded without error")
+	}
+}
+
+func TestWriteLoadLatest(t *testing.T) {
+	dir := t.TempDir()
+	b := expr.NewBuilder()
+
+	if sn, err := LoadLatest(dir); err != nil || sn != nil {
+		t.Fatalf("empty dir: got (%v, %v), want (nil, nil)", sn, err)
+	}
+
+	for seq := uint64(0); seq < 4; seq++ {
+		sn := &Snapshot{Seq: seq, Program: corpus.ProgramInfo{Name: "t", Hash: "h"}, Config: "c"}
+		sn.EncodeStates(wireFixture(b))
+		if _, err := Write(dir, sn); err != nil {
+			t.Fatalf("write %d: %v", seq, err)
+		}
+	}
+
+	got, err := LoadLatest(dir)
+	if err != nil || got == nil || got.Seq != 3 {
+		t.Fatalf("LoadLatest = (%+v, %v), want seq 3", got, err)
+	}
+
+	// Pruning keeps only the newest two.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 2 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("prune left %v, want 2 files", names)
+	}
+
+	// A torn newest snapshot is skipped, not fatal: corrupt seq 3 and the
+	// loader must fall back to seq 2.
+	path := filepath.Join(dir, "snap-00000003.ckpt")
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadLatest(dir)
+	if err != nil || got == nil || got.Seq != 2 {
+		t.Fatalf("after tearing seq 3: LoadLatest = (%+v, %v), want seq 2", got, err)
+	}
+
+	// A wrong-schema snapshot is refused the same way.
+	raw := []byte(`{"schema":"symmerge-checkpoint/v999","seq":9,"states":[]}`)
+	writeRaw(t, dir, "snap-00000009.ckpt", raw)
+	got, err = LoadLatest(dir)
+	if err != nil || got == nil || got.Seq != 2 {
+		t.Fatalf("after foreign schema: LoadLatest = (%+v, %v), want seq 2", got, err)
+	}
+}
+
+// writeRaw writes body plus a valid checksum trailer, bypassing Write, so
+// tests can plant snapshots whose JSON the loader must reject on content.
+func writeRaw(t *testing.T, dir, name string, body []byte) {
+	t.Helper()
+	sum := sha256.Sum256(body)
+	data := append(append(body, '\n'), hex.EncodeToString(sum[:])...)
+	data = append(data, '\n')
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"symmerge/internal/cfg"
+	"symmerge/internal/checkpoint/faultinject"
 	"symmerge/internal/expr"
 	"symmerge/internal/ir"
 	"symmerge/internal/qce"
@@ -102,6 +103,14 @@ type Config struct {
 	// polls it on the same cadence as the wall-clock deadline, so portfolio
 	// losers and interrupted CLI runs stop promptly with Completed=false.
 	Context context.Context
+
+	// PollEvery sets the step cadence of the context/deadline poll (0 =
+	// every 64 steps). The checkpoint driver sets 1: its epoch boundaries
+	// arrive as context timeouts, and the default cadence would quantize
+	// an epoch shorter than 64 steps' worth of work up to that boundary.
+	// A step executes a whole basic block (often with solver queries), so
+	// even the every-step poll is noise there.
+	PollEvery int
 
 	// Builder, when non-nil, supplies the expression builder instead of a
 	// private one. The parallel subsystem shares one (concurrency-safe)
@@ -257,6 +266,7 @@ type Engine struct {
 	errors    []PathError
 	deadline  time.Time
 	started   time.Time
+	stopCause Interrupted
 
 	// sessRoot is the engine's root solver session. Every state lineage —
 	// the entry state and every injected migrant — forks it, so the whole
@@ -428,6 +438,40 @@ func (s *State) pushFrame(f *Frame) {
 	s.Frames = append(s.Frames, f)
 }
 
+// Interrupted classifies why an exploration returned with Completed=false,
+// so a truncated run is never silently reported as a full census. The
+// values are ordered by how much the caller should care: when parallel
+// workers stop for different reasons the aggregate keeps the maximum.
+type Interrupted uint8
+
+// Interruption causes.
+const (
+	// IntrNone: not interrupted (the worklist drained).
+	IntrNone Interrupted = iota
+	// IntrBudget: a resource budget tripped (MaxSteps or MaxTime).
+	IntrBudget
+	// IntrContext: Config.Context was cancelled (Ctrl-C, portfolio loss).
+	IntrContext
+	// IntrCheckpoint: the run stopped early but its frontier was written to
+	// a checkpoint — the exploration is resumable, nothing was dropped.
+	// Set by the symx checkpoint driver, not by the engine itself.
+	IntrCheckpoint
+)
+
+func (i Interrupted) String() string {
+	switch i {
+	case IntrNone:
+		return "none"
+	case IntrBudget:
+		return "budget"
+	case IntrContext:
+		return "context"
+	case IntrCheckpoint:
+		return "checkpoint"
+	}
+	return "?"
+}
+
 // Result bundles the outcome of Run.
 type Result struct {
 	Stats  Stats
@@ -436,6 +480,10 @@ type Result struct {
 	// Completed is true when the worklist drained (exhaustive
 	// exploration); false when a budget stopped the run.
 	Completed bool
+	// Interrupted records why the run stopped when Completed is false
+	// (budget, cancellation, or preemption-with-checkpoint); IntrNone when
+	// the exploration finished.
+	Interrupted Interrupted
 	// PortfolioWinner is the index of the winning configuration when the
 	// run raced a portfolio (symx.Config.Portfolio); -1 otherwise.
 	PortfolioWinner int
@@ -447,6 +495,11 @@ type Result struct {
 	// an unwritable directory, a non-replayable program, or an I/O error
 	// while streaming tests. The exploration result itself is unaffected.
 	CorpusErr error
+	// CheckpointErr reports a failure to persist a snapshot
+	// (symx.Config.CheckpointDir). The exploration result itself is
+	// unaffected, but a crash would lose the progress made since the last
+	// snapshot that did persist.
+	CheckpointErr error
 	// ConfigErr reports a configuration the run refused up front (an
 	// unknown search strategy, for example): nothing was explored and the
 	// rest of the result is empty. Refusing beats the historical behaviour
@@ -492,16 +545,24 @@ func (e *Engine) Begin(seed bool) {
 }
 
 // stopRequested reports whether a budget or cancellation should end the
-// exploration. The wall clock and the context are polled every 64 steps.
+// exploration, recording the cause for Result.Interrupted. The wall clock
+// and the context are polled every 64 steps.
 func (e *Engine) stopRequested() bool {
 	if e.cfg.MaxSteps > 0 && e.stats.Steps >= e.cfg.MaxSteps {
+		e.stopCause = IntrBudget
 		return true
 	}
-	if e.stats.Steps%64 == 0 {
+	poll := uint64(64)
+	if e.cfg.PollEvery > 0 {
+		poll = uint64(e.cfg.PollEvery)
+	}
+	if e.stats.Steps%poll == 0 {
 		if e.cfg.Context != nil && e.cfg.Context.Err() != nil {
+			e.stopCause = IntrContext
 			return true
 		}
 		if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+			e.stopCause = IntrBudget
 			return true
 		}
 	}
@@ -511,6 +572,7 @@ func (e *Engine) stopRequested() bool {
 // stepOnce runs one scheduler step: pick, step to the next block boundary,
 // dispatch successors. It reports whether a state was stepped.
 func (e *Engine) stepOnce() bool {
+	faultinject.Hit(faultinject.PointStep)
 	s := e.pickNext()
 	if s == nil {
 		return false
@@ -572,7 +634,7 @@ func (e *Engine) Finish(completed bool) *Result {
 	e.stats.Solver = e.solv.Stats
 	e.stats.Rules = e.build.RuleHits()
 	e.stats.ElapsedSeconds = time.Since(e.started).Seconds()
-	return &Result{
+	res := &Result{
 		Stats:           e.stats,
 		Tests:           e.testCases,
 		Errors:          e.errors,
@@ -580,6 +642,29 @@ func (e *Engine) Finish(completed bool) *Result {
 		PortfolioWinner: -1,
 		CoverageMask:    e.CoverageMask(),
 	}
+	if !completed {
+		res.Interrupted = e.stopCause
+		if res.Interrupted == IntrNone {
+			// Stopped for a reason the engine never observed itself (a
+			// parallel frontier closing on a peer's budget): a budget-class
+			// interruption.
+			res.Interrupted = IntrBudget
+		}
+	}
+	return res
+}
+
+// Progress packages the engine's cumulative result so far WITHOUT closing
+// the exploration: the checkpoint driver persists it alongside the frontier
+// snapshot between StepN quanta while the run continues.
+func (e *Engine) Progress() *Result {
+	res := e.Finish(false)
+	res.Interrupted = IntrNone
+	if res.Stats.PathsMult != nil {
+		// Detach from the live counter, which later steps mutate in place.
+		res.Stats.PathsMult = new(big.Int).Set(res.Stats.PathsMult)
+	}
+	return res
 }
 
 // WorklistLen reports the number of live states awaiting exploration.

@@ -3,6 +3,7 @@ package core
 import (
 	"math/big"
 
+	"symmerge/internal/checkpoint/faultinject"
 	"symmerge/internal/expr"
 	"symmerge/internal/ir"
 )
@@ -236,6 +237,10 @@ func (e *Engine) tryMerge(ns *State) bool {
 			continue
 		}
 		e.removeState(cand)
+		// Crash-recovery hook: dying here leaves the widest in-memory
+		// inconsistency the engine has — the candidate is already off the
+		// worklist and the merged state does not exist yet.
+		faultinject.Hit(faultinject.PointMerge)
 		merged := e.merge(cand, ns)
 		e.stats.Merges++
 		if ns.ff {

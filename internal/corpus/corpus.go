@@ -35,6 +35,7 @@ import (
 	"strings"
 	"sync"
 
+	"symmerge/internal/checkpoint/faultinject"
 	"symmerge/internal/ir"
 )
 
@@ -220,7 +221,7 @@ func (w *Writer) Add(args [][]byte, stdin, output []byte, exit int64, assertFail
 			Exit:         exit,
 			AssertFailed: assertFailed,
 			AssertMsg:    assertMsg,
-			Covered:      maskToRanges(res.Covered),
+			Covered:      MaskToRanges(res.Covered),
 		}
 		err = writeJSON(filepath.Join(w.dir, id+".json"), t)
 	}
@@ -269,7 +270,7 @@ func (w *Writer) Finalize(symCovered []bool, completed bool) (*Manifest, error) 
 		Emitted:    w.emitted,
 		Deduped:    w.emitted - len(ids),
 		Skipped:    w.skipped,
-		SymCovered: maskToRanges(symCovered),
+		SymCovered: MaskToRanges(symCovered),
 	}
 	for _, id := range ids {
 		m.Tests = append(m.Tests, Entry{ID: id, File: id + ".json"})
@@ -280,10 +281,10 @@ func (w *Writer) Finalize(symCovered []bool, completed bool) (*Manifest, error) 
 	return m, nil
 }
 
-// maskToRanges renders a coverage bitmap as a canonical sorted range list:
+// MaskToRanges renders a coverage bitmap as a canonical sorted range list:
 // maximal runs of set bits as "lo-hi" (or "lo" for singletons), joined by
 // commas. "" is the empty set.
-func maskToRanges(mask []bool) string {
+func MaskToRanges(mask []bool) string {
 	var b strings.Builder
 	i := 0
 	for i < len(mask) {
@@ -308,8 +309,8 @@ func maskToRanges(mask []bool) string {
 	return b.String()
 }
 
-// rangesToMask parses a range list back into a bitmap over n locations.
-func rangesToMask(s string, n int) ([]bool, error) {
+// RangesToMask parses a range list back into a bitmap over n locations.
+func RangesToMask(s string, n int) ([]bool, error) {
 	out := make([]bool, n)
 	if s == "" {
 		return out, nil
@@ -332,11 +333,26 @@ func rangesToMask(s string, n int) ([]bool, error) {
 }
 
 // writeJSON marshals v deterministically (indented, trailing newline) and
-// writes it atomically enough for our purposes (single rename-free write).
+// writes it crash-safely: the bytes land in a sibling temp file first and
+// are renamed into place, so a process killed at any instant leaves either
+// the old file, the new file, or a stray .tmp — never torn JSON at the
+// final path. ValidateDir cleans stray temp files up on resume.
 func writeJSON(path string, v interface{}) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	data = append(data, '\n')
+	// The fault-injection point simulates the pre-crash-safety writer (or a
+	// filesystem that tears on power loss): a truncated file at the FINAL
+	// path, then death. The resume-time quarantine pass exists for exactly
+	// this artifact.
+	faultinject.HitWith(faultinject.PointCorpusWrite, func() {
+		_ = os.WriteFile(path, data[:len(data)/2], 0o644)
+	})
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

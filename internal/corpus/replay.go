@@ -117,7 +117,7 @@ func Replay(dir string, prog *ir.Program) (*Report, error) {
 		return nil, fmt.Errorf("corpus: %s was generated from program %s…, replaying against %s…; regenerate the corpus",
 			dir, m.Program.Hash[:12], h[:12])
 	}
-	sym, err := rangesToMask(m.SymCovered, prog.NumLocations())
+	sym, err := RangesToMask(m.SymCovered, prog.NumLocations())
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +174,7 @@ func (r *Report) check(t *Test, res *ir.InterpResult) {
 	} else if t.AssertFailed && res.Msg != t.AssertMsg {
 		bad("assert_msg", fmt.Sprintf("%q", t.AssertMsg), fmt.Sprintf("%q", res.Msg))
 	}
-	if got := maskToRanges(res.Covered); got != t.Covered {
+	if got := MaskToRanges(res.Covered); got != t.Covered {
 		bad("coverage", t.Covered, got)
 	}
 }

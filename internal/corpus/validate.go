@@ -1,0 +1,116 @@
+package corpus
+
+// Resume-time corpus validation. A crash-safe writer never leaves torn JSON
+// at a final path (writeJSON goes through a temp file + rename), but a
+// corpus being resumed may still contain damage from other sources: files
+// written by a pre-crash-safety version, filesystems that tear on power
+// loss, or manual tampering. ValidateDir is the corpusgen -check-style
+// sweep a resuming run performs: instead of fatally refusing the corpus, it
+// quarantines each unreadable entry (renaming it aside) so the resumed
+// exploration regenerates the test deterministically.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// QuarantineSuffix is appended to an unreadable test file's name when it is
+// moved aside; quarantined files are kept for post-mortems, never read.
+const QuarantineSuffix = ".quarantined"
+
+// ValidateDir scans a corpus directory for damage a resumed run must heal:
+// stray temp files from an interrupted atomic write are deleted, and test
+// files that fail to parse (torn JSON, wrong shape, name/ID mismatch) are
+// renamed aside with QuarantineSuffix. It returns the quarantined test IDs
+// — the resume path removes these from the writer's dedup set so the tests
+// are regenerated — sorted for determinism. A missing directory is an empty
+// corpus, not an error. The manifest is not validated here: Finalize
+// rewrites it wholesale.
+func ValidateDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var quarantined []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if name == ManifestName || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		if validTestFile(filepath.Join(dir, name), id) {
+			continue
+		}
+		if err := os.Rename(filepath.Join(dir, name), filepath.Join(dir, name+QuarantineSuffix)); err != nil {
+			return nil, err
+		}
+		quarantined = append(quarantined, id)
+	}
+	sort.Strings(quarantined)
+	return quarantined, nil
+}
+
+// validTestFile reports whether the file parses as a test whose recorded
+// identity matches both its file name and its recorded input.
+func validTestFile(path, id string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var t Test
+	if err := json.Unmarshal(data, &t); err != nil {
+		return false
+	}
+	return t.Version == FormatVersion && t.ID == id && InputID(t.Args, t.Stdin) == id
+}
+
+// StateSnapshot captures the writer's dedup and counter state for a
+// checkpoint: the sorted set of input IDs written so far plus the emission
+// counters. Restoring this exact state in a resumed writer is what keeps
+// the final counters identical to an uninterrupted run's — tests generated
+// after the snapshot re-emit idempotently (same input hash, same bytes).
+func (w *Writer) StateSnapshot() (seen []string, emitted, skipped int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seen = make([]string, 0, len(w.seen))
+	for id := range w.seen {
+		seen = append(seen, id)
+	}
+	sort.Strings(seen)
+	return seen, w.emitted, w.skipped
+}
+
+// RestoreState primes a fresh writer with a checkpointed StateSnapshot.
+// IDs in seen are treated as already written (their files survive on disk);
+// pass the quarantined IDs from ValidateDir through dropped so their tests
+// are regenerated rather than trusted.
+func (w *Writer) RestoreState(seen []string, emitted, skipped int, dropped []string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	drop := make(map[string]bool, len(dropped))
+	for _, id := range dropped {
+		drop[id] = true
+	}
+	for _, id := range seen {
+		if !drop[id] {
+			w.seen[id] = true
+		}
+	}
+	w.emitted = emitted
+	w.skipped = skipped
+}

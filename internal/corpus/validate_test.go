@@ -1,0 +1,136 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedCorpus writes a two-test corpus and returns the directory plus the two
+// test IDs in emission order.
+func seedCorpus(t *testing.T) (string, []string) {
+	t.Helper()
+	p := compile(t, testProg)
+	dir := t.TempDir()
+	w, err := NewWriter(dir, p, "unit", "merge=none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(t, w, p, [][]byte{[]byte("a")})
+	emit(t, w, p, [][]byte{[]byte("b")})
+	if _, err := w.Finalize(make([]bool, p.NumLocations()), true); err != nil {
+		t.Fatal(err)
+	}
+	return dir, []string{InputID([][]byte{[]byte("a")}, nil), InputID([][]byte{[]byte("b")}, nil)}
+}
+
+func TestValidateDirCleanCorpus(t *testing.T) {
+	dir, _ := seedCorpus(t)
+	quarantined, err := ValidateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != 0 {
+		t.Fatalf("clean corpus quarantined %v", quarantined)
+	}
+	if q, err := ValidateDir(filepath.Join(dir, "no-such-subdir")); err != nil || q != nil {
+		t.Fatalf("missing dir: got (%v, %v), want (nil, nil)", q, err)
+	}
+}
+
+func TestValidateDirQuarantinesDamage(t *testing.T) {
+	dir, ids := seedCorpus(t)
+
+	// Tear the first test's file mid-JSON and leave a stray temp file, the
+	// two artifacts an interruption can plausibly leave behind.
+	torn := filepath.Join(dir, ids[0]+".json")
+	data, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, ids[1]+".json.tmp")
+	if err := os.WriteFile(tmp, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	quarantined, err := ValidateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != 1 || quarantined[0] != ids[0] {
+		t.Fatalf("quarantined %v, want [%s]", quarantined, ids[0])
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Error("torn file still present at its final path")
+	}
+	if _, err := os.Stat(torn + QuarantineSuffix); err != nil {
+		t.Errorf("quarantine copy missing: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("stray temp file survived validation")
+	}
+	// The intact test is untouched.
+	if _, err := os.Stat(filepath.Join(dir, ids[1]+".json")); err != nil {
+		t.Errorf("intact test damaged: %v", err)
+	}
+}
+
+func TestValidateDirQuarantinesRenamedTest(t *testing.T) {
+	dir, ids := seedCorpus(t)
+	// A test stored under the wrong name claims an input it does not hold;
+	// replay trust requires name == ID == InputID(content).
+	src := filepath.Join(dir, ids[0]+".json")
+	dst := filepath.Join(dir, "00deadbeef00deadbeef00deadbeef00.json")
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	quarantined, err := ValidateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != 1 || quarantined[0] != "00deadbeef00deadbeef00deadbeef00" {
+		t.Fatalf("quarantined %v, want the renamed id", quarantined)
+	}
+}
+
+// TestWriterStateRoundTrip pins the snapshot/restore contract the resume
+// path relies on: restoring a snapshot minus the quarantined IDs makes
+// re-emission of quarantined tests possible while everything else dedups,
+// so counters converge to the uninterrupted run's.
+func TestWriterStateRoundTrip(t *testing.T) {
+	p := compile(t, testProg)
+	dir := t.TempDir()
+	w, err := NewWriter(dir, p, "unit", "merge=none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(t, w, p, [][]byte{[]byte("a")})
+	emit(t, w, p, [][]byte{[]byte("b")})
+	seen, emitted, skipped := w.StateSnapshot()
+	if len(seen) != 2 || emitted != 2 || skipped != 0 {
+		t.Fatalf("snapshot: seen=%v emitted=%d skipped=%d", seen, emitted, skipped)
+	}
+
+	// A second writer on the same dir, restored minus one "quarantined" id:
+	// the dropped test re-emits, the kept one dedups.
+	idA := InputID([][]byte{[]byte("a")}, nil)
+	w2, err := NewWriter(dir, p, "unit", "merge=none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.RestoreState(seen, emitted, skipped, []string{idA})
+	emit(t, w2, p, [][]byte{[]byte("a")}) // regenerated
+	emit(t, w2, p, [][]byte{[]byte("b")}) // dedups against restored state
+	man, err := w2.Finalize(make([]bool, p.NumLocations()), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 from before the restore + 2 after = 4 emissions, 2 unique tests.
+	if man.Emitted != 4 || man.Deduped != 2 || len(man.Tests) != 2 {
+		t.Fatalf("manifest after restore: emitted=%d deduped=%d tests=%d",
+			man.Emitted, man.Deduped, len(man.Tests))
+	}
+}

@@ -1,0 +1,148 @@
+package expr
+
+// Raw interning for deserialization. The checkpoint subsystem persists
+// expression DAGs in a topologically ordered node table; on load each node
+// is re-interned through Intern, which validates the node's shape and
+// hash-conses it WITHOUT re-running the rewrite-rule table. Skipping the
+// rules is deliberate and safe: every serialized node was produced by a
+// rule-running constructor, so it is already in canonical form, and
+// re-canonicalizing could change node identity mid-table (a rewritten
+// parent would reference kids that no longer exist in the serialized
+// shape). Re-interning a snapshot into the builder that produced it yields
+// pointer-identical nodes (a pure hash-cons hit per node).
+
+import "fmt"
+
+// Intern reconstructs one deserialized node: it validates the operator's
+// arity and sort constraints (a corrupt snapshot must fail loudly here, not
+// crash the engine later) and hash-conses the node as-is. Kids must already
+// be interned in this builder.
+func (b *Builder) Intern(kind Kind, width uint8, val uint64, aux uint16, name string, kids []*Expr) (*Expr, error) {
+	if kind >= numKinds {
+		return nil, fmt.Errorf("expr: intern: unknown kind %d", uint8(kind))
+	}
+	if width > 64 {
+		return nil, fmt.Errorf("expr: intern: %s width %d out of range", kind, width)
+	}
+	for i, k := range kids {
+		if k == nil {
+			return nil, fmt.Errorf("expr: intern: %s kid %d is nil", kind, i)
+		}
+	}
+	nkids := func(n int) error {
+		if len(kids) != n {
+			return fmt.Errorf("expr: intern: %s wants %d kids, got %d", kind, n, len(kids))
+		}
+		return nil
+	}
+	boolKids := func() error {
+		for _, k := range kids {
+			if !k.IsBool() {
+				return fmt.Errorf("expr: intern: %s on non-bool kid %s", kind, k)
+			}
+		}
+		return nil
+	}
+	sameBVKids := func(w uint8) error {
+		for _, k := range kids {
+			if k.Width != w || w == 0 {
+				return fmt.Errorf("expr: intern: %s kid width %d, want %d", kind, k.Width, w)
+			}
+		}
+		return nil
+	}
+
+	var err error
+	switch kind {
+	case KConst:
+		err = nkids(0)
+		val = truncate(val, width)
+	case KVar:
+		err = nkids(0)
+		if name == "" {
+			err = fmt.Errorf("expr: intern: variable without a name")
+		}
+	case KNot:
+		if err = nkids(1); err == nil {
+			err = boolKids()
+		}
+		width = 0
+	case KAnd, KOr:
+		if len(kids) < 2 {
+			err = fmt.Errorf("expr: intern: %s wants >= 2 kids, got %d", kind, len(kids))
+		} else {
+			err = boolKids()
+		}
+		width = 0
+	case KXor, KImplies:
+		if err = nkids(2); err == nil {
+			err = boolKids()
+		}
+		width = 0
+	case KEq:
+		if err = nkids(2); err == nil && kids[0].Width != kids[1].Width {
+			err = fmt.Errorf("expr: intern: = width mismatch %d vs %d", kids[0].Width, kids[1].Width)
+		}
+		width = 0
+	case KUlt, KUle, KSlt, KSle:
+		if err = nkids(2); err == nil {
+			err = sameBVKids(kids[0].Width)
+		}
+		width = 0
+	case KAdd, KSub, KMul, KUDiv, KURem, KSDiv, KSRem,
+		KBAnd, KBOr, KBXor, KShl, KLShr, KAShr:
+		if err = nkids(2); err == nil {
+			err = sameBVKids(width)
+		}
+	case KBNot, KNeg:
+		if err = nkids(1); err == nil {
+			err = sameBVKids(width)
+		}
+	case KZExt, KSExt:
+		if err = nkids(1); err == nil {
+			if uint16(kids[0].Width) != aux || width <= kids[0].Width || kids[0].Width == 0 {
+				err = fmt.Errorf("expr: intern: %s %d -> %d (aux %d) invalid", kind, kids[0].Width, width, aux)
+			}
+		}
+	case KExtract:
+		if err = nkids(1); err == nil {
+			if width == 0 || int(aux)+int(width) > int(kids[0].Width) {
+				err = fmt.Errorf("expr: intern: extract [%d+%d] of width-%d", aux, width, kids[0].Width)
+			}
+		}
+	case KConcat:
+		if err = nkids(2); err == nil {
+			if kids[0].Width == 0 || kids[1].Width == 0 ||
+				int(kids[0].Width)+int(kids[1].Width) != int(width) {
+				err = fmt.Errorf("expr: intern: concat widths %d+%d != %d", kids[0].Width, kids[1].Width, width)
+			}
+		}
+	case KIte:
+		if err = nkids(3); err == nil {
+			if !kids[0].IsBool() || kids[1].Width != width || kids[2].Width != width {
+				err = fmt.Errorf("expr: intern: ite sorts (%d ? %d : %d) -> %d invalid",
+					kids[0].Width, kids[1].Width, kids[2].Width, width)
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Zero the fields the operator does not use, so stray bytes in a
+	// snapshot cannot mint a node that is structurally distinct from (but
+	// semantically identical to) the canonical one.
+	if kind != KConst {
+		val = 0
+	}
+	if kind != KVar {
+		name = ""
+	}
+	if kind != KZExt && kind != KSExt && kind != KExtract {
+		aux = 0
+	}
+	e := &Expr{Kind: kind, Width: width, Val: val, Aux: aux, Name: name}
+	if len(kids) > 0 {
+		e.Kids = append([]*Expr(nil), kids...)
+	}
+	return b.mk(e), nil
+}

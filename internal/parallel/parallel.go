@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"symmerge/internal/checkpoint/faultinject"
 	"symmerge/internal/core"
 	"symmerge/internal/expr"
 	"symmerge/internal/ir"
@@ -60,6 +61,11 @@ type Options struct {
 	// StepQuantum is how many scheduler steps a worker runs between
 	// frontier polls (default 128).
 	StepQuantum int
+	// Seeds, when non-empty, replaces the splitter phase: the frontier is
+	// primed with these detached states instead of sharding from the entry
+	// state. The checkpoint driver uses it to hand a resumed (or previous
+	// epoch's) frontier straight to the worker fleet.
+	Seeds []*core.State
 }
 
 func (o Options) splitTarget() int {
@@ -86,8 +92,23 @@ const maxSplitSteps = 4096
 // Explore shards the exploration of prog under cfg across opts.Workers
 // goroutines and returns the aggregated result.
 func Explore(prog *ir.Program, cfg core.Config, opts Options, newEngine NewEngineFunc) *core.Result {
+	res, _ := explore(prog, cfg, opts, newEngine, false)
+	return res
+}
+
+// ExplorePreemptible is Explore for the checkpoint driver: when a budget or
+// cancellation stops the run, the states every worker still held — plus any
+// left unclaimed on the frontier — come back as detached leftovers instead
+// of being abandoned, so the caller can snapshot them and hand them to the
+// next epoch (or the next process) as Seeds. Leftovers is nil when the run
+// completed.
+func ExplorePreemptible(prog *ir.Program, cfg core.Config, opts Options, newEngine NewEngineFunc) (*core.Result, []*core.State) {
+	return explore(prog, cfg, opts, newEngine, true)
+}
+
+func explore(prog *ir.Program, cfg core.Config, opts Options, newEngine NewEngineFunc, preempt bool) (*core.Result, []*core.State) {
 	if opts.Workers <= 1 {
-		return newEngine(cfg).Run()
+		return exploreSeq(cfg, opts, newEngine, preempt)
 	}
 	start := time.Now()
 
@@ -111,28 +132,39 @@ func Explore(prog *ir.Program, cfg core.Config, opts Options, newEngine NewEngin
 	defer cancel()
 	cfg.Context = pctx
 
-	// Phase 1: single-threaded split until the frontier is wide enough.
-	split := newEngine(cfg)
-	split.Begin(true)
-	status := core.RunDrained
-	for steps := 0; split.WorklistLen() > 0 && split.WorklistLen() < opts.splitTarget() && steps < maxSplitSteps; steps++ {
-		status = split.StepN(1)
-		if status != core.RunMore {
-			break
+	// Phase 1: single-threaded split until the frontier is wide enough —
+	// skipped entirely when the caller seeds the frontier with an already
+	// sharded (resumed or previous-epoch) frontier.
+	var splitRes *core.Result
+	seeds := opts.Seeds
+	if len(seeds) == 0 {
+		split := newEngine(cfg)
+		split.Begin(true)
+		status := core.RunDrained
+		for steps := 0; split.WorklistLen() > 0 && split.WorklistLen() < opts.splitTarget() && steps < maxSplitSteps; steps++ {
+			status = split.StepN(1)
+			if status != core.RunMore {
+				break
+			}
 		}
+		if status == core.RunDrained && split.WorklistLen() == 0 {
+			// The program was exhausted (or every path pruned) before the
+			// frontier ever widened: the splitter's run is the whole result.
+			res := split.Finish(true)
+			res.Stats.ElapsedSeconds = time.Since(start).Seconds()
+			return res, nil
+		}
+		if status == core.RunStopped {
+			res := split.Finish(false)
+			var left []*core.State
+			if preempt {
+				left = split.ExtractAll()
+			}
+			return res, left
+		}
+		seeds = split.ExtractAll()
+		splitRes = split.Finish(true)
 	}
-	if status == core.RunDrained && split.WorklistLen() == 0 {
-		// The program was exhausted (or every path pruned) before the
-		// frontier ever widened: the splitter's run is the whole result.
-		res := split.Finish(true)
-		res.Stats.ElapsedSeconds = time.Since(start).Seconds()
-		return res
-	}
-	if status == core.RunStopped {
-		return split.Finish(false)
-	}
-	seeds := split.ExtractAll()
-	splitRes := split.Finish(true)
 
 	fr := newFrontier(opts.Workers)
 	fr.put(seeds)
@@ -142,9 +174,12 @@ func Explore(prog *ir.Program, cfg core.Config, opts Options, newEngine NewEngin
 	// clock (workers start together, so their deadlines coincide).
 	wcfg := cfg
 	if cfg.MaxSteps > 0 {
-		rem := uint64(0)
-		if cfg.MaxSteps > splitRes.Stats.Steps {
-			rem = cfg.MaxSteps - splitRes.Stats.Steps
+		rem := cfg.MaxSteps
+		if splitRes != nil {
+			rem = 0
+			if cfg.MaxSteps > splitRes.Stats.Steps {
+				rem = cfg.MaxSteps - splitRes.Stats.Steps
+			}
 		}
 		wcfg.MaxSteps = max(rem/uint64(opts.Workers), 1)
 	}
@@ -160,6 +195,8 @@ func Explore(prog *ir.Program, cfg core.Config, opts Options, newEngine NewEngin
 
 	engines := make([]*core.Engine, opts.Workers)
 	results := make([]*core.Result, opts.Workers)
+	leftovers := make([][]*core.State, opts.Workers)
+	var killed atomic.Pointer[faultinject.Killed]
 	var stopped atomic.Bool
 	var wg sync.WaitGroup
 	for i := range engines {
@@ -169,31 +206,94 @@ func Explore(prog *ir.Program, cfg core.Config, opts Options, newEngine NewEngin
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = runWorker(engines[i], fr, &stopped, opts.quantum())
+			// An injected kill panicking out of a worker goroutine would
+			// abort the whole test process before the harness could
+			// resume in-process: catch it, close the frontier so peers
+			// wind down, and re-panic from the caller's goroutine below —
+			// the harness recovers it there, exactly as if the process
+			// had died with some workers mid-step.
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if k, ok := r.(faultinject.Killed); ok {
+					killed.CompareAndSwap(nil, &k)
+					stopped.Store(true)
+					fr.close()
+					return
+				}
+				panic(r)
+			}()
+			results[i], leftovers[i] = runWorker(engines[i], fr, &stopped, opts.quantum(), preempt)
 		}(i)
 	}
 	wg.Wait()
-
-	masks := make([][]bool, 0, opts.Workers+1)
-	masks = append(masks, split.CoverageMask())
-	for _, e := range engines {
-		masks = append(masks, e.CoverageMask())
+	if k := killed.Load(); k != nil {
+		panic(*k)
 	}
-	all := append([]*core.Result{splitRes}, results...)
-	res := aggregate(all, masks, !stopped.Load(), cfg)
+
+	var left []*core.State
+	if preempt && stopped.Load() {
+		for _, l := range leftovers {
+			left = append(left, l...)
+		}
+		// States still sitting unclaimed on the frontier are part of the
+		// resumable picture too.
+		left = append(left, fr.drain()...)
+	}
+	all := results
+	if splitRes != nil {
+		all = append([]*core.Result{splitRes}, results...)
+	}
+	res := Combine(all, !stopped.Load(), cfg)
 	res.Stats.ElapsedSeconds = time.Since(start).Seconds()
-	return res
+	return res, left
+}
+
+// exploreSeq is the single-engine path: no frontier, no goroutines, but
+// the same seeding and preemption contract as the worker fleet.
+func exploreSeq(cfg core.Config, opts Options, newEngine NewEngineFunc, preempt bool) (*core.Result, []*core.State) {
+	if !preempt && len(opts.Seeds) == 0 {
+		return newEngine(cfg).Run(), nil
+	}
+	eng := newEngine(cfg)
+	if len(opts.Seeds) > 0 {
+		eng.Begin(false)
+		for _, s := range opts.Seeds {
+			eng.Inject(s)
+		}
+	} else {
+		eng.Begin(true)
+	}
+	completed := true
+loop:
+	for {
+		switch eng.StepN(opts.quantum()) {
+		case core.RunDrained:
+			break loop
+		case core.RunStopped:
+			completed = false
+			break loop
+		}
+	}
+	res := eng.Finish(completed)
+	var left []*core.State
+	if !completed && preempt {
+		left = eng.ExtractAll()
+	}
+	return res, left
 }
 
 // runWorker is one exploration goroutine: claim a subtree root from the
 // frontier, run it to exhaustion in quanta, donate states to starved peers
 // between quanta, repeat until the frontier closes.
-func runWorker(eng *core.Engine, fr *frontier, stopped *atomic.Bool, quantum int) *core.Result {
+func runWorker(eng *core.Engine, fr *frontier, stopped *atomic.Bool, quantum int, preempt bool) (*core.Result, []*core.State) {
 	eng.Begin(false)
 	for {
 		s := fr.take()
 		if s == nil {
-			return eng.Finish(true)
+			return eng.Finish(true), nil
 		}
 		eng.Inject(s)
 	subtree:
@@ -209,10 +309,17 @@ func runWorker(eng *core.Engine, fr *frontier, stopped *atomic.Bool, quantum int
 				// shares, so an imbalanced frontier cannot strand most
 				// of the configured budget. The claimed states left in
 				// this worklist are abandoned, exactly like a
-				// budget-stop in a sequential run.
+				// budget-stop in a sequential run — unless the caller
+				// asked for preemption, in which case they come back as
+				// resumable leftovers.
 				stopped.Store(true)
+				res := eng.Finish(false)
+				var left []*core.State
+				if preempt {
+					left = eng.ExtractAll()
+				}
 				fr.leave()
-				return eng.Finish(false)
+				return res, left
 			case core.RunMore:
 				if n := fr.hungry(); n > 0 {
 					fr.put(eng.ExtractStates(n))
@@ -308,17 +415,33 @@ func (f *frontier) close() {
 	f.cond.Broadcast()
 }
 
+// drain removes and returns every unclaimed state. Called after the worker
+// fleet has joined, when a preempted pool collects its resumable frontier.
+func (f *frontier) drain() []*core.State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := f.queue
+	f.queue = nil
+	return out
+}
+
 // hungry reports how many workers are currently blocked on an empty queue —
 // the donation target for a running worker's next steal poll.
 func (f *frontier) hungry() int { return int(f.starved.Load()) }
 
-// aggregate folds the splitter's and every worker's result into one, in
-// fixed order so the output is deterministic for a given set of per-worker
-// results. Counters sum; coverage is the union of the per-engine bitmaps;
-// MaxWorklist is the per-worker maximum (worklists are disjoint shards);
-// solver time sums across workers, so it can exceed wall-clock — it is
-// aggregate solver effort, as in the paper's query-time accounting.
-func aggregate(all []*core.Result, masks [][]bool, completed bool, cfg core.Config) *core.Result {
+// Combine folds per-engine results into one, in fixed order so the output
+// is deterministic for a given input sequence. Counters sum; coverage is
+// the union of the per-result bitmaps; MaxWorklist is the per-worker
+// maximum (worklists are disjoint shards); solver time sums across
+// workers, so it can exceed wall-clock — it is aggregate solver effort, as
+// in the paper's query-time accounting; Interrupted keeps the most
+// specific cause (the maximum, per its ordering). Completed is taken from
+// the caller, who knows whether the whole pool drained — a retired
+// worker's own Completed=false is subsumed by that. Exported for the symx
+// checkpoint driver, which folds a resumed run's engine totals onto the
+// progress base restored from the snapshot; nil entries (a skipped
+// worker) are ignored.
+func Combine(all []*core.Result, completed bool, cfg core.Config) *core.Result {
 	agg := &core.Result{Completed: completed, PortfolioWinner: -1}
 	st := &agg.Stats
 	st.PathsMult = big.NewInt(0)
@@ -327,6 +450,9 @@ func aggregate(all []*core.Result, masks [][]bool, completed bool, cfg core.Conf
 		maxTests = 256
 	}
 	for _, r := range all {
+		if r == nil {
+			continue
+		}
 		s := r.Stats
 		st.Steps += s.Steps
 		st.Instructions += s.Instructions
@@ -346,7 +472,12 @@ func aggregate(all []*core.Result, masks [][]bool, completed bool, cfg core.Conf
 		if s.MaxWorklist > st.MaxWorklist {
 			st.MaxWorklist = s.MaxWorklist
 		}
-		st.TotalInstrs = s.TotalInstrs
+		if s.TotalInstrs != 0 {
+			st.TotalInstrs = s.TotalInstrs
+		}
+		if r.Interrupted > agg.Interrupted {
+			agg.Interrupted = r.Interrupted
+		}
 
 		st.Solver.Queries += s.Solver.Queries
 		st.Solver.CacheHits += s.Solver.CacheHits
@@ -378,7 +509,6 @@ func aggregate(all []*core.Result, masks [][]bool, completed bool, cfg core.Conf
 		if len(agg.Errors) < maxTests {
 			agg.Errors = append(agg.Errors, r.Errors...)
 		}
-		agg.Completed = agg.Completed && r.Completed
 	}
 	if len(agg.Tests) > maxTests {
 		agg.Tests = agg.Tests[:maxTests]
@@ -387,18 +517,22 @@ func aggregate(all []*core.Result, masks [][]bool, completed bool, cfg core.Conf
 		agg.Errors = agg.Errors[:maxTests]
 	}
 	covered := 0
-	if len(masks) > 0 {
-		union := make([]bool, len(masks[0]))
-		for _, m := range masks {
-			for i, c := range m {
-				if c && !union[i] {
-					union[i] = true
-					covered++
-				}
+	var union []bool
+	for _, r := range all {
+		if r == nil || r.CoverageMask == nil {
+			continue
+		}
+		if union == nil {
+			union = make([]bool, len(r.CoverageMask))
+		}
+		for i, c := range r.CoverageMask {
+			if c && !union[i] {
+				union[i] = true
+				covered++
 			}
 		}
-		agg.CoverageMask = union
 	}
+	agg.CoverageMask = union
 	st.CoveredInstrs = covered
 	return agg
 }

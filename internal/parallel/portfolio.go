@@ -17,6 +17,12 @@ import (
 // completes (every arm hit its budget), the entry with the best coverage
 // wins, ties broken by lowest index. It returns the winning entry's index
 // and result; losers stop promptly via cancellation and are discarded.
+//
+// The returned result is the winner's verbatim: statistics, test cases and
+// counters (TestGenFailures included) describe the winning configuration's
+// run alone, never an aggregate over the losing arms — each arm runs its
+// own engines over its own builder, so there is no cross-entry state to
+// leak. TestPortfolioWinnerOnlyStats pins this.
 func Portfolio(ctx context.Context, runs []func(context.Context) *core.Result) (int, *core.Result) {
 	if len(runs) == 0 {
 		return -1, nil

@@ -1,0 +1,74 @@
+package parallel
+
+import (
+	"context"
+	"math/big"
+	"testing"
+	"time"
+
+	"symmerge/internal/core"
+)
+
+// fakeResult builds a minimal well-formed result for portfolio plumbing
+// tests.
+func fakeResult(completed bool, testGenFailures int, covered int) *core.Result {
+	res := &core.Result{Completed: completed, PortfolioWinner: -1}
+	res.Stats.PathsMult = big.NewInt(1)
+	res.Stats.TestGenFailures = testGenFailures
+	res.Stats.CoveredInstrs = covered
+	res.Stats.TotalInstrs = 100
+	return res
+}
+
+// TestPortfolioWinnerOnlyStats pins the winner-verbatim contract: a losing
+// arm's counters — TestGenFailures in particular, which corpus emission
+// turns into a hard error — must never bleed into the returned result. A
+// regression here would make finishCorpus fail a clean winning run because
+// a cancelled loser dropped test generations on its way out.
+func TestPortfolioWinnerOnlyStats(t *testing.T) {
+	runs := []func(context.Context) *core.Result{
+		// The loser: never completes, and reports dropped test
+		// generations plus better coverage than the winner.
+		func(ctx context.Context) *core.Result {
+			<-ctx.Done() // cancelled when the other arm completes
+			return fakeResult(false, 7, 90)
+		},
+		func(context.Context) *core.Result {
+			return fakeResult(true, 0, 50)
+		},
+	}
+	idx, res := Portfolio(context.Background(), runs)
+	if idx != 1 {
+		t.Fatalf("winner = %d, want 1 (the completed arm)", idx)
+	}
+	if !res.Completed {
+		t.Fatal("winner's result lost its Completed flag")
+	}
+	if res.Stats.TestGenFailures != 0 {
+		t.Fatalf("TestGenFailures = %d leaked from the losing arm, want 0", res.Stats.TestGenFailures)
+	}
+	if res.Stats.CoveredInstrs != 50 {
+		t.Fatalf("CoveredInstrs = %d, want the winner's 50", res.Stats.CoveredInstrs)
+	}
+}
+
+// TestPortfolioNoWinnerPicksBestCoverage covers the all-budgeted fallback:
+// with no completed arm, best coverage wins and its counters come back
+// verbatim too.
+func TestPortfolioNoWinnerPicksBestCoverage(t *testing.T) {
+	runs := []func(context.Context) *core.Result{
+		func(context.Context) *core.Result { return fakeResult(false, 3, 40) },
+		func(context.Context) *core.Result {
+			time.Sleep(10 * time.Millisecond) // finish last; index must not matter
+			return fakeResult(false, 0, 80)
+		},
+	}
+	idx, res := Portfolio(context.Background(), runs)
+	if idx != 1 {
+		t.Fatalf("winner = %d, want 1 (best coverage)", idx)
+	}
+	if res.Stats.TestGenFailures != 0 || res.Stats.CoveredInstrs != 80 {
+		t.Fatalf("result is not the best-coverage arm's verbatim: failures=%d covered=%d",
+			res.Stats.TestGenFailures, res.Stats.CoveredInstrs)
+	}
+}

@@ -1,0 +1,370 @@
+package symx_test
+
+// The crash-recovery determinism suite: kill exploration at deterministic
+// fault points (mid-step, mid-merge, mid-corpus-write), resume from the
+// persisted checkpoint, and require the finished census and corpus to be
+// byte-identical to an uninterrupted run's. This is the end-to-end statement
+// of ISSUE 6: a crash costs wall-clock, never results.
+//
+// faultinject arms process-global counters, so nothing here may run in
+// parallel with other fault-arming tests; the package's tests are
+// sequential by default and none opts into t.Parallel.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"symmerge/internal/checkpoint"
+	"symmerge/internal/checkpoint/faultinject"
+	"symmerge/internal/corpus"
+	"symmerge/internal/coreutils"
+	"symmerge/symx"
+)
+
+// runKilled invokes symx.Run, converting an injected kill (a faultinject
+// panic unwinding the whole run, like a real SIGKILL would) into a value.
+func runKilled(p *symx.Program, cfg symx.Config) (res *symx.Result, killed *faultinject.Killed) {
+	defer func() {
+		if r := recover(); r != nil {
+			if k, ok := r.(faultinject.Killed); ok {
+				killed = &k
+				return
+			}
+			panic(r)
+		}
+	}()
+	return symx.Run(p, cfg), nil
+}
+
+// referenceRun produces the uninterrupted baseline: a sequential corpus run
+// with no checkpointing. It returns the result and the corpus directory.
+func referenceRun(t *testing.T, tool *coreutils.Tool, p *symx.Program, cfg symx.Config) (*symx.Result, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg.Workers = 1
+	cfg.CorpusDir = dir
+	cfg.CorpusLabel = tool.Name
+	res := symx.Run(p, cfg)
+	if !res.Completed || res.CorpusErr != nil {
+		t.Fatalf("reference run: completed=%v corpusErr=%v", res.Completed, res.CorpusErr)
+	}
+	return res, dir
+}
+
+// killResumeLoop runs a checkpointed exploration, killing it at the armed
+// fault point and resuming, with the kill threshold growing each attempt so
+// the loop terminates. It returns the final result and how many kills and
+// snapshot-backed resumes happened.
+func killResumeLoop(t *testing.T, p *symx.Program, cfg symx.Config, point faultinject.Point, killAt int64) (*symx.Result, int, int) {
+	t.Helper()
+	kills, snapResumes := 0, 0
+	for attempt := 0; attempt < 12; attempt++ {
+		faultinject.Arm(point, killAt)
+		res, killed := runKilled(p, cfg)
+		faultinject.Disarm()
+		if killed == nil {
+			return res, kills, snapResumes
+		}
+		kills++
+		cfg.Resume = true
+		if sn, err := checkpoint.LoadLatest(cfg.CheckpointDir); err == nil && sn != nil {
+			snapResumes++
+		}
+		killAt *= 3 // let each retry get strictly further
+	}
+	t.Fatal("kill/resume loop did not converge in 12 attempts")
+	return nil, 0, 0
+}
+
+// requireSameCensus asserts the schedule-invariant census of two finished
+// runs matches: coverage and the error count are properties of the explored
+// path set, which killing and resuming must not change. With strict set it
+// additionally requires the full multiplicity census — sound only when the
+// schedule is canonical: sequential SSM, whose merge points are static and
+// whose topological strategy is insensitive to worklist order. DSM's merge
+// pattern depends on which states coexist in the worklist (the paper's
+// δ-window heuristic is opportunistic by design), and worker sharding
+// partitions merge opportunities, so under either a preemption legitimately
+// shifts HOW paths are represented (merged vs separate) without touching
+// the path set itself — the corpus digest check below is what pins the
+// result-level determinism for those cells.
+func requireSameCensus(t *testing.T, label string, ref, got *symx.Result, strict bool) {
+	t.Helper()
+	if !got.Completed {
+		t.Fatalf("%s: resumed run did not complete (interrupted: %s)", label, got.Interrupted)
+	}
+	if got.CorpusErr != nil || got.CheckpointErr != nil {
+		t.Fatalf("%s: corpusErr=%v checkpointErr=%v", label, got.CorpusErr, got.CheckpointErr)
+	}
+	if got.Stats.CoveredInstrs != ref.Stats.CoveredInstrs ||
+		got.Stats.ErrorsFound != ref.Stats.ErrorsFound {
+		t.Errorf("%s: invariant census diverged:\n  reference: covered=%d errors=%d\n  resumed:   covered=%d errors=%d",
+			label,
+			ref.Stats.CoveredInstrs, ref.Stats.ErrorsFound,
+			got.Stats.CoveredInstrs, got.Stats.ErrorsFound)
+	}
+	if strict && (got.Stats.PathsMult.String() != ref.Stats.PathsMult.String() ||
+		got.Stats.PathsCompleted != ref.Stats.PathsCompleted) {
+		t.Errorf("%s: multiplicity census diverged:\n  reference: paths=%s states=%d\n  resumed:   paths=%s states=%d",
+			label,
+			ref.Stats.PathsMult, ref.Stats.PathsCompleted,
+			got.Stats.PathsMult, got.Stats.PathsCompleted)
+	}
+}
+
+// requireSameCorpus asserts the resumed run's corpus matches the reference,
+// after removing quarantined files (kept only for post-mortems; the
+// regenerated tests are the live corpus). With strict set the whole
+// directory must digest byte-identically, manifest included. Without it,
+// every test FILE must still be byte-identical and the manifest must agree
+// on everything semantic (program, config, completion, coverage, test
+// list); only the Emitted/Deduped/Skipped counters may differ — they
+// diagnose the producing schedule (how many emissions the dedup absorbed),
+// which a DSM or sharded schedule legitimately permutes.
+func requireSameCorpus(t *testing.T, label, refDir, gotDir string, strict bool) {
+	t.Helper()
+	entries, err := os.ReadDir(gotDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), corpus.QuarantineSuffix) {
+			if err := os.Remove(filepath.Join(gotDir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if strict {
+		refD, err := corpus.DirDigest(refDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotD, err := corpus.DirDigest(gotDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refD != gotD {
+			t.Errorf("%s: corpus digest %s… differs from uninterrupted %s…", label, gotD[:12], refD[:12])
+		}
+		return
+	}
+
+	refFiles := listCorpusFiles(t, refDir)
+	gotFiles := listCorpusFiles(t, gotDir)
+	if len(refFiles) != len(gotFiles) {
+		t.Errorf("%s: corpus has %d test files, reference has %d", label, len(gotFiles), len(refFiles))
+		return
+	}
+	for i, name := range refFiles {
+		if gotFiles[i] != name {
+			t.Errorf("%s: corpus file set diverged: %s vs %s", label, gotFiles[i], name)
+			return
+		}
+		a, err := os.ReadFile(filepath.Join(refDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(gotDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s: test file %s differs from the reference copy", label, name)
+		}
+	}
+	refMan, _, err := corpus.Load(refDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMan, _, err := corpus.Load(gotDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMan.Emitted, refMan.Deduped, refMan.Skipped = 0, 0, 0
+	gotMan.Emitted, gotMan.Deduped, gotMan.Skipped = 0, 0, 0
+	if !reflect.DeepEqual(refMan, gotMan) {
+		t.Errorf("%s: manifest diverged beyond emission counters:\n  reference: %+v\n  resumed:   %+v", label, refMan, gotMan)
+	}
+}
+
+// listCorpusFiles returns the sorted non-manifest file names of a corpus
+// directory.
+func listCorpusFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.Type().IsRegular() && e.Name() != corpus.ManifestName {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestKillResumeDeterminism is the acceptance sweep: three COREUTILS
+// programs × two merging regimes × sequential and sharded workers, each
+// killed mid-step at least once and resumed to completion, must reproduce
+// the uninterrupted run's census and byte-identical corpus.
+func TestKillResumeDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	regimes := []struct {
+		name  string
+		merge symx.MergeMode
+	}{
+		{"ssm+qce", symx.MergeSSM},
+		{"dsm+qce", symx.MergeDSM},
+	}
+	totalSnapResumes := 0
+	for _, name := range []string{"echo", "base64", "uniq"} {
+		tool, err := coreutils.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := tool.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, reg := range regimes {
+			base := tool.MiniConfig()
+			base.Merge = reg.merge
+			base.UseQCE = true
+			base.Seed = 1
+			ref, refDir := referenceRun(t, tool, p, base)
+			for _, workers := range []int{1, 8} {
+				workers := workers
+				// Sequential SSM is the canonical schedule: static merge
+				// points, worklist-order-insensitive topological strategy.
+				// There the ENTIRE result — multiplicity census and corpus
+				// bytes including manifest counters — must reproduce. DSM
+				// merges opportunistically and sharding partitions merge
+				// opportunities, so those cells pin the schedule-invariant
+				// results: coverage, errors, and the test corpus itself.
+				strict := reg.merge == symx.MergeSSM && workers == 1
+				label := name + "/" + reg.name
+				t.Run(label+"/w"+string(rune('0'+workers)), func(t *testing.T) {
+					cfg := base
+					cfg.Workers = workers
+					cfg.CorpusDir = t.TempDir()
+					cfg.CorpusLabel = tool.Name
+					cfg.CheckpointDir = t.TempDir()
+					cfg.CheckpointEvery = 500 * time.Microsecond
+
+					// Kill two thirds of the way in: late enough that epochs
+					// (and thus snapshots) have happened, early enough that
+					// real work remains for the resumed run.
+					killAt := int64(ref.Stats.Steps * 2 / 3)
+					if killAt < 2 {
+						killAt = 2
+					}
+					res, kills, snapResumes := killResumeLoop(t, p, cfg, faultinject.PointStep, killAt)
+					if kills == 0 {
+						t.Fatalf("kill at step %d never fired (reference run took %d steps)", killAt, ref.Stats.Steps)
+					}
+					totalSnapResumes += snapResumes
+					requireSameCensus(t, label, ref, res, strict)
+					requireSameCorpus(t, label, refDir, cfg.CorpusDir, strict)
+				})
+			}
+		}
+	}
+	if totalSnapResumes == 0 {
+		t.Error("no run ever resumed from a persisted snapshot; lower CheckpointEvery or the kill threshold")
+	} else {
+		t.Logf("%d snapshot-backed resumes across the sweep", totalSnapResumes)
+	}
+}
+
+// TestKillResumeMidMerge kills inside the state-merge critical section —
+// after the victim has left the worklist, before the merged state exists —
+// and requires a resumed run to still converge to the reference census.
+func TestKillResumeMidMerge(t *testing.T) {
+	tool, err := coreutils.Get("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tool.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tool.MiniConfig()
+	base.Merge = symx.MergeSSM
+	base.UseQCE = true
+	base.Seed = 1
+	ref, refDir := referenceRun(t, tool, p, base)
+	if ref.Stats.Merges == 0 {
+		t.Fatal("reference run performed no merges; pick a different tool for this scenario")
+	}
+
+	cfg := base
+	cfg.Workers = 1
+	cfg.CorpusDir = t.TempDir()
+	cfg.CorpusLabel = tool.Name
+	cfg.CheckpointDir = t.TempDir()
+	cfg.CheckpointEvery = 500 * time.Microsecond
+	res, kills, _ := killResumeLoop(t, p, cfg, faultinject.PointMerge, 2)
+	if kills == 0 {
+		t.Fatal("mid-merge kill never fired")
+	}
+	requireSameCensus(t, "echo/mid-merge", ref, res, true)
+	requireSameCorpus(t, "echo/mid-merge", refDir, cfg.CorpusDir, true)
+}
+
+// TestKillResumeMidCorpusWrite kills inside a corpus file write, leaving a
+// torn JSON file at its final path (the fault hook forces the tear the
+// atomic rename normally rules out). Resume must quarantine the torn file,
+// regenerate the test, and still converge to a byte-identical live corpus.
+func TestKillResumeMidCorpusWrite(t *testing.T) {
+	tool, err := coreutils.Get("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tool.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tool.MiniConfig()
+	base.Merge = symx.MergeSSM
+	base.UseQCE = true
+	base.Seed = 1
+	ref, refDir := referenceRun(t, tool, p, base)
+
+	cfg := base
+	cfg.Workers = 1
+	cfg.CorpusDir = t.TempDir()
+	cfg.CorpusLabel = tool.Name
+	cfg.CheckpointDir = t.TempDir()
+	cfg.CheckpointEvery = 500 * time.Microsecond
+	res, kills, _ := killResumeLoop(t, p, cfg, faultinject.PointCorpusWrite, 2)
+	if kills == 0 {
+		t.Fatal("mid-corpus-write kill never fired (fewer than 2 corpus writes?)")
+	}
+
+	// The forced tear must have been noticed and moved aside on resume.
+	entries, err := os.ReadDir(cfg.CorpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarantined := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), corpus.QuarantineSuffix) {
+			quarantined++
+		}
+	}
+	if quarantined == 0 {
+		t.Error("no quarantined file after a mid-write kill and resume")
+	}
+
+	requireSameCensus(t, "echo/mid-corpus-write", ref, res, true)
+	requireSameCorpus(t, "echo/mid-corpus-write", refDir, cfg.CorpusDir, true)
+}

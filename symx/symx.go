@@ -195,6 +195,25 @@ type Config struct {
 	// CorpusLabel names the program in the corpus manifest (tool name or
 	// source file); informational only.
 	CorpusLabel string
+
+	// CheckpointDir, when non-empty, makes the run crash-safe: the driver
+	// explores in epochs of CheckpointEvery, writing a versioned snapshot
+	// (internal/checkpoint format) of the live frontier, the cumulative
+	// progress counters, and the corpus writer's dedup state at every epoch
+	// boundary and on cancellation. A killed run resumed with Resume
+	// converges to the same census and corpus as an uninterrupted one.
+	// Incompatible with Portfolio (a race's winner is wall-clock
+	// nondeterministic, so its snapshot could not promise a deterministic
+	// resume); refused up front via Result.ConfigErr.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot interval (default 30s).
+	CheckpointEvery time.Duration
+	// Resume, with CheckpointDir set, restores the newest valid snapshot in
+	// the directory before exploring — validating it against the current
+	// program IR hash and configuration descriptor — and continues from its
+	// frontier. With no usable snapshot the run simply starts fresh.
+	// Budgets (MaxSteps, MaxTime) are per-invocation, not per logical run.
+	Resume bool
 	// TrackExactPaths maintains the shadow single-path census alongside
 	// merged states (paper §5.2; used for Figure 3).
 	TrackExactPaths bool
@@ -269,6 +288,9 @@ func validateConfig(cfg Config) error {
 			return err
 		}
 	}
+	if cfg.CheckpointDir != "" && len(cfg.Portfolio) > 0 {
+		return fmt.Errorf("checkpoint: incompatible with a portfolio (the race winner is wall-clock nondeterministic, so a snapshot could not promise a deterministic resume)")
+	}
 	for i, sub := range cfg.Portfolio {
 		if sub.Strategy != "" {
 			if err := search.Validate(sub.Strategy); err != nil {
@@ -324,6 +346,9 @@ func configDescriptor(cfg Config, kind Strategy) string {
 
 // runSingle runs one configuration, sharded when cfg.Workers > 1.
 func runSingle(p *Program, cfg Config) *Result {
+	if cfg.CheckpointDir != "" {
+		return runCheckpointed(p, cfg)
+	}
 	if cfg.CorpusDir != "" {
 		cfg = applyCorpusImplications(cfg)
 	}
