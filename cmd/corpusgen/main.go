@@ -21,8 +21,8 @@ import (
 	"os"
 	"path/filepath"
 
-	"symmerge/internal/corpus"
 	"symmerge/internal/coreutils"
+	"symmerge/internal/corpus"
 	"symmerge/symx"
 )
 

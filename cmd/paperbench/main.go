@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver|scaling|preprocess|corpus] \
+//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver|scaling|preprocess|corpus|obs] \
 //	           [-budget 2s] [-timeout 10s] [-seed 1] [-workers N] \
 //	           [-preprocess on|off|passes] [-json BENCH_pr3.json]
 //
@@ -22,9 +22,13 @@
 // explicitly and verifies result identity. The "corpus" figure emits an
 // on-disk test corpus per tool per merging regime, replays each through the
 // IR interpreter, and checks expectation and coverage-parity invariants.
+// The "obs" figure measures the observability layer: per-tool wall-clock
+// with tracing+metrics on vs off, corpus-digest parity between the arms,
+// and the aggregate metrics snapshot (query latency histograms by class).
 // -json writes the ran figures' machine-readable report (schema documented
 // in README.md) to the given path — the artifacts the bench trajectory
-// tracks as BENCH_pr3.json (preprocess) and BENCH_pr4.json (corpus).
+// tracks as BENCH_pr3.json (preprocess), BENCH_pr4.json (corpus), and
+// BENCH_pr7.json (obs).
 package main
 
 import (
@@ -88,6 +92,12 @@ func main() {
 		fmt.Println()
 		jsonFigs = append(jsonFigs, fig)
 	}
+	if *figure == "all" || *figure == "obs" {
+		t, fig := bench.ObsFigure(opts)
+		fmt.Print(t.String())
+		fmt.Println()
+		jsonFigs = append(jsonFigs, fig)
+	}
 	if *jsonOut != "" && len(jsonFigs) > 0 {
 		rep := bench.Report{Schema: "symmerge-paperbench/v1", Figures: jsonFigs}
 		data, err := rep.Marshal()
@@ -102,7 +112,7 @@ func main() {
 	}
 
 	switch *figure {
-	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver", "scaling", "preprocess", "corpus":
+	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver", "scaling", "preprocess", "corpus", "obs":
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", *figure)
 		os.Exit(2)

@@ -14,6 +14,8 @@
 //	symx -portfolio none,ssm+qce,dsm+qce -tool expr   # race merging regimes
 //	symx -emit-corpus /tmp/echo.corpus -tool echo     # persist the tests
 //	symx -replay /tmp/echo.corpus -tool echo          # replay them (oracle)
+//	symx -trace /tmp/echo.trace -tool echo            # JSONL event trace
+//	symx -debug-addr localhost:6060 -tool expr        # pprof + live /progress
 //
 // -emit-corpus streams every generated test case to an on-disk corpus
 // (internal/corpus format); -replay executes a stored corpus through the
@@ -35,8 +37,8 @@ import (
 	"syscall"
 	"time"
 
-	"symmerge/internal/corpus"
 	"symmerge/internal/coreutils"
+	"symmerge/internal/corpus"
 	"symmerge/symx"
 )
 
@@ -68,6 +70,10 @@ func main() {
 		ckptDir  = flag.String("checkpoint", "", "crash-safe exploration: write resumable snapshots to this directory")
 		ckptInt  = flag.Duration("checkpoint-every", 30*time.Second, "snapshot interval with -checkpoint")
 		resume   = flag.Bool("resume", false, "with -checkpoint, resume from the newest valid snapshot")
+		traceTo  = flag.String("trace", "", "stream a JSONL event trace (symmerge-trace/v1) to this file; inspect with symxtrace")
+		traceBuf = flag.Int("trace-buffer", 0, "trace sink buffer in events (0 = default 4096); overflow drops, never blocks")
+		dbgAddr  = flag.String("debug-addr", "", "serve pprof, expvar metrics and /progress on this address (e.g. localhost:6060)")
+		progEach = flag.Duration("progress", 0, "print a one-line progress report to stderr at this interval")
 	)
 	flag.Parse()
 
@@ -136,10 +142,28 @@ func main() {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptInt,
 		Resume:          *resume,
+		TraceFile:       *traceTo,
+		TraceBuffer:     *traceBuf,
 	}
 	cfg.Merge = parseMerge(*merge)
 	if err := symx.ParsePreprocess(*preproc); err != nil {
 		fatal(err)
+	}
+
+	// Any observability consumer needs the metrics registry and the live
+	// monitor; wiring them costs nothing when nobody looks.
+	if *dbgAddr != "" || *progEach > 0 || *traceTo != "" {
+		cfg.Metrics = symx.NewMetrics()
+		cfg.Monitor = symx.NewMonitor()
+	}
+	if *dbgAddr != "" {
+		if err := serveDebug(*dbgAddr, cfg.Metrics, cfg.Monitor); err != nil {
+			fatal(err)
+		}
+	}
+	if *progEach > 0 {
+		stopProg := reportProgress(*progEach, cfg.Monitor)
+		defer stopProg()
 	}
 
 	if *portf != "" {
@@ -185,6 +209,12 @@ func main() {
 	fmt.Printf("solver:        %d queries, %d SAT calls, %d cache hits, %v in SAT\n",
 		st.Solver.Queries, st.Solver.SATCalls,
 		st.Solver.CacheHits+st.Solver.ModelReuseHits, st.Solver.SATTime.Round(time.Millisecond))
+	if *traceTo != "" {
+		fmt.Printf("trace:         %d events at %s (%d dropped)\n", res.TraceEvents, *traceTo, res.TraceDrops)
+		if res.TraceErr != nil {
+			fmt.Fprintln(os.Stderr, "symx: trace:", res.TraceErr)
+		}
+	}
 	if *emitDir != "" {
 		if res.CorpusErr != nil {
 			fatal(res.CorpusErr)

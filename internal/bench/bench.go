@@ -52,15 +52,15 @@ type RunOutcome struct {
 	// interruption, not the regime, so the tables surface it.
 	Interrupted string
 	Elapsed     float64 // seconds
-	Paths      *big.Int
-	States     uint64 // separately completed states
-	Coverage   float64
-	Merges     uint64
-	FFSelected uint64
-	FFMerged   uint64
-	FFRate     float64 // merged / fast-forward-selected
-	Exact      uint64  // shadow census (when enabled)
-	Queries    uint64
+	Paths       *big.Int
+	States      uint64 // separately completed states
+	Coverage    float64
+	Merges      uint64
+	FFSelected  uint64
+	FFMerged    uint64
+	FFRate      float64 // merged / fast-forward-selected
+	Exact       uint64  // shadow census (when enabled)
+	Queries     uint64
 
 	// Incremental-session solver activity.
 	SATTime      float64 // seconds inside blasting + CDCL

@@ -1,0 +1,187 @@
+// obs.go: the PR-7 benchmark — the observability layer's two contracts
+// measured over the COREUTILS suite: (1) tracing + metrics are purely
+// observational (the emitted corpus is byte-identical with the layer on or
+// off), and (2) they are cheap (mean wall-clock overhead within a few
+// percent). Every trace produced is schema-validated and run through the
+// Chrome trace-event converter, and the traced arm feeds one shared metrics
+// registry whose aggregate snapshot — query latency histograms by class,
+// merge-gate time, step throughput — lands in BENCH_pr7.json.
+
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"symmerge/internal/coreutils"
+	"symmerge/internal/corpus"
+	"symmerge/internal/obs"
+	"symmerge/symx"
+)
+
+// JSONObsRow is one tool's tracing-overhead measurement in BENCH_pr7.json.
+type JSONObsRow struct {
+	Tool        string  `json:"tool"`
+	Completed   bool    `json:"completed"`
+	BaseWallS   float64 `json:"base_wall_s"`
+	TracedWallS float64 `json:"traced_wall_s"`
+	// OverheadPct is (traced - base) / base as a percentage; negative
+	// values are measurement noise on sub-millisecond runs.
+	OverheadPct float64 `json:"overhead_pct"`
+	TraceEvents uint64  `json:"trace_events"`
+	TraceDrops  uint64  `json:"trace_drops"`
+	TraceValid  bool    `json:"trace_valid"`
+	// DigestsEqual is the observability contract: the corpus directory
+	// digest of the traced run equals the untraced run's.
+	DigestsEqual bool `json:"digests_equal"`
+}
+
+// ObsFigure runs every COREUTILS tool twice under DSM+QCE with corpus
+// emission — once bare, once with the full observability layer attached
+// (JSONL trace + metrics registry) — and reports per-tool overhead, trace
+// accounting, and corpus-digest parity.
+func ObsFigure(opts Options) (*Table, JSONFigure) {
+	t := &Table{
+		Title: "Observability layer: trace + metrics overhead and corpus parity (DSM+QCE)",
+		Comment: fmt.Sprintf("timeout %v per run; overhead = wall-clock delta of the traced arm; digest= means the\n"+
+			"emitted corpus is byte-identical with tracing on and off; every trace is schema-validated\n"+
+			"and Chrome-converted", opts.Timeout),
+		Header: []string{"tool", "t_base_s", "t_traced_s", "overhead", "events", "drops", "valid", "digest="},
+	}
+	fig := JSONFigure{
+		Name: "obs",
+		Notes: "each tool explored exhaustively under DSM+QCE with corpus emission, bare vs traced+metriced; " +
+			"digests_equal means corpus.DirDigest matches across the arms; metrics is the aggregate " +
+			"symmerge-metrics/v1 snapshot over all traced runs (query latency histograms split by " +
+			"session/oneshot/cached)",
+	}
+
+	tmp, err := os.MkdirTemp("", "paperbench-obs-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	// One registry across all traced runs: the figure's headline histogram
+	// is the suite-wide latency distribution, not 44 tiny ones.
+	met := symx.NewMetrics()
+
+	var baseWall, tracedWall []float64
+	var totalEvents, totalDrops uint64
+	timeouts, digestMismatches, invalidTraces := 0, 0, 0
+
+	for _, tool := range coreutils.All() {
+		p, err := tool.Compile()
+		if err != nil {
+			panic(err)
+		}
+		run := func(arm string, traced bool) *symx.Result {
+			cfg := tool.BaseConfig()
+			cfg.Seed = opts.Seed
+			cfg.Workers = opts.Workers
+			cfg.Preprocess = opts.Preprocess
+			cfg.Merge = symx.MergeDSM
+			cfg.UseQCE = true
+			cfg.MaxTime = opts.Timeout
+			cfg.CorpusDir = filepath.Join(tmp, tool.Name, arm)
+			cfg.CorpusLabel = tool.Name
+			if traced {
+				cfg.TraceFile = filepath.Join(tmp, tool.Name, "run.trace")
+				cfg.Metrics = met
+			}
+			return symx.Run(p, cfg)
+		}
+		resBase := run("base", false)
+		resTraced := run("traced", true)
+
+		row := JSONObsRow{
+			Tool:        tool.Name,
+			Completed:   resBase.Completed && resTraced.Completed,
+			BaseWallS:   resBase.Stats.ElapsedSeconds,
+			TracedWallS: resTraced.Stats.ElapsedSeconds,
+			TraceEvents: resTraced.TraceEvents,
+			TraceDrops:  resTraced.TraceDrops,
+		}
+		totalEvents += row.TraceEvents
+		totalDrops += row.TraceDrops
+
+		// The parity and validity checks hold on partial runs too — a
+		// budget-interrupted trace is still schema-valid and still must not
+		// have perturbed what was emitted — but only completed pairs feed
+		// the overhead aggregate (an interrupted pair measures the budget).
+		dBase, err1 := corpus.DirDigest(filepath.Join(tmp, tool.Name, "base"))
+		dTraced, err2 := corpus.DirDigest(filepath.Join(tmp, tool.Name, "traced"))
+		row.DigestsEqual = err1 == nil && err2 == nil && dBase == dTraced
+		if !row.DigestsEqual {
+			digestMismatches++
+		}
+		row.TraceValid = validTrace(filepath.Join(tmp, tool.Name, "run.trace"))
+		if !row.TraceValid {
+			invalidTraces++
+		}
+		if row.Completed {
+			if row.BaseWallS > 0 {
+				row.OverheadPct = 100 * (row.TracedWallS - row.BaseWallS) / row.BaseWallS
+			}
+			baseWall = append(baseWall, row.BaseWallS)
+			tracedWall = append(tracedWall, row.TracedWallS)
+		} else {
+			timeouts++
+		}
+		fig.ObsRows = append(fig.ObsRows, row)
+
+		t.Rows = append(t.Rows, []string{
+			tool.Name,
+			fmt.Sprintf("%.3f", row.BaseWallS),
+			fmt.Sprintf("%.3f", row.TracedWallS),
+			fmt.Sprintf("%+.1f%%", row.OverheadPct),
+			fmt.Sprint(row.TraceEvents),
+			fmt.Sprint(row.TraceDrops),
+			fmt.Sprint(row.TraceValid),
+			fmt.Sprint(row.DigestsEqual),
+		})
+	}
+
+	fig.Metrics = met.Snapshot()
+
+	// The suite-level overhead compares total wall clock, not the mean of
+	// per-tool ratios: sub-millisecond tools would otherwise dominate with
+	// pure timer noise.
+	overheadPct := 0.0
+	if s := sum(baseWall); s > 0 {
+		overheadPct = 100 * (sum(tracedWall) - s) / s
+	}
+	t.Comment += fmt.Sprintf(
+		"\nsuite aggregate: wall %.3fs bare -> %.3fs traced (%+.1f%% overhead); %d events, %d dropped"+
+			"\n%d tools compared (%d timed out, %d digest mismatches, %d invalid traces)",
+		sum(baseWall), sum(tracedWall), overheadPct, totalEvents, totalDrops,
+		len(baseWall), timeouts, digestMismatches, invalidTraces)
+	return t, fig
+}
+
+// validTrace schema-validates a trace file and exercises the Chrome
+// converter on it (the export path the tooling depends on).
+func validTrace(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	if _, err := obs.Validate(f); err != nil {
+		return false
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return false
+	}
+	return obs.ChromeTrace(f, io.Discard) == nil
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

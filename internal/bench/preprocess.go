@@ -25,13 +25,16 @@ type Report struct {
 
 // JSONFigure is one figure's machine-readable form: per-arm aggregates
 // plus the per-tool rows behind them. Solver-centric figures fill Rows;
-// the corpus figure fills CorpusRows (see corpus.go / BENCH_pr4.json).
+// the corpus figure fills CorpusRows (see corpus.go / BENCH_pr4.json); the
+// observability figure fills ObsRows and Metrics (obs.go / BENCH_pr7.json).
 type JSONFigure struct {
-	Name       string          `json:"name"`
-	Notes      string          `json:"notes,omitempty"`
-	Arms       []JSONArm       `json:"arms"`
-	Rows       []JSONRow       `json:"rows,omitempty"`
-	CorpusRows []JSONCorpusRow `json:"corpus_rows,omitempty"`
+	Name       string            `json:"name"`
+	Notes      string            `json:"notes,omitempty"`
+	Arms       []JSONArm         `json:"arms,omitempty"`
+	Rows       []JSONRow         `json:"rows,omitempty"`
+	CorpusRows []JSONCorpusRow   `json:"corpus_rows,omitempty"`
+	ObsRows    []JSONObsRow      `json:"obs_rows,omitempty"`
+	Metrics    *symx.MetricsSnap `json:"metrics,omitempty"`
 }
 
 // JSONArm aggregates one configuration arm over the completed rows.

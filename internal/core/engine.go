@@ -4,12 +4,14 @@ import (
 	"context"
 	"math/big"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"symmerge/internal/cfg"
 	"symmerge/internal/checkpoint/faultinject"
 	"symmerge/internal/expr"
 	"symmerge/internal/ir"
+	"symmerge/internal/obs"
 	"symmerge/internal/qce"
 	"symmerge/internal/solver"
 )
@@ -162,6 +164,12 @@ type Config struct {
 	// workloads.
 	DisableSessions bool
 
+	// Obs, when non-nil, attaches the observability layer: each engine
+	// takes one trace/metrics lane from it (NewLane) and threads it through
+	// its own hooks and its solver. Purely observational — exploration
+	// results are byte-identical with or without it.
+	Obs *obs.Run
+
 	SolverOpts solver.Options
 }
 
@@ -275,6 +283,21 @@ type Engine struct {
 	// do across fork lineages in a sequential run. Nil until first use and
 	// when sessions are disabled.
 	sessRoot *solver.Session
+
+	// obs is this engine's observability lane (nil when disabled); progPub
+	// holds the latest published progress snapshot, the race-free view
+	// Stats/LiveProgress serve to other goroutines.
+	obs     *obs.Observer
+	progPub atomic.Pointer[progressSnap]
+}
+
+// progressSnap is one published progress snapshot: a self-contained Stats
+// copy (PathsMult detached), the coverage bitmap, and the worklist length
+// at publish time. Immutable once stored.
+type progressSnap struct {
+	stats    Stats
+	coverage []bool
+	worklist int
 }
 
 // NewEngine prepares an exploration of prog under cfg with the given driving
@@ -318,9 +341,17 @@ func NewEngine(prog *ir.Program, config Config, strat Strategy) *Engine {
 	if e.cfg.MaxTests == 0 {
 		e.cfg.MaxTests = 256
 	}
+	e.obs = config.Obs.NewLane()
+	e.solv.Observe(e.obs)
 	e.setupEnv()
+	e.publishProgress() // Stats() is valid (if empty) before Begin
 	return e
 }
+
+// Obs exposes the engine's observability lane (nil when disabled); the
+// parallel pool emits frontier steal/donate events on the lane of the
+// engine doing the stealing or donating.
+func (e *Engine) Obs() *obs.Observer { return e.obs }
 
 // Builder exposes the engine's expression builder (used by tests).
 func (e *Engine) Builder() *expr.Builder { return e.build }
@@ -506,6 +537,14 @@ type Result struct {
 	// of silently exploring under a fallback strategy while any corpus
 	// manifest recorded the misspelled name.
 	ConfigErr error
+	// Trace accounting, filled by the symx layer when the run was
+	// configured with a trace file: events written, events dropped because
+	// the sink's bounded buffer was full (a non-zero count means the trace
+	// is incomplete — the exploration itself is never affected), and any
+	// write/close error on the trace stream.
+	TraceEvents uint64
+	TraceDrops  uint64
+	TraceErr    error
 }
 
 // Run explores until the worklist drains or a budget trips.
@@ -542,6 +581,7 @@ func (e *Engine) Begin(seed bool) {
 	if seed {
 		e.addState(e.initialState())
 	}
+	e.publishProgress()
 }
 
 // stopRequested reports whether a budget or cancellation should end the
@@ -579,15 +619,20 @@ func (e *Engine) stepOnce() bool {
 	}
 	e.removeState(s)
 	e.stats.Steps++
+	t0 := e.obs.StepStart()
 	succs := e.stepBlock(s)
 	for _, ns := range succs {
 		e.dispatch(ns)
 	}
+	e.obs.StepDone(t0, len(e.worklist))
 	if n := e.strategy.Len(); n > e.stats.MaxWorklist {
 		e.stats.MaxWorklist = n
 	}
 	if e.cfg.MaxStates > 0 {
 		e.pruneExcess()
+	}
+	if e.stats.Steps&63 == 0 {
+		e.publishProgress()
 	}
 	return true
 }
@@ -632,8 +677,17 @@ func (e *Engine) StepN(n int) RunStatus {
 func (e *Engine) Finish(completed bool) *Result {
 	e.stats.CoveredInstrs = e.covered
 	e.stats.Solver = e.solv.Stats
-	e.stats.Rules = e.build.RuleHits()
+	if e.cfg.Builder == nil {
+		// Rule counters are builder-global. Only an engine that owns its
+		// builder may embed them; with a shared builder (parallel workers,
+		// the checkpoint driver) every worker would report the same global
+		// counters and summing snapshots would multiply them by the worker
+		// count — parallel.Combine attributes the shared builder's counters
+		// exactly once, at the pool level.
+		e.stats.Rules = e.build.RuleHits()
+	}
 	e.stats.ElapsedSeconds = time.Since(e.started).Seconds()
+	e.publishProgress()
 	res := &Result{
 		Stats:           e.stats,
 		Tests:           e.testCases,
@@ -835,6 +889,10 @@ func (e *Engine) pickNext() *State {
 		}
 		if best != nil {
 			e.stats.FFSelected++
+			if e.obs.Active() {
+				loc := best.Loc()
+				e.obs.FFSelect(best.ID, loc.Fn, loc.PC)
+			}
 			best.ff = true
 			return best
 		}
@@ -915,14 +973,17 @@ func (e *Engine) finishState(s *State) {
 			}
 		}
 		if e.cfg.CollectTests && (e.cfg.TestSink != nil || len(e.testCases) < e.cfg.MaxTests) {
+			emitted := 0
 			for _, tc := range e.makeTests(s) {
 				if e.cfg.TestSink != nil {
 					e.cfg.TestSink(tc)
+					emitted++
 				}
 				if len(e.testCases) < e.cfg.MaxTests {
 					e.testCases = append(e.testCases, tc)
 				}
 			}
+			e.obs.CorpusEmit(emitted)
 		}
 	case HaltSilent:
 		// infeasible or pruned: nothing to record
@@ -1103,11 +1164,43 @@ func (e *Engine) rankOf(f *Frame) int {
 	return g.TopoRank(pc)
 }
 
-// Stats returns a snapshot of the current statistics.
-func (e *Engine) Stats() Stats {
+// publishProgress stores a fresh progress snapshot for Stats/LiveProgress.
+// Called on the engine's own goroutine at construction, Begin, every 64
+// steps, and Finish; the snapshot is immutable after the store, which is
+// what makes the accessors safe from any goroutine.
+func (e *Engine) publishProgress() {
 	st := e.stats
 	st.CoveredInstrs = e.covered
 	st.Solver = e.solv.Stats
-	st.Rules = e.build.RuleHits()
-	return st
+	if e.cfg.Builder == nil {
+		st.Rules = e.build.RuleHits() // builder-global; see Finish
+	}
+	if st.PathsMult != nil {
+		// Detach from the live counter, which later steps mutate in place.
+		st.PathsMult = new(big.Int).Set(st.PathsMult)
+	}
+	if !e.started.IsZero() {
+		st.ElapsedSeconds = time.Since(e.started).Seconds()
+	}
+	e.progPub.Store(&progressSnap{
+		stats:    st,
+		coverage: e.CoverageMask(),
+		worklist: len(e.worklist),
+	})
+}
+
+// Stats returns the most recently published statistics snapshot. Safe to
+// call from any goroutine while the engine runs; mid-run it may lag the
+// live counters by up to 64 steps (the publish cadence).
+func (e *Engine) Stats() Stats {
+	return e.progPub.Load().stats
+}
+
+// LiveProgress returns the published progress snapshot: statistics, the
+// coverage bitmap as of the snapshot, and the worklist length. The bitmap
+// is shared and must be treated as read-only. Same safety and staleness
+// contract as Stats.
+func (e *Engine) LiveProgress() (Stats, []bool, int) {
+	p := e.progPub.Load()
+	return p.stats, p.coverage, p.worklist
 }

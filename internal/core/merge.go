@@ -2,35 +2,41 @@ package core
 
 import (
 	"math/big"
+	"time"
 
 	"symmerge/internal/checkpoint/faultinject"
 	"symmerge/internal/expr"
 	"symmerge/internal/ir"
 )
 
+// globalQt computes the interprocedural query-count estimate Qt_global for
+// a state: the local Qt of every return location on the stack plus the
+// current frame's Qt (paper §3.2). Zero when QCE is disabled.
+func (e *Engine) globalQt(s *State) float64 {
+	if e.qce == nil {
+		return 0
+	}
+	total := 0.0
+	for i, f := range s.Frames {
+		fq := e.qce.PerFunc[f.Fn]
+		if i < len(s.Frames)-1 {
+			// Return location: the PC already points past the call.
+			total += fq.QtAt(f.PC)
+		} else if f.PC < len(fq.Qt) {
+			total += fq.Qt[f.PC]
+		}
+	}
+	return total
+}
+
 // hotLocals computes the hot-variable set for a frame (Equation 2):
-// v is hot at ℓ iff Qadd(ℓ,v) > α·Qt_global, where Qt_global adds the local
-// Qt of every return location on the stack to the current frame's Qt
-// (paper §3.2, interprocedural QCE). When QCE is disabled, no variable is
-// hot and every same-location pair may merge.
+// v is hot at ℓ iff Qadd(ℓ,v) > α·Qt_global. When QCE is disabled, no
+// variable is hot and every same-location pair may merge.
 func (e *Engine) hotLocals(s *State, depth int, out []int) []int {
 	if e.qce == nil {
 		return out[:0]
 	}
-	globalQt := 0.0
-	for i, f := range s.Frames {
-		fq := e.qce.PerFunc[f.Fn]
-		pc := f.PC
-		if i < len(s.Frames)-1 {
-			// Return location: the PC already points past the call.
-			if pc >= len(fq.Qt) {
-				pc = len(fq.Qt) - 1
-			}
-		}
-		if pc < len(fq.Qt) {
-			globalQt += fq.Qt[pc]
-		}
-	}
+	globalQt := e.globalQt(s)
 	f := s.Frames[depth]
 	fq := e.qce.PerFunc[f.Fn]
 	pc := f.PC
@@ -226,6 +232,23 @@ func (e *Engine) similarFullVariant(a, b *State) bool {
 	return (p.Zeta-1)*maxIte+maxAdd < p.Alpha*globalQt
 }
 
+// rejectReason classifies a failed similarity check for the trace by
+// re-running the gates of similar in order and naming the first one that
+// refuses. Trace-only: it runs solely when a sink or metrics registry is
+// attached, never on the plain exploration path.
+func (e *Engine) rejectReason(a, b *State) string {
+	switch {
+	case !sameStack(a, b):
+		return "stack"
+	case !sameHeapShape(a, b):
+		return "heap-shape"
+	case e.qce != nil && e.qce.Params.Zeta > 1:
+		return "cost-model" // Equation 7's aggregate term tipped the scale
+	default:
+		return "hot-var" // some hot variable differs concretely (Equation 1)
+	}
+}
+
 // tryMerge looks for a worklist state at the same location similar to ns and
 // merges them (Algorithm 1, lines 17–22). It reports whether ns was
 // consumed by a merge.
@@ -233,7 +256,21 @@ func (e *Engine) tryMerge(ns *State) bool {
 	key := ns.stackHash()
 	for _, cand := range e.byStack[key] {
 		e.stats.MergeAttempts++
+		var gate0 time.Time
+		if e.obs.Active() {
+			loc := ns.Loc()
+			e.obs.MergeAttempt(ns.ID, cand.ID, loc.Fn, loc.PC)
+			gate0 = time.Now()
+		}
 		if !e.similar(ns, cand) {
+			if e.obs.Active() {
+				qt := e.globalQt(ns)
+				var threshold float64
+				if e.qce != nil {
+					threshold = e.qce.Params.Threshold(qt)
+				}
+				e.obs.MergeReject(ns.ID, cand.ID, e.rejectReason(ns, cand), qt, threshold, time.Since(gate0))
+			}
 			continue
 		}
 		e.removeState(cand)
@@ -245,6 +282,9 @@ func (e *Engine) tryMerge(ns *State) bool {
 		e.stats.Merges++
 		if ns.ff {
 			e.stats.FFMerged++
+		}
+		if e.obs.Active() {
+			e.obs.MergeAccept(cand.ID, ns.ID, merged.ID, time.Since(gate0))
 		}
 		// The merged state may itself merge further (rare).
 		if !e.tryMerge(merged) {

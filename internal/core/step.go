@@ -590,6 +590,7 @@ func (e *Engine) doAssert(s *State, in *ir.Instr, loc ir.Loc) []*State {
 	errState := s.fork(e.nextID)
 	e.nextID++
 	e.stats.Forks++
+	e.obs.Fork(s.ID, errState.ID, loc.Fn, loc.PC)
 	errState.PC = appendPC(errState.PC, e.build.Not(cond))
 	errState.sess.NoteConjunct(e.build.Not(cond))
 	e.failPath(errState, loc, in.Pos, in.Msg)
@@ -630,6 +631,7 @@ func (e *Engine) doBranch(s *State, in *ir.Instr, loc ir.Loc) []*State {
 		other := s.fork(e.nextID)
 		e.nextID++
 		e.stats.Forks++
+		e.obs.Fork(s.ID, other.ID, loc.Fn, loc.PC)
 		s.PC = appendPC(s.PC, cond)
 		s.sess.NoteConjunct(cond)
 		f.PC = in.Target

@@ -295,6 +295,7 @@ func runWorker(eng *core.Engine, fr *frontier, stopped *atomic.Bool, quantum int
 		if s == nil {
 			return eng.Finish(true), nil
 		}
+		eng.Obs().Steal(1)
 		eng.Inject(s)
 	subtree:
 		for {
@@ -322,7 +323,9 @@ func runWorker(eng *core.Engine, fr *frontier, stopped *atomic.Bool, quantum int
 				return res, left
 			case core.RunMore:
 				if n := fr.hungry(); n > 0 {
-					fr.put(eng.ExtractStates(n))
+					donated := eng.ExtractStates(n)
+					eng.Obs().Donate(len(donated))
+					fr.put(donated)
 				}
 			}
 		}
@@ -496,9 +499,13 @@ func Combine(all []*core.Result, completed bool, cfg core.Config) *core.Result {
 		st.Solver.SATVars += s.Solver.SATVars
 		st.Solver.SATClauses += s.Solver.SATClauses
 
-		// Rule hits are builder-global (workers share one builder): every
-		// snapshot reports the same cumulative counters at slightly
-		// different times, so keep the latest (largest) one, not the sum.
+		// Rule hits are builder-global. Engines sharing a builder omit them
+		// from their snapshots (core.Engine.Finish) and the pool attributes
+		// the builder's counters once below; this keep-the-latest fold only
+		// handles results that do embed a snapshot (private-builder engines
+		// combined by exported-API callers) — counters are monotone, so the
+		// largest total is the newest, and summing would multiply shared
+		// counters by the worker count.
 		if ruleTotal(s.Rules) > ruleTotal(st.Rules) {
 			st.Rules = s.Rules
 		}
@@ -534,6 +541,11 @@ func Combine(all []*core.Result, completed bool, cfg core.Config) *core.Result {
 	}
 	agg.CoverageMask = union
 	st.CoveredInstrs = covered
+	if cfg.Builder != nil {
+		// Shared-resource attribution, once at pool level: the rewrite-rule
+		// counters of the shared builder belong to the pool as a whole.
+		st.Rules = cfg.Builder.RuleHits()
+	}
 	return agg
 }
 

@@ -452,6 +452,31 @@ func (fq *FuncQCE) HotSet(pc int, globalQt float64, alpha float64, out []int) []
 	return out
 }
 
+// QtAt returns the local query-count estimate Qt at pc, clamping a PC past
+// the function end (a return location, where the PC already points beyond
+// the call) to the last instruction. Zero for a function with no table.
+func (fq *FuncQCE) QtAt(pc int) float64 {
+	if len(fq.Qt) == 0 {
+		return 0
+	}
+	if pc >= len(fq.Qt) {
+		pc = len(fq.Qt) - 1
+	}
+	if pc < 0 {
+		pc = 0
+	}
+	return fq.Qt[pc]
+}
+
+// Threshold is the merge-gate cutoff α·Qt_global of Equation (2) — the
+// value a variable's Qadd (or, in the ζ variant, Equation (7)'s aggregate
+// cost term) must stay below for a merge to be accepted. The observability
+// layer records it alongside each merge decision so traces show the
+// estimate that decided the gate.
+func (p Params) Threshold(globalQt float64) float64 {
+	return p.Alpha * globalQt
+}
+
 // String renders the per-location tables for debugging and the qcedump tool.
 func (fq *FuncQCE) String() string {
 	var b strings.Builder

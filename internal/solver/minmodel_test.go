@@ -80,7 +80,7 @@ func TestMinModelSessionAgreesWithOneShot(t *testing.T) {
 			vars[i] = b.Var("v"+string(rune('0'+i)), 8)
 		}
 		pc := []*expr.Expr{
-			b.Ult(b.Const(5, 8), vars[0]),                      // v0 > 5
+			b.Ult(b.Const(5, 8), vars[0]),                       // v0 > 5
 			b.Eq(b.BAnd(vars[1], b.Const(3, 8)), b.Const(2, 8)), // v1 & 3 == 2
 			b.Or(b.Eq(vars[2], b.Const(7, 8)), b.Eq(vars[3], b.Const(9, 8))),
 			b.Ule(vars[4], vars[5]),

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"symmerge/internal/expr"
+	"symmerge/internal/obs"
 	"symmerge/internal/solver/sat"
 )
 
@@ -131,8 +132,17 @@ type Solver struct {
 	// cache-key computation allocation-free.
 	keyIDs []uint64
 
+	// obs is the owning engine's observability lane (nil when disabled):
+	// every non-trivial query emits a begin/end span with its class,
+	// verdict, latency, and SAT-encoding delta.
+	obs *obs.Observer
+
 	Stats Stats
 }
+
+// Observe attaches an observability lane; the engine calls this with its
+// own lane so solver spans land on the right trace row.
+func (s *Solver) Observe(o *obs.Observer) { s.obs = o }
 
 // SetDeadline bounds every subsequent SAT call by the wall clock: a call
 // still running at t returns ErrBudget. The engine propagates its
@@ -206,13 +216,34 @@ func (s *Solver) checkSatIn(sess *Session, constraints []*expr.Expr, needModel b
 		return true, Model{}, nil
 	}
 
+	// Constant folding answered everything above this line; those
+	// pseudo-queries never reach the cache or SAT and stay untraced. From
+	// here on, each decision is one observable query span.
+	if s.obs.Active() {
+		qid := s.obs.QueryBegin()
+		t0 := time.Now()
+		v0, c0 := s.Stats.SATVars, s.Stats.SATClauses
+		res, m, class, err := s.decide(sess, live, needModel)
+		s.obs.QueryEnd(qid, class, res, err != nil, time.Since(t0),
+			s.Stats.SATVars-v0, s.Stats.SATClauses-c0)
+		return res, m, err
+	}
+	res, m, _, err := s.decide(sess, live, needModel)
+	return res, m, err
+}
+
+// decide answers a non-trivial query (live is non-empty, free of constant
+// conjuncts) and classifies how it was answered: obs.QueryCached for
+// model-reuse and counterexample-cache hits, obs.QuerySession for the
+// incremental assume-many path, obs.QueryOneShot for a from-scratch blast.
+func (s *Solver) decide(sess *Session, live []*expr.Expr, needModel bool) (bool, Model, obs.QueryClass, error) {
 	if s.opts.EnableModelReuse {
 		if m := s.tryRecentModels(live); m != nil {
 			s.Stats.ModelReuseHits++
 			if !needModel {
-				return true, nil, nil
+				return true, nil, obs.QueryCached, nil
 			}
-			return true, cloneModel(m), nil
+			return true, cloneModel(m), obs.QueryCached, nil
 		}
 	}
 
@@ -220,20 +251,22 @@ func (s *Solver) checkSatIn(sess *Session, constraints []*expr.Expr, needModel b
 	if s.opts.EnableCexCache {
 		if res, m, ok := s.cache.lookup(hash, ids, needModel); ok {
 			s.Stats.CacheHits++
-			return res, m, nil
+			return res, m, obs.QueryCached, nil
 		}
 	}
 
 	var (
-		res bool
-		m   Model
-		err error
+		res   bool
+		m     Model
+		err   error
+		class obs.QueryClass
 	)
 	if sess != nil && sess.misses(live) <= 1 {
 		// Incremental path: blast-once/assume-many over the shared
 		// prefix. Slicing and substitution would rewrite the conjuncts
 		// and defeat reuse, so they are deliberately skipped here.
 		s.Stats.SessionQueries++
+		class = obs.QuerySession
 		res, m, err = sess.check(live)
 	} else {
 		if sess != nil {
@@ -252,6 +285,7 @@ func (s *Solver) checkSatIn(sess *Session, constraints []*expr.Expr, needModel b
 		// order. Any bindings a substitution pass extracted rejoin the
 		// model afterwards so callers still see values for the
 		// substituted variables.
+		class = obs.QueryOneShot
 		q := s.runPasses(live)
 		res, m, err = s.solveQuery(q)
 		if err == nil && res && len(q.Binding) > 0 {
@@ -264,7 +298,7 @@ func (s *Solver) checkSatIn(sess *Session, constraints []*expr.Expr, needModel b
 		}
 	}
 	if err != nil {
-		return false, nil, err
+		return false, nil, class, err
 	}
 	if s.opts.EnableCexCache {
 		s.cache.insert(hash, ids, res, m)
@@ -272,7 +306,7 @@ func (s *Solver) checkSatIn(sess *Session, constraints []*expr.Expr, needModel b
 	if res && s.opts.EnableModelReuse {
 		s.remember(m)
 	}
-	return res, m, nil
+	return res, m, class, nil
 }
 
 // substituteEqualities rewrites the constraint set using the equalities it

@@ -74,7 +74,11 @@ func runCheckpointed(p *Program, cfg Config) *Result {
 
 	desc := configDescriptor(cfg, kind)
 	pinfo := corpus.ProgramInfo{Name: cfg.CorpusLabel, Hash: corpus.ProgramHash(p.ir), Locations: p.ir.NumLocations()}
-	factory := engineFactory(p, kind, seed)
+	factory := engineFactory(p, kind, seed, cfg.Monitor)
+
+	// The driver takes its own trace lane: epoch boundaries and snapshot
+	// writes are driver work, not any worker's.
+	drv := cfg.obsRun.NewLane()
 
 	// Resume: restore the newest valid snapshot, refusing one produced by
 	// a different program or configuration — resuming it would silently
@@ -198,6 +202,7 @@ func runCheckpointed(p *Program, cfg Config) *Result {
 		ecfg.MaxTime = 0
 		ectx, cancel := context.WithTimeout(baseCtx, epochLen)
 		ecfg.Context = ectx
+		drv.Epoch(seq, len(seeds))
 		epochStart := time.Now()
 		res, left := parallel.ExplorePreemptible(p.ir, ecfg, parallel.Options{Workers: cfg.Workers, Seeds: seeds}, factory)
 		cancel()
@@ -227,9 +232,11 @@ func runCheckpointed(p *Program, cfg Config) *Result {
 		}
 		sn.EncodeStates(wires)
 		snapStart := time.Now()
-		if _, err := checkpoint.Write(cfg.CheckpointDir, sn); err != nil && ckptErr == nil {
-			ckptErr = err
+		_, werr := checkpoint.Write(cfg.CheckpointDir, sn)
+		if werr != nil && ckptErr == nil {
+			ckptErr = werr
 		}
+		drv.Checkpoint(seq, len(wires), werr != nil)
 		seq++
 
 		// Epoch-boundary overhead: the wall time beyond the stepping budget

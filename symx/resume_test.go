@@ -21,8 +21,8 @@ import (
 
 	"symmerge/internal/checkpoint"
 	"symmerge/internal/checkpoint/faultinject"
-	"symmerge/internal/corpus"
 	"symmerge/internal/coreutils"
+	"symmerge/internal/corpus"
 	"symmerge/symx"
 )
 

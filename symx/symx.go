@@ -22,12 +22,14 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"os"
 	"time"
 
 	"symmerge/internal/core"
 	"symmerge/internal/corpus"
 	"symmerge/internal/ir"
 	"symmerge/internal/lang"
+	"symmerge/internal/obs"
 	"symmerge/internal/parallel"
 	"symmerge/internal/qce"
 	"symmerge/internal/search"
@@ -236,6 +238,33 @@ type Config struct {
 	// ("simplify,subst-eq,slice") runs a custom pipeline in that order.
 	// Validate CLI input with ParsePreprocess.
 	Preprocess string
+
+	// TraceFile, when non-empty, streams a structured JSONL event trace
+	// (schema symmerge-trace/v1; see internal/obs and README
+	// "Observability") of the exploration to that path: forks, merge
+	// decisions with the QCE numbers behind them, solver queries with
+	// class and latency, fast-forward picks, work-stealing, epochs and
+	// checkpoints. The sink never blocks a worker: events beyond the
+	// buffer are dropped and counted in Result.TraceDrops. Tracing is
+	// purely observational — corpus output and census are byte-identical
+	// with it on or off. A path that cannot be created refuses the run up
+	// front via Result.ConfigErr.
+	TraceFile string
+	// TraceBuffer overrides the trace sink's event buffer capacity
+	// (default obs.DefaultBuffer = 4096 events).
+	TraceBuffer int
+	// Metrics, when non-nil, receives live counters and latency
+	// histograms from every engine of the run (see NewMetrics,
+	// PublishMetrics). Safe to Snapshot concurrently with the run.
+	Metrics *Metrics
+	// Monitor, when non-nil, gets every engine the run builds attached
+	// for live aggregate progress (Monitor.Progress); cmd/symx serves it
+	// at -debug-addr /progress.
+	Monitor *Monitor
+
+	// obsRun is the resolved observability plumbing (trace sink + metrics)
+	// Run threads down to the engines; portfolio entries inherit it.
+	obsRun *obs.Run
 }
 
 // ParsePreprocess validates a Config.Preprocess spec, returning an error
@@ -273,10 +302,33 @@ func Run(p *Program, cfg Config) *Result {
 		res.Stats.PathsMult = big.NewInt(0)
 		return res
 	}
-	if len(cfg.Portfolio) > 0 {
-		return runPortfolio(p, cfg)
+	var sink *obs.Sink
+	if cfg.TraceFile != "" {
+		f, err := os.Create(cfg.TraceFile)
+		if err != nil {
+			res := &Result{PortfolioWinner: -1, ConfigErr: fmt.Errorf("trace: %w", err)}
+			res.Stats.PathsMult = big.NewInt(0)
+			return res
+		}
+		sink = obs.NewSink(f, cfg.TraceBuffer)
 	}
-	return runSingle(p, cfg)
+	cfg.obsRun = obs.NewRun(sink, cfg.Metrics)
+
+	var res *Result
+	if len(cfg.Portfolio) > 0 {
+		res = runPortfolio(p, cfg)
+	} else {
+		res = runSingle(p, cfg)
+	}
+	if sink != nil {
+		// Close after all emitters have returned: the footer's event/drop
+		// totals are final, and the result carries them for callers that
+		// never look at the file.
+		res.TraceErr = sink.Close()
+		res.TraceEvents = sink.Events()
+		res.TraceDrops = sink.Drops()
+	}
+	return res
 }
 
 // validateConfig rejects configurations the engine layers would otherwise
@@ -364,7 +416,7 @@ func runSingle(p *Program, cfg Config) *Result {
 		ccfg.TestSink = func(tc core.TestCase) { emitToWriter(writer, tc) }
 	}
 
-	factory := engineFactory(p, kind, seed)
+	factory := engineFactory(p, kind, seed, cfg.Monitor)
 	var res *Result
 	if cfg.Workers > 1 {
 		res = parallel.Explore(p.ir, ccfg, parallel.Options{Workers: cfg.Workers}, factory)
@@ -401,6 +453,15 @@ func runPortfolio(p *Program, cfg Config) *Result {
 		entry := cfg.Portfolio[i]
 		entry.Portfolio = nil // no nesting
 		entry.CorpusDir = ""  // the winner's tests are written post-race
+		// Observability is a property of the race, not the entries: all
+		// racers share the outer trace sink (their events carry distinct
+		// worker lanes), metrics registry, and monitor.
+		entry.obsRun = cfg.obsRun
+		entry.TraceFile = ""
+		entry.Metrics = cfg.Metrics
+		if entry.Monitor == nil {
+			entry.Monitor = cfg.Monitor
+		}
 		if cfg.CorpusDir != "" {
 			entry = applyCorpusImplications(entry)
 			if entry.MaxTests < 1<<20 {
@@ -449,14 +510,15 @@ func writePortfolioCorpus(p *Program, outer, winner Config, res *Result) error {
 // use Run for the error-reporting path.
 func NewEngine(p *Program, cfg Config) *core.Engine {
 	ccfg, kind, seed := coreConfig(cfg)
-	return engineFactory(p, kind, seed)(ccfg)
+	return engineFactory(p, kind, seed, cfg.Monitor)(ccfg)
 }
 
 // engineFactory builds engines for a program: one call per parallel worker
 // (plus the splitter), or a single call for a sequential run. Each engine
 // gets its own driving strategy instance; shared pieces (builder, cache,
-// QCE analysis) arrive through the core.Config.
-func engineFactory(p *Program, kind Strategy, seed int64) parallel.NewEngineFunc {
+// QCE analysis) arrive through the core.Config. Every engine built is
+// attached to mon (nil-safe) so a live Monitor sees all of them.
+func engineFactory(p *Program, kind Strategy, seed int64, mon *Monitor) parallel.NewEngineFunc {
 	return func(ccfg core.Config) *core.Engine {
 		// The engine needs the strategy at construction, but the strategy
 		// needs the engine as its context; break the cycle with a
@@ -470,6 +532,7 @@ func engineFactory(p *Program, kind Strategy, seed int64) parallel.NewEngineFunc
 		}
 		eng := core.NewEngine(p.ir, ccfg, strat)
 		fwd.ctx = eng
+		mon.attach(eng)
 		return eng
 	}
 }
@@ -521,6 +584,7 @@ func coreConfig(cfg Config) (core.Config, Strategy, int64) {
 		TrackExactPaths: cfg.TrackExactPaths,
 		DisableSessions: cfg.DisableSessions,
 		SolverOpts:      solver.DefaultOptions(),
+		Obs:             cfg.obsRun,
 	}
 	if cfg.DisableSolverOpts {
 		ccfg.SolverOpts = solver.Options{}
