@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver|scaling|preprocess|corpus|obs] \
+//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver|scaling|preprocess|corpus|obs|summaries] \
 //	           [-budget 2s] [-timeout 10s] [-seed 1] [-workers N] \
 //	           [-preprocess on|off|passes] [-json BENCH_pr3.json]
 //
@@ -25,10 +25,13 @@
 // The "obs" figure measures the observability layer: per-tool wall-clock
 // with tracing+metrics on vs off, corpus-digest parity between the arms,
 // and the aggregate metrics snapshot (query latency histograms by class).
+// The "summaries" figure measures compositional function summaries: per-tool
+// wall-clock under SSM+QCE with the shared summary cache on vs off, plus
+// corpus-digest and exact-path-census parity between the arms.
 // -json writes the ran figures' machine-readable report (schema documented
 // in README.md) to the given path — the artifacts the bench trajectory
-// tracks as BENCH_pr3.json (preprocess), BENCH_pr4.json (corpus), and
-// BENCH_pr7.json (obs).
+// tracks as BENCH_pr3.json (preprocess), BENCH_pr4.json (corpus),
+// BENCH_pr7.json (obs), and BENCH_pr8.json (summaries).
 package main
 
 import (
@@ -98,6 +101,12 @@ func main() {
 		fmt.Println()
 		jsonFigs = append(jsonFigs, fig)
 	}
+	if *figure == "all" || *figure == "summaries" {
+		t, fig := bench.SummariesFigure(opts)
+		fmt.Print(t.String())
+		fmt.Println()
+		jsonFigs = append(jsonFigs, fig)
+	}
 	if *jsonOut != "" && len(jsonFigs) > 0 {
 		rep := bench.Report{Schema: "symmerge-paperbench/v1", Figures: jsonFigs}
 		data, err := rep.Marshal()
@@ -112,7 +121,7 @@ func main() {
 	}
 
 	switch *figure {
-	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver", "scaling", "preprocess", "corpus", "obs":
+	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver", "scaling", "preprocess", "corpus", "obs", "summaries":
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", *figure)
 		os.Exit(2)

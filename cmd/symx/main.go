@@ -60,6 +60,8 @@ func main() {
 		bounds   = flag.Bool("bounds", false, "report out-of-bounds array accesses as errors")
 		dumpIR   = flag.Bool("ir", false, "print the compiled IR and exit")
 		census   = flag.Bool("census", false, "track the exact-path shadow census")
+		summ     = flag.Bool("summaries", false, "cache compositional function summaries and discharge call sites from them")
+		summMax  = flag.Uint64("summary-steps", 0, "step budget per summary recording (0 = default 4096)")
 		noSess   = flag.Bool("nosessions", false, "disable incremental solver sessions (ablation)")
 		preproc  = flag.String("preprocess", "on", "solver preprocessing pipeline: on, off, or comma list of passes (simplify,subst-eq,slice)")
 		stats    = flag.Bool("stats", false, "print rewrite-rule hit counters and preprocessing statistics")
@@ -135,6 +137,8 @@ func main() {
 		CollectTests:    *tests,
 		CheckBounds:     *bounds,
 		TrackExactPaths: *census,
+		Summaries:       *summ,
+		SummaryMaxSteps: *summMax,
 		DisableSessions: *noSess,
 		Preprocess:      *preproc,
 		CorpusDir:       *emitDir,
@@ -209,6 +213,10 @@ func main() {
 	fmt.Printf("solver:        %d queries, %d SAT calls, %d cache hits, %v in SAT\n",
 		st.Solver.Queries, st.Solver.SATCalls,
 		st.Solver.CacheHits+st.Solver.ModelReuseHits, st.Solver.SATTime.Round(time.Millisecond))
+	if *summ {
+		fmt.Printf("summaries:     %d sites discharged (%d entries applied), %d recorded, %d inline fallbacks\n",
+			st.SummaryHits, st.SummaryEntries, st.SummaryRecords, st.SummaryRejects)
+	}
 	if *traceTo != "" {
 		fmt.Printf("trace:         %d events at %s (%d dropped)\n", res.TraceEvents, *traceTo, res.TraceDrops)
 		if res.TraceErr != nil {
@@ -247,6 +255,10 @@ func printStats(st symx.Stats) {
 	if st.TestsEmitted > 0 {
 		fmt.Printf("tests:         %d emitted, %d deduplicated away\n",
 			st.TestsEmitted, st.TestsDeduped)
+	}
+	if st.SummarySteps > 0 {
+		fmt.Printf("summary cost:  %d recording steps, %d assume-summary queries\n",
+			st.SummarySteps, st.Solver.SummaryQueries)
 	}
 	if st.Solver.PreprocQueries > 0 {
 		in, out := st.Solver.PreprocNodesIn, st.Solver.PreprocNodesOut

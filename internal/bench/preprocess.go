@@ -26,15 +26,17 @@ type Report struct {
 // JSONFigure is one figure's machine-readable form: per-arm aggregates
 // plus the per-tool rows behind them. Solver-centric figures fill Rows;
 // the corpus figure fills CorpusRows (see corpus.go / BENCH_pr4.json); the
-// observability figure fills ObsRows and Metrics (obs.go / BENCH_pr7.json).
+// observability figure fills ObsRows and Metrics (obs.go / BENCH_pr7.json);
+// the summary-cache figure fills SummaryRows (summaries.go / BENCH_pr8.json).
 type JSONFigure struct {
-	Name       string            `json:"name"`
-	Notes      string            `json:"notes,omitempty"`
-	Arms       []JSONArm         `json:"arms,omitempty"`
-	Rows       []JSONRow         `json:"rows,omitempty"`
-	CorpusRows []JSONCorpusRow   `json:"corpus_rows,omitempty"`
-	ObsRows    []JSONObsRow      `json:"obs_rows,omitempty"`
-	Metrics    *symx.MetricsSnap `json:"metrics,omitempty"`
+	Name        string            `json:"name"`
+	Notes       string            `json:"notes,omitempty"`
+	Arms        []JSONArm         `json:"arms,omitempty"`
+	Rows        []JSONRow         `json:"rows,omitempty"`
+	CorpusRows  []JSONCorpusRow   `json:"corpus_rows,omitempty"`
+	ObsRows     []JSONObsRow      `json:"obs_rows,omitempty"`
+	SummaryRows []JSONSummaryRow  `json:"summary_rows,omitempty"`
+	Metrics     *symx.MetricsSnap `json:"metrics,omitempty"`
 }
 
 // JSONArm aggregates one configuration arm over the completed rows.

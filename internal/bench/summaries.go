@@ -1,0 +1,217 @@
+// summaries.go: the PR-8 benchmark — compositional function summaries
+// measured over the COREUTILS suite. Two contracts: (1) summaries are pure
+// acceleration (the emitted canonical corpus and the exact-path census are
+// byte-identical with the cache on or off), and (2) they pay for themselves
+// (suite wall-clock speedup under SSM+QCE once the shared cache lets every
+// later call site of a helper closure skip re-exploring it). The on arm
+// shares ONE summary domain across all tools, so the figure also exercises
+// cross-tool reuse of the suite's common helper library.
+
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"symmerge/internal/coreutils"
+	"symmerge/internal/corpus"
+	"symmerge/symx"
+)
+
+// JSONSummaryRow is one tool's summary-cache measurement in BENCH_pr8.json.
+type JSONSummaryRow struct {
+	Tool      string  `json:"tool"`
+	Completed bool    `json:"completed"`
+	OffWallS  float64 `json:"off_wall_s"`
+	OnWallS   float64 `json:"on_wall_s"`
+	// Speedup is off/on wall clock; set only on completed pairs.
+	Speedup float64 `json:"speedup"`
+	// Summary-cache activity of the on arm's timed run.
+	Hits           uint64 `json:"summary_hits"`
+	Records        uint64 `json:"summary_records"`
+	Rejects        uint64 `json:"summary_rejects"`
+	EntriesApplied uint64 `json:"summary_entries"`
+	SummaryQueries uint64 `json:"summary_queries"`
+	QueriesOff     uint64 `json:"queries_off"`
+	QueriesOn      uint64 `json:"queries_on"`
+	// DigestsEqual is the corpus contract: the canonical corpus directory
+	// digest of the summary run equals the inline run's, byte for byte.
+	DigestsEqual bool `json:"digests_equal"`
+	// CensusEqual is the census contract: the exact-path count, coverage
+	// and error set of the parity arms match.
+	CensusEqual bool `json:"census_equal"`
+}
+
+// SummariesFigure measures compositional function summaries on every
+// COREUTILS tool under SSM+QCE. Each tool runs two timed arms on a grown
+// input (summaries off vs on, the on arm against one suite-wide shared
+// domain), then two parity arms at the corpus shapes with canonical-test
+// emission and the exact-path census, whose corpus digests and census
+// numbers must match.
+func SummariesFigure(opts Options) (*Table, JSONFigure) {
+	t := &Table{
+		Title: "Compositional function summaries: SSM+QCE with the shared cache on vs off",
+		Comment: fmt.Sprintf("timeout %v per run; timed arms on grown inputs; digest= and census= come from\n"+
+			"separate parity arms at the corpus shapes (canonical tests + exact-path census);\n"+
+			"the on arm shares one summary domain across the whole suite", opts.Timeout),
+		Header: []string{"tool", "t_off_s", "t_on_s", "speedup", "hits", "rec", "rej", "entries", "sum_q", "digest=", "census="},
+	}
+	fig := JSONFigure{
+		Name: "summaries",
+		Notes: "each tool explored exhaustively under SSM+QCE, summaries off vs on with one shared " +
+			"summary domain across all on-arm runs (cross-tool reuse of the helper library); " +
+			"digests_equal compares corpus.DirDigest of canonical-corpus parity runs; census_equal " +
+			"compares exact paths, coverage, and the error set of census parity runs",
+	}
+
+	tmp, err := os.MkdirTemp("", "paperbench-summaries-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	// One domain for every summary-enabled run in the figure: recordings
+	// made while timing one tool discharge call sites in every later tool
+	// that shares the closure and input shape.
+	dom := symx.NewSummaryDomain()
+
+	var offWall, onWall, speedups []float64
+	timeouts, digestMismatches, censusMismatches := 0, 0, 0
+
+	for _, tool := range coreutils.All() {
+		p, err := tool.Compile()
+		if err != nil {
+			panic(err)
+		}
+		run := func(summaries bool, mut func(*symx.Config)) *symx.Result {
+			cfg := tool.BaseConfig()
+			cfg.Seed = opts.Seed
+			cfg.Workers = opts.Workers
+			cfg.Preprocess = opts.Preprocess
+			cfg.Merge = symx.MergeSSM
+			cfg.UseQCE = true
+			cfg.MaxTime = opts.Timeout
+			if summaries {
+				cfg.Summaries = true
+				cfg.SummaryDomain = dom
+			}
+			mut(&cfg)
+			return symx.Run(p, cfg)
+		}
+
+		// Timed arms: grown inputs so the helper workload dominates, no
+		// corpus or census instrumentation in the timing.
+		timed := func(cfg *symx.Config) { grow(tool, cfg, 1) }
+		resOff := run(false, timed)
+		resOn := run(true, timed)
+
+		// Parity arms: the corpus shapes with canonical-test emission and
+		// the shadow census — the configuration whose byte output is a
+		// function of the explored path set alone.
+		parity := func(arm string) func(*symx.Config) {
+			return func(cfg *symx.Config) {
+				cfg.TrackExactPaths = true
+				cfg.CorpusDir = filepath.Join(tmp, tool.Name, arm)
+				cfg.CorpusLabel = tool.Name
+			}
+		}
+		parOff := run(false, parity("off"))
+		parOn := run(true, parity("on"))
+
+		row := JSONSummaryRow{
+			Tool:           tool.Name,
+			Completed:      resOff.Completed && resOn.Completed,
+			OffWallS:       resOff.Stats.ElapsedSeconds,
+			OnWallS:        resOn.Stats.ElapsedSeconds,
+			Hits:           resOn.Stats.SummaryHits,
+			Records:        resOn.Stats.SummaryRecords,
+			Rejects:        resOn.Stats.SummaryRejects,
+			EntriesApplied: resOn.Stats.SummaryEntries,
+			SummaryQueries: resOn.Stats.Solver.SummaryQueries,
+			QueriesOff:     resOff.Stats.Solver.Queries,
+			QueriesOn:      resOn.Stats.Solver.Queries,
+		}
+
+		dOff, err1 := corpus.DirDigest(filepath.Join(tmp, tool.Name, "off"))
+		dOn, err2 := corpus.DirDigest(filepath.Join(tmp, tool.Name, "on"))
+		row.DigestsEqual = err1 == nil && err2 == nil && dOff == dOn
+		if !row.DigestsEqual {
+			digestMismatches++
+		}
+		row.CensusEqual = parOff.Completed && parOn.Completed &&
+			parOff.Stats.ExactPaths == parOn.Stats.ExactPaths &&
+			parOff.Stats.CoveredInstrs == parOn.Stats.CoveredInstrs &&
+			sameErrors(parOff, parOn)
+		if !row.CensusEqual {
+			censusMismatches++
+		}
+
+		if row.Completed {
+			row.Speedup = row.OffWallS / math.Max(row.OnWallS, 1e-6)
+			offWall = append(offWall, row.OffWallS)
+			onWall = append(onWall, row.OnWallS)
+			speedups = append(speedups, row.Speedup)
+		} else {
+			timeouts++
+		}
+		fig.SummaryRows = append(fig.SummaryRows, row)
+
+		t.Rows = append(t.Rows, []string{
+			tool.Name,
+			fmt.Sprintf("%.3f", row.OffWallS),
+			fmt.Sprintf("%.3f", row.OnWallS),
+			fmt.Sprintf("%.2f", row.Speedup),
+			fmt.Sprint(row.Hits),
+			fmt.Sprint(row.Records),
+			fmt.Sprint(row.Rejects),
+			fmt.Sprint(row.EntriesApplied),
+			fmt.Sprint(row.SummaryQueries),
+			fmt.Sprint(row.DigestsEqual),
+			fmt.Sprint(row.CensusEqual),
+		})
+	}
+
+	// The headline compares total wall clock across the suite — the number
+	// a batch user experiences — with the per-tool mean alongside
+	// (sub-millisecond tools contribute timer noise to the mean, weight to
+	// neither).
+	aggregate, mean := 0.0, 0.0
+	if s := sum(onWall); s > 0 {
+		aggregate = sum(offWall) / s
+	}
+	if len(speedups) > 0 {
+		for _, s := range speedups {
+			mean += s
+		}
+		mean /= float64(len(speedups))
+	}
+	t.Comment += fmt.Sprintf(
+		"\nsuite aggregate: wall %.3fs off -> %.3fs on (%.2fx; mean per-tool speedup %.2fx)"+
+			"\n%d tools compared (%d timed out, %d digest mismatches, %d census mismatches)",
+		sum(offWall), sum(onWall), aggregate, mean,
+		len(offWall), timeouts, digestMismatches, censusMismatches)
+	return t, fig
+}
+
+// sameErrors compares the distinct (location, message) error sets of two runs.
+func sameErrors(a, b *symx.Result) bool {
+	set := func(res *symx.Result) map[string]bool {
+		out := map[string]bool{}
+		for _, e := range res.Errors {
+			out[fmt.Sprintf("%v|%s", e.Loc, e.Msg)] = true
+		}
+		return out
+	}
+	sa, sb := set(a), set(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for k := range sa {
+		if !sb[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"symmerge/internal/coreutils"
+	"symmerge/symx"
+)
+
+// BenchmarkSummaryReuse measures what a warm summary cache is worth: the
+// same SSM+QCE exploration of a summary-heavy tool against a cold domain
+// (every iteration records its own summaries) and against a domain seeded
+// by one prior run (every call site is a cache hit). The gap between the
+// two is the record-once/apply-many payoff the cache exists for.
+func BenchmarkSummaryReuse(b *testing.B) {
+	tool, err := coreutils.Get("sleep")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := tool.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(dom *symx.SummaryDomain) *symx.Result {
+		cfg := tool.BaseConfig()
+		cfg.Merge = symx.MergeSSM
+		cfg.UseQCE = true
+		cfg.MaxTime = 30 * time.Second
+		cfg.Summaries = true
+		cfg.SummaryDomain = dom
+		return symx.Run(p, cfg)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := run(symx.NewSummaryDomain())
+			if res.Stats.SummaryRecords == 0 {
+				b.Fatal("cold run recorded no summaries")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dom := symx.NewSummaryDomain()
+		run(dom) // seed the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := run(dom)
+			if res.Stats.SummaryRecords != 0 {
+				b.Fatal("warm run re-recorded a summary")
+			}
+			if res.Stats.SummaryHits == 0 {
+				b.Fatal("warm run missed the cache")
+			}
+		}
+	})
+}

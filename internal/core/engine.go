@@ -14,6 +14,7 @@ import (
 	"symmerge/internal/obs"
 	"symmerge/internal/qce"
 	"symmerge/internal/solver"
+	"symmerge/internal/summary"
 )
 
 // MergeMode selects the state-merging regime (paper §2.2, §4).
@@ -170,6 +171,20 @@ type Config struct {
 	// results are byte-identical with or without it.
 	Obs *obs.Run
 
+	// Summaries, when non-nil, enables compositional function summaries:
+	// eligible call sites are discharged from the shared cache instead of
+	// exploring the callee inline (recording the callee once on a miss).
+	// The cache must be paired with the builder that minted the expression
+	// IDs in its keys — parallel workers and paperbench tools share one
+	// (builder, cache) pair. Ignored under CheckBounds: bounds errors are
+	// caller-environment-dependent, so summarized callees would miss them.
+	Summaries *summary.Cache
+
+	// SummaryMaxSteps bounds one summary recording (0 = 4096 scheduler
+	// steps). A callee that exceeds it is negatively cached as truncated
+	// and explored inline forever after.
+	SummaryMaxSteps uint64
+
 	SolverOpts solver.Options
 }
 
@@ -206,6 +221,13 @@ type Stats struct {
 	ErrorsFound int
 	MaxWorklist int
 	Pruned      uint64
+
+	// Summary-cache activity (zero unless Config.Summaries is set).
+	SummaryHits    uint64 // call sites discharged from a cached summary
+	SummaryRejects uint64 // call sites that fell back to inline exploration
+	SummaryRecords uint64 // summaries recorded by this engine
+	SummaryEntries uint64 // Σ feasible entries applied at discharged sites
+	SummarySteps   uint64 // scheduler steps spent inside recordings
 
 	CoveredInstrs  int
 	TotalInstrs    int
@@ -289,6 +311,16 @@ type Engine struct {
 	// Stats/LiveProgress serve to other goroutines.
 	obs     *obs.Observer
 	progPub atomic.Pointer[progressSnap]
+
+	// sum is the compositional-summary machinery (nil when disabled); see
+	// summary.go in this package.
+	sum *engineSummaries
+
+	// recording, when non-nil, marks this engine as a summary recorder: a
+	// throwaway sub-engine exploring one callee from an empty path
+	// condition. Terminated states are collected instead of being turned
+	// into tests/errors, and solver failures abort the recording.
+	recording *recordingState
 }
 
 // progressSnap is one published progress snapshot: a self-contained Stats
@@ -344,6 +376,9 @@ func NewEngine(prog *ir.Program, config Config, strat Strategy) *Engine {
 	e.obs = config.Obs.NewLane()
 	e.solv.Observe(e.obs)
 	e.setupEnv()
+	if config.Summaries != nil && !config.CheckBounds {
+		e.sum = newEngineSummaries(e, config.Summaries)
+	}
 	e.publishProgress() // Stats() is valid (if empty) before Begin
 	return e
 }
@@ -957,6 +992,12 @@ func (e *Engine) pruneExcess() {
 
 // finishState records a terminated state.
 func (e *Engine) finishState(s *State) {
+	if e.recording != nil {
+		// Summary recording: collect the callee path for entry
+		// construction instead of reporting it (summary.go).
+		e.recording.collect(s)
+		return
+	}
 	switch s.Halt {
 	case HaltExit, HaltError:
 		e.stats.PathsCompleted++

@@ -27,11 +27,11 @@ func init() {
 		DefaultArgs: 1, DefaultLen: 2, DefaultStdin: 1})
 }
 
-const srcCut = `
+const srcCut = libOptFlag + `
 // cut -c N : print the N-th character of every stdin line.
 void main() {
     int col = 1;
-    if (argc() > 2 && argchar(1, 0) == '-' && argchar(1, 1) == 'c' && argchar(1, 2) == 0) {
+    if (argc() > 2 && opt_flag(1, 'c')) {
         byte d = argchar(2, 0);
         if (d >= '1' && d <= '9') {
             col = toint(d - '0');
@@ -98,12 +98,12 @@ void main() {
 }
 `
 
-const srcExpand = `
+const srcExpand = libOptFlag + `
 // expand [-i] : replace tabs on stdin with spaces up to the next 4-column
 // stop; -i converts only leading tabs.
 void main() {
     bool initialOnly = false;
-    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == 'i' && argchar(1, 2) == 0) {
+    if (argc() > 1 && opt_flag(1, 'i')) {
         initialOnly = true;
     }
     int col = 0;
@@ -190,16 +190,15 @@ void main() {
 }
 `
 
-const srcSum = `
+const srcSum = libOptFlag + `
 // sum [-r|-s] : checksum stdin; -r (default) is the BSD rotate-and-add
 // algorithm, -s the System V straight sum.
 void main() {
     bool sysv = false;
     if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 2) == 0) {
-        byte f = argchar(1, 1);
-        if (f == 's') {
+        if (opt_flag(1, 's')) {
             sysv = true;
-        } else if (f != 'r') {
+        } else if (!opt_flag(1, 'r')) {
             putchar('?');
             halt(1);
         }
@@ -230,12 +229,12 @@ void main() {
 }
 `
 
-const srcPr = `
+const srcPr = libOptFlag + `
 // pr [-h] : paginate stdin: page header, then body lines; -h suppresses
 // the header (model: page length 2 lines).
 void main() {
     bool header = true;
-    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == 'h' && argchar(1, 2) == 0) {
+    if (argc() > 1 && opt_flag(1, 'h')) {
         header = false;
     }
     int lineOnPage = 0;
@@ -308,7 +307,7 @@ void main() {
 }
 `
 
-const srcJoin = `
+const srcJoin = libPutArg + `
 // join a b : join two "files" (the two arguments) on the first field,
 // where a field is a single character and records are the remaining
 // characters: join emits key + both tails when the keys match.
@@ -320,12 +319,8 @@ void main() {
     byte k2 = argchar(2, 0);
     if (k1 != 0 && k1 == k2) {
         putchar(k1);
-        for (int i = 1; argchar(1, i) != 0; i++) {
-            putchar(argchar(1, i));
-        }
-        for (int j = 1; argchar(2, j) != 0; j++) {
-            putchar(argchar(2, j));
-        }
+        put_arg(1, 1);
+        put_arg(2, 1);
         putchar('\n');
     }
 }
@@ -394,12 +389,12 @@ void main() {
 // Static state merging must exhaust the CRC region before the join, starving
 // the output code; a coverage-guided strategy (and DSM riding it) reaches it
 // through the quick path immediately.
-const srcCksum = `
+const srcCksum = libOptFlag + `
 // cksum [-q] : CRC-16-CCITT of stdin; -q skips the checksum and reports
 // only the length.
 void main() {
     bool quick = false;
-    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == 'q' && argchar(1, 2) == 0) {
+    if (argc() > 1 && opt_flag(1, 'q')) {
         quick = true;
     }
     int h = 0xffff;

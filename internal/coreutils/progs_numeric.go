@@ -13,22 +13,13 @@ func init() {
 	register(&Tool{Name: "rm", Source: srcRm, DefaultArgs: 2, DefaultLen: 2})
 }
 
-const srcSeq = `
+const srcSeq = libParseDecOr + `
 // seq last : print 1..last, where last is a single decimal digit argument.
 void main() {
     if (argc() < 2) {
         halt(1);
     }
-    int last = 0;
-    for (int i = 0; argchar(1, i) != 0; i++) {
-        byte d = argchar(1, i);
-        if (d < '0' || d > '9') {
-            // invalid number
-            putchar('?');
-            halt(1);
-        }
-        last = last * 10 + toint(d - '0');
-    }
+    int last = parse_dec_or(1, '?');
     last = last % 10; // model bound: single-digit sequences
     for (int k = 1; k <= last; k++) {
         putchar(tobyte('0' + k % 10));
@@ -41,27 +32,18 @@ void main() {
 // argument are summed into `seconds`; the parse loops fork heavily, but the
 // accumulator is used only once in the validation at the end, so QCE lets
 // all parse states merge and avoids the exponential blowup.
-const srcSleep = `
+const srcSleep = libParseScan + `
 // sleep n... : sum the integer arguments, validate, and "sleep".
 void main() {
     int seconds = 0;
     bool ok = argc() > 1;
+    int pr[2];
     for (int arg = 1; arg < argc(); arg++) {
-        int v = 0;
-        bool any = false;
-        for (int i = 0; argchar(arg, i) != 0; i++) {
-            byte d = argchar(arg, i);
-            if (d >= '0' && d <= '9') {
-                v = v * 10 + toint(d - '0');
-                any = true;
-            } else {
-                ok = false;
-            }
-        }
-        if (!any) {
+        parse_scan(arg, 0, pr);
+        if (pr[1] == 0) {
             ok = false;
         }
-        seconds = seconds + v;
+        seconds = seconds + pr[0];
     }
     if (!ok) {
         putchar('?');
@@ -77,43 +59,31 @@ void main() {
 }
 `
 
-const srcNice = `
+const srcNice = libOptFlag + libParseScan + libPutArg + `
 // nice [-n adj] cmd... : parse the adjustment, clamp it, then "run" the
 // command by printing its name.
 void main() {
     int adj = 10;
     int arg = 1;
-    if (arg < argc() && argchar(arg, 0) == '-' && argchar(arg, 1) == 'n' && argchar(arg, 2) == 0) {
+    int pr[2];
+    if (arg < argc() && opt_flag(arg, 'n')) {
         arg++;
         if (arg >= argc()) {
             putchar('?');
             halt(1);
         }
-        adj = 0;
         bool neg = false;
         int i = 0;
         if (argchar(arg, 0) == '-') {
             neg = true;
             i = 1;
         }
-        bool any = false;
-        bool bad = false;
-        // strtol-style scan: invalid characters are noted but the scan
-        // continues (validation happens once at the end), so both branch
-        // outcomes survive every character.
-        for (; argchar(arg, i) != 0; i++) {
-            byte d = argchar(arg, i);
-            if (d < '0' || d > '9') {
-                bad = true;
-            } else {
-                adj = adj * 10 + toint(d - '0');
-                any = true;
-            }
-        }
-        if (!any || bad) {
+        parse_scan(arg, i, pr);
+        if (pr[1] == 0) {
             putchar('?');
             halt(1);
         }
+        adj = pr[0];
         if (neg) {
             adj = 0 - adj;
         }
@@ -134,14 +104,12 @@ void main() {
         halt(0);
     }
     // "Execute" the command.
-    for (int k = 0; argchar(arg, k) != 0; k++) {
-        putchar(argchar(arg, k));
-    }
+    put_arg(arg, 0);
     putchar('\n');
 }
 `
 
-const srcLink = `
+const srcLink = libArgsSame + `
 // link a b : create a hard link. Like the GNU tool, both operands pass
 // through the shell-quoting routine used for diagnostics, which classifies
 // every character (both classification outcomes continue execution, so
@@ -178,18 +146,7 @@ void main() {
         halt(1);
     }
     // Same-name link fails (models EEXIST).
-    bool same = true;
-    for (int i = 0; same; i++) {
-        byte a = argchar(1, i);
-        byte b = argchar(2, i);
-        if (a != b) {
-            same = false;
-        }
-        if (a == 0 || b == 0) {
-            break;
-        }
-    }
-    if (same) {
+    if (args_same(1, 2)) {
         putchar('x');
         if (esc1 + esc2 > 0) {
             putchar('q'); // names were quoted in the message
@@ -221,7 +178,7 @@ void main() {
 }
 `
 
-const srcTest = `
+const srcTest = libArgsSame + `
 // test args... : evaluate a tiny shell conditional: supported forms are
 // "-n STR", "-z STR", "STR", and "A = B" / "A != B" on one-char operands.
 void main() {
@@ -253,20 +210,7 @@ void main() {
     }
     if (n == 3) {
         // A = B or A != B over full strings.
-        bool eq = true;
-        int i = 0;
-        while (true) {
-            byte a = argchar(1, i);
-            byte b = argchar(3, i);
-            if (a != b) {
-                eq = false;
-                break;
-            }
-            if (a == 0) {
-                break;
-            }
-            i++;
-        }
+        bool eq = args_same(1, 3);
         if (argchar(2, 0) == '=' && argchar(2, 1) == 0) {
             if (eq) { halt(0); }
             halt(1);
@@ -281,17 +225,16 @@ void main() {
 }
 `
 
-const srcMv = `
+const srcMv = libOptFlag + libArgsSame + `
 // mv [-f|-i] src dst : validate operands; refuses to move onto itself.
 void main() {
     int arg = 1;
     bool force = false;
-    if (arg < argc() && argchar(arg, 0) == '-' && argchar(arg, 2) == 0) {
-        byte f = argchar(arg, 1);
-        if (f == 'f') {
+    if (arg < argc()) {
+        if (opt_flag(arg, 'f')) {
             force = true;
             arg++;
-        } else if (f == 'i') {
+        } else if (opt_flag(arg, 'i')) {
             arg++;
         }
     }
@@ -299,18 +242,7 @@ void main() {
         putchar('?');
         halt(1);
     }
-    bool same = true;
-    for (int i = 0; same; i++) {
-        byte a = argchar(arg, i);
-        byte b = argchar(arg + 1, i);
-        if (a != b) {
-            same = false;
-        }
-        if (a == 0 || b == 0) {
-            break;
-        }
-    }
-    if (same && !force) {
+    if (args_same(arg, arg + 1) && !force) {
         putchar('x');
         halt(1);
     }
@@ -318,16 +250,15 @@ void main() {
 }
 `
 
-const srcRm = `
+const srcRm = libOptFlag + `
 // rm [-r] [-f] names... : validate each operand; "." and ".." refused.
 void main() {
     int arg = 1;
     bool force = false;
     while (arg < argc() && argchar(arg, 0) == '-' && argchar(arg, 2) == 0) {
-        byte f = argchar(arg, 1);
-        if (f == 'f') {
+        if (opt_flag(arg, 'f')) {
             force = true;
-        } else if (f != 'r') {
+        } else if (!opt_flag(arg, 'r')) {
             putchar('?');
             halt(1);
         }

@@ -28,7 +28,7 @@ func init() {
 	register(&Tool{Name: "env", Source: srcEnv, DefaultArgs: 2, DefaultLen: 3})
 }
 
-const srcPrintf = `
+const srcPrintf = libPutArg + libParseDecOr + `
 // printf FORMAT [ARG] : interpret %s/%d/%c/%% directives and \n/\t escapes.
 // The format scanner classifies every character three ways (plain, %, \),
 // and each directive consumes the next argument — the real tool's structure.
@@ -47,9 +47,7 @@ void main() {
                 putchar('%');
             } else if (d == 's') {
                 if (arg < argc()) {
-                    for (int k = 0; argchar(arg, k) != 0; k++) {
-                        putchar(argchar(arg, k));
-                    }
+                    put_arg(arg, 0);
                     arg++;
                 }
             } else if (d == 'c') {
@@ -59,15 +57,8 @@ void main() {
                 }
             } else if (d == 'd') {
                 // Parse the argument as a number; invalid digits abort.
-                int v = 0;
-                for (int k = 0; arg < argc() && argchar(arg, k) != 0; k++) {
-                    byte g = argchar(arg, k);
-                    if (g < '0' || g > '9') {
-                        putchar('!');
-                        halt(1);
-                    }
-                    v = v * 10 + toint(g - '0');
-                }
+                // (Out-of-range arguments read as empty, hence 0.)
+                int v = parse_dec_or(arg, '!');
                 arg++;
                 if (v >= 10) { putchar(tobyte('0' + (v / 10) % 10)); }
                 putchar(tobyte('0' + v % 10));
@@ -173,7 +164,7 @@ void main() {
 }
 `
 
-const srcFactor = `
+const srcFactor = libParseDecOr + `
 // factor N : print the prime factorization of a small decimal operand by
 // trial division. The parse loop forks per character; the division loop's
 // bound depends on the merged parse accumulator — a stress test for QCE's
@@ -183,15 +174,7 @@ void main() {
         putchar('?');
         halt(1);
     }
-    int n = 0;
-    for (int i = 0; argchar(1, i) != 0; i++) {
-        byte d = argchar(1, i);
-        if (d < '0' || d > '9') {
-            putchar('?');
-            halt(1);
-        }
-        n = n * 10 + toint(d - '0');
-    }
+    int n = parse_dec_or(1, '?');
     n = n % 32; // model bound: keep trial division laptop-sized
     if (n < 2) {
         putchar('!');
@@ -213,16 +196,15 @@ void main() {
 }
 `
 
-const srcOd = `
+const srcOd = libOptFlag + `
 // od [-b|-c] : dump stdin, one byte per line, in octal (default/-b) or as
 // printable-or-escape (-c). Each byte's class decides the output form.
 void main() {
     bool chars = false;
     if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 2) == 0) {
-        byte f = argchar(1, 1);
-        if (f == 'c') {
+        if (opt_flag(1, 'c')) {
             chars = true;
-        } else if (f != 'b') {
+        } else if (!opt_flag(1, 'b')) {
             putchar('?');
             halt(1);
         }
@@ -247,7 +229,7 @@ void main() {
 }
 `
 
-const srcBase64 = `
+const srcBase64 = libOptFlag + `
 // base64 [-d] : encode stdin (3 bytes -> 4 chars, '=' padding), or with -d
 // validate a base64 stream. Decoding classifies every character into five
 // alphabet classes — dense branching per input byte.
@@ -262,7 +244,7 @@ byte enc(int v) {
 
 void main() {
     bool decode = false;
-    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == 'd' && argchar(1, 2) == 0) {
+    if (argc() > 1 && opt_flag(1, 'd')) {
         decode = true;
     }
     int n = stdinlen();
@@ -423,7 +405,7 @@ void main() {
 }
 `
 
-const srcMktemp = `
+const srcMktemp = libArgLen + `
 // mktemp TEMPLATE : the template's trailing run of 'X' must be at least 3
 // long; shorter runs or X's in the middle only count if trailing.
 void main() {
@@ -431,10 +413,7 @@ void main() {
         putchar('?');
         halt(1);
     }
-    int len = 0;
-    for (int i = 0; argchar(1, i) != 0; i++) {
-        len++;
-    }
+    int len = arg_len(1);
     if (len == 0) {
         putchar('?');
         halt(1);
@@ -462,13 +441,13 @@ void main() {
 }
 `
 
-const srcPathchk = `
+const srcPathchk = libOptFlag + `
 // pathchk [-p] name : check a path for validity; -p additionally restricts
 // to the POSIX portable character set and a shorter length limit.
 void main() {
     int arg = 1;
     bool posix = false;
-    if (arg < argc() && argchar(arg, 0) == '-' && argchar(arg, 1) == 'p' && argchar(arg, 2) == 0) {
+    if (arg < argc() && opt_flag(arg, 'p')) {
         posix = true;
         arg++;
     }
@@ -552,12 +531,12 @@ void main() {
 }
 `
 
-const srcTee = `
+const srcTee = libOptFlag + `
 // tee [-a] file : copy stdin to stdout (the file side is validated only:
 // nonempty name, no NUL-adjacent junk — the model has no filesystem).
 void main() {
     int arg = 1;
-    if (arg < argc() && argchar(arg, 0) == '-' && argchar(arg, 1) == 'a' && argchar(arg, 2) == 0) {
+    if (arg < argc() && opt_flag(arg, 'a')) {
         arg++;
     }
     if (arg < argc() && argchar(arg, 0) == 0) {
@@ -572,7 +551,7 @@ void main() {
 }
 `
 
-const srcEnv = `
+const srcEnv = libPutArg + `
 // env [NAME=VALUE]... [cmd] : each leading operand containing '=' is an
 // assignment; the first without '=' is the command to "run". Scanning for
 // '=' forks per character of every assignment.
@@ -608,9 +587,7 @@ void main() {
         halt(0);
     }
     // "Execute" the command.
-    for (int k = 0; argchar(arg, k) != 0; k++) {
-        putchar(argchar(arg, k));
-    }
+    put_arg(arg, 0);
     putchar('\n');
     halt(0);
 }

@@ -26,21 +26,19 @@ func init() {
 
 // srcEcho is the paper's Figure 1 program: print arguments, -n suppresses
 // the trailing newline.
-const srcEcho = `
+const srcEcho = libOptFlag + libPutArg + `
 // echo [-n] args... : write arguments to standard output.
 void main() {
     int r = 1;
     int arg = 1;
     if (arg < argc()) {
-        if (argchar(arg, 0) == '-' && argchar(arg, 1) == 'n' && argchar(arg, 2) == 0) {
+        if (opt_flag(arg, 'n')) {
             r = 0;
             arg++;
         }
     }
     for (; arg < argc(); arg++) {
-        for (int i = 0; argchar(arg, i) != 0; i++) {
-            putchar(argchar(arg, i));
-        }
+        put_arg(arg, 0);
         if (arg + 1 < argc()) {
             putchar(' ');
         }
@@ -51,22 +49,14 @@ void main() {
 }
 `
 
-const srcBasename = `
+const srcBasename = libArgLen + `
 // basename path [suffix] : strip directory prefix and optional suffix.
-int strlen1(int arg) {
-    int n = 0;
-    while (argchar(arg, n) != 0) {
-        n++;
-    }
-    return n;
-}
-
 void main() {
     if (argc() < 2) {
         putchar('?');
         halt(1);
     }
-    int len = strlen1(1);
+    int len = arg_len(1);
     // Find the start of the last path component.
     int start = 0;
     for (int i = 0; i < len; i++) {
@@ -77,7 +67,7 @@ void main() {
     int end = len;
     if (argc() > 2) {
         // Strip the suffix if it matches and is shorter than the name.
-        int slen = strlen1(2);
+        int slen = arg_len(2);
         if (slen > 0 && slen < len - start) {
             bool match = true;
             for (int j = 0; j < slen; j++) {
@@ -100,17 +90,14 @@ void main() {
 }
 `
 
-const srcDirname = `
+const srcDirname = libArgLen + `
 // dirname path : strip the last path component.
 void main() {
     if (argc() < 2) {
         putchar('?');
         halt(1);
     }
-    int len = 0;
-    while (argchar(1, len) != 0) {
-        len++;
-    }
+    int len = arg_len(1);
     // Trim trailing slashes, then trim the final component.
     while (len > 1 && argchar(1, len - 1) == '/') {
         len--;
@@ -136,14 +123,12 @@ void main() {
 }
 `
 
-const srcYes = `
+const srcYes = libPutArg + `
 // yes [arg] : repeat the argument (bounded model: 3 repetitions).
 void main() {
     for (int rep = 0; rep < 3; rep++) {
         if (argc() > 1) {
-            for (int i = 0; argchar(1, i) != 0; i++) {
-                putchar(argchar(1, i));
-            }
+            put_arg(1, 0);
         } else {
             putchar('y');
         }
@@ -180,11 +165,11 @@ void main() {
 }
 `
 
-const srcCat = `
+const srcCat = libOptFlag + `
 // cat [-n] : copy stdin to stdout, -n numbers lines.
 void main() {
     bool number = false;
-    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == 'n' && argchar(1, 2) == 0) {
+    if (argc() > 1 && opt_flag(1, 'n')) {
         number = true;
     }
     int line = 1;
@@ -206,11 +191,11 @@ void main() {
 }
 `
 
-const srcHead = `
+const srcHead = libOptFlag + `
 // head [-n N] : print the first N lines of stdin (default 2 in the model).
 void main() {
     int limit = 2;
-    if (argc() > 2 && argchar(1, 0) == '-' && argchar(1, 1) == 'n' && argchar(1, 2) == 0) {
+    if (argc() > 2 && opt_flag(1, 'n')) {
         byte d = argchar(2, 0);
         if (d >= '0' && d <= '9') {
             limit = toint(d - '0');
@@ -231,17 +216,16 @@ void main() {
 }
 `
 
-const srcWc = `
+const srcWc = libOptFlag + libIsSpace + `
 // wc [-l|-w|-c] : count lines, words, bytes of stdin.
 void main() {
     bool doLines = false;
     bool doWords = false;
     bool doBytes = false;
-    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 2) == 0) {
-        byte f = argchar(1, 1);
-        if (f == 'l') { doLines = true; }
-        else if (f == 'w') { doWords = true; }
-        else if (f == 'c') { doBytes = true; }
+    if (argc() > 1) {
+        if (opt_flag(1, 'l')) { doLines = true; }
+        else if (opt_flag(1, 'w')) { doWords = true; }
+        else if (opt_flag(1, 'c')) { doBytes = true; }
     }
     if (!doLines && !doWords && !doBytes) {
         doLines = true;
@@ -259,7 +243,7 @@ void main() {
         if (c == '\n') {
             lines++;
         }
-        if (c == ' ' || c == '\n' || c == '\t') {
+        if (is_space(c)) {
             inWord = false;
         } else {
             if (!inWord) {
@@ -275,12 +259,12 @@ void main() {
 }
 `
 
-const srcUniq = `
+const srcUniq = libOptFlag + `
 // uniq [-c] : collapse adjacent duplicate lines of stdin; -c prefixes each
 // line with its repeat count (single digit in the model).
 void main() {
     bool count = false;
-    if (argc() > 1 && argchar(1, 0) == '-' && argchar(1, 1) == 'c' && argchar(1, 2) == 0) {
+    if (argc() > 1 && opt_flag(1, 'c')) {
         count = true;
     }
     byte prev[8];

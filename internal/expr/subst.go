@@ -1,0 +1,115 @@
+// subst.go: variable substitution by memoized rebuild. The compositional
+// function-summary layer records callee behavior over canonical placeholder
+// parameters; applying a summary at a concrete call site instantiates every
+// recorded expression by substituting the actual argument expressions for
+// the placeholders. Rebuilding through the Builder constructors re-runs
+// constant folding and the local simplification rules, so a summary applied
+// to concrete arguments collapses toward constants for free.
+
+package expr
+
+// Subst returns e with every variable node that appears as a key of bind
+// replaced by the bound expression, rebuilding all affected interior nodes
+// through the Builder's simplifying constructors. Nodes containing no bound
+// variable are returned as-is (pointer-shared). memo caches node rewrites
+// and may be shared across calls with the same binding to amortize work over
+// a set of related expressions (for a summary: all entries' guards, return
+// values and effects share one memo).
+//
+// Bound expressions must be of the same sort (width) as the variables they
+// replace; the constructors enforce this.
+func (b *Builder) Subst(e *Expr, bind map[*Expr]*Expr, memo map[*Expr]*Expr) *Expr {
+	if len(bind) == 0 || !e.symbolic {
+		return e
+	}
+	if r, ok := bind[e]; ok {
+		return r
+	}
+	if r, ok := memo[e]; ok {
+		return r
+	}
+	r := b.substNode(e, bind, memo)
+	memo[e] = r
+	return r
+}
+
+func (b *Builder) substNode(e *Expr, bind map[*Expr]*Expr, memo map[*Expr]*Expr) *Expr {
+	if e.Kind == KVar {
+		return e // unbound variable (program input, not a placeholder)
+	}
+	kids := e.Kids
+	changed := false
+	nk := make([]*Expr, len(kids))
+	for i, k := range kids {
+		nk[i] = b.Subst(k, bind, memo)
+		if nk[i] != k {
+			changed = true
+		}
+	}
+	if !changed {
+		return e
+	}
+	switch e.Kind {
+	case KNot:
+		return b.Not(nk[0])
+	case KAnd:
+		return b.AndN(nk)
+	case KOr:
+		return b.OrN(nk)
+	case KXor:
+		return b.Xor(nk[0], nk[1])
+	case KImplies:
+		return b.Implies(nk[0], nk[1])
+	case KEq:
+		return b.Eq(nk[0], nk[1])
+	case KUlt:
+		return b.Ult(nk[0], nk[1])
+	case KUle:
+		return b.Ule(nk[0], nk[1])
+	case KSlt:
+		return b.Slt(nk[0], nk[1])
+	case KSle:
+		return b.Sle(nk[0], nk[1])
+	case KAdd:
+		return b.Add(nk[0], nk[1])
+	case KSub:
+		return b.Sub(nk[0], nk[1])
+	case KMul:
+		return b.Mul(nk[0], nk[1])
+	case KUDiv:
+		return b.UDiv(nk[0], nk[1])
+	case KURem:
+		return b.URem(nk[0], nk[1])
+	case KSDiv:
+		return b.SDiv(nk[0], nk[1])
+	case KSRem:
+		return b.SRem(nk[0], nk[1])
+	case KBAnd:
+		return b.BAnd(nk[0], nk[1])
+	case KBOr:
+		return b.BOr(nk[0], nk[1])
+	case KBXor:
+		return b.BXor(nk[0], nk[1])
+	case KBNot:
+		return b.BNot(nk[0])
+	case KNeg:
+		return b.Neg(nk[0])
+	case KShl:
+		return b.Shl(nk[0], nk[1])
+	case KLShr:
+		return b.LShr(nk[0], nk[1])
+	case KAShr:
+		return b.AShr(nk[0], nk[1])
+	case KZExt:
+		return b.ZExt(nk[0], e.Width)
+	case KSExt:
+		return b.SExt(nk[0], e.Width)
+	case KExtract:
+		return b.Extract(nk[0], uint8(e.Aux), e.Width)
+	case KConcat:
+		return b.Concat(nk[0], nk[1])
+	case KIte:
+		return b.Ite(nk[0], nk[1], nk[2])
+	}
+	panic("expr: Subst of unexpected kind " + e.Kind.String())
+}

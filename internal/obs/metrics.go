@@ -160,9 +160,15 @@ type Metrics struct {
 	traceDropped  counter
 	worklist      gauge
 
-	queryLat  [numQueryClasses]histogram
-	mergeGate histogram
-	stepLat   histogram
+	summaryHits        counter
+	summaryMisses      counter
+	summaryRecords     counter
+	summaryInvalidates counter
+
+	queryLat      [numQueryClasses]histogram
+	mergeGate     histogram
+	stepLat       histogram
+	summaryLookup histogram
 }
 
 // NewMetrics returns an empty registry.
@@ -187,9 +193,15 @@ type MetricsSnap struct {
 	QueriesSession uint64 `json:"queries_session"`
 	QueriesOneShot uint64 `json:"queries_oneshot"`
 	QueriesCached  uint64 `json:"queries_cached"`
+	QueriesSummary uint64 `json:"queries_summary"`
 	QuerySat       uint64 `json:"query_sat"`
 	QueryUnsat     uint64 `json:"query_unsat"`
 	QueryErr       uint64 `json:"query_err"`
+
+	SummaryHits        uint64 `json:"summary_hits"`
+	SummaryMisses      uint64 `json:"summary_misses"`
+	SummaryRecords     uint64 `json:"summary_records"`
+	SummaryInvalidates uint64 `json:"summary_invalidates"`
 
 	Steals      uint64 `json:"steals"`
 	Donations   uint64 `json:"donations"`
@@ -203,8 +215,10 @@ type MetricsSnap struct {
 	QueryLatSession HistSnap `json:"query_lat_session"`
 	QueryLatOneShot HistSnap `json:"query_lat_oneshot"`
 	QueryLatCached  HistSnap `json:"query_lat_cached"`
+	QueryLatSummary HistSnap `json:"query_lat_summary"`
 	MergeGate       HistSnap `json:"merge_gate"`
 	StepLat         HistSnap `json:"step_lat"`
+	SummaryLookup   HistSnap `json:"summary_lookup"`
 }
 
 // Snapshot captures the registry. Safe to call from any goroutine while
@@ -214,31 +228,39 @@ func (m *Metrics) Snapshot() *MetricsSnap {
 		return nil
 	}
 	return &MetricsSnap{
-		Schema:          "symmerge-metrics/v1",
-		Steps:           m.steps.load(),
-		Forks:           m.forks.load(),
-		MergeAttempts:   m.mergeAttempts.load(),
-		Merges:          m.merges.load(),
-		MergeRejects:    m.mergeRejects.load(),
-		FFSelected:      m.ffSelected.load(),
-		QueriesSession:  m.queries[QuerySession].load(),
-		QueriesOneShot:  m.queries[QueryOneShot].load(),
-		QueriesCached:   m.queries[QueryCached].load(),
-		QuerySat:        m.querySat.load(),
-		QueryUnsat:      m.queryUnsat.load(),
-		QueryErr:        m.queryErr.load(),
-		Steals:          m.steals.load(),
-		Donations:       m.donations.load(),
-		Epochs:          m.epochs.load(),
-		Checkpoints:     m.checkpoints.load(),
-		CorpusTests:     m.corpusTests.load(),
-		TraceDropped:    m.traceDropped.load(),
-		Worklist:        m.worklist.load(),
-		QueryLatSession: m.queryLat[QuerySession].snapshot(),
-		QueryLatOneShot: m.queryLat[QueryOneShot].snapshot(),
-		QueryLatCached:  m.queryLat[QueryCached].snapshot(),
-		MergeGate:       m.mergeGate.snapshot(),
-		StepLat:         m.stepLat.snapshot(),
+		Schema:         "symmerge-metrics/v1",
+		Steps:          m.steps.load(),
+		Forks:          m.forks.load(),
+		MergeAttempts:  m.mergeAttempts.load(),
+		Merges:         m.merges.load(),
+		MergeRejects:   m.mergeRejects.load(),
+		FFSelected:     m.ffSelected.load(),
+		QueriesSession: m.queries[QuerySession].load(),
+		QueriesOneShot: m.queries[QueryOneShot].load(),
+		QueriesCached:  m.queries[QueryCached].load(),
+		QueriesSummary: m.queries[QuerySummary].load(),
+		QuerySat:       m.querySat.load(),
+		QueryUnsat:     m.queryUnsat.load(),
+		QueryErr:       m.queryErr.load(),
+
+		SummaryHits:        m.summaryHits.load(),
+		SummaryMisses:      m.summaryMisses.load(),
+		SummaryRecords:     m.summaryRecords.load(),
+		SummaryInvalidates: m.summaryInvalidates.load(),
+		Steals:             m.steals.load(),
+		Donations:          m.donations.load(),
+		Epochs:             m.epochs.load(),
+		Checkpoints:        m.checkpoints.load(),
+		CorpusTests:        m.corpusTests.load(),
+		TraceDropped:       m.traceDropped.load(),
+		Worklist:           m.worklist.load(),
+		QueryLatSession:    m.queryLat[QuerySession].snapshot(),
+		QueryLatOneShot:    m.queryLat[QueryOneShot].snapshot(),
+		QueryLatCached:     m.queryLat[QueryCached].snapshot(),
+		QueryLatSummary:    m.queryLat[QuerySummary].snapshot(),
+		MergeGate:          m.mergeGate.snapshot(),
+		StepLat:            m.stepLat.snapshot(),
+		SummaryLookup:      m.summaryLookup.snapshot(),
 	}
 }
 

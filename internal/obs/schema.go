@@ -28,9 +28,13 @@ var eventFields = map[string][]string{
 	EvCheckpoint:   {"w", "seq", "states"},
 	EvCorpusEmit:   {"w", "n"},
 	EvTraceEnd:     {"events", "dropped"},
+
+	EvSummaryRecord: {"w", "fn", "entries", "dur_us"},
+	EvSummaryApply:  {"w", "fn", "entries", "feasible", "dur_us"},
+	EvSummaryReject: {"w", "fn", "reason"},
 }
 
-var queryClasses = map[string]bool{"session": true, "oneshot": true, "cached": true}
+var queryClasses = map[string]bool{"session": true, "oneshot": true, "cached": true, "summary": true}
 
 // TraceSummary is what Validate learned from a schema-valid trace.
 type TraceSummary struct {

@@ -472,6 +472,11 @@ func Combine(all []*core.Result, completed bool, cfg core.Config) *core.Result {
 		st.ErrorsFound += s.ErrorsFound
 		st.Pruned += s.Pruned
 		st.TestGenFailures += s.TestGenFailures
+		st.SummaryHits += s.SummaryHits
+		st.SummaryRejects += s.SummaryRejects
+		st.SummaryRecords += s.SummaryRecords
+		st.SummaryEntries += s.SummaryEntries
+		st.SummarySteps += s.SummarySteps
 		if s.MaxWorklist > st.MaxWorklist {
 			st.MaxWorklist = s.MaxWorklist
 		}
@@ -493,6 +498,7 @@ func Combine(all []*core.Result, completed bool, cfg core.Config) *core.Result {
 		st.Solver.SessionBlastReuse += s.Solver.SessionBlastReuse
 		st.Solver.SessionBypass += s.Solver.SessionBypass
 		st.Solver.SessionRebases += s.Solver.SessionRebases
+		st.Solver.SummaryQueries += s.Solver.SummaryQueries
 		st.Solver.PreprocQueries += s.Solver.PreprocQueries
 		st.Solver.PreprocNodesIn += s.Solver.PreprocNodesIn
 		st.Solver.PreprocNodesOut += s.Solver.PreprocNodesOut

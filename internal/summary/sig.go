@@ -1,0 +1,233 @@
+// sig.go: static eligibility analysis and canonical closure signatures.
+//
+// A callee is summarizable only when its call closure — the callee plus
+// every function transitively reachable from it — is (a) acyclic, so
+// recording terminates and never re-enters itself, (b) heap-free, so the
+// only memory a summary must replay is the callee's array parameters, and
+// (c) free of fresh-symbolic-input opcodes, whose variable numbering
+// depends on how many symbolic values the *caller* path has already minted.
+// Anything else falls back to inline exploration (the ISSUE's soundness
+// gates).
+//
+// For an eligible callee the analysis renders the closure as a canonical
+// signature string: every instruction of every closure function, in
+// deterministic DFS order, with call targets renumbered to closure ordinals
+// and source positions omitted. Two callees with equal signatures have
+// bit-identical behavior as a function of (arguments, environment), so the
+// signature — not the function index — keys the shared cache, letting all
+// 47 coreutils tools in a paperbench run share summaries for their common
+// helper functions.
+
+package summary
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"symmerge/internal/ir"
+)
+
+// Reason classifies why a call site was not discharged from a summary. The
+// zero value means "no rejection".
+type Reason uint8
+
+// Rejection reasons, surfaced through obs summary_reject events and the
+// negative-cache entries.
+const (
+	RejectNone      Reason = iota
+	RejectRecursive        // call closure contains a cycle
+	RejectHeap             // closure allocates or dereferences heap pointers
+	RejectSymInput         // closure mints fresh symbolic inputs
+	RejectTrivial          // closure too small for a summary to pay off
+	RejectTruncated        // recording hit the step budget or was cancelled
+	RejectAbort            // recording hit an engine-analysis failure
+	RejectTooLarge         // recording produced more entries than the cap
+	RejectDisabled         // summaries off for this engine (bounds checking)
+	RejectAliased          // two array arguments alias the same object at this site
+)
+
+var reasonNames = [...]string{
+	RejectNone: "none", RejectRecursive: "recursive", RejectHeap: "heap",
+	RejectSymInput: "syminput", RejectTrivial: "trivial",
+	RejectTruncated: "truncated", RejectAbort: "abort",
+	RejectTooLarge: "toolarge", RejectDisabled: "disabled",
+	RejectAliased: "aliased",
+}
+
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return "reason(" + strconv.Itoa(int(r)) + ")"
+}
+
+// FuncInfo is the per-callee verdict of the static analysis.
+type FuncInfo struct {
+	Reject   Reason // RejectNone when the callee is summarizable
+	Sig      string // canonical closure signature ("" when rejected)
+	SigID    int    // interned signature id within the cache (set by the engine)
+	Closure  []int  // closure function indices, DFS order; Closure[0] = callee
+	ReadsEnv bool   // closure reads argv/stdin — env fingerprint joins the key
+	Branches int    // conditional branches in the closure
+	Calls    int    // call instructions in the closure
+	Instrs   int    // total instructions in the closure
+}
+
+// Worth reports whether summarizing is expected to beat inlining: the
+// closure must either branch (so inlining multiplies paths) or be large
+// enough that skipping straight-line re-execution pays for the cache
+// machinery. The QCE analysis refines this with its per-callee query
+// estimate when available (see qce.Analysis.SummaryBenefit).
+func (fi *FuncInfo) Worth() bool {
+	return fi.Branches > 0 || fi.Calls > 0 || fi.Instrs >= 16
+}
+
+// ProgInfo lazily computes and memoizes FuncInfo per function of one
+// program. It is safe for concurrent use by the workers sharing an
+// exploration.
+type ProgInfo struct {
+	p  *ir.Program
+	mu sync.Mutex
+	fi []*FuncInfo
+}
+
+// NewProgInfo returns an empty analysis memo for p.
+func NewProgInfo(p *ir.Program) *ProgInfo {
+	return &ProgInfo{p: p, fi: make([]*FuncInfo, len(p.Funcs))}
+}
+
+// Info returns the (memoized) analysis of function fi.
+func (pi *ProgInfo) Info(fi int) *FuncInfo {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	if pi.fi[fi] == nil {
+		pi.fi[fi] = analyze(pi.p, fi)
+	}
+	return pi.fi[fi]
+}
+
+func analyze(p *ir.Program, root int) *FuncInfo {
+	info := &FuncInfo{}
+	// Closure walk: DFS following call edges in instruction order. color
+	// 1 = on stack (a revisit means a cycle), 2 = done.
+	color := make(map[int]uint8)
+	var walk func(fn int) bool
+	walk = func(fn int) bool {
+		switch color[fn] {
+		case 1:
+			return false // cycle
+		case 2:
+			return true
+		}
+		color[fn] = 1
+		info.Closure = append(info.Closure, fn)
+		for i := range p.Funcs[fn].Instrs {
+			in := &p.Funcs[fn].Instrs[i]
+			info.Instrs++
+			switch in.Op {
+			case ir.OpAlloc, ir.OpPtrLoad, ir.OpPtrStore:
+				info.Reject = RejectHeap
+				return false
+			case ir.OpSymInt, ir.OpSymByte, ir.OpSymBool, ir.OpMakeSymArr:
+				info.Reject = RejectSymInput
+				return false
+			case ir.OpArgc, ir.OpArgChar, ir.OpStdin, ir.OpStdinLen:
+				info.ReadsEnv = true
+			case ir.OpCondBr:
+				info.Branches++
+			case ir.OpCall:
+				info.Calls++
+				if !walk(in.Callee) {
+					return false
+				}
+			}
+		}
+		color[fn] = 2
+		return true
+	}
+	if !walk(root) {
+		if info.Reject == RejectNone {
+			info.Reject = RejectRecursive
+		}
+		info.Closure = nil
+		return info
+	}
+	if !info.Worth() {
+		info.Reject = RejectTrivial
+		info.Closure = nil
+		return info
+	}
+	info.Sig = encodeClosure(p, info.Closure)
+	return info
+}
+
+// encodeClosure renders the closure as a canonical, position-independent
+// signature. Call targets are rewritten to closure ordinals so two
+// structurally identical helper sets in different programs (different
+// function indices) encode identically.
+func encodeClosure(p *ir.Program, closure []int) string {
+	ord := make(map[int]int, len(closure))
+	for i, fn := range closure {
+		ord[fn] = i
+	}
+	var sb strings.Builder
+	sb.Grow(64 * len(closure))
+	num := func(v int64) {
+		sb.WriteString(strconv.FormatInt(v, 36))
+		sb.WriteByte(',')
+	}
+	operand := func(o ir.Operand) {
+		if o.IsConst {
+			sb.WriteByte('c')
+			num(o.Const)
+		} else {
+			sb.WriteByte('l')
+			num(int64(o.Local))
+		}
+	}
+	typ := func(t ir.Type) {
+		num(int64(t.Kind))
+		if t.Array() {
+			num(int64(t.Len))
+		}
+	}
+	for _, fn := range closure {
+		f := p.Funcs[fn]
+		sb.WriteByte('F')
+		num(int64(f.Params))
+		typ(f.Ret)
+		for _, l := range f.Locals {
+			typ(l.Type)
+		}
+		sb.WriteByte(';')
+		for i := range f.Instrs {
+			in := &f.Instrs[i]
+			num(int64(in.Op))
+			num(int64(in.Dst))
+			operand(in.A)
+			operand(in.B)
+			switch in.Op {
+			case ir.OpBr:
+				num(int64(in.Target))
+			case ir.OpCondBr:
+				num(int64(in.Target))
+				num(int64(in.FTarget))
+			case ir.OpCall:
+				num(int64(ord[in.Callee]))
+				for _, a := range in.Args {
+					operand(a)
+				}
+			case ir.OpRet, ir.OpHalt:
+				if in.HasVal {
+					sb.WriteByte('v')
+				}
+			case ir.OpAssert:
+				sb.WriteString(strconv.Quote(in.Msg))
+			}
+			typ(in.T)
+			sb.WriteByte(';')
+		}
+	}
+	return sb.String()
+}

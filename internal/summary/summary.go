@@ -1,0 +1,438 @@
+// Package summary implements the compositional function-summary cache: per
+// callee, the set of (guard → return value, output effects, array-parameter
+// writes, coverage, error obligations) entries obtained by exploring the
+// callee once from an empty path condition over canonical placeholder
+// arguments. A call site with a cache hit skips callee exploration
+// entirely: the engine instantiates the entries by substituting the actual
+// argument expressions for the placeholders, splices each entry's guard
+// into the caller's path condition conjunct-wise, and discharges entry
+// feasibility as assume-summary queries against the caller's incremental
+// solver session.
+//
+// The cache is two-level and keyed by symbolic input class:
+//
+//   - The generic level stores one parameterized summary per (closure
+//     signature, argument class, environment fingerprint). The argument
+//     class abstracts each scalar argument and array-parameter cell to
+//     either its concrete value (baked into the recording, so constant
+//     folding prunes callee paths at record time) or a placeholder ordinal
+//     that captures aliasing between symbolic slots but not their identity
+//     — so a helper called in a loop with a different symbolic byte each
+//     iteration is recorded once and instantiated per iteration.
+//
+//   - The instance level memoizes instantiated entry sets keyed by the
+//     generic key plus the hash-consed canonical IDs of the distinct
+//     actual argument expressions, so repeated visits of the same call
+//     site with the same arguments pay no substitution cost.
+//
+// Both levels are sharded and safe for concurrent use: the cache joins the
+// shared builder / shared solver-cache infrastructure injected across
+// parallel workers, and — because summaries are canonical functions of the
+// input class — a value computed by any worker is identical to the value
+// any other worker would compute, so racing recorders are benign.
+//
+// The package depends only on expr and ir; the recording and application
+// machinery lives in internal/core, which needs engine internals.
+package summary
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"symmerge/internal/expr"
+	"symmerge/internal/ir"
+)
+
+// EntryKind says how a recorded callee path terminated.
+type EntryKind uint8
+
+// Entry kinds.
+const (
+	KindReturn EntryKind = iota // normal return to the caller
+	KindHalt                    // the callee executed halt(...)
+	KindError                   // assertion failure / analysis error
+	// KindSilent is a coverage-only entry: the prefix of a callee path up
+	// to an assume that may be infeasible under a caller's path condition
+	// the recording could not see. Applying it marks the prefix covered
+	// (inline exploration would have executed it before dying) but
+	// produces no continuation state.
+	KindSilent
+)
+
+// LocRef is a coverage location within the closure: (closure ordinal,
+// instruction index). The applying engine maps ordinals back to function
+// indices through FuncInfo.Closure.
+type LocRef struct {
+	Ord, PC int
+}
+
+// ErrInfo is a recorded error obligation, location in closure-ordinal form.
+// Source positions are reattached at apply time from the applying program.
+type ErrInfo struct {
+	Ord, PC int
+	Msg     string
+	Assert  bool
+}
+
+// OutEffect is one guarded output byte emitted by the callee.
+type OutEffect struct {
+	Guard *expr.Expr // nil = unconditional
+	Val   *expr.Expr
+}
+
+// CellWrite records the final value of one array-parameter cell that the
+// callee (possibly) changed.
+type CellWrite struct {
+	Param, Cell int
+	Val         *expr.Expr
+}
+
+// Entry is one callee path: its guard (the callee-relative path condition,
+// conjunct list over placeholders and environment variables) plus the
+// path's complete observable effect.
+type Entry struct {
+	PC     []*expr.Expr
+	Kind   EntryKind
+	Ret    *expr.Expr // return value (KindReturn) or exit code (KindHalt); may be nil
+	Err    *ErrInfo   // KindError only
+	Out    []OutEffect
+	Writes []CellWrite
+	Cov    []LocRef
+}
+
+// FuncSummary is a parameterized summary: the recorded entries over the
+// placeholder variables in Placeholders (first-appearance order of the
+// distinct symbolic argument slots).
+type FuncSummary struct {
+	Placeholders []*expr.Expr
+	Entries      []Entry
+}
+
+// Instance is a summary instantiated for concrete actual arguments.
+type Instance struct {
+	Entries []Entry
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses   uint64 // generic-level lookups
+	Records        uint64 // summaries recorded and stored
+	Negative       uint64 // lookups answered by the negative cache
+	InstHits       uint64 // instance-level lookups answered from cache
+	InstBuilds     uint64 // instances built by substitution
+	NegativeStored uint64 // negative entries stored
+}
+
+const nShards = 16
+
+type shard struct {
+	mu    sync.RWMutex
+	sums  map[string]*FuncSummary
+	insts map[string]*Instance
+	neg   map[string]Reason
+}
+
+// Cache is the concurrent, sharded summary store shared engine-wide (and,
+// in a paperbench run, across tools through a shared builder).
+type Cache struct {
+	shards [nShards]shard
+
+	sigMu  sync.Mutex
+	sigIDs map[string]int
+
+	progMu sync.Mutex
+	progs  map[*ir.Program]*ProgInfo
+
+	hits, misses, records atomic.Uint64
+	negHits, negStored    atomic.Uint64
+	instHits, instBuilds  atomic.Uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	c := &Cache{sigIDs: make(map[string]int), progs: make(map[*ir.Program]*ProgInfo)}
+	for i := range c.shards {
+		c.shards[i].sums = make(map[string]*FuncSummary)
+		c.shards[i].insts = make(map[string]*Instance)
+		c.shards[i].neg = make(map[string]Reason)
+	}
+	return c
+}
+
+// Prog returns the (shared, lazily created) static-analysis memo for p. One
+// cache may serve engines running different programs — paperbench shares a
+// cache across all coreutils tools — so the memo is keyed per program.
+func (c *Cache) Prog(p *ir.Program) *ProgInfo {
+	c.progMu.Lock()
+	defer c.progMu.Unlock()
+	pi, ok := c.progs[p]
+	if !ok {
+		pi = NewProgInfo(p)
+		c.progs[p] = pi
+	}
+	return pi
+}
+
+// SigID interns a closure signature, returning a dense id that stands in
+// for the full signature text in runtime keys. Interning compares the
+// signature exactly — equal ids mean equal closure code, with no hash
+// collision risk.
+func (c *Cache) SigID(sig string) int {
+	c.sigMu.Lock()
+	defer c.sigMu.Unlock()
+	id, ok := c.sigIDs[sig]
+	if !ok {
+		id = len(c.sigIDs) + 1
+		c.sigIDs[sig] = id
+	}
+	return id
+}
+
+func (c *Cache) shard(key string) *shard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &c.shards[h%nShards]
+}
+
+// Lookup consults the generic level. It returns the summary on a hit, or
+// (nil, reason, false) when the key is negatively cached, or
+// (nil, RejectNone, false) on a plain miss.
+func (c *Cache) Lookup(key string) (*FuncSummary, Reason, bool) {
+	sh := c.shard(key)
+	sh.mu.RLock()
+	s, ok := sh.sums[key]
+	var neg Reason
+	if !ok {
+		neg = sh.neg[key]
+	}
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return s, RejectNone, true
+	}
+	if neg != RejectNone {
+		c.negHits.Add(1)
+		return nil, neg, false
+	}
+	c.misses.Add(1)
+	return nil, RejectNone, false
+}
+
+// Store publishes a recorded summary; the first writer wins and every
+// caller continues with the canonical copy. (Racing recorders compute
+// identical summaries — the recording is a deterministic function of the
+// key — so either copy is the canonical one.)
+func (c *Cache) Store(key string, s *FuncSummary) *FuncSummary {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if prev, ok := sh.sums[key]; ok {
+		sh.mu.Unlock()
+		return prev
+	}
+	sh.sums[key] = s
+	sh.mu.Unlock()
+	c.records.Add(1)
+	return s
+}
+
+// StoreNegative marks a key as not summarizable (dynamic gates: truncated
+// or aborted recording, entry-count blowup) so later call sites skip the
+// recording attempt and inline immediately.
+func (c *Cache) StoreNegative(key string, r Reason) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if _, ok := sh.neg[key]; !ok {
+		sh.neg[key] = r
+		c.negStored.Add(1)
+	}
+	sh.mu.Unlock()
+}
+
+// Inst consults the instance level.
+func (c *Cache) Inst(key string) (*Instance, bool) {
+	sh := c.shard(key)
+	sh.mu.RLock()
+	in, ok := sh.insts[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.instHits.Add(1)
+	}
+	return in, ok
+}
+
+// StoreInst publishes an instantiated summary; first writer wins.
+func (c *Cache) StoreInst(key string, in *Instance) *Instance {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if prev, ok := sh.insts[key]; ok {
+		sh.mu.Unlock()
+		return prev
+	}
+	sh.insts[key] = in
+	sh.mu.Unlock()
+	c.instBuilds.Add(1)
+	return in
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Records:        c.records.Load(),
+		Negative:       c.negHits.Load(),
+		InstHits:       c.instHits.Load(),
+		InstBuilds:     c.instBuilds.Load(),
+		NegativeStored: c.negStored.Load(),
+	}
+}
+
+// Instantiate substitutes the actual expressions for the summary's
+// placeholders across every entry, sharing one memo so common subterms
+// rebuild once. actuals[i] replaces Placeholders[i].
+func (s *FuncSummary) Instantiate(b *expr.Builder, actuals []*expr.Expr) *Instance {
+	bind := make(map[*expr.Expr]*expr.Expr, len(actuals))
+	for i, p := range s.Placeholders {
+		bind[p] = actuals[i]
+	}
+	memo := make(map[*expr.Expr]*expr.Expr)
+	sub := func(e *expr.Expr) *expr.Expr {
+		if e == nil {
+			return nil
+		}
+		return b.Subst(e, bind, memo)
+	}
+	inst := &Instance{Entries: make([]Entry, len(s.Entries))}
+	for i := range s.Entries {
+		src := &s.Entries[i]
+		dst := &inst.Entries[i]
+		*dst = *src // shares Cov, Err; expr-bearing slices rebuilt below
+		dst.Ret = sub(src.Ret)
+		if len(src.PC) > 0 {
+			dst.PC = make([]*expr.Expr, 0, len(src.PC))
+			for _, c := range src.PC {
+				sc := sub(c)
+				switch {
+				case sc.IsTrue():
+					// folded away under concrete arguments
+				case sc.Kind == expr.KAnd:
+					dst.PC = append(dst.PC, sc.Kids...)
+				default:
+					dst.PC = append(dst.PC, sc)
+				}
+			}
+		}
+		if len(src.Out) > 0 {
+			dst.Out = make([]OutEffect, len(src.Out))
+			for j, o := range src.Out {
+				dst.Out[j] = OutEffect{Guard: sub(o.Guard), Val: sub(o.Val)}
+			}
+		}
+		if len(src.Writes) > 0 {
+			dst.Writes = make([]CellWrite, len(src.Writes))
+			for j, w := range src.Writes {
+				dst.Writes[j] = CellWrite{Param: w.Param, Cell: w.Cell, Val: sub(w.Val)}
+			}
+		}
+	}
+	return inst
+}
+
+// KeyBuilder accumulates the two cache keys for one call site visit: the
+// generic key (signature id + environment fingerprint + argument class)
+// and the instance key (generic key + distinct actual expression IDs). It
+// also collects the distinct symbolic actuals, in first-appearance order,
+// matching the placeholder numbering the recorder uses.
+type KeyBuilder struct {
+	sb      strings.Builder
+	seen    map[*expr.Expr]int
+	Actuals []*expr.Expr // distinct symbolic argument slots, class order
+}
+
+// NewKeyBuilder starts a key for the given interned signature id, with the
+// environment fingerprint (empty unless the closure reads argv/stdin).
+func NewKeyBuilder(sigID int, env string) *KeyBuilder {
+	kb := &KeyBuilder{seen: make(map[*expr.Expr]int)}
+	kb.sb.WriteString(strconv.Itoa(sigID))
+	kb.sb.WriteByte('|')
+	kb.sb.WriteString(env)
+	kb.sb.WriteByte('|')
+	return kb
+}
+
+// Slot classifies one scalar argument or array cell: concrete values are
+// baked into the class; symbolic expressions become placeholder ordinals
+// that capture aliasing (the same expression in two slots reuses one
+// ordinal). It returns the slot's placeholder ordinal, or -1 for a
+// concrete slot, so the caller can mirror the recorder's placeholder
+// numbering without a second pass.
+func (kb *KeyBuilder) Slot(e *expr.Expr) int {
+	if e.IsConst() {
+		kb.sb.WriteByte('c')
+		kb.sb.WriteString(strconv.FormatUint(e.Val, 36))
+		kb.sb.WriteByte(',')
+		return -1
+	}
+	ord, ok := kb.seen[e]
+	if !ok {
+		ord = len(kb.Actuals)
+		kb.seen[e] = ord
+		kb.Actuals = append(kb.Actuals, e)
+	}
+	kb.sb.WriteByte('s')
+	kb.sb.WriteString(strconv.Itoa(ord))
+	kb.sb.WriteByte(',')
+	return ord
+}
+
+// Array opens an array-parameter group (length and element width join the
+// class; the caller then Slots each cell).
+func (kb *KeyBuilder) Array(n int, width uint8) {
+	kb.sb.WriteByte('a')
+	kb.sb.WriteString(strconv.Itoa(n))
+	kb.sb.WriteByte(':')
+	kb.sb.WriteString(strconv.Itoa(int(width)))
+	kb.sb.WriteByte(';')
+}
+
+// GenericKey finalizes the generic-level key.
+func (kb *KeyBuilder) GenericKey() string { return kb.sb.String() }
+
+// InstanceKey derives the instance-level key from the generic key and the
+// distinct actuals' hash-consed IDs.
+func (kb *KeyBuilder) InstanceKey(generic string) string {
+	var sb strings.Builder
+	sb.Grow(len(generic) + 12*len(kb.Actuals) + 2)
+	sb.WriteString(generic)
+	sb.WriteByte('#')
+	for _, a := range kb.Actuals {
+		sb.WriteString(strconv.FormatUint(a.ID(), 36))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// EnvFingerprint renders the symbolic-environment configuration that the
+// closure's argv/stdin reads depend on. Concrete bytes are embedded
+// verbatim — the key must be exact, not probabilistic.
+func EnvFingerprint(nargs, arglen, stdinlen int, concreteArgs []string, concreteStdin []byte, concrete bool) string {
+	var sb strings.Builder
+	sb.WriteString(strconv.Itoa(nargs))
+	sb.WriteByte('/')
+	sb.WriteString(strconv.Itoa(arglen))
+	sb.WriteByte('/')
+	sb.WriteString(strconv.Itoa(stdinlen))
+	if concrete {
+		sb.WriteByte('!')
+		for _, a := range concreteArgs {
+			sb.WriteString(strconv.Quote(a))
+		}
+		sb.WriteByte('/')
+		sb.WriteString(strconv.Quote(string(concreteStdin)))
+	}
+	return sb.String()
+}

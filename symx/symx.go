@@ -27,6 +27,7 @@ import (
 
 	"symmerge/internal/core"
 	"symmerge/internal/corpus"
+	"symmerge/internal/expr"
 	"symmerge/internal/ir"
 	"symmerge/internal/lang"
 	"symmerge/internal/obs"
@@ -34,6 +35,7 @@ import (
 	"symmerge/internal/qce"
 	"symmerge/internal/search"
 	"symmerge/internal/solver"
+	"symmerge/internal/summary"
 )
 
 // Program is a compiled MiniC program ready for symbolic exploration.
@@ -220,6 +222,30 @@ type Config struct {
 	// merged states (paper §5.2; used for Figure 3).
 	TrackExactPaths bool
 
+	// Summaries enables compositional function summaries (README
+	// "Compositional summaries"): per-callee path summaries are recorded
+	// once per symbolic input class and later call sites are discharged
+	// as assume-summary session queries instead of re-exploring the
+	// callee. Purely an execution-cost optimization — corpus output,
+	// census, coverage, and errors found are byte-identical with it on
+	// or off. Ineligible callees (recursion, heap operations, fresh
+	// symbolic inputs, oversized or solver-failed recordings, aliased
+	// array arguments) fall back to inline exploration; incompatible
+	// with CheckBounds (bounds errors are engine analyses of the calling
+	// context, so the engine ignores the cache there).
+	Summaries bool
+	// SummaryMaxSteps bounds one summary recording (default 4096 engine
+	// steps); a callee whose exploration exceeds it is negatively cached
+	// and explored inline.
+	SummaryMaxSteps uint64
+	// SummaryDomain, with Summaries set, supplies the shared expression
+	// builder and summary cache (NewSummaryDomain) so several runs — the
+	// tools of a benchmark suite, repeated invocations over the same
+	// program family — reuse each other's summaries. Nil gets a fresh
+	// per-run domain. For a Portfolio, set Summaries/SummaryDomain on the
+	// entries (outer fields are ignored there).
+	SummaryDomain *SummaryDomain
+
 	// DisableSolverOpts turns off the KLEE-style solver optimizations
 	// (counterexample cache, independence slicing, model reuse) for
 	// ablation measurements.
@@ -265,6 +291,21 @@ type Config struct {
 	// obsRun is the resolved observability plumbing (trace sink + metrics)
 	// Run threads down to the engines; portfolio entries inherit it.
 	obsRun *obs.Run
+}
+
+// SummaryDomain bundles the expression builder and summary cache that
+// summary-enabled runs share. Summaries store expressions, so a cache is
+// only meaningful together with the builder that hash-conses them; keeping
+// the pair opaque makes it impossible to share one without the other. Both
+// halves are safe for concurrent use by any number of runs.
+type SummaryDomain struct {
+	build *expr.Builder
+	cache *summary.Cache
+}
+
+// NewSummaryDomain creates a fresh shared summary domain.
+func NewSummaryDomain() *SummaryDomain {
+	return &SummaryDomain{build: expr.NewBuilder(), cache: summary.NewCache()}
 }
 
 // ParsePreprocess validates a Config.Preprocess spec, returning an error
@@ -335,19 +376,37 @@ func Run(p *Program, cfg Config) *Result {
 // mis-handle silently. The empty Strategy is fine (coreConfig resolves it
 // from the merge mode); anything else must name a known strategy.
 func validateConfig(cfg Config) error {
-	if cfg.Strategy != "" {
-		if err := search.Validate(cfg.Strategy); err != nil {
-			return err
-		}
+	if err := validateEntry(cfg); err != nil {
+		return err
 	}
 	if cfg.CheckpointDir != "" && len(cfg.Portfolio) > 0 {
 		return fmt.Errorf("checkpoint: incompatible with a portfolio (the race winner is wall-clock nondeterministic, so a snapshot could not promise a deterministic resume)")
 	}
 	for i, sub := range cfg.Portfolio {
-		if sub.Strategy != "" {
-			if err := search.Validate(sub.Strategy); err != nil {
-				return fmt.Errorf("portfolio entry %d: %w", i, err)
-			}
+		if err := validateEntry(sub); err != nil {
+			return fmt.Errorf("portfolio entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// validateEntry checks the per-configuration invariants shared by the outer
+// config and portfolio entries.
+func validateEntry(cfg Config) error {
+	if cfg.Strategy != "" {
+		if err := search.Validate(cfg.Strategy); err != nil {
+			return err
+		}
+		if cfg.Merge == MergeFunc && cfg.Strategy != StrategyTopo {
+			// Function-level merging folds callee paths at the return
+			// point, which requires callee states to be exhausted before
+			// the caller advances past the call — only the topological
+			// order (deeper frames first) guarantees that. Any other
+			// strategy silently under-merges: the run is sound but
+			// measures something other than MergeFunc, so refuse it
+			// rather than publish misleading numbers. Leave Strategy
+			// empty to get the topological order automatically.
+			return fmt.Errorf("merge=func requires the topological strategy (got %q): other worklist orders advance callers before their callees finish, so return-point merging silently degrades toward plain exploration; leave Strategy empty to auto-select topo", cfg.Strategy)
 		}
 	}
 	return nil
@@ -588,6 +647,15 @@ func coreConfig(cfg Config) (core.Config, Strategy, int64) {
 	}
 	if cfg.DisableSolverOpts {
 		ccfg.SolverOpts = solver.Options{}
+	}
+	if cfg.Summaries {
+		dom := cfg.SummaryDomain
+		if dom == nil {
+			dom = NewSummaryDomain()
+		}
+		ccfg.Builder = dom.build
+		ccfg.Summaries = dom.cache
+		ccfg.SummaryMaxSteps = cfg.SummaryMaxSteps
 	}
 	if cfg.Preprocess != "" {
 		// An explicit spec overrides the pipeline the solver would derive
