@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver|scaling|preprocess|corpus|obs|summaries] \
+//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver|scaling|preprocess|corpus|obs|summaries|daemon] \
 //	           [-budget 2s] [-timeout 10s] [-seed 1] [-workers N] \
 //	           [-preprocess on|off|passes] [-json BENCH_pr3.json]
 //
@@ -28,10 +28,15 @@
 // The "summaries" figure measures compositional function summaries: per-tool
 // wall-clock under SSM+QCE with the shared summary cache on vs off, plus
 // corpus-digest and exact-path-census parity between the arms.
+// The "daemon" figure measures cross-run persistence (the cmd/symxd lever):
+// a cold pass populates an empty persistent store, then a warm pass re-runs
+// the suite in a fresh domain rehydrated from the flushed store, with
+// per-tool corpus-digest and census parity between the passes.
 // -json writes the ran figures' machine-readable report (schema documented
 // in README.md) to the given path — the artifacts the bench trajectory
 // tracks as BENCH_pr3.json (preprocess), BENCH_pr4.json (corpus),
-// BENCH_pr7.json (obs), and BENCH_pr8.json (summaries).
+// BENCH_pr7.json (obs), BENCH_pr8.json (summaries), and BENCH_pr9.json
+// (daemon).
 package main
 
 import (
@@ -107,6 +112,12 @@ func main() {
 		fmt.Println()
 		jsonFigs = append(jsonFigs, fig)
 	}
+	if *figure == "all" || *figure == "daemon" {
+		t, fig := bench.DaemonFigure(opts)
+		fmt.Print(t.String())
+		fmt.Println()
+		jsonFigs = append(jsonFigs, fig)
+	}
 	if *jsonOut != "" && len(jsonFigs) > 0 {
 		rep := bench.Report{Schema: "symmerge-paperbench/v1", Figures: jsonFigs}
 		data, err := rep.Marshal()
@@ -121,7 +132,7 @@ func main() {
 	}
 
 	switch *figure {
-	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver", "scaling", "preprocess", "corpus", "obs", "summaries":
+	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver", "scaling", "preprocess", "corpus", "obs", "summaries", "daemon":
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", *figure)
 		os.Exit(2)

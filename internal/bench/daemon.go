@@ -1,0 +1,226 @@
+// daemon.go: the PR-9 benchmark — cross-run persistence measured over the
+// COREUTILS suite. The daemon's production lever is the persistent store: a
+// cold pass explores every tool against an empty store (populating it with
+// solver verdicts, blasted-group verdicts, and function summaries), then a
+// warm pass rebuilds the domain from the flushed store — the restart a
+// long-lived symxd survives — and re-explores the same suite. Two
+// contracts: (1) persistence is pure acceleration (the canonical corpus
+// digest and census of every tool are byte-identical cold vs warm), and
+// (2) it pays for itself (warm per-tool wall clock beats cold, answered
+// from disk instead of the SAT solver).
+
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"symmerge/internal/coreutils"
+	"symmerge/internal/corpus"
+	"symmerge/internal/store"
+	"symmerge/symx"
+)
+
+// JSONDaemonRow is one tool's cold-vs-warm measurement in BENCH_pr9.json.
+type JSONDaemonRow struct {
+	Tool      string  `json:"tool"`
+	Completed bool    `json:"completed"`
+	ColdWallS float64 `json:"cold_wall_s"`
+	WarmWallS float64 `json:"warm_wall_s"`
+	// Speedup is cold/warm wall clock; set only on completed pairs.
+	Speedup float64 `json:"speedup"`
+	// Store traffic of the warm arm: whole-query and independence-group
+	// verdicts answered from the persistent store, and the SAT calls both
+	// arms actually paid.
+	StableHits      uint64 `json:"stable_hits"`
+	StableGroupHits uint64 `json:"stable_group_hits"`
+	SATCallsCold    uint64 `json:"sat_calls_cold"`
+	SATCallsWarm    uint64 `json:"sat_calls_warm"`
+	QueriesCold     uint64 `json:"queries_cold"`
+	QueriesWarm     uint64 `json:"queries_warm"`
+	// DigestsEqual is the corpus contract: the canonical corpus directory
+	// digest of the warm run equals the cold run's, byte for byte.
+	DigestsEqual bool `json:"digests_equal"`
+	// CensusEqual: exact paths, coverage, and the error set match.
+	CensusEqual bool `json:"census_equal"`
+}
+
+// DaemonFigure measures cross-run persistence on every COREUTILS tool
+// under SSM+QCE with summaries: a cold pass against an empty persistent
+// store, a flush, then a warm pass in a fresh domain rehydrated from the
+// store (simulating a daemon restart). Each pass runs two arms per tool,
+// mirroring the summaries figure's split: a timed arm on grown inputs
+// with no corpus or census instrumentation (the wall-clock ratio
+// isolates the store), and a parity arm on the corpus shapes with
+// canonical-test emission and the shadow census (the byte-output
+// contract: the corpus is a function of the explored path set alone, so
+// grown inputs whose canonical test set would overflow the test cap are
+// kept out of the digest comparison).
+func DaemonFigure(opts Options) (*Table, JSONFigure) {
+	t := &Table{
+		Title: "Persistent store: cold pass (empty store) vs warm pass (domain rehydrated from disk)",
+		Comment: fmt.Sprintf("timeout %v per run; SSM+QCE with summaries; timed arms on grown inputs without\n"+
+			"instrumentation; parity arms emit canonical corpora on the corpus shapes; the warm pass\n"+
+			"runs in a fresh domain over a reopened store — the restart path of cmd/symxd", opts.Timeout),
+		Header: []string{"tool", "t_cold_s", "t_warm_s", "speedup", "stable", "groups", "sat_cold", "sat_warm", "digest=", "census="},
+	}
+	fig := JSONFigure{
+		Name: "daemon",
+		Notes: "cold arms populate an empty persistent store (cex verdicts, blasted-group verdicts, " +
+			"summaries) shared across the suite; the store is flushed and reopened; the warm arms run " +
+			"every tool again in a fresh domain seeded from disk; digests_equal compares " +
+			"corpus.DirDigest of the parity arms' canonical corpora per tool",
+	}
+
+	tmp, err := os.MkdirTemp("", "paperbench-daemon-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	st, err := store.Open(filepath.Join(tmp, "store"), store.Options{})
+	if err != nil {
+		panic(err)
+	}
+	coldDom := symx.NewDomain(st)
+
+	base := func(tool *coreutils.Tool, dom *symx.Domain) symx.Config {
+		cfg := tool.BaseConfig()
+		cfg.Seed = opts.Seed
+		cfg.Workers = opts.Workers
+		cfg.Preprocess = opts.Preprocess
+		cfg.Merge = symx.MergeSSM
+		cfg.UseQCE = true
+		cfg.MaxTime = opts.Timeout
+		cfg.Summaries = true
+		cfg.Domain = dom
+		return cfg
+	}
+	timed := func(tool *coreutils.Tool, p *symx.Program, dom *symx.Domain) *symx.Result {
+		cfg := base(tool, dom)
+		grow(tool, &cfg, 2)
+		return symx.Run(p, cfg)
+	}
+	parity := func(tool *coreutils.Tool, p *symx.Program, dom *symx.Domain, arm string) *symx.Result {
+		cfg := base(tool, dom)
+		cfg.TrackExactPaths = true
+		cfg.CorpusDir = filepath.Join(tmp, tool.Name, arm)
+		cfg.CorpusLabel = tool.Name
+		return symx.Run(p, cfg)
+	}
+
+	tools := coreutils.All()
+	progs := make([]*symx.Program, len(tools))
+	colds := make([]*symx.Result, len(tools))
+	coldPars := make([]*symx.Result, len(tools))
+	for i, tool := range tools {
+		p, err := tool.Compile()
+		if err != nil {
+			panic(err)
+		}
+		progs[i] = p
+		colds[i] = timed(tool, p, coldDom)
+		// Steady-state rerun: the first run explored callees inline while
+		// recording their summaries, so its query stream is NOT the stream
+		// a summary-warm process replays. The rerun (summary cache now
+		// populated) issues the steady-state stream; its queries that
+		// diverge from run one miss the ID cache and are recorded to the
+		// store, so the flushed store covers what a restart will actually
+		// ask. The cold measurement stays run one — the true first-request
+		// cost.
+		timed(tool, p, coldDom)
+		coldPars[i] = parity(tool, p, coldDom, "cold")
+	}
+	if _, err := coldDom.Flush(); err != nil {
+		panic(err)
+	}
+
+	// The restart: a fresh store handle over the flushed directory, a
+	// fresh domain seeded from it. Nothing in-process survives from the
+	// cold pass.
+	st2, err := store.Open(filepath.Join(tmp, "store"), store.Options{})
+	if err != nil {
+		panic(err)
+	}
+	warmDom := symx.NewDomain(st2)
+
+	var coldWall, warmWall, speedups []float64
+	timeouts, digestMismatches, censusMismatches := 0, 0, 0
+	for i, tool := range tools {
+		cold := colds[i]
+		warm := timed(tool, progs[i], warmDom)
+		coldPar, warmPar := coldPars[i], parity(tool, progs[i], warmDom, "warm")
+
+		row := JSONDaemonRow{
+			Tool:            tool.Name,
+			Completed:       cold.Completed && warm.Completed,
+			ColdWallS:       cold.Stats.ElapsedSeconds,
+			WarmWallS:       warm.Stats.ElapsedSeconds,
+			StableHits:      warm.Stats.Solver.StableHits,
+			StableGroupHits: warm.Stats.Solver.StableGroupHits,
+			SATCallsCold:    cold.Stats.Solver.SATCalls,
+			SATCallsWarm:    warm.Stats.Solver.SATCalls,
+			QueriesCold:     cold.Stats.Solver.Queries,
+			QueriesWarm:     warm.Stats.Solver.Queries,
+		}
+
+		dCold, err1 := corpus.DirDigest(filepath.Join(tmp, tool.Name, "cold"))
+		dWarm, err2 := corpus.DirDigest(filepath.Join(tmp, tool.Name, "warm"))
+		row.DigestsEqual = err1 == nil && err2 == nil && dCold == dWarm
+		if !row.DigestsEqual {
+			digestMismatches++
+		}
+		row.CensusEqual = coldPar.Completed && warmPar.Completed &&
+			coldPar.Stats.ExactPaths == warmPar.Stats.ExactPaths &&
+			coldPar.Stats.CoveredInstrs == warmPar.Stats.CoveredInstrs &&
+			sameErrors(coldPar, warmPar)
+		if !row.CensusEqual {
+			censusMismatches++
+		}
+
+		if row.Completed {
+			row.Speedup = row.ColdWallS / math.Max(row.WarmWallS, 1e-6)
+			coldWall = append(coldWall, row.ColdWallS)
+			warmWall = append(warmWall, row.WarmWallS)
+			speedups = append(speedups, row.Speedup)
+		} else {
+			timeouts++
+		}
+		fig.DaemonRows = append(fig.DaemonRows, row)
+
+		t.Rows = append(t.Rows, []string{
+			tool.Name,
+			fmt.Sprintf("%.3f", row.ColdWallS),
+			fmt.Sprintf("%.3f", row.WarmWallS),
+			fmt.Sprintf("%.2f", row.Speedup),
+			fmt.Sprint(row.StableHits),
+			fmt.Sprint(row.StableGroupHits),
+			fmt.Sprint(row.SATCallsCold),
+			fmt.Sprint(row.SATCallsWarm),
+			fmt.Sprint(row.DigestsEqual),
+			fmt.Sprint(row.CensusEqual),
+		})
+	}
+
+	aggregate, mean := 0.0, 0.0
+	if s := sum(warmWall); s > 0 {
+		aggregate = sum(coldWall) / s
+	}
+	if len(speedups) > 0 {
+		for _, s := range speedups {
+			mean += s
+		}
+		mean /= float64(len(speedups))
+	}
+	stStats := st2.Stats()
+	t.Comment += fmt.Sprintf(
+		"\nsuite aggregate: wall %.3fs cold -> %.3fs warm (%.2fx; mean per-tool speedup %.2fx)"+
+			"\n%d tools compared (%d timed out, %d digest mismatches, %d census mismatches)"+
+			"\nstore: %d cex verdicts, %d summaries persisted; warm pass hit %d lookups, seeded %d summaries",
+		sum(coldWall), sum(warmWall), aggregate, mean,
+		len(coldWall), timeouts, digestMismatches, censusMismatches,
+		stStats.CexEntries, stStats.SumEntries, stStats.LookupHits, warmDom.SeededSummaries)
+	return t, fig
+}

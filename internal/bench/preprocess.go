@@ -27,7 +27,8 @@ type Report struct {
 // plus the per-tool rows behind them. Solver-centric figures fill Rows;
 // the corpus figure fills CorpusRows (see corpus.go / BENCH_pr4.json); the
 // observability figure fills ObsRows and Metrics (obs.go / BENCH_pr7.json);
-// the summary-cache figure fills SummaryRows (summaries.go / BENCH_pr8.json).
+// the summary-cache figure fills SummaryRows (summaries.go / BENCH_pr8.json);
+// the persistent-store figure fills DaemonRows (daemon.go / BENCH_pr9.json).
 type JSONFigure struct {
 	Name        string            `json:"name"`
 	Notes       string            `json:"notes,omitempty"`
@@ -36,6 +37,7 @@ type JSONFigure struct {
 	CorpusRows  []JSONCorpusRow   `json:"corpus_rows,omitempty"`
 	ObsRows     []JSONObsRow      `json:"obs_rows,omitempty"`
 	SummaryRows []JSONSummaryRow  `json:"summary_rows,omitempty"`
+	DaemonRows  []JSONDaemonRow   `json:"daemon_rows,omitempty"`
 	Metrics     *symx.MetricsSnap `json:"metrics,omitempty"`
 }
 

@@ -1,0 +1,166 @@
+package expr
+
+// Stable content fingerprints: builder- and process-independent identities
+// for expressions, used to key caches that outlive the builder that minted
+// the nodes (the cross-run persistent store behind the symxd daemon).
+//
+// The builder's own IDs and structural hashes are assigned in construction
+// order, so two builders that intern the same expressions in different
+// orders disagree on both. A stable fingerprint instead hashes the node's
+// content — kind, width, constant value, aux, variable name — together with
+// the fingerprints of its children, bottom-up. Any two structurally equal
+// expressions, in any builder, in any process, fingerprint identically.
+//
+// Fingerprints are 128 bits (two independently seeded 64-bit FNV-1a style
+// accumulators over the same content walk). A persistent store consulted
+// without structural verification must not return wrong verdicts on a hash
+// collision; at 128 bits the birthday bound across even billions of entries
+// is negligible, where 64 bits would merely be unlikely.
+
+import "sync"
+
+// FP is a 128-bit stable content fingerprint.
+type FP struct {
+	Hi, Lo uint64
+}
+
+// IsZero reports whether the fingerprint is the (never produced) zero value.
+func (f FP) IsZero() bool { return f.Hi == 0 && f.Lo == 0 }
+
+// Less orders fingerprints lexicographically (Hi, then Lo); used to
+// canonicalize fingerprint sets before combining.
+func (f FP) Less(g FP) bool {
+	if f.Hi != g.Hi {
+		return f.Hi < g.Hi
+	}
+	return f.Lo < g.Lo
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	// altOffset/altPrime seed the second accumulator. The prime is FNV-0's
+	// historical alternative (any large odd multiplier decorrelates the two
+	// lanes; they see identical input bytes but mix them differently).
+	altOffset64 = 0xcbf29ce484222325 ^ 0x9e3779b97f4a7c15
+	altPrime64  = 0x100000001b3 ^ 0x3b9aca07
+)
+
+// fpState accumulates one fingerprint.
+type fpState struct {
+	hi, lo uint64
+}
+
+func newFPState() fpState { return fpState{hi: altOffset64, lo: fnvOffset64} }
+
+func (s *fpState) mix(v uint64) {
+	for i := 0; i < 8; i++ {
+		b := v & 0xff
+		s.lo = (s.lo ^ b) * fnvPrime64
+		s.hi = (s.hi ^ b) * altPrime64
+		v >>= 8
+	}
+}
+
+func (s *fpState) mixString(str string) {
+	s.mix(uint64(len(str)))
+	for i := 0; i < len(str); i++ {
+		b := uint64(str[i])
+		s.lo = (s.lo ^ b) * fnvPrime64
+		s.hi = (s.hi ^ b) * altPrime64
+	}
+}
+
+func (s *fpState) done() FP {
+	f := FP{Hi: s.hi, Lo: s.lo}
+	if f.IsZero() {
+		// Reserve the zero value as "never a real fingerprint" so callers
+		// can use it as a sentinel. Astronomically unlikely to trigger.
+		f.Lo = 1
+	}
+	return f
+}
+
+// Fingerprinter computes and memoizes stable fingerprints per node. It is
+// safe for concurrent use (the memo is a sync.Map; racing computations of
+// the same node produce identical values, so the race is benign). Nodes are
+// memoized by pointer, so one Fingerprinter serves exactly one Builder —
+// pair them, and retire both together (the daemon's domain rotation).
+type Fingerprinter struct {
+	memo sync.Map // *Expr -> FP
+}
+
+// Of returns e's stable fingerprint, computing and memoizing any part of
+// the DAG not yet fingerprinted. Iterative post-order walk: merged-state
+// expressions nest thousands deep, which would overflow the goroutine
+// stack under naive recursion.
+func (fp *Fingerprinter) Of(e *Expr) FP {
+	if v, ok := fp.memo.Load(e); ok {
+		return v.(FP)
+	}
+	type frame struct {
+		e   *Expr
+		kid int
+	}
+	stack := []frame{{e: e}}
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if _, ok := fp.memo.Load(fr.e); ok {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if fr.kid < len(fr.e.Kids) {
+			k := fr.e.Kids[fr.kid]
+			fr.kid++
+			if _, ok := fp.memo.Load(k); !ok {
+				stack = append(stack, frame{e: k})
+			}
+			continue
+		}
+		s := newFPState()
+		s.mix(uint64(fr.e.Kind))
+		s.mix(uint64(fr.e.Width))
+		s.mix(fr.e.Val)
+		s.mix(uint64(fr.e.Aux))
+		s.mixString(fr.e.Name)
+		s.mix(uint64(len(fr.e.Kids)))
+		for _, k := range fr.e.Kids {
+			kf, _ := fp.memo.Load(k)
+			f := kf.(FP)
+			s.mix(f.Hi)
+			s.mix(f.Lo)
+		}
+		fp.memo.Store(fr.e, s.done())
+		stack = stack[:len(stack)-1]
+	}
+	v, _ := fp.memo.Load(e)
+	return v.(FP)
+}
+
+// CombineFPs folds a set of fingerprints into one, order-independently: the
+// set is sorted and de-duplicated (callers pass conjunct sets, where
+// duplicates and ordering are query-formulation noise, not semantics)
+// before hashing. The slice is sorted in place.
+func CombineFPs(fps []FP) FP {
+	// Insertion sort: conjunct sets are small (tens), and this avoids an
+	// allocation-per-query sort.Slice closure on the solver's hot path.
+	for i := 1; i < len(fps); i++ {
+		for j := i; j > 0 && fps[j].Less(fps[j-1]); j-- {
+			fps[j], fps[j-1] = fps[j-1], fps[j]
+		}
+	}
+	s := newFPState()
+	var last FP
+	n := uint64(0)
+	for i, f := range fps {
+		if i > 0 && f == last {
+			continue
+		}
+		last = f
+		s.mix(f.Hi)
+		s.mix(f.Lo)
+		n++
+	}
+	s.mix(n)
+	return s.done()
+}

@@ -1,0 +1,119 @@
+package expr
+
+import "testing"
+
+// buildSample constructs a small mixed DAG in b. The construction order is
+// controlled by the order of the calls below; callers vary warm-up to force
+// different builder-ID assignments.
+func buildSample(b *Builder) *Expr {
+	x := b.Var("x", 32)
+	y := b.Var("y", 32)
+	sum := b.Add(x, y)
+	cond := b.Ult(sum, b.Const(10, 32))
+	flag := b.Var("flag", 0)
+	return b.And(b.And(cond, flag), b.Eq(x, b.Const(3, 32)))
+}
+
+func TestFingerprintCrossBuilderStable(t *testing.T) {
+	b1 := NewBuilder()
+	e1 := buildSample(b1)
+
+	// Second builder: intern a pile of unrelated nodes first so every
+	// builder-local ID (and therefore every structural hash) differs, then
+	// build the same expression.
+	b2 := NewBuilder()
+	for i := 0; i < 100; i++ {
+		b2.Add(b2.Var("warm", 8), b2.Const(uint64(i), 8))
+	}
+	e2 := buildSample(b2)
+
+	if e1.ID() == e2.ID() {
+		t.Fatalf("test premise broken: builder IDs coincide (%d); warm-up did not shift them", e1.ID())
+	}
+
+	var f1, f2 Fingerprinter
+	fp1, fp2 := f1.Of(e1), f2.Of(e2)
+	if fp1.IsZero() {
+		t.Fatal("fingerprint is the reserved zero value")
+	}
+	if fp1 != fp2 {
+		t.Errorf("same expression fingerprints differently across builders: %+v vs %+v", fp1, fp2)
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	b := NewBuilder()
+	var f Fingerprinter
+	x, y := b.Var("x", 32), b.Var("y", 32)
+	exprs := []*Expr{
+		x,
+		y,
+		b.Var("x", 16),          // same name, different width
+		b.Const(3, 32),
+		b.Const(3, 16),          // same value, different width
+		b.Add(x, y),
+		b.Sub(x, y),             // same kids, different kind
+		b.Ult(x, y),
+		b.Ult(y, x),             // same kind, swapped kids
+		b.Extract(x, 0, 8),
+		b.Extract(x, 8, 8),      // differs only in Aux
+	}
+	seen := map[FP]int{}
+	for i, e := range exprs {
+		fp := f.Of(e)
+		if j, dup := seen[fp]; dup {
+			t.Errorf("exprs %d and %d collide on fingerprint %+v", j, i, fp)
+		}
+		seen[fp] = i
+	}
+}
+
+func TestFingerprintMemoConsistent(t *testing.T) {
+	// Of on a parent first, then a child, must agree with child-first.
+	b := NewBuilder()
+	x := b.Var("x", 32)
+	parent := b.Add(x, b.Const(1, 32))
+
+	var parentFirst, childFirst Fingerprinter
+	pf := parentFirst.Of(parent)
+	_ = childFirst.Of(x)
+	if got := childFirst.Of(parent); got != pf {
+		t.Errorf("memoization order changes fingerprint: %+v vs %+v", got, pf)
+	}
+}
+
+func TestCombineFPsOrderAndDupInvariant(t *testing.T) {
+	b := NewBuilder()
+	var f Fingerprinter
+	a := f.Of(b.Var("a", 0))
+	c := f.Of(b.Var("c", 0))
+	d := f.Of(b.Var("d", 0))
+
+	base := CombineFPs([]FP{a, c, d})
+	if got := CombineFPs([]FP{d, a, c}); got != base {
+		t.Errorf("combine is order-sensitive: %+v vs %+v", got, base)
+	}
+	if got := CombineFPs([]FP{a, a, c, d, d}); got != base {
+		t.Errorf("combine is duplicate-sensitive: %+v vs %+v", got, base)
+	}
+	if got := CombineFPs([]FP{a, c}); got == base {
+		t.Error("dropping a member did not change the combined fingerprint")
+	}
+	if CombineFPs(nil) == base {
+		t.Error("empty combine equals non-empty combine")
+	}
+}
+
+func TestFingerprintDeepDAGNoOverflow(t *testing.T) {
+	// A 100k-deep chain would blow the stack under naive recursion.
+	b := NewBuilder()
+	e := b.Var("x", 32)
+	one := b.Const(1, 32)
+	for i := 0; i < 100_000; i++ {
+		e = b.Add(e, one)
+	}
+	var f Fingerprinter
+	if f.Of(e).IsZero() {
+		t.Fatal("zero fingerprint")
+	}
+}

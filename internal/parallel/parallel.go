@@ -498,6 +498,8 @@ func Combine(all []*core.Result, completed bool, cfg core.Config) *core.Result {
 		st.Solver.SessionBlastReuse += s.Solver.SessionBlastReuse
 		st.Solver.SessionBypass += s.Solver.SessionBypass
 		st.Solver.SessionRebases += s.Solver.SessionRebases
+		st.Solver.StableHits += s.Solver.StableHits
+		st.Solver.StableGroupHits += s.Solver.StableGroupHits
 		st.Solver.SummaryQueries += s.Solver.SummaryQueries
 		st.Solver.PreprocQueries += s.Solver.PreprocQueries
 		st.Solver.PreprocNodesIn += s.Solver.PreprocNodesIn

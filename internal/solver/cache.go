@@ -4,6 +4,8 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+
+	"symmerge/internal/expr"
 )
 
 // Cache is the counterexample cache: it memoizes the result (and model,
@@ -40,6 +42,13 @@ type Cache struct {
 	// (per-solver counts live in Solver.Stats).
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	// stable/fper, when attached (AttachStable, see stable.go), back the
+	// ID-keyed cache with a persistent verdict store keyed by stable
+	// content fingerprints; stableHits aggregates its hits.
+	stable     StableBackend
+	fper       *expr.Fingerprinter
+	stableHits atomic.Uint64
 }
 
 // cacheShard is one independently locked stripe of the cache.

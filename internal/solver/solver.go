@@ -54,6 +54,14 @@ type Stats struct {
 	SessionBypass     uint64 // session available but query fell back to one-shot
 	SessionRebases    uint64 // persistent cores rebuilt at the size limit
 
+	// Stable (persistent) cache activity — see stable.go. StableHits are
+	// whole queries answered by the attached StableBackend; StableGroupHits
+	// are individual independence groups answered inside solveQuery (the
+	// near-repeat-program path: group verdicts hit even when the whole
+	// query's fingerprint differs).
+	StableHits      uint64
+	StableGroupHits uint64
+
 	// SummaryQueries counts assume-summary feasibility queries: entry-guard
 	// checks issued while a call site is discharged from the compositional
 	// summary cache (the solver's summary scope — see SummaryScope).
@@ -136,6 +144,10 @@ type Solver struct {
 	// de-duplicated expression IDs), reused across queries to keep the
 	// cache-key computation allocation-free.
 	keyIDs []uint64
+
+	// keyFPs is the scratch buffer for stable-layer fingerprints
+	// (stable.go), reused the same way.
+	keyFPs []expr.FP
 
 	// obs is the owning engine's observability lane (nil when disabled):
 	// every non-trivial query emits a begin/end span with its class,
@@ -276,6 +288,22 @@ func (s *Solver) decide(sess *Session, live []*expr.Expr, needModel bool) (bool,
 			s.Stats.CacheHits++
 			return res, m, obs.QueryCached, nil
 		}
+		if s.stableEnabled() {
+			// Persistent layer: verdicts from earlier runs (or earlier
+			// builder generations) keyed by content fingerprints. A hit is
+			// promoted into the ID cache so repeats stay on the fast path.
+			if res, m, ok := s.stableLookup(live); ok {
+				s.Stats.StableHits++
+				s.cache.insert(hash, ids, res, m)
+				if res && s.opts.EnableModelReuse {
+					s.remember(m)
+				}
+				if !needModel {
+					return res, nil, obs.QueryCached, nil
+				}
+				return res, m, obs.QueryCached, nil
+			}
+		}
 	}
 
 	var (
@@ -325,6 +353,11 @@ func (s *Solver) decide(sess *Session, live []*expr.Expr, needModel bool) (bool,
 	}
 	if s.opts.EnableCexCache {
 		s.cache.insert(hash, ids, res, m)
+		if s.stableEnabled() {
+			// Persist only completed verdicts (err == nil above): budget
+			// and timeout unknowns must never enter the store.
+			s.stableInsert(live, res, m)
+		}
 	}
 	if res && s.opts.EnableModelReuse {
 		s.remember(m)
@@ -408,15 +441,40 @@ func substitute(b *expr.Builder, e *expr.Expr, binding expr.Env, memo map[*expr.
 // solveQuery blasts and solves a preprocessed query: each independent
 // group separately when the slice pass partitioned it, the whole set at
 // once otherwise. The conjunction is sat iff every group is.
+//
+// With a stable backend attached, each group is first looked up (and, once
+// solved, persisted) at group granularity. Group verdicts are the
+// near-repeat lever: two programs that differ in one routine still share
+// most independence groups, so their fingerprints hit even though every
+// whole-query fingerprint differs. This is also where "blasted clause
+// groups" persist in spirit — CNF itself is rebuilt per SAT instance by
+// design (Tseitin synthesis is cheap; the solving is not), so what the
+// store carries across runs is each group's settled verdict.
 func (s *Solver) solveQuery(q *Query) (bool, Model, error) {
 	if q.Groups == nil {
 		return s.checkSAT(q.Constraints)
 	}
 	model := Model{}
+	stable := s.stableEnabled()
 	for _, g := range q.Groups {
+		if stable {
+			if res, m, ok := s.stableLookup(g); ok {
+				s.Stats.StableGroupHits++
+				if !res {
+					return false, nil, nil
+				}
+				for k, v := range m {
+					model[k] = v
+				}
+				continue
+			}
+		}
 		res, m, err := s.checkSAT(g)
 		if err != nil {
 			return false, nil, err
+		}
+		if stable {
+			s.stableInsert(g, res, m)
 		}
 		if !res {
 			return false, nil, nil

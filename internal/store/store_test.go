@@ -1,0 +1,347 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"symmerge/internal/expr"
+	"symmerge/internal/solver"
+	"symmerge/internal/summary"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func fp(hi, lo uint64) expr.FP { return expr.FP{Hi: hi, Lo: lo} }
+
+func TestCexRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	model := []solver.StableAssign{{Name: "x", Width: 8, Val: 4}, {Name: "y", Width: 0, Val: 1}}
+	s.InsertCex(fp(1, 2), true, model)
+	s.InsertCex(fp(3, 4), false, nil)
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	// Reopen: both verdicts and the full model must survive.
+	s2 := openT(t, dir, Options{})
+	sat, m, ok := s2.LookupCex(fp(1, 2))
+	if !ok || !sat || len(m) != 2 || m[0].Name != "x" || m[0].Val != 4 || m[1].Name != "y" {
+		t.Fatalf("sat entry did not round-trip: ok=%v sat=%v m=%v", ok, sat, m)
+	}
+	if sat, _, ok := s2.LookupCex(fp(3, 4)); !ok || sat {
+		t.Fatalf("unsat entry did not round-trip: ok=%v sat=%v", ok, sat)
+	}
+	if _, _, ok := s2.LookupCex(fp(9, 9)); ok {
+		t.Fatal("phantom entry")
+	}
+	if st := s2.Stats(); st.CexLoaded != 2 || st.CexEntries != 2 {
+		t.Fatalf("stats after reload: %+v", st)
+	}
+}
+
+// makeSummary builds a small but representative FuncSummary in b.
+func makeSummary(b *expr.Builder) *summary.FuncSummary {
+	p0 := b.Var("p!0_8", 8)
+	env := b.Var("arg0_0", 8)
+	guard := b.Ult(p0, b.Const(10, 8))
+	return &summary.FuncSummary{
+		Placeholders: []*expr.Expr{p0},
+		Entries: []summary.Entry{
+			{
+				PC:     []*expr.Expr{guard, b.Eq(env, b.Const(65, 8))},
+				Kind:   summary.KindReturn,
+				Ret:    b.Add(p0, b.Const(1, 8)),
+				Out:    []summary.OutEffect{{Guard: guard, Val: p0}, {Guard: nil, Val: env}},
+				Writes: []summary.CellWrite{{Param: 1, Cell: 3, Val: b.Add(p0, env)}},
+				Cov:    []summary.LocRef{{Ord: 0, PC: 2}, {Ord: 1, PC: 0}},
+			},
+			{
+				Kind: summary.KindError,
+				Err:  &summary.ErrInfo{Ord: 0, PC: 7, Msg: "division by zero", Assert: false},
+				PC:   []*expr.Expr{b.Eq(p0, b.Const(0, 8))},
+			},
+		},
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+
+	// Record a summary into a cache, harvest, flush.
+	b1 := expr.NewBuilder()
+	c1 := summary.NewCache()
+	c1.Seed("sigA(code)", "0/0/0|s0,", makeSummary(b1))
+	if n := s.HarvestSummaries(c1); n != 1 {
+		t.Fatalf("harvested %d summaries, want 1", n)
+	}
+	if n := s.HarvestSummaries(c1); n != 0 {
+		t.Fatalf("second harvest found %d new summaries, want 0", n)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	// Rehydrate into a fresh builder + cache in a "new process".
+	s2 := openT(t, dir, Options{})
+	b2 := expr.NewBuilder()
+	// Shift builder IDs so pointer/ID reuse cannot mask decode bugs.
+	for i := 0; i < 50; i++ {
+		b2.Const(uint64(i), 32)
+	}
+	c2 := summary.NewCache()
+	if n := s2.SeedSummaries(b2, c2); n != 1 {
+		t.Fatalf("seeded %d summaries, want 1", n)
+	}
+	key := "1|0/0/0|s0," // first interned sig gets id 1
+	got, _, ok := c2.Lookup(key)
+	if !ok {
+		t.Fatalf("seeded summary not found under %q", key)
+	}
+	if len(got.Placeholders) != 1 || got.Placeholders[0].Name != "p!0_8" {
+		t.Fatalf("placeholders: %v", got.Placeholders)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("entries: %d", len(got.Entries))
+	}
+	e0 := got.Entries[0]
+	if e0.Kind != summary.KindReturn || e0.Ret == nil || len(e0.PC) != 2 ||
+		len(e0.Out) != 2 || e0.Out[1].Guard != nil || len(e0.Writes) != 1 || len(e0.Cov) != 2 {
+		t.Fatalf("entry 0 shape: %+v", e0)
+	}
+	e1 := got.Entries[1]
+	if e1.Kind != summary.KindError || e1.Err == nil || e1.Err.Msg != "division by zero" {
+		t.Fatalf("entry 1 shape: %+v", e1)
+	}
+	// The decoded guard must be the canonical node in b2: instantiating
+	// with a constant must fold.
+	inst := got.Instantiate(b2, []*expr.Expr{b2.Const(3, 8)})
+	if len(inst.Entries[1].PC) != 1 || !inst.Entries[1].PC[0].IsFalse() {
+		t.Fatalf("instantiated error guard did not fold: %v", inst.Entries[1].PC)
+	}
+}
+
+func TestSchemaRefusal(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	s.InsertCex(fp(1, 1), true, nil)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the manifest under a bumped schema: Open must refuse, same
+	// discipline as checkpoint resume.
+	data, err := json.Marshal(manifest{Schema: "symmerge-store/v999"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileChecksummed(filepath.Join(dir, "MANIFEST.json"), data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a store written under a different schema")
+	} else if !strings.Contains(err.Error(), "refusing") {
+		t.Fatalf("refusal error does not explain itself: %v", err)
+	}
+}
+
+func TestStaleTagRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{Tag: "engine/v1"})
+	s.InsertCex(fp(1, 1), true, nil)
+	b := expr.NewBuilder()
+	c := summary.NewCache()
+	c.Seed("sig", "0/0/0|", makeSummary(b))
+	s.HarvestSummaries(c)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An "upgraded" engine (new canonical-form generation) must not reuse
+	// entries fingerprinted under the old rules.
+	s2 := openT(t, dir, Options{Tag: "engine/v2"})
+	if _, _, ok := s2.LookupCex(fp(1, 1)); ok {
+		t.Fatal("stale-tag verdict was silently reused")
+	}
+	st := s2.Stats()
+	if st.StaleSegs == 0 {
+		t.Fatalf("stale segment not counted: %+v", st)
+	}
+	if st.CexEntries != 0 || st.SumEntries != 0 {
+		t.Fatalf("stale entries loaded: %+v", st)
+	}
+
+	// Same tag still loads.
+	s3 := openT(t, dir, Options{Tag: "engine/v1"})
+	if _, _, ok := s3.LookupCex(fp(1, 1)); !ok {
+		t.Fatal("matching-tag verdict lost")
+	}
+}
+
+func TestTornSegmentQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	s.InsertCex(fp(1, 1), true, nil)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.InsertCex(fp(2, 2), false, nil)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the second segment in half.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	if _, _, ok := s2.LookupCex(fp(1, 1)); !ok {
+		t.Fatal("intact segment lost alongside the torn one")
+	}
+	if _, _, ok := s2.LookupCex(fp(2, 2)); ok {
+		t.Fatal("torn segment's entry resurrected")
+	}
+	if st := s2.Stats(); st.Quarantined != 1 {
+		t.Fatalf("quarantine count: %+v", st)
+	}
+	if _, err := os.Stat(path + ".quarantine"); err != nil {
+		t.Fatalf("torn segment not renamed aside: %v", err)
+	}
+	// A third open must not re-quarantine (the file is gone).
+	if st := openT(t, dir, Options{}).Stats(); st.Quarantined != 0 {
+		t.Fatalf("quarantine repeated: %+v", st)
+	}
+}
+
+func TestCorruptChecksumQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	s.InsertCex(fp(7, 7), true, []solver.StableAssign{{Name: "x", Width: 8, Val: 1}})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xff // flip a payload byte; the digest no longer matches
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, Options{})
+	if _, _, ok := s2.LookupCex(fp(7, 7)); ok {
+		t.Fatal("corrupt segment's entry reused")
+	}
+	if st := s2.Stats(); st.Quarantined != 1 {
+		t.Fatalf("quarantine count: %+v", st)
+	}
+}
+
+func TestCompactionBoundsSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{CompactAt: 3})
+	for i := 0; i < 10; i++ {
+		s.InsertCex(fp(uint64(i+1), 1), true, nil)
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after 10 flushes with CompactAt=3: %+v", st)
+	}
+	if st.Segments > 3+1 {
+		t.Fatalf("segment count unbounded: %+v", st)
+	}
+	// All entries survive compaction, across a reopen.
+	s2 := openT(t, dir, Options{CompactAt: 3})
+	for i := 0; i < 10; i++ {
+		if _, _, ok := s2.LookupCex(fp(uint64(i+1), 1)); !ok {
+			t.Fatalf("entry %d lost in compaction", i+1)
+		}
+	}
+}
+
+func TestCexEvictionBound(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{MaxCexEntries: 100})
+	for i := 0; i < 1000; i++ {
+		s.InsertCex(fp(uint64(i+1), 2), i%2 == 0, nil)
+	}
+	st := s.Stats()
+	if st.CexEntries > 100 {
+		t.Fatalf("capacity bound not enforced: %d entries", st.CexEntries)
+	}
+	if st.Evicted == 0 {
+		t.Fatal("no evictions counted")
+	}
+	// Newest entries survive.
+	if _, _, ok := s.LookupCex(fp(1000, 2)); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestFlushNothingIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Segments != 0 || st.Flushes != 0 {
+		t.Fatalf("empty flush wrote a segment: %+v", st)
+	}
+}
+
+func TestBadSummaryDroppedAtSeed(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	// Hand-craft a segment with a structurally invalid summary (a KAdd
+	// whose kids have mismatched widths) next to a valid one.
+	b := expr.NewBuilder()
+	c := summary.NewCache()
+	c.Seed("good", "0/0/0|", makeSummary(b))
+	s.HarvestSummaries(c)
+	s.mu.Lock()
+	s.sums["bad\x1fx"] = &sumRec{wire: wireSummary{
+		Sig: "bad", Rest: "x",
+		Exprs: []wireNode{
+			{K: uint8(expr.KVar), W: 8, N: "a"},
+			{K: uint8(expr.KVar), W: 16, N: "b"},
+			{K: uint8(expr.KAdd), W: 8, Kids: []uint32{1, 2}},
+		},
+		Entries: []wireEntry{{Ret: 3}},
+	}, dirty: true}
+	s.mu.Unlock()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	b2 := expr.NewBuilder()
+	c2 := summary.NewCache()
+	if n := s2.SeedSummaries(b2, c2); n != 1 {
+		t.Fatalf("seeded %d summaries, want 1 (the valid one)", n)
+	}
+	st := s2.Stats()
+	if st.BadEntries != 1 || st.SumEntries != 1 {
+		t.Fatalf("invalid summary not dropped: %+v", st)
+	}
+}

@@ -139,8 +139,9 @@ type shard struct {
 type Cache struct {
 	shards [nShards]shard
 
-	sigMu  sync.Mutex
-	sigIDs map[string]int
+	sigMu    sync.Mutex
+	sigIDs   map[string]int
+	sigsByID []string // dense reverse map: sigsByID[id-1] = signature text
 
 	progMu sync.Mutex
 	progs  map[*ir.Program]*ProgInfo
@@ -186,8 +187,55 @@ func (c *Cache) SigID(sig string) int {
 	if !ok {
 		id = len(c.sigIDs) + 1
 		c.sigIDs[sig] = id
+		c.sigsByID = append(c.sigsByID, sig)
 	}
 	return id
+}
+
+// Export calls fn for every generic-level summary under its
+// builder-independent identity: the full closure-signature text plus the
+// key remainder (environment fingerprint and argument class — everything
+// after the interned sig id). This is the persistence surface: sig ids are
+// cache-local, signature text is canonical across processes. Negative and
+// instance entries are process-local heuristic state and are not exported.
+// fn runs outside the shard locks and must not call back into the cache.
+func (c *Cache) Export(fn func(sig, rest string, s *FuncSummary)) {
+	c.sigMu.Lock()
+	byID := append([]string(nil), c.sigsByID...)
+	c.sigMu.Unlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		type kv struct {
+			key string
+			s   *FuncSummary
+		}
+		sh.mu.RLock()
+		pairs := make([]kv, 0, len(sh.sums))
+		for k, s := range sh.sums {
+			pairs = append(pairs, kv{k, s})
+		}
+		sh.mu.RUnlock()
+		for _, p := range pairs {
+			cut := strings.IndexByte(p.key, '|')
+			if cut < 0 {
+				continue
+			}
+			id, err := strconv.Atoi(p.key[:cut])
+			if err != nil || id < 1 || id > len(byID) {
+				continue
+			}
+			fn(byID[id-1], p.key[cut+1:], p.s)
+		}
+	}
+}
+
+// Seed installs a persisted summary under its builder-independent identity,
+// interning sig into this cache's id space. First writer wins, same as
+// Store; the summary's expressions must already live in the builder this
+// cache's engines share.
+func (c *Cache) Seed(sig, rest string, s *FuncSummary) {
+	key := strconv.Itoa(c.SigID(sig)) + "|" + rest
+	c.Store(key, s)
 }
 
 func (c *Cache) shard(key string) *shard {

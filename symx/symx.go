@@ -246,6 +246,20 @@ type Config struct {
 	// entries (outer fields are ignored there).
 	SummaryDomain *SummaryDomain
 
+	// Domain, when non-nil, runs the exploration inside a long-lived
+	// shared domain (NewDomain): every run interns expressions into the
+	// domain's builder and shares its counterexample cache — backed by the
+	// domain's persistent store when it has one — and, with Summaries set,
+	// its summary cache (overriding SummaryDomain). This is how cmd/symxd
+	// makes repeat traffic cheap: verdicts and summaries recorded by any
+	// job answer queries in every later job. Persistence is invisible in
+	// the results — corpus output, census, coverage, and errors are
+	// byte-identical with a cold or warm domain — because cached verdicts
+	// are deterministic facts about constraint sets and canonical tests
+	// derive from verdicts alone. For a Portfolio, set Domain on the
+	// entries (outer fields are ignored there).
+	Domain *Domain
+
 	// DisableSolverOpts turns off the KLEE-style solver optimizations
 	// (counterexample cache, independence slicing, model reuse) for
 	// ablation measurements.
@@ -327,6 +341,18 @@ type TestCase = core.TestCase
 
 // PathError re-exports path errors.
 type PathError = core.PathError
+
+// Interrupted re-exports the early-stop cause enum, with its values, so
+// embedders (cmd/symxd) can distinguish a resumable checkpoint stop from a
+// plain cancellation without importing internal/core.
+type Interrupted = core.Interrupted
+
+const (
+	IntrNone       = core.IntrNone
+	IntrBudget     = core.IntrBudget
+	IntrContext    = core.IntrContext
+	IntrCheckpoint = core.IntrCheckpoint
+)
 
 // Run explores the program under the configuration and returns the result.
 // With Workers > 1 the exploration is sharded across a worker pool
@@ -648,13 +674,27 @@ func coreConfig(cfg Config) (core.Config, Strategy, int64) {
 	if cfg.DisableSolverOpts {
 		ccfg.SolverOpts = solver.Options{}
 	}
-	if cfg.Summaries {
-		dom := cfg.SummaryDomain
-		if dom == nil {
-			dom = NewSummaryDomain()
+	if cfg.Domain != nil {
+		// Long-lived shared domain: one builder for every run, the shared
+		// cex cache (persistent-store-backed when the domain has one).
+		// Placed after the DisableSolverOpts zeroing so an ablation run
+		// in a domain still shares the builder but skips the caches.
+		ccfg.Builder = cfg.Domain.build
+		if ccfg.SolverOpts.EnableCexCache {
+			ccfg.SolverOpts.SharedCache = cfg.Domain.cex
 		}
-		ccfg.Builder = dom.build
-		ccfg.Summaries = dom.cache
+	}
+	if cfg.Summaries {
+		if cfg.Domain != nil {
+			ccfg.Summaries = cfg.Domain.sums
+		} else {
+			dom := cfg.SummaryDomain
+			if dom == nil {
+				dom = NewSummaryDomain()
+			}
+			ccfg.Builder = dom.build
+			ccfg.Summaries = dom.cache
+		}
 		ccfg.SummaryMaxSteps = cfg.SummaryMaxSteps
 	}
 	if cfg.Preprocess != "" {
