@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver|scaling|preprocess|corpus|obs|summaries|daemon] \
+//	paperbench [-figure all|3|4|5|6|7|8|9|ff|spectrum|solver|scaling|preprocess|corpus|obs|summaries|daemon|analysis] \
 //	           [-budget 2s] [-timeout 10s] [-seed 1] [-workers N] \
 //	           [-preprocess on|off|passes] [-json BENCH_pr3.json]
 //
@@ -32,11 +32,15 @@
 // a cold pass populates an empty persistent store, then a warm pass re-runs
 // the suite in a fresh domain rehydrated from the flushed store, with
 // per-tool corpus-digest and census parity between the passes.
+// The "analysis" figure measures the static dataflow analyses: per-tool
+// wall-clock under SSM+QCE+bounds with branch pruning/check elision on vs
+// off, counts of pruned sides, elided checks and lifted heap-gated call
+// sites, plus corpus-digest and census parity between the arms.
 // -json writes the ran figures' machine-readable report (schema documented
 // in README.md) to the given path — the artifacts the bench trajectory
 // tracks as BENCH_pr3.json (preprocess), BENCH_pr4.json (corpus),
-// BENCH_pr7.json (obs), BENCH_pr8.json (summaries), and BENCH_pr9.json
-// (daemon).
+// BENCH_pr7.json (obs), BENCH_pr8.json (summaries), BENCH_pr9.json
+// (daemon), and BENCH_pr10.json (analysis).
 package main
 
 import (
@@ -118,6 +122,12 @@ func main() {
 		fmt.Println()
 		jsonFigs = append(jsonFigs, fig)
 	}
+	if *figure == "all" || *figure == "analysis" {
+		t, fig := bench.AnalysisFigure(opts)
+		fmt.Print(t.String())
+		fmt.Println()
+		jsonFigs = append(jsonFigs, fig)
+	}
 	if *jsonOut != "" && len(jsonFigs) > 0 {
 		rep := bench.Report{Schema: "symmerge-paperbench/v1", Figures: jsonFigs}
 		data, err := rep.Marshal()
@@ -132,7 +142,7 @@ func main() {
 	}
 
 	switch *figure {
-	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver", "scaling", "preprocess", "corpus", "obs", "summaries", "daemon":
+	case "all", "3", "4", "5", "6", "7", "8", "9", "ff", "spectrum", "solver", "scaling", "preprocess", "corpus", "obs", "summaries", "daemon", "analysis":
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", *figure)
 		os.Exit(2)

@@ -76,6 +76,7 @@ func main() {
 		traceBuf = flag.Int("trace-buffer", 0, "trace sink buffer in events (0 = default 4096); overflow drops, never blocks")
 		dbgAddr  = flag.String("debug-addr", "", "serve pprof, expvar metrics and /progress on this address (e.g. localhost:6060)")
 		progEach = flag.Duration("progress", 0, "print a one-line progress report to stderr at this interval")
+		noAn     = flag.Bool("noanalysis", false, "disable the static dataflow analyses (branch pruning, check elision, merge-key slimming, heap-gate lifting)")
 	)
 	flag.Parse()
 
@@ -148,6 +149,7 @@ func main() {
 		Resume:          *resume,
 		TraceFile:       *traceTo,
 		TraceBuffer:     *traceBuf,
+		DisableAnalysis: *noAn,
 	}
 	cfg.Merge = parseMerge(*merge)
 	if err := symx.ParsePreprocess(*preproc); err != nil {
@@ -213,6 +215,10 @@ func main() {
 	fmt.Printf("solver:        %d queries, %d SAT calls, %d cache hits, %v in SAT\n",
 		st.Solver.Queries, st.Solver.SATCalls,
 		st.Solver.CacheHits+st.Solver.ModelReuseHits, st.Solver.SATTime.Round(time.Millisecond))
+	if !*noAn {
+		fmt.Printf("analysis:      %d branch sides pruned, %d checks elided, %d heap-gated sites lifted\n",
+			st.PrunedStatic, st.BoundsElided, st.SummaryHeapLifted)
+	}
 	if *summ {
 		fmt.Printf("summaries:     %d sites discharged (%d entries applied), %d recorded, %d inline fallbacks\n",
 			st.SummaryHits, st.SummaryEntries, st.SummaryRecords, st.SummaryRejects)

@@ -1,0 +1,48 @@
+// Command symxlint runs symmerge's repo-specific static checks (package
+// internal/lint): expr.Expr nodes must be built through expr.Builder (hash
+// consing), and every obs event constant must have a trace-schema row. CI's
+// static-analysis job runs it next to go vet and staticcheck.
+//
+// Usage:
+//
+//	symxlint [dir]
+//
+// dir defaults to the current directory and should be the module root.
+// Exits 1 when any issue is found, 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"symmerge/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: symxlint [dir]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	root := "."
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		root = flag.Arg(0)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	issues, err := lint.Run(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "symxlint:", err)
+		os.Exit(2)
+	}
+	for _, is := range issues {
+		fmt.Println(is)
+	}
+	if len(issues) > 0 {
+		os.Exit(1)
+	}
+}

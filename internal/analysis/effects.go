@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"symmerge/internal/cfg"
+	"symmerge/internal/ir"
+)
+
+// Effect is a function's transitive may-interaction with the heap, expressed
+// over the program-wide allocation-site numbering: which sites it may
+// allocate at, and which sites' objects it may read or write through
+// pointers. External marks heap traffic the analysis could not attribute to
+// a specific site with in-bounds offsets (pointers from parameters, merged
+// origins, offset ranges that may escape the object) — callers must assume
+// such a function can touch anything, which keeps it behind the summary
+// heap gate.
+type Effect struct {
+	Sites    []int // sites allocated at (sorted, deduplicated)
+	Reads    []int // sites read through OpPtrLoad
+	Writes   []int // sites written through OpPtrStore
+	External bool  // heap traffic not attributable to known sites
+}
+
+// Touches reports whether the function interacts with the heap at all.
+func (e Effect) Touches() bool {
+	return e.External || len(e.Sites) > 0 || len(e.Reads) > 0 || len(e.Writes) > 0
+}
+
+// SiteStable reports whether the effect is precise enough to summarize: all
+// heap traffic is attributed to known allocation sites.
+func (e Effect) SiteStable() bool { return !e.External }
+
+func (e Effect) String() string {
+	if !e.Touches() {
+		return "pure"
+	}
+	if e.External {
+		return "external"
+	}
+	var b strings.Builder
+	part := func(tag string, sites []int) {
+		if len(sites) == 0 {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s{", tag)
+		for i, s := range sites {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", s)
+		}
+		b.WriteByte('}')
+	}
+	part("alloc", e.Sites)
+	part("read", e.Reads)
+	part("write", e.Writes)
+	return b.String()
+}
+
+// siteSizes scans the program for the constant cell count of each
+// allocation site (-1 when a site's size is not a compile-time constant).
+func siteSizes(p *ir.Program) []int64 {
+	sizes := make([]int64, p.AllocSites)
+	for i := range sizes {
+		sizes[i] = -1
+	}
+	for _, fn := range p.Funcs {
+		for pc := range fn.Instrs {
+			in := &fn.Instrs[pc]
+			if in.Op == ir.OpAlloc && in.A.IsConst && in.Site >= 0 && in.Site < len(sizes) {
+				sizes[in.Site] = in.A.Const
+			}
+		}
+	}
+	return sizes
+}
+
+// computeEffects folds per-instruction heap traffic bottom-up over the call
+// graph, attributing pointer dereferences to allocation sites via the
+// interval analysis' pointer origins. Any function in a recursion cycle is
+// External (no fixpoint over effect sets is attempted; the engine bounds
+// recursion dynamically anyway).
+func computeEffects(p *ir.Program, cg *cfg.CallGraph, funcs []*FuncFacts, sizes []int64) []Effect {
+	effects := make([]Effect, len(p.Funcs))
+	addSite := func(set *[]int, s int) {
+		i := sort.SearchInts(*set, s)
+		if i < len(*set) && (*set)[i] == s {
+			return
+		}
+		*set = append(*set, 0)
+		copy((*set)[i+1:], (*set)[i:])
+		(*set)[i] = s
+	}
+	// deref resolves the site a pointer operand can touch: the origin site
+	// when the offset range provably stays inside the object, -1 otherwise.
+	deref := func(ff *FuncFacts, pc int, o ir.Operand) int {
+		org := ff.OperandOrigin(pc, o)
+		if org.Site < 0 || org.Site >= len(sizes) {
+			return -1
+		}
+		sz := sizes[org.Site]
+		if sz <= 0 || org.Off.Empty() || !org.Off.Within(0, sz-1) {
+			return -1
+		}
+		return org.Site
+	}
+	for _, fi := range cg.BottomUp {
+		fn := p.Funcs[fi]
+		eff := &effects[fi]
+		if cg.InCycle[fi] {
+			eff.External = true
+			continue
+		}
+		ff := funcs[fi]
+		for pc := range fn.Instrs {
+			in := &fn.Instrs[pc]
+			switch in.Op {
+			case ir.OpAlloc:
+				if in.A.IsConst && in.Site >= 0 {
+					addSite(&eff.Sites, in.Site)
+				} else {
+					eff.External = true
+				}
+			case ir.OpPtrLoad:
+				if ff.Intervals[pc] == nil {
+					continue // statically unreachable
+				}
+				if s := deref(ff, pc, in.A); s >= 0 {
+					addSite(&eff.Reads, s)
+				} else {
+					eff.External = true
+				}
+			case ir.OpPtrStore:
+				if ff.Intervals[pc] == nil {
+					continue
+				}
+				if s := deref(ff, pc, in.A); s >= 0 {
+					addSite(&eff.Writes, s)
+				} else {
+					eff.External = true
+				}
+			case ir.OpCall:
+				ce := effects[in.Callee]
+				eff.External = eff.External || ce.External
+				for _, s := range ce.Sites {
+					addSite(&eff.Sites, s)
+				}
+				for _, s := range ce.Reads {
+					addSite(&eff.Reads, s)
+				}
+				for _, s := range ce.Writes {
+					addSite(&eff.Writes, s)
+				}
+			}
+		}
+	}
+	return effects
+}

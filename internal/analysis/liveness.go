@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"symmerge/internal/cfg"
+	"symmerge/internal/ir"
+)
+
+// Liveness computes per-location may-liveness of locals: live[pc][v] is
+// true when v's value at pc may still be read before being overwritten.
+// This is the analysis QCE uses to mask Qadd (a dead variable cannot
+// influence any future query through its current value) and the one the
+// engine's merge consults to skip building ite selectors for dead slots.
+//
+// Scalars are killed at full definitions as before. Arrays are normally
+// only killed by OpMakeSymArr (stores are partial defs), with one
+// sharpening over the historic QCE-private analysis: when a canonical
+// counted loop provably overwrites an entire array — init 0, step 1,
+// bound = len, a single unconditional `arr[i] = v` store, and no other
+// use of arr inside the loop — the array is additionally dead in the
+// straight-line prefix leading into the loop. Only those pre-loop points
+// are cleared: inside the loop the partially-written array is live (its
+// low elements survive to the post-loop reads), so a per-instruction kill
+// there would be unsound.
+func Liveness(fn *ir.Func, g *cfg.FuncCFG) [][]bool {
+	n := len(fn.Instrs)
+	nl := len(fn.Locals)
+	if n == 0 {
+		out := make([][]bool, 1)
+		out[0] = make([]bool, nl)
+		return out
+	}
+	p := &liveProblem{fn: fn, nl: nl}
+	p.buildUseDef()
+	live := Solve[[]bool](g, p)
+	killFullOverwrites(fn, g, p, live)
+	return live
+}
+
+// liveProblem implements the backward liveness lattice over []bool facts.
+type liveProblem struct {
+	fn  *ir.Func
+	nl  int
+	use [][]int
+	def []int // killed local per pc, -1 if none
+}
+
+func (p *liveProblem) Direction() Direction { return Backward }
+func (p *liveProblem) Bottom() []bool       { return make([]bool, p.nl) }
+func (p *liveProblem) Boundary() []bool     { return make([]bool, p.nl) }
+
+func (p *liveProblem) Join(a, b []bool) []bool {
+	out := make([]bool, p.nl)
+	for i := range out {
+		out[i] = a[i] || b[i]
+	}
+	return out
+}
+
+func (p *liveProblem) Equal(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *liveProblem) Transfer(pc int, out []bool) []bool {
+	in := make([]bool, p.nl)
+	copy(in, out)
+	if d := p.def[pc]; d >= 0 {
+		in[d] = false
+	}
+	for _, u := range p.use[pc] {
+		in[u] = true
+	}
+	return in
+}
+
+// buildUseDef fills the per-instruction use/def tables (shared with the
+// full-overwrite detection, which needs the use sets to prove an array
+// untouched inside a loop).
+func (p *liveProblem) buildUseDef() {
+	fn := p.fn
+	n := len(fn.Instrs)
+	p.use = make([][]int, n)
+	p.def = make([]int, n)
+	addUse := func(pc int, o ir.Operand) {
+		if !o.IsConst {
+			p.use[pc] = append(p.use[pc], o.Local)
+		}
+	}
+	for pc := 0; pc < n; pc++ {
+		in := &fn.Instrs[pc]
+		p.def[pc] = -1
+		switch in.Op {
+		case ir.OpBr, ir.OpNop:
+		case ir.OpCondBr, ir.OpAssert, ir.OpAssume, ir.OpOut:
+			addUse(pc, in.A)
+		case ir.OpRet, ir.OpHalt:
+			if in.HasVal {
+				addUse(pc, in.A)
+			}
+		case ir.OpArgc, ir.OpStdinLen, ir.OpSymInt, ir.OpSymByte, ir.OpSymBool:
+			p.def[pc] = in.Dst
+		case ir.OpStdin:
+			addUse(pc, in.A)
+			p.def[pc] = in.Dst
+		case ir.OpArgChar:
+			addUse(pc, in.A)
+			addUse(pc, in.B)
+			p.def[pc] = in.Dst
+		case ir.OpLoad:
+			addUse(pc, in.A)
+			addUse(pc, in.B)
+			p.def[pc] = in.Dst
+		case ir.OpStore:
+			// Partial def: the array stays live; index and value read.
+			p.use[pc] = append(p.use[pc], in.Dst)
+			addUse(pc, in.A)
+			addUse(pc, in.B)
+		case ir.OpAlloc:
+			addUse(pc, in.A)
+			p.def[pc] = in.Dst
+		case ir.OpPtrLoad:
+			addUse(pc, in.A)
+			p.def[pc] = in.Dst
+		case ir.OpPtrStore:
+			// Partial def of the pointed-to object (proxied by the
+			// pointer local, which the address read keeps live anyway).
+			addUse(pc, in.A)
+			addUse(pc, in.B)
+		case ir.OpCall:
+			for _, a := range in.Args {
+				addUse(pc, a)
+			}
+			if in.Dst >= 0 {
+				p.def[pc] = in.Dst
+			}
+		case ir.OpMakeSymArr:
+			// Overwrites the whole array: kill (and no use).
+			if !in.A.IsConst {
+				p.def[pc] = in.A.Local
+			}
+		case ir.OpMov, ir.OpNot, ir.OpNeg, ir.OpBNot,
+			ir.OpIntToByte, ir.OpByteToInt, ir.OpBoolToInt:
+			// Unary: B is not a real operand.
+			addUse(pc, in.A)
+			p.def[pc] = in.Dst
+		default: // binary value ops
+			addUse(pc, in.A)
+			addUse(pc, in.B)
+			p.def[pc] = in.Dst
+		}
+	}
+}
+
+// killFullOverwrites clears array liveness at the straight-line points
+// leading into loops that provably overwrite the whole array before any
+// other use. Proof obligations (all checked, conservative on any doubt):
+//
+//   - counted loop with init 0, step 1, `i < bound` exit — every index in
+//     [0,bound) is visited exactly once;
+//   - the loop body is the canonical two-block shape {header, body} whose
+//     body's only successor is the header: no break-style early exits, and
+//     every instruction in the body executes on every iteration;
+//   - exactly one store to the array in the body, indexed by the induction
+//     variable, placed before the increment (so it sees 0..bound-1);
+//   - bound equals the array length, and nothing else in the loop reads or
+//     passes the array.
+//
+// At any point that executes only before such a loop (the straight-line
+// prefix up to the first other mention of the array), the array's current
+// contents can never be read again — pre-loop merge keys and QCE hot sets
+// may ignore it.
+func killFullOverwrites(fn *ir.Func, g *cfg.FuncCFG, p *liveProblem, live [][]bool) {
+	for _, l := range g.Loops {
+		if l.TripCount == 0 || l.IVar < 0 || l.Init != 0 || l.Step != 1 || l.CmpOp != ir.OpLt {
+			continue
+		}
+		if len(l.Body) != 2 {
+			continue
+		}
+		bodyIdx := -1
+		for bi := range l.Body {
+			if bi != l.Header {
+				bodyIdx = bi
+			}
+		}
+		if bodyIdx < 0 {
+			continue
+		}
+		body := g.Blocks[bodyIdx]
+		if len(body.Succs) != 1 || body.Succs[0] != l.Header {
+			continue
+		}
+		// Find the single increment of the induction variable in the body.
+		incPC := -1
+		for pc := body.Start; pc < body.End; pc++ {
+			if fn.Instrs[pc].Dst == l.IVar {
+				incPC = pc
+			}
+		}
+		if incPC < 0 {
+			continue
+		}
+		// Candidate arrays: full-length store at an eligible position and
+		// no other use anywhere in the loop.
+		hdr := g.Blocks[l.Header]
+		for arr, loc := range fn.Locals {
+			if !loc.Type.Array() || int64(loc.Type.Len) != l.Bound {
+				continue
+			}
+			storePC := -1
+			sound := true
+			scan := func(b *cfg.Block) {
+				for pc := b.Start; pc < b.End && sound; pc++ {
+					in := &fn.Instrs[pc]
+					if in.Op == ir.OpStore && in.Dst == arr {
+						if storePC >= 0 || in.A.IsConst || in.A.Local != l.IVar {
+							sound = false
+							break
+						}
+						storePC = pc
+						continue
+					}
+					for _, u := range p.use[pc] {
+						if u == arr {
+							sound = false
+							break
+						}
+					}
+					if p.def[pc] == arr {
+						sound = false
+					}
+				}
+			}
+			scan(hdr)
+			scan(body)
+			if !sound || storePC < 0 || storePC > incPC || g.BlockOf[storePC] != bodyIdx {
+				continue
+			}
+			// Clear the straight-line prefix before the header.
+			for pc := hdr.Start - 1; pc >= 0; pc-- {
+				in := &fn.Instrs[pc]
+				if in.IsTerminator() || p.def[pc] == arr {
+					break
+				}
+				touches := false
+				for _, u := range p.use[pc] {
+					if u == arr {
+						touches = true
+					}
+				}
+				if touches {
+					break
+				}
+				live[pc][arr] = false
+			}
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// analysis.go: the PR-10 benchmark — the static dataflow analyses
+// (interval/constancy branch pruning, bounds/heap check elision, liveness
+// merge-key slimming, heap-gate lifting) ablated on vs off across the
+// COREUTILS suite. Two contracts: (1) the analyses are pure acceleration
+// (canonical corpus digests and the exact-path census are byte-identical
+// either way), and (2) they retire real work (solver queries elided,
+// branch sides pruned without queries on the prune fixture, and — on the
+// heap-helper fixture — call sites the PR-8 heap gate rejected now
+// discharged from summaries).
+
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"symmerge/internal/coreutils"
+	"symmerge/internal/corpus"
+	"symmerge/symx"
+)
+
+// JSONAnalysisRow is one workload's analysis measurement in BENCH_pr10.json.
+type JSONAnalysisRow struct {
+	Tool      string  `json:"tool"`
+	Completed bool    `json:"completed"`
+	OffWallS  float64 `json:"off_wall_s"`
+	OnWallS   float64 `json:"on_wall_s"`
+	// Speedup is off/on wall clock; set only on completed pairs.
+	Speedup float64 `json:"speedup"`
+	// Analysis activity of the on arm's timed run.
+	PrunedStatic uint64 `json:"pruned_static"`
+	BoundsElided uint64 `json:"bounds_elided"`
+	// HeapLifted counts call sites discharged from summaries whose
+	// closures the strict heap gate would have rejected (nonzero only on
+	// the summary-enabled fixture rows; CheckBounds and summaries are
+	// mutually exclusive, so the tool rows measure pruning/elision).
+	HeapLifted uint64 `json:"heap_lifted"`
+	QueriesOff uint64 `json:"queries_off"`
+	QueriesOn  uint64 `json:"queries_on"`
+	// DigestsEqual / CensusEqual are the parity contracts over separate
+	// corpus-shaped arms (canonical tests + exact-path census). Nil means
+	// a parity arm hit its (larger) timeout, so the arms are different
+	// truncations of the space rather than comparable results.
+	DigestsEqual *bool `json:"digests_equal,omitempty"`
+	CensusEqual  *bool `json:"census_equal,omitempty"`
+}
+
+// pruneFixtureSrc is the branch-pruning witness: v is a byte widened to an
+// int, so the interval analysis decides `v < 300` (always true) and
+// `v > 1000` (always false) without feasibility queries, and proves the
+// masked index in bounds. The registry's models only branch on conditions
+// the inputs genuinely decide (their loop bounds are concrete and
+// constant-fold before the pruner is consulted), hence a dedicated row.
+const pruneFixtureSrc = `
+void main() {
+    int v = toint(argchar(1, 0));
+    int buf[4];
+    if (v < 300) {
+        buf[v & 3] = v;
+    }
+    if (v > 1000) {
+        putchar('!');
+        halt(1);
+    }
+    putchar(tobyte(buf[v & 3] & 255));
+    halt(0);
+}
+`
+
+// heapLiftFixtureSrc is the heap-gate witness: fill is heap-contained
+// (allocates, branches, reads back only its own cells), so the effect
+// analysis admits it to the summary cache where the PR-8 gate rejected
+// every heap-touching closure. The registry's own models allocate only in
+// main, hence a dedicated fixture row.
+const heapLiftFixtureSrc = `
+int fill(int a) {
+    ptr h = alloc(4);
+    h[0] = a;
+    if (a > 9) {
+        h[0] = 9;
+    }
+    h[1] = h[0] + 1;
+    h[2] = h[1] + h[0];
+    return h[2];
+}
+
+void main() {
+    int x = toint(argchar(1, 0));
+    int y = toint(argchar(1, 1));
+    int r = fill(x);
+    int s = fill(y);
+    putchar(tobyte((r + s) & 255));
+    halt(0);
+}
+`
+
+// AnalysisFigure measures the dataflow analyses on every COREUTILS tool
+// under SSM+QCE with bounds checking (the configuration where pruning and
+// elision retire solver queries), plus the heap-lift fixture under
+// compositional summaries. Each workload runs two timed arms on grown
+// inputs (analyses off vs on), then two parity arms at the corpus shapes
+// whose digests and censuses must match.
+func AnalysisFigure(opts Options) (*Table, JSONFigure) {
+	t := &Table{
+		Title: "Static dataflow analyses: SSM+QCE+bounds with the analyses on vs off",
+		Comment: fmt.Sprintf("timeout %v per run; timed arms on grown inputs; digest= and census= come from\n"+
+			"separate parity arms at the corpus shapes (canonical tests + exact-path census);\n"+
+			"the prune-fixture row witnesses static branch pruning; the heaplift-fixture row runs\n"+
+			"under compositional summaries to exercise the lifted heap gate", opts.Timeout),
+		Header: []string{"tool", "t_off_s", "t_on_s", "speedup", "pruned", "elided", "lifted", "q_off", "q_on", "digest=", "census="},
+	}
+	fig := JSONFigure{
+		Name: "analysis",
+		Notes: "each tool explored exhaustively under SSM+QCE with CheckBounds, dataflow analyses " +
+			"(branch pruning, check elision, merge-key slimming) off vs on; the prune-fixture row " +
+			"witnesses static branch pruning (the registry's own branches are all genuinely " +
+			"input-dependent); the heaplift-fixture row " +
+			"instead enables compositional summaries (bounds checking and summaries are mutually " +
+			"exclusive) so heap_lifted counts call sites the strict PR-8 heap gate rejected; " +
+			"digests_equal compares corpus.DirDigest of canonical-corpus parity runs; census_equal " +
+			"compares exact paths, coverage, and the error set of census parity runs",
+	}
+
+	tmp, err := os.MkdirTemp("", "paperbench-analysis-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	var offWall, onWall, speedups []float64
+	var pruned, elided, lifted uint64
+	timeouts, parityTimeouts, digestMismatches, censusMismatches := 0, 0, 0, 0
+
+	measure := func(name string, p *symx.Program, base symx.Config, timed func(*symx.Config)) {
+		run := func(disable bool, mut func(*symx.Config)) *symx.Result {
+			cfg := base
+			cfg.Seed = opts.Seed
+			cfg.Workers = opts.Workers
+			cfg.Preprocess = opts.Preprocess
+			cfg.Merge = symx.MergeSSM
+			cfg.UseQCE = true
+			cfg.MaxTime = opts.Timeout
+			cfg.DisableAnalysis = disable
+			mut(&cfg)
+			return symx.Run(p, cfg)
+		}
+
+		resOff := run(true, timed)
+		resOn := run(false, timed)
+
+		// Parity arms are correctness checks, not measurements: give them
+		// generous headroom beyond the timed budget, since a truncated
+		// exploration yields two different prefixes of the space rather
+		// than a meaningful digest comparison.
+		parity := func(arm string) func(*symx.Config) {
+			return func(cfg *symx.Config) {
+				cfg.MaxTime = 10 * opts.Timeout
+				cfg.TrackExactPaths = true
+				cfg.CorpusDir = filepath.Join(tmp, name, arm)
+				cfg.CorpusLabel = name
+			}
+		}
+		parOff := run(true, parity("off"))
+		parOn := run(false, parity("on"))
+
+		row := JSONAnalysisRow{
+			Tool:         name,
+			Completed:    resOff.Completed && resOn.Completed,
+			OffWallS:     resOff.Stats.ElapsedSeconds,
+			OnWallS:      resOn.Stats.ElapsedSeconds,
+			PrunedStatic: resOn.Stats.PrunedStatic,
+			BoundsElided: resOn.Stats.BoundsElided,
+			HeapLifted:   resOn.Stats.SummaryHeapLifted,
+			QueriesOff:   resOff.Stats.Solver.Queries,
+			QueriesOn:    resOn.Stats.Solver.Queries,
+		}
+		pruned += row.PrunedStatic
+		elided += row.BoundsElided
+		lifted += row.HeapLifted
+
+		if parOff.Completed && parOn.Completed {
+			dOff, err1 := corpus.DirDigest(filepath.Join(tmp, name, "off"))
+			dOn, err2 := corpus.DirDigest(filepath.Join(tmp, name, "on"))
+			dEq := err1 == nil && err2 == nil && dOff == dOn
+			row.DigestsEqual = &dEq
+			if !dEq {
+				digestMismatches++
+			}
+			cEq := parOff.Stats.ExactPaths == parOn.Stats.ExactPaths &&
+				parOff.Stats.CoveredInstrs == parOn.Stats.CoveredInstrs &&
+				sameErrors(parOff, parOn)
+			row.CensusEqual = &cEq
+			if !cEq {
+				censusMismatches++
+			}
+		} else {
+			parityTimeouts++
+		}
+
+		if row.Completed {
+			row.Speedup = row.OffWallS / math.Max(row.OnWallS, 1e-6)
+			offWall = append(offWall, row.OffWallS)
+			onWall = append(onWall, row.OnWallS)
+			speedups = append(speedups, row.Speedup)
+		} else {
+			timeouts++
+		}
+		fig.AnalysisRows = append(fig.AnalysisRows, row)
+
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.3f", row.OffWallS),
+			fmt.Sprintf("%.3f", row.OnWallS),
+			fmt.Sprintf("%.2f", row.Speedup),
+			fmt.Sprint(row.PrunedStatic),
+			fmt.Sprint(row.BoundsElided),
+			fmt.Sprint(row.HeapLifted),
+			fmt.Sprint(row.QueriesOff),
+			fmt.Sprint(row.QueriesOn),
+			boolOrDash(row.DigestsEqual),
+			boolOrDash(row.CensusEqual),
+		})
+	}
+
+	for _, tool := range coreutils.All() {
+		p, err := tool.Compile()
+		if err != nil {
+			panic(err)
+		}
+		base := tool.BaseConfig()
+		base.CheckBounds = true
+		measure(tool.Name, p, base, func(cfg *symx.Config) { grow(tool, cfg, 1) })
+	}
+
+	// The prune fixture: bounds checking like the tool rows, with branches
+	// the interval analysis decides statically.
+	pp, err := symx.Compile(pruneFixtureSrc)
+	if err != nil {
+		panic(err)
+	}
+	pruneBase := symx.Config{NArgs: 1, ArgLen: 1}
+	pruneBase.CheckBounds = true
+	measure("prune-fixture", pp, pruneBase, func(cfg *symx.Config) {})
+
+	// The heap-lift fixture: summaries on, bounds off (they are mutually
+	// exclusive), a fresh domain per arm so the off arm's strict-gate
+	// rejections cannot poison the on arm's cache.
+	fp, err := symx.Compile(heapLiftFixtureSrc)
+	if err != nil {
+		panic(err)
+	}
+	measure("heaplift-fixture", fp, symx.Config{NArgs: 1, ArgLen: 2},
+		func(cfg *symx.Config) {
+			cfg.CheckBounds = false
+			cfg.Summaries = true
+			cfg.SummaryDomain = symx.NewSummaryDomain()
+		})
+
+	aggregate, mean := 0.0, 0.0
+	if s := sum(onWall); s > 0 {
+		aggregate = sum(offWall) / s
+	}
+	if len(speedups) > 0 {
+		for _, s := range speedups {
+			mean += s
+		}
+		mean /= float64(len(speedups))
+	}
+	t.Comment += fmt.Sprintf(
+		"\nsuite aggregate: wall %.3fs off -> %.3fs on (%.2fx; mean per-workload speedup %.2fx)"+
+			"\nanalysis activity: %d branch sides pruned, %d checks elided, %d heap-gated sites lifted"+
+			"\n%d workloads compared (%d timed out, %d parity arms uncomparable, %d digest mismatches, %d census mismatches)",
+		sum(offWall), sum(onWall), aggregate, mean,
+		pruned, elided, lifted,
+		len(offWall), timeouts, parityTimeouts, digestMismatches, censusMismatches)
+	return t, fig
+}
+
+// boolOrDash renders a parity verdict, "-" when the arms were uncomparable.
+func boolOrDash(b *bool) string {
+	if b == nil {
+		return "-"
+	}
+	return fmt.Sprint(*b)
+}

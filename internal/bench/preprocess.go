@@ -30,15 +30,18 @@ type Report struct {
 // the summary-cache figure fills SummaryRows (summaries.go / BENCH_pr8.json);
 // the persistent-store figure fills DaemonRows (daemon.go / BENCH_pr9.json).
 type JSONFigure struct {
-	Name        string            `json:"name"`
-	Notes       string            `json:"notes,omitempty"`
-	Arms        []JSONArm         `json:"arms,omitempty"`
-	Rows        []JSONRow         `json:"rows,omitempty"`
-	CorpusRows  []JSONCorpusRow   `json:"corpus_rows,omitempty"`
-	ObsRows     []JSONObsRow      `json:"obs_rows,omitempty"`
-	SummaryRows []JSONSummaryRow  `json:"summary_rows,omitempty"`
-	DaemonRows  []JSONDaemonRow   `json:"daemon_rows,omitempty"`
-	Metrics     *symx.MetricsSnap `json:"metrics,omitempty"`
+	Name        string           `json:"name"`
+	Notes       string           `json:"notes,omitempty"`
+	Arms        []JSONArm        `json:"arms,omitempty"`
+	Rows        []JSONRow        `json:"rows,omitempty"`
+	CorpusRows  []JSONCorpusRow  `json:"corpus_rows,omitempty"`
+	ObsRows     []JSONObsRow     `json:"obs_rows,omitempty"`
+	SummaryRows []JSONSummaryRow `json:"summary_rows,omitempty"`
+	DaemonRows  []JSONDaemonRow  `json:"daemon_rows,omitempty"`
+	// AnalysisRows carries the static-analysis figure (analysis.go /
+	// BENCH_pr10.json).
+	AnalysisRows []JSONAnalysisRow `json:"analysis_rows,omitempty"`
+	Metrics      *symx.MetricsSnap `json:"metrics,omitempty"`
 }
 
 // JSONArm aggregates one configuration arm over the completed rows.

@@ -40,6 +40,16 @@ type Loop struct {
 	Header    int          // header block index
 	Body      map[int]bool // block indices, header included
 	TripCount int          // statically known trip count, 0 if unknown
+
+	// Counted-loop shape, filled when TripCount != 0 (the canonical
+	// `condbr (cmp i, C)` header detectTripCount recognizes); dataflow
+	// analyses reuse it for interval refinement and full-overwrite
+	// array kills. IVar is -1 when the shape was not recognized.
+	IVar  int   // induction variable local index
+	Init  int64 // constant initial value reaching the header
+	Step  int64 // constant increment per iteration
+	Bound int64 // comparison bound C
+	CmpOp ir.Op // OpLt, OpLe or OpNe
 }
 
 // Build computes the CFG for a function.
@@ -186,6 +196,7 @@ func (g *FuncCFG) findLoops() {
 				stack = append(stack, p)
 			}
 		}
+		l.IVar = -1
 		l.TripCount = g.detectTripCount(l)
 		idx := len(g.Loops)
 		g.Loops = append(g.Loops, l)
@@ -346,6 +357,7 @@ func (g *FuncCFG) detectTripCount(l *Loop) int {
 	if trips <= 0 || trips > 1<<20 {
 		return 0
 	}
+	l.IVar, l.Init, l.Step, l.Bound, l.CmpOp = ivar, init, step, bound, cmp.Op
 	return int(trips)
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"symmerge/internal/analysis"
 	"symmerge/internal/cfg"
 	"symmerge/internal/checkpoint/faultinject"
 	"symmerge/internal/expr"
@@ -127,6 +128,24 @@ type Config struct {
 	// immutable after construction, so parallel workers share one.
 	QCEAnalysis *qce.Analysis
 
+	// Analysis, when non-nil, attaches the program's static dataflow facts
+	// (internal/analysis): branch sides the interval analysis proves
+	// infeasible are taken without solver queries or path-condition
+	// conjuncts, provably-in-bounds array and heap accesses skip their
+	// CheckBounds queries, and merging skips ite selectors for locals that
+	// are dead at the merge point. All facts are sound over-approximations,
+	// so the explored path set — and with it coverage, errors, the exact-path
+	// census, and canonical corpora — is identical with or without it; only
+	// the work spent proving feasibility shrinks. Immutable after
+	// construction; parallel workers share one.
+	Analysis *analysis.Program
+
+	// CrossCheckAnalysis re-validates every statically-pruned branch side
+	// with a solver query and panics when the solver finds it satisfiable
+	// (pruned ⇒ unsat is the analysis soundness contract). Test-only: the
+	// fuzz harness runs with it set.
+	CrossCheckAnalysis bool
+
 	// CheckBounds makes out-of-bounds array accesses path errors instead
 	// of returning 0 / ignoring the write.
 	CheckBounds bool
@@ -222,6 +241,11 @@ type Stats struct {
 	MaxWorklist int
 	Pruned      uint64
 
+	// Static-analysis activity (zero unless Config.Analysis is set).
+	PrunedStatic      uint64 // branch sides decided without solver queries
+	BoundsElided      uint64 // array/heap bounds queries skipped as provably safe
+	SummaryHeapLifted uint64 // heap-touching call sites admitted via effect summaries
+
 	// Summary-cache activity (zero unless Config.Summaries is set).
 	SummaryHits    uint64 // call sites discharged from a cached summary
 	SummaryRejects uint64 // call sites that fell back to inline exploration
@@ -268,6 +292,7 @@ type Engine struct {
 	build *expr.Builder
 	solv  *solver.Solver
 	qce   *qce.Analysis
+	an    *analysis.Program
 	cfgs  []*cfg.FuncCFG
 
 	strategy Strategy
@@ -367,6 +392,7 @@ func NewEngine(prog *ir.Program, config Config, strat Strategy) *Engine {
 			e.qce = qce.Analyze(prog, config.QCE)
 		}
 	}
+	e.an = config.Analysis
 	if e.cfg.DSMDelta == 0 {
 		e.cfg.DSMDelta = 8
 	}

@@ -370,8 +370,34 @@ func (e *Engine) merge(s1, s2 *State) *State {
 		nf := &Frame{Fn: f1.Fn, PC: f1.PC, RetDst: f1.RetDst}
 		nf.Locals = make([]Value, len(f1.Locals))
 		nf.Objects = make([]*Object, len(f1.Objects))
+		// Dead-slot slimming: a slot liveness proves dead at the resume pc
+		// is never read before being redefined, so either side's value is
+		// interchangeable — keep s1's and skip the ite selector. QCE hot
+		// sets are already liveness-masked, so similarity scoring and merge
+		// gating see identical inputs with or without the analysis; only
+		// the unobservable dead contents differ.
+		var lrow []bool
+		if e.an != nil {
+			if lv := e.an.Funcs[f1.Fn].Live; f1.PC < len(lv) {
+				lrow = lv[f1.PC]
+			}
+		}
 		for i := range f1.Locals {
 			v1, v2 := f1.Locals[i], f2.Locals[i]
+			if lrow != nil && i < len(lrow) && !lrow[i] {
+				if v1.E != nil {
+					nf.Locals[i] = v1
+				} else {
+					nf.Locals[i] = Value{Ref: v1.Ref}
+					if o1 := f1.Objects[i]; o1 != nil {
+						// Reuse s1's object; mark it shared so any
+						// later write copies first (COW).
+						o1.shared = true
+						nf.Objects[i] = o1
+					}
+				}
+				continue
+			}
 			if v1.E != nil {
 				if v1.E == v2.E {
 					nf.Locals[i] = v1

@@ -82,9 +82,15 @@ func newEngineSummaries(e *Engine, c *summary.Cache) *engineSummaries {
 		ms = defaultSummarySteps
 	}
 	concrete := e.cfg.ConcreteArgs != nil || e.cfg.ConcreteStdin != nil
+	pinfo := c.Prog(e.prog)
+	if e.an != nil {
+		// Dataflow effect facts lift the static heap gate (sig.go
+		// heapContained); without them the strict gate stands.
+		pinfo.SetAnalysis(e.an)
+	}
 	return &engineSummaries{
 		cache: c,
-		pinfo: c.Prog(e.prog),
+		pinfo: pinfo,
 		fns:   make([]sumFn, len(e.prog.Funcs)),
 		env: summary.EnvFingerprint(e.cfg.NArgs, e.cfg.ArgLen, e.cfg.StdinLen,
 			argStrings(e.cfg.ConcreteArgs), e.cfg.ConcreteStdin, concrete),
@@ -206,6 +212,17 @@ func (e *Engine) summaryCall(s *State, in *ir.Instr, loc ir.Loc) ([]*State, bool
 		return nil, false
 	}
 	fi := sf.fi
+	// A heap-lifted closure replays allocations with the canonical
+	// addresses a zero per-site counter mints (doAlloc); a path that
+	// already executed one of its sites would re-mint colliding ids, so
+	// it falls back to inline exploration. Per-path dynamic condition,
+	// like aliasing: no negative caching.
+	for _, site := range fi.HeapSites {
+		if s.allocs[site] != 0 {
+			e.rejectSummary(sf, in.Callee, summary.RejectHeapBusy)
+			return nil, false
+		}
+	}
 	t0 := time.Now()
 
 	// Classify the arguments into the cache key, detect array-argument
@@ -259,6 +276,7 @@ func (e *Engine) summaryCall(s *State, in *ir.Instr, loc ir.Loc) ([]*State, bool
 	gkey := kb.GenericKey()
 	ikey := kb.InstanceKey(gkey)
 	if inst, ok := su.cache.Inst(ikey); ok {
+		e.noteHeapLift(fi)
 		return e.applySummary(s, in, loc, fi, inst, t0)
 	}
 	fs, negReason, ok := su.cache.Lookup(gkey)
@@ -274,7 +292,16 @@ func (e *Engine) summaryCall(s *State, in *ir.Instr, loc ir.Loc) ([]*State, bool
 		}
 	}
 	inst := su.cache.StoreInst(ikey, fs.Instantiate(e.build, kb.Actuals))
+	e.noteHeapLift(fi)
 	return e.applySummary(s, in, loc, fi, inst, t0)
+}
+
+// noteHeapLift counts a call-site discharge that the original heap gate
+// would have sent to inline exploration.
+func (e *Engine) noteHeapLift(fi *summary.FuncInfo) {
+	if len(fi.HeapSites) > 0 {
+		e.stats.SummaryHeapLifted++
+	}
 }
 
 // rejectSummary accounts an inline fallback. The trace event is emitted once
@@ -443,6 +470,18 @@ func (e *Engine) recordSummary(callee int, fi *summary.FuncInfo, gkey string, ar
 				}
 			}
 		}
+		if en.Kind == summary.KindReturn && len(fin.heap) > 0 {
+			// Heap-lifted closure: the seed heap was empty, so every live
+			// object is closure-allocated and survives into the caller.
+			// Halted and errored paths skip this — their heap dies with
+			// the state.
+			for _, he := range fin.heap {
+				site := (int(he.id) - 1) / ir.HeapSiteSpan
+				cells := make([]*expr.Expr, len(he.obj.Cells))
+				copy(cells, he.obj.Cells)
+				en.Heap = append(en.Heap, summary.HeapObj{Site: site, ID: he.id, Cells: cells})
+			}
+		}
 		entries = append(entries, en)
 	}
 	for _, sp := range rec.silent {
@@ -484,11 +523,17 @@ func (e *Engine) applySummary(s *State, in *ir.Instr, loc ir.Loc, fi *summary.Fu
 
 // summaryMergeable reports whether the instance's entries can be ite-combined:
 // return values and exit codes must be uniformly present (or, for returns with
-// an unused result, uniformly absent) so the chains are well-formed.
+// an unused result, uniformly absent) so the chains are well-formed. Entries
+// carrying heap objects force the exact representation — different callee
+// paths may allocate different object sets, and a merged continuation has one
+// heap shape.
 func summaryMergeable(in *ir.Instr, inst *summary.Instance) bool {
 	retVal, retVoid := false, false
 	for i := range inst.Entries {
 		en := &inst.Entries[i]
+		if len(en.Heap) > 0 {
+			return false
+		}
 		switch en.Kind {
 		case summary.KindReturn:
 			if en.Ret != nil {
@@ -889,6 +934,15 @@ func (e *Engine) applyEntry(ns *State, in *ir.Instr, fi *summary.FuncInfo, en *s
 		if w.Cell < len(obj.Cells) {
 			obj.Cells[w.Cell] = w.Val
 		}
+	}
+	for _, h := range en.Heap {
+		// Replay the closure's allocations exactly as doAlloc would have
+		// produced them: the RejectHeapBusy gate guaranteed zero per-site
+		// counters, so the recorded ids are the ids inline execution mints.
+		cells := make([]*expr.Expr, len(h.Cells))
+		copy(cells, h.Cells)
+		ns.insertHeap(h.ID, &Object{Cells: cells, Width: 32})
+		ns.allocs[h.Site]++
 	}
 	f := ns.top()
 	switch en.Kind {

@@ -48,15 +48,15 @@ func TestFingerprintDistinguishes(t *testing.T) {
 	exprs := []*Expr{
 		x,
 		y,
-		b.Var("x", 16),          // same name, different width
+		b.Var("x", 16), // same name, different width
 		b.Const(3, 32),
-		b.Const(3, 16),          // same value, different width
+		b.Const(3, 16), // same value, different width
 		b.Add(x, y),
-		b.Sub(x, y),             // same kids, different kind
+		b.Sub(x, y), // same kids, different kind
 		b.Ult(x, y),
-		b.Ult(y, x),             // same kind, swapped kids
+		b.Ult(y, x), // same kind, swapped kids
 		b.Extract(x, 0, 8),
-		b.Extract(x, 8, 8),      // differs only in Aux
+		b.Extract(x, 8, 8), // differs only in Aux
 	}
 	seen := map[FP]int{}
 	for i, e := range exprs {

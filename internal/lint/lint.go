@@ -1,0 +1,243 @@
+// Package lint implements symmerge's repo-specific static checks, the ones
+// go vet cannot know about. Two rules:
+//
+// Rule expr-builder: expression nodes are hash-consed — pointer equality IS
+// structural equality — so an expr.Expr composite literal built outside
+// internal/expr bypasses interning and silently breaks every equality test
+// downstream. All construction must go through expr.Builder methods.
+//
+// Rule obs-schema: the trace validator (internal/obs.Validate) rejects any
+// event type missing from its eventFields table, so an event emitted without
+// a schema row turns every trace containing it invalid. Every Ev* constant
+// declared in internal/obs must appear as an eventFields key, and every
+// Observer emission must name its event through an Ev* constant (never a raw
+// string) so the first check covers it.
+//
+// The checker is stdlib-only (go/parser + go/ast): it parses source files
+// syntactically and resolves imports by name, without type information.
+// That is enough because both rules are about syntactic shape in a repo
+// whose import names are conventional.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// exprImportPath is the package whose node type must not be literal-built.
+const exprImportPath = "symmerge/internal/expr"
+
+// Issue is one finding.
+type Issue struct {
+	Pos  token.Position
+	Rule string // "expr-builder" or "obs-schema"
+	Msg  string
+}
+
+func (i Issue) String() string {
+	return fmt.Sprintf("%s: %s: %s", i.Pos, i.Rule, i.Msg)
+}
+
+// Run checks every .go file under root (a module checkout) and returns the
+// issues sorted by position. Test files are included: a test that builds
+// raw expr.Expr literals corrupts the same interning invariants.
+func Run(root string) ([]Issue, error) {
+	fset := token.NewFileSet()
+	var issues []Issue
+	obs := newObsCheck()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") || name == "corpus" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return perr
+		}
+		rel, _ := filepath.Rel(root, path)
+		issues = append(issues, checkExprLiterals(fset, f, rel)...)
+		obs.collect(fset, f, rel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	issues = append(issues, obs.finish()...)
+	sort.Slice(issues, func(a, b int) bool {
+		x, y := issues[a].Pos, issues[b].Pos
+		if x.Filename != y.Filename {
+			return x.Filename < y.Filename
+		}
+		return x.Offset < y.Offset
+	})
+	return issues, nil
+}
+
+// inExprPackage reports whether the (slash-normalized, root-relative) path
+// belongs to internal/expr itself, where literal construction is the
+// builder's own implementation.
+func inExprPackage(rel string) bool {
+	return strings.HasPrefix(filepath.ToSlash(rel), "internal/expr/")
+}
+
+// exprImportName returns the local name the file binds to
+// symmerge/internal/expr, or "" when the file does not import it.
+func exprImportName(f *ast.File) string {
+	for _, im := range f.Imports {
+		p, err := strconv.Unquote(im.Path.Value)
+		if err != nil || p != exprImportPath {
+			continue
+		}
+		if im.Name != nil {
+			return im.Name.Name
+		}
+		return "expr"
+	}
+	return ""
+}
+
+// checkExprLiterals flags expr.Expr composite literals (rule expr-builder).
+func checkExprLiterals(fset *token.FileSet, f *ast.File, rel string) []Issue {
+	if inExprPackage(rel) {
+		return nil
+	}
+	local := exprImportName(f)
+	if local == "" || local == "_" {
+		return nil
+	}
+	var issues []Issue
+	ast.Inspect(f, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		sel, ok := cl.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Expr" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == local {
+			issues = append(issues, Issue{
+				Pos:  fset.Position(cl.Pos()),
+				Rule: "expr-builder",
+				Msg:  "expr.Expr composite literal bypasses hash-consing; construct nodes via expr.Builder methods",
+			})
+		}
+		return true
+	})
+	return issues
+}
+
+// obsCheck accumulates rule obs-schema facts across internal/obs files.
+type obsCheck struct {
+	declared   map[string]token.Position // Ev* const name → declaration site
+	schemaKeys map[string]bool           // eventFields key idents
+	rawHeads   []Issue                   // head(...) calls with non-ident args
+	sawSchema  bool
+}
+
+func newObsCheck() *obsCheck {
+	return &obsCheck{declared: map[string]token.Position{}, schemaKeys: map[string]bool{}}
+}
+
+// collect harvests one file's facts; files outside internal/obs (or test
+// files) contribute nothing.
+func (c *obsCheck) collect(fset *token.FileSet, f *ast.File, rel string) {
+	slash := filepath.ToSlash(rel)
+	if !strings.HasPrefix(slash, "internal/obs/") || strings.HasSuffix(slash, "_test.go") {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GenDecl:
+			if n.Tok != token.CONST {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if strings.HasPrefix(name.Name, "Ev") {
+						c.declared[name.Name] = fset.Position(name.Pos())
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			return true
+		case *ast.CallExpr:
+			// o.head(EvX) — the one emission envelope. A raw-string
+			// argument would dodge the declared-constant check.
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "head" || len(n.Args) != 1 {
+				return true
+			}
+			if _, ok := n.Args[0].(*ast.Ident); !ok {
+				c.rawHeads = append(c.rawHeads, Issue{
+					Pos:  fset.Position(n.Args[0].Pos()),
+					Rule: "obs-schema",
+					Msg:  "head() argument must be a declared Ev* constant, not an expression",
+				})
+			}
+		case *ast.CompositeLit:
+			// eventFields = map[string][]string{EvX: {...}, ...}
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok && strings.HasPrefix(id.Name, "Ev") {
+					c.schemaKeys[id.Name] = true
+					c.sawSchema = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// finish cross-checks declarations against the schema table.
+func (c *obsCheck) finish() []Issue {
+	issues := append([]Issue(nil), c.rawHeads...)
+	if !c.sawSchema && len(c.declared) == 0 {
+		return issues // not an obs checkout (unit tests on synthetic trees)
+	}
+	if !c.sawSchema {
+		issues = append(issues, Issue{
+			Rule: "obs-schema",
+			Msg:  "internal/obs declares Ev* event constants but no eventFields schema table was found",
+		})
+		return issues
+	}
+	names := make([]string, 0, len(c.declared))
+	for name := range c.declared {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !c.schemaKeys[name] {
+			issues = append(issues, Issue{
+				Pos:  c.declared[name],
+				Rule: "obs-schema",
+				Msg:  fmt.Sprintf("event constant %s has no eventFields schema row; traces carrying it fail Validate", name),
+			})
+		}
+	}
+	return issues
+}

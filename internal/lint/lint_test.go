@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write lays out a synthetic module tree for Run.
+func write(t *testing.T, root, rel, src string) {
+	t.Helper()
+	path := filepath.Join(root, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func rules(issues []Issue) []string {
+	var r []string
+	for _, is := range issues {
+		r = append(r, is.Rule)
+	}
+	return r
+}
+
+func TestRepoIsClean(t *testing.T) {
+	issues, err := Run(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, is := range issues {
+		t.Errorf("%s", is)
+	}
+}
+
+func TestExprLiteralFlagged(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/core/bad.go", `package core
+
+import "symmerge/internal/expr"
+
+func bad() *expr.Expr { return &expr.Expr{Kind: 1} }
+`)
+	// Aliased imports must be seen through.
+	write(t, root, "internal/core/alias.go", `package core
+
+import e "symmerge/internal/expr"
+
+var sneaky = e.Expr{}
+`)
+	// The builder package itself is allowed to construct nodes.
+	write(t, root, "internal/expr/builder.go", `package expr
+
+type Expr struct{ Kind int }
+
+func mk() *Expr { return &Expr{Kind: 2} }
+`)
+	issues, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 2 {
+		t.Fatalf("got %d issues (%v), want 2", len(issues), issues)
+	}
+	for _, is := range issues {
+		if is.Rule != "expr-builder" {
+			t.Errorf("rule %q, want expr-builder", is.Rule)
+		}
+	}
+}
+
+func TestObsEventWithoutSchemaRow(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/obs/obs.go", `package obs
+
+const (
+	EvFork    = "fork"
+	EvRunaway = "runaway"
+)
+
+type O struct{}
+
+func (o *O) head(ev string) []byte { return nil }
+
+func (o *O) emit() {
+	o.head(EvRunaway)
+	o.head("raw_string")
+}
+`)
+	write(t, root, "internal/obs/schema.go", `package obs
+
+var eventFields = map[string][]string{
+	EvFork: {"w"},
+}
+`)
+	issues, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing, raw int
+	for _, is := range issues {
+		if is.Rule != "obs-schema" {
+			t.Fatalf("unexpected rule in %v", is)
+		}
+		if strings.Contains(is.Msg, "EvRunaway") {
+			missing++
+		}
+		if strings.Contains(is.Msg, "head() argument") {
+			raw++
+		}
+	}
+	if missing != 1 || raw != 1 {
+		t.Fatalf("got %v (rules %v), want one missing-schema-row and one raw-head issue",
+			issues, rules(issues))
+	}
+}
+
+func TestCleanSyntheticTree(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/core/good.go", `package core
+
+import "symmerge/internal/expr"
+
+func good(b *expr.Builder) *expr.Expr { return b.Const(1, 32) }
+`)
+	issues, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 0 {
+		t.Fatalf("unexpected issues: %v", issues)
+	}
+}

@@ -164,6 +164,7 @@ type Metrics struct {
 	summaryMisses      counter
 	summaryRecords     counter
 	summaryInvalidates counter
+	prunedStatic       counter
 
 	queryLat      [numQueryClasses]histogram
 	mergeGate     histogram
@@ -202,6 +203,7 @@ type MetricsSnap struct {
 	SummaryMisses      uint64 `json:"summary_misses"`
 	SummaryRecords     uint64 `json:"summary_records"`
 	SummaryInvalidates uint64 `json:"summary_invalidates"`
+	PrunedStatic       uint64 `json:"pruned_static"`
 
 	Steals      uint64 `json:"steals"`
 	Donations   uint64 `json:"donations"`
@@ -247,6 +249,7 @@ func (m *Metrics) Snapshot() *MetricsSnap {
 		SummaryMisses:      m.summaryMisses.load(),
 		SummaryRecords:     m.summaryRecords.load(),
 		SummaryInvalidates: m.summaryInvalidates.load(),
+		PrunedStatic:       m.prunedStatic.load(),
 		Steals:             m.steals.load(),
 		Donations:          m.donations.load(),
 		Epochs:             m.epochs.load(),

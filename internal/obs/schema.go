@@ -32,6 +32,8 @@ var eventFields = map[string][]string{
 	EvSummaryRecord: {"w", "fn", "entries", "dur_us"},
 	EvSummaryApply:  {"w", "fn", "entries", "feasible", "dur_us"},
 	EvSummaryReject: {"w", "fn", "reason"},
+
+	EvPruneStatic: {"w", "state", "fn", "pc", "kind"},
 }
 
 var queryClasses = map[string]bool{"session": true, "oneshot": true, "cached": true, "summary": true}

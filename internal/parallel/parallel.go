@@ -471,6 +471,9 @@ func Combine(all []*core.Result, completed bool, cfg core.Config) *core.Result {
 		st.ExactPaths += s.ExactPaths
 		st.ErrorsFound += s.ErrorsFound
 		st.Pruned += s.Pruned
+		st.PrunedStatic += s.PrunedStatic
+		st.BoundsElided += s.BoundsElided
+		st.SummaryHeapLifted += s.SummaryHeapLifted
 		st.TestGenFailures += s.TestGenFailures
 		st.SummaryHits += s.SummaryHits
 		st.SummaryRejects += s.SummaryRejects

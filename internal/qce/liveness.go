@@ -1,12 +1,14 @@
 package qce
 
 import (
+	"symmerge/internal/analysis"
 	"symmerge/internal/cfg"
 	"symmerge/internal/ir"
 )
 
-// liveness computes per-location may-liveness of scalar locals: live[pc][v]
-// is true when v's value at pc may still be read before being overwritten.
+// liveness is the shared backward may-liveness analysis from
+// internal/analysis: live[pc][v] is true when v's value at pc may still be
+// read before being overwritten.
 //
 // QCE multiplies Qadd by liveness: a dead variable cannot influence any
 // future query through its *current* value, even if the same register is
@@ -17,131 +19,9 @@ import (
 // [3], which the paper §6 compares against: QCE still merges live variables
 // whose future query count is below the α threshold.
 //
-// Array locals are never killed (stores are partial defs), so they stay
-// live from first touch backwards — conservative and safe.
+// The shared analysis also kills arrays before loops that provably
+// overwrite them in full (see analysis.Liveness), so a to-be-initialized
+// buffer no longer counts toward pre-loop hot sets.
 func liveness(fn *ir.Func, g *cfg.FuncCFG) [][]bool {
-	n := len(fn.Instrs)
-	nl := len(fn.Locals)
-	live := make([][]bool, n+1)
-	for i := range live {
-		live[i] = make([]bool, nl)
-	}
-	if n == 0 {
-		return live
-	}
-
-	use := make([][]int, n)
-	def := make([]int, n) // killed local, -1 if none
-	addUse := func(pc int, o ir.Operand) {
-		if !o.IsConst {
-			use[pc] = append(use[pc], o.Local)
-		}
-	}
-	for pc := 0; pc < n; pc++ {
-		in := &fn.Instrs[pc]
-		def[pc] = -1
-		switch in.Op {
-		case ir.OpBr, ir.OpNop:
-		case ir.OpCondBr, ir.OpAssert, ir.OpAssume, ir.OpOut:
-			addUse(pc, in.A)
-		case ir.OpRet, ir.OpHalt:
-			if in.HasVal {
-				addUse(pc, in.A)
-			}
-		case ir.OpArgc, ir.OpStdinLen, ir.OpSymInt, ir.OpSymByte, ir.OpSymBool:
-			def[pc] = in.Dst
-		case ir.OpStdin:
-			addUse(pc, in.A)
-			def[pc] = in.Dst
-		case ir.OpArgChar:
-			addUse(pc, in.A)
-			addUse(pc, in.B)
-			def[pc] = in.Dst
-		case ir.OpLoad:
-			addUse(pc, in.A)
-			addUse(pc, in.B)
-			def[pc] = in.Dst
-		case ir.OpStore:
-			// Partial def: the array stays live; index and value read.
-			use[pc] = append(use[pc], in.Dst)
-			addUse(pc, in.A)
-			addUse(pc, in.B)
-		case ir.OpAlloc:
-			addUse(pc, in.A)
-			def[pc] = in.Dst
-		case ir.OpPtrLoad:
-			addUse(pc, in.A)
-			def[pc] = in.Dst
-		case ir.OpPtrStore:
-			// Partial def of the pointed-to object (proxied by the
-			// pointer local, which the address read keeps live anyway).
-			addUse(pc, in.A)
-			addUse(pc, in.B)
-		case ir.OpCall:
-			for _, a := range in.Args {
-				addUse(pc, a)
-			}
-			if in.Dst >= 0 {
-				def[pc] = in.Dst
-			}
-		case ir.OpMakeSymArr:
-			// Overwrites the whole array: kill (and no use).
-			if !in.A.IsConst {
-				def[pc] = in.A.Local
-			}
-		case ir.OpMov, ir.OpNot, ir.OpNeg, ir.OpBNot,
-			ir.OpIntToByte, ir.OpByteToInt, ir.OpBoolToInt:
-			// Unary: B is not a real operand.
-			addUse(pc, in.A)
-			def[pc] = in.Dst
-		default: // binary value ops
-			addUse(pc, in.A)
-			addUse(pc, in.B)
-			def[pc] = in.Dst
-		}
-	}
-
-	// Backward fixpoint; iterate blocks in reverse RPO until stable.
-	var succ []int
-	changed := true
-	for changed {
-		changed = false
-		for i := len(g.RPO) - 1; i >= 0; i-- {
-			b := g.Blocks[g.RPO[i]]
-			for pc := b.End - 1; pc >= b.Start; pc-- {
-				in := &fn.Instrs[pc]
-				out := live[pc+1]
-				if in.IsTerminator() {
-					succ = in.Successors(pc, succ[:0])
-					tmp := make([]bool, nl)
-					for _, s := range succ {
-						if s <= n {
-							for v, lv := range live[s] {
-								if lv {
-									tmp[v] = true
-								}
-							}
-						}
-					}
-					out = tmp
-				}
-				for v := 0; v < nl; v++ {
-					nv := out[v] && def[pc] != v
-					if !nv {
-						for _, u := range use[pc] {
-							if u == v {
-								nv = true
-								break
-							}
-						}
-					}
-					if nv != live[pc][v] {
-						live[pc][v] = nv
-						changed = true
-					}
-				}
-			}
-		}
-	}
-	return live
+	return analysis.Liveness(fn, g)
 }

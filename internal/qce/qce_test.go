@@ -482,3 +482,85 @@ func TestHeapPointerDependenceClosure(t *testing.T) {
 		t.Error("stored value has zero Qadd everywhere despite feeding a branch through the heap")
 	}
 }
+
+// goldenQCESrc exercises the liveness sharpening the shared dataflow
+// framework added: the counted loop provably overwrites all of buf, so the
+// pre-loop straight-line prefix treats the array as dead, while from the
+// loop header on the partially-written array is hot (its cells feed the
+// post-loop branch).
+const goldenQCESrc = `
+void main() {
+    int buf[4];
+    int s = toint(argchar(1, 0));
+    for (int i = 0; i < 4; i++) {
+        buf[i] = s + i;
+    }
+    if (buf[2] > 9) { putchar('h'); } else { putchar('l'); }
+}
+`
+
+// TestFullOverwriteKilledArrayNotHot: before the overwriting loop the
+// array's current contents cannot influence any future query, so Qadd
+// masks it out; inside the loop it is live and hot.
+func TestFullOverwriteKilledArrayNotHot(t *testing.T) {
+	p, a := analyze(t, goldenQCESrc, qce.DefaultParams())
+	fq := a.PerFunc[p.Main.Index]
+	buf := localIndex(p.Main, "buf")
+	pre := -1
+	for pc, in := range p.Main.Instrs {
+		if in.Op == ir.OpArgChar {
+			pre = pc
+			break
+		}
+	}
+	if pre < 0 {
+		t.Fatal("argchar not found")
+	}
+	if q := fq.Qadd[pre][buf]; q != 0 {
+		t.Fatalf("Qadd(buf)=%f before the overwriting loop, want 0 (dead)", q)
+	}
+	store := -1
+	for pc, in := range p.Main.Instrs {
+		if in.Op == ir.OpStore && in.Dst == buf {
+			store = pc
+			break
+		}
+	}
+	if store < 0 {
+		t.Fatal("store not found")
+	}
+	if q := fq.Qadd[store][buf]; q <= 0 {
+		t.Fatalf("Qadd(buf)=%f inside the loop, want > 0 (live)", q)
+	}
+}
+
+// TestQCETablePinned is the golden regression for the liveness promotion:
+// moving QCE onto the shared dataflow framework (and adding the
+// full-overwrite kill) must reproduce these estimates exactly — any drift
+// in Qt or a hot set changes merge gating and shows up here before it
+// shows up as a schedule change.
+func TestQCETablePinned(t *testing.T) {
+	const want = `qce main:
+    0: Qt=11.037  
+    1: Qt=10.037   $t0=2.362
+    2: Qt=10.037   $t1=2.362
+    3: Qt=10.037   s=2.362
+    4: Qt=10.037   buf=2.362 s=2.362 i=7.675
+    5: Qt=11.429   buf=2.689 s=2.689 i=8.740 $t2=3.362
+    6: Qt=11.037   buf=2.362 s=2.362 i=8.675
+    7: Qt=11.037   buf=2.362 s=2.362 i=8.675 $t3=2.362
+    8: Qt=10.037   buf=2.362 s=2.362 i=7.675
+    9: Qt=10.037   buf=2.362 s=2.362 i=7.675
+   10: Qt=2.000    buf=1.000
+   11: Qt=1.000    $t4=1.000
+   12: Qt=1.000    $t5=1.000
+   13: Qt=0.000   
+   14: Qt=0.000   
+   15: Qt=0.000   
+   16: Qt=0.000   
+`
+	p, a := analyze(t, goldenQCESrc, qce.DefaultParams())
+	if got := a.PerFunc[p.Main.Index].String(); got != want {
+		t.Errorf("QCE table drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -46,8 +46,8 @@ func FuzzStoreRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"schema":"symmerge-store/v1","tag":"engine/v1"}`)) // no checksum line
 	seed := seedSegmentBytes(f)
 	f.Add(seed)
-	f.Add(seed[:len(seed)/2])       // torn
-	f.Add(seed[:len(seed)-3])       // checksum truncated
+	f.Add(seed[:len(seed)/2]) // torn
+	f.Add(seed[:len(seed)-3]) // checksum truncated
 	// Checksummed-but-hostile payloads: valid files whose JSON carries
 	// out-of-range refs, zero fingerprints, junk kinds.
 	for _, hostile := range []segment{

@@ -53,7 +53,15 @@ type wireEntry struct {
 	Err    *wireErr    `json:"e,omitempty"`
 	Out    []wireOut   `json:"o,omitempty"`
 	Writes []wireWrite `json:"w,omitempty"`
+	Heap   []wireHeap  `json:"h,omitempty"`
 	Cov    []wireLoc   `json:"c,omitempty"`
+}
+
+// wireHeap is one closure-allocated heap object (summary.HeapObj).
+type wireHeap struct {
+	S     int      `json:"s"`
+	ID    uint32   `json:"i"`
+	Cells []uint32 `json:"x"`
 }
 
 type wireErr struct {
@@ -164,6 +172,13 @@ func encodeSummary(sig, rest string, s *summary.FuncSummary) wireSummary {
 		}
 		for _, cw := range src.Writes {
 			we.Writes = append(we.Writes, wireWrite{P: cw.Param, C: cw.Cell, V: enc.ref(cw.Val)})
+		}
+		for _, h := range src.Heap {
+			wh := wireHeap{S: h.Site, ID: h.ID}
+			for _, c := range h.Cells {
+				wh.Cells = append(wh.Cells, enc.ref(c))
+			}
+			we.Heap = append(we.Heap, wh)
 		}
 		for _, l := range src.Cov {
 			we.Cov = append(we.Cov, wireLoc{O: l.Ord, P: l.PC})
@@ -288,6 +303,20 @@ func decodeSummary(b *expr.Builder, w *wireSummary) (*summary.FuncSummary, error
 				return nil, err
 			}
 			e.Writes = append(e.Writes, summary.CellWrite{Param: cw.P, Cell: cw.C, Val: v})
+		}
+		for _, wh := range we.Heap {
+			if wh.S < 0 || wh.ID == 0 {
+				return nil, fmt.Errorf("store: heap object with invalid site %d / id %d", wh.S, wh.ID)
+			}
+			h := summary.HeapObj{Site: wh.S, ID: wh.ID, Cells: make([]*expr.Expr, 0, len(wh.Cells))}
+			for _, r := range wh.Cells {
+				c, err := dec.mustRef(r)
+				if err != nil {
+					return nil, err
+				}
+				h.Cells = append(h.Cells, c)
+			}
+			e.Heap = append(e.Heap, h)
 		}
 		for _, l := range we.Cov {
 			e.Cov = append(e.Cov, summary.LocRef{Ord: l.O, PC: l.P})

@@ -2,12 +2,22 @@
 //
 // A callee is summarizable only when its call closure — the callee plus
 // every function transitively reachable from it — is (a) acyclic, so
-// recording terminates and never re-enters itself, (b) heap-free, so the
-// only memory a summary must replay is the callee's array parameters, and
-// (c) free of fresh-symbolic-input opcodes, whose variable numbering
-// depends on how many symbolic values the *caller* path has already minted.
-// Anything else falls back to inline exploration (the ISSUE's soundness
-// gates).
+// recording terminates and never re-enters itself, (b) heap-contained, so
+// the memory a summary must replay is the callee's array parameters plus
+// heap objects the closure itself allocates, and (c) free of
+// fresh-symbolic-input opcodes, whose variable numbering depends on how
+// many symbolic values the *caller* path has already minted. Anything else
+// falls back to inline exploration (the ISSUE's soundness gates).
+//
+// Heap containment refines the original all-or-nothing heap gate: when the
+// dataflow effect analysis (internal/analysis) proves every heap read and
+// write of the closure lands in objects allocated at the closure's own
+// allocation sites, the closure cannot observe or mutate caller heap state,
+// so its behavior is still a pure function of (arguments, environment) —
+// provided the apply site has never executed those sites (fresh per-site
+// counters reproduce the recording's canonical addresses; the engine checks
+// that dynamically, RejectHeapBusy). Without analysis facts the strict gate
+// stands.
 //
 // For an eligible callee the analysis renders the closure as a canonical
 // signature string: every instruction of every closure function, in
@@ -25,6 +35,7 @@ import (
 	"strings"
 	"sync"
 
+	"symmerge/internal/analysis"
 	"symmerge/internal/ir"
 )
 
@@ -45,6 +56,7 @@ const (
 	RejectTooLarge         // recording produced more entries than the cap
 	RejectDisabled         // summaries off for this engine (bounds checking)
 	RejectAliased          // two array arguments alias the same object at this site
+	RejectHeapBusy         // an allocation site of the closure already executed on this path
 )
 
 var reasonNames = [...]string{
@@ -52,7 +64,7 @@ var reasonNames = [...]string{
 	RejectSymInput: "syminput", RejectTrivial: "trivial",
 	RejectTruncated: "truncated", RejectAbort: "abort",
 	RejectTooLarge: "toolarge", RejectDisabled: "disabled",
-	RejectAliased: "aliased",
+	RejectAliased: "aliased", RejectHeapBusy: "heapbusy",
 }
 
 func (r Reason) String() string {
@@ -72,6 +84,11 @@ type FuncInfo struct {
 	Branches int    // conditional branches in the closure
 	Calls    int    // call instructions in the closure
 	Instrs   int    // total instructions in the closure
+	// HeapSites is the closure's own allocation sites (sorted), non-empty
+	// exactly when the heap gate was lifted by the effect analysis. The
+	// applying engine must see a zero allocation counter at each site
+	// (RejectHeapBusy otherwise) and replays the recorded objects.
+	HeapSites []int
 }
 
 // Worth reports whether summarizing is expected to beat inlining: the
@@ -89,6 +106,7 @@ func (fi *FuncInfo) Worth() bool {
 type ProgInfo struct {
 	p  *ir.Program
 	mu sync.Mutex
+	ap *analysis.Program
 	fi []*FuncInfo
 }
 
@@ -97,21 +115,61 @@ func NewProgInfo(p *ir.Program) *ProgInfo {
 	return &ProgInfo{p: p, fi: make([]*FuncInfo, len(p.Funcs))}
 }
 
+// SetAnalysis supplies the dataflow facts that lift the heap gate. The
+// first non-nil registration wins and later ones are ignored (every engine
+// of a run shares one facts table, so they all pass the same pointer);
+// verdicts memoized before registration keep the strict gate.
+func (pi *ProgInfo) SetAnalysis(ap *analysis.Program) {
+	pi.mu.Lock()
+	if pi.ap == nil {
+		pi.ap = ap
+	}
+	pi.mu.Unlock()
+}
+
 // Info returns the (memoized) analysis of function fi.
 func (pi *ProgInfo) Info(fi int) *FuncInfo {
 	pi.mu.Lock()
 	defer pi.mu.Unlock()
 	if pi.fi[fi] == nil {
-		pi.fi[fi] = analyze(pi.p, fi)
+		pi.fi[fi] = analyze(pi.p, fi, pi.ap)
 	}
 	return pi.fi[fi]
 }
 
-func analyze(p *ir.Program, root int) *FuncInfo {
+// heapContained reports whether the effect analysis proves the closure
+// rooted at fn touches only heap objects it allocates itself, returning the
+// closure's allocation sites. A closure that reads or writes a site outside
+// its own allocation set — or whose effects escaped to External (unknown
+// pointer origins, cyclic call graph) — keeps the strict gate.
+func heapContained(ap *analysis.Program, fn int) ([]int, bool) {
+	eff := &ap.Effects[fn]
+	if !eff.SiteStable() {
+		return nil, false
+	}
+	own := make(map[int]bool, len(eff.Sites))
+	for _, s := range eff.Sites {
+		own[s] = true
+	}
+	for _, s := range eff.Reads {
+		if !own[s] {
+			return nil, false
+		}
+	}
+	for _, s := range eff.Writes {
+		if !own[s] {
+			return nil, false
+		}
+	}
+	return eff.Sites, true
+}
+
+func analyze(p *ir.Program, root int, ap *analysis.Program) *FuncInfo {
 	info := &FuncInfo{}
 	// Closure walk: DFS following call edges in instruction order. color
 	// 1 = on stack (a revisit means a cycle), 2 = done.
 	color := make(map[int]uint8)
+	sawHeap := false
 	var walk func(fn int) bool
 	walk = func(fn int) bool {
 		switch color[fn] {
@@ -127,8 +185,14 @@ func analyze(p *ir.Program, root int) *FuncInfo {
 			info.Instrs++
 			switch in.Op {
 			case ir.OpAlloc, ir.OpPtrLoad, ir.OpPtrStore:
-				info.Reject = RejectHeap
-				return false
+				// Not an immediate reject: the post-walk containment
+				// check may lift the gate. Without analysis facts it
+				// cannot, so bail out of the walk early then.
+				sawHeap = true
+				if ap == nil {
+					info.Reject = RejectHeap
+					return false
+				}
 			case ir.OpSymInt, ir.OpSymByte, ir.OpSymBool, ir.OpMakeSymArr:
 				info.Reject = RejectSymInput
 				return false
@@ -152,6 +216,15 @@ func analyze(p *ir.Program, root int) *FuncInfo {
 		}
 		info.Closure = nil
 		return info
+	}
+	if sawHeap {
+		sites, ok := heapContained(ap, root)
+		if !ok {
+			info.Reject = RejectHeap
+			info.Closure = nil
+			return info
+		}
+		info.HeapSites = sites
 	}
 	if !info.Worth() {
 		info.Reject = RejectTrivial
@@ -213,6 +286,11 @@ func encodeClosure(p *ir.Program, closure []int) string {
 			case ir.OpCondBr:
 				num(int64(in.Target))
 				num(int64(in.FTarget))
+			case ir.OpAlloc:
+				// The site id is baked into every address the allocation
+				// mints (ir.HeapBase), so closures that differ only in
+				// site numbering are behaviorally distinct.
+				num(int64(in.Site))
 			case ir.OpCall:
 				num(int64(ord[in.Callee]))
 				for _, a := range in.Args {

@@ -89,6 +89,18 @@ type CellWrite struct {
 	Val         *expr.Expr
 }
 
+// HeapObj is one heap object a recorded callee path allocated, identified
+// by its allocation site and its allocation-site-canonical object id (the
+// id doAlloc mints from a zero per-site counter — the precondition the
+// applying engine enforces via RejectHeapBusy). Cells hold the object's
+// final values over the placeholders. Only return entries carry heap
+// objects: a halted or errored path's heap is unobservable.
+type HeapObj struct {
+	Site  int
+	ID    uint32
+	Cells []*expr.Expr
+}
+
 // Entry is one callee path: its guard (the callee-relative path condition,
 // conjunct list over placeholders and environment variables) plus the
 // path's complete observable effect.
@@ -99,6 +111,7 @@ type Entry struct {
 	Err    *ErrInfo   // KindError only
 	Out    []OutEffect
 	Writes []CellWrite
+	Heap   []HeapObj
 	Cov    []LocRef
 }
 
@@ -384,6 +397,16 @@ func (s *FuncSummary) Instantiate(b *expr.Builder, actuals []*expr.Expr) *Instan
 			dst.Writes = make([]CellWrite, len(src.Writes))
 			for j, w := range src.Writes {
 				dst.Writes[j] = CellWrite{Param: w.Param, Cell: w.Cell, Val: sub(w.Val)}
+			}
+		}
+		if len(src.Heap) > 0 {
+			dst.Heap = make([]HeapObj, len(src.Heap))
+			for j, h := range src.Heap {
+				cells := make([]*expr.Expr, len(h.Cells))
+				for c, v := range h.Cells {
+					cells[c] = sub(v)
+				}
+				dst.Heap[j] = HeapObj{Site: h.Site, ID: h.ID, Cells: cells}
 			}
 		}
 	}

@@ -51,7 +51,7 @@ func runCheckpointed(p *Program, cfg Config) *Result {
 	if cfg.CorpusDir != "" {
 		cfg = applyCorpusImplications(cfg)
 	}
-	ccfg, kind, seed := coreConfig(cfg)
+	ccfg, kind, seed := coreConfig(p, cfg)
 
 	// The shared infrastructure parallel.Explore would normally create per
 	// call must persist across epochs here: states are snapshotted and

@@ -222,7 +222,7 @@ func TestSnapshotRestoreCensus(t *testing.T) {
 				t.Fatalf("iter %d: restore: %v", iter, err)
 			}
 			part2 := drainEngine(eng2)
-			ccfg, _, _ := coreConfig(cfg)
+			ccfg, _, _ := coreConfig(p, cfg)
 			combined := parallel.Combine([]*core.Result{part1, part2}, part2.Completed, ccfg)
 
 			if !combined.Completed {

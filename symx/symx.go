@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"math/big"
 	"os"
+	"sync"
 	"time"
 
+	"symmerge/internal/analysis"
 	"symmerge/internal/core"
 	"symmerge/internal/corpus"
 	"symmerge/internal/expr"
@@ -41,6 +43,17 @@ import (
 // Program is a compiled MiniC program ready for symbolic exploration.
 type Program struct {
 	ir *ir.Program
+
+	anOnce sync.Once
+	an     *analysis.Program
+}
+
+// staticFacts computes the program's dataflow facts (intervals, branch
+// verdicts, liveness, heap effects) once per Program; every run, worker,
+// and portfolio entry shares the same immutable tables.
+func (p *Program) staticFacts() *analysis.Program {
+	p.anOnce.Do(func() { p.an = analysis.Analyze(p.ir) })
+	return p.an
 }
 
 // Compile parses and compiles MiniC source.
@@ -259,6 +272,20 @@ type Config struct {
 	// derive from verdicts alone. For a Portfolio, set Domain on the
 	// entries (outer fields are ignored there).
 	Domain *Domain
+
+	// DisableAnalysis turns off the static dataflow analyses (interval
+	// branch pruning, bounds-check elision, liveness merge slimming; see
+	// internal/analysis and README "Static analysis") for ablation
+	// measurements. The analyses are on by default and sound: corpus
+	// output, census, coverage, and errors are byte-identical with them
+	// on or off — only the query counts and wall-clock differ.
+	DisableAnalysis bool
+
+	// CrossCheckAnalysis re-validates every statically pruned branch side
+	// with a solver query and panics if the solver disagrees (the pruned
+	// side was satisfiable). Purely a soundness test harness — it spends
+	// the very queries pruning exists to avoid.
+	CrossCheckAnalysis bool
 
 	// DisableSolverOpts turns off the KLEE-style solver optimizations
 	// (counterexample cache, independence slicing, model reuse) for
@@ -489,7 +516,7 @@ func runSingle(p *Program, cfg Config) *Result {
 	if cfg.CorpusDir != "" {
 		cfg = applyCorpusImplications(cfg)
 	}
-	ccfg, kind, seed := coreConfig(cfg)
+	ccfg, kind, seed := coreConfig(p, cfg)
 
 	var writer *corpus.Writer
 	if cfg.CorpusDir != "" {
@@ -578,7 +605,7 @@ func runPortfolio(p *Program, cfg Config) *Result {
 
 // writePortfolioCorpus persists the winning entry's in-memory test set.
 func writePortfolioCorpus(p *Program, outer, winner Config, res *Result) error {
-	_, kind, _ := coreConfig(winner)
+	_, kind, _ := coreConfig(p, winner)
 	writer, err := corpus.NewWriter(outer.CorpusDir, p.ir, outer.CorpusLabel, configDescriptor(winner, kind))
 	if err != nil {
 		return err
@@ -594,7 +621,7 @@ func writePortfolioCorpus(p *Program, outer, winner Config, res *Result) error {
 // Workers and Portfolio are ignored here. An unknown cfg.Strategy panics —
 // use Run for the error-reporting path.
 func NewEngine(p *Program, cfg Config) *core.Engine {
-	ccfg, kind, seed := coreConfig(cfg)
+	ccfg, kind, seed := coreConfig(p, cfg)
 	return engineFactory(p, kind, seed, cfg.Monitor)(ccfg)
 }
 
@@ -624,7 +651,7 @@ func engineFactory(p *Program, kind Strategy, seed int64, mon *Monitor) parallel
 
 // coreConfig lowers the public Config to the engine configuration plus the
 // resolved strategy kind and seed.
-func coreConfig(cfg Config) (core.Config, Strategy, int64) {
+func coreConfig(p *Program, cfg Config) (core.Config, Strategy, int64) {
 	if cfg.Strategy == "" {
 		switch cfg.Merge {
 		case MergeSSM, MergeFunc:
@@ -670,6 +697,10 @@ func coreConfig(cfg Config) (core.Config, Strategy, int64) {
 		DisableSessions: cfg.DisableSessions,
 		SolverOpts:      solver.DefaultOptions(),
 		Obs:             cfg.obsRun,
+	}
+	if !cfg.DisableAnalysis {
+		ccfg.Analysis = p.staticFacts()
+		ccfg.CrossCheckAnalysis = cfg.CrossCheckAnalysis
 	}
 	if cfg.DisableSolverOpts {
 		ccfg.SolverOpts = solver.Options{}
